@@ -1,0 +1,27 @@
+.PHONY: all build test bench bench-quick examples clean fmt
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Full paper reproduction + extension experiments + micro-benchmarks.
+bench:
+	dune exec bench/main.exe -- --bechamel
+
+bench-quick:
+	dune exec bench/main.exe -- --quick
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/movie_db.exe
+	dune exec examples/auction_workload.exe
+	dune exec examples/adaptive_updates.exe
+	dune exec examples/branching_queries.exe
+	dune exec examples/self_tuning.exe
+
+clean:
+	dune clean

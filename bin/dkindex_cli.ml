@@ -1,0 +1,308 @@
+(* dkindex: command-line driver.
+
+   Subcommands:
+     generate   write a synthetic XMark/NASA/random dataset (XML or graph)
+     stats      print statistics of a dataset
+     build      build an index and print its size / similarity profile
+     query      evaluate a path expression through an index
+     workload   generate a query workload and show the mined requirements
+     dot        export a dataset to Graphviz *)
+
+open Cmdliner
+open Dkindex_graph
+open Dkindex_core
+module Xml_parser = Dkindex_xml.Xml_parser
+module Xml_to_graph = Dkindex_xml.Xml_to_graph
+module Xml_writer = Dkindex_xml.Xml_writer
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument handling                                            *)
+
+let comma_list s = String.split_on_char ',' s |> List.filter (fun x -> x <> "")
+
+let load_graph ~input ~id_attrs ~idref_attrs =
+  if Filename.check_suffix input ".xml" then begin
+    let doc = Xml_parser.parse_file input in
+    let config =
+      {
+        Xml_to_graph.id_attrs = (if id_attrs = [] then [ "id" ] else id_attrs);
+        idref_attrs = (if idref_attrs = [] then [ "idref"; "ref" ] else idref_attrs);
+      }
+    in
+    let result = Xml_to_graph.convert ~config doc in
+    if result.Xml_to_graph.unresolved_refs <> [] then
+      Printf.eprintf "warning: %d unresolved references\n"
+        (List.length result.Xml_to_graph.unresolved_refs);
+    result.Xml_to_graph.graph
+  end
+  else Serial.load input
+
+let input_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Input dataset (.xml or .graph)")
+
+let id_attrs_arg =
+  Arg.(
+    value & opt string "id"
+    & info [ "id-attrs" ] ~docv:"NAMES" ~doc:"Comma-separated ID attribute names")
+
+let idref_attrs_arg =
+  Arg.(
+    value & opt string "idref,ref"
+    & info [ "idref-attrs" ] ~docv:"NAMES" ~doc:"Comma-separated IDREF attribute names")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed")
+
+let graph_term =
+  let make input id_attrs idref_attrs =
+    load_graph ~input ~id_attrs:(comma_list id_attrs) ~idref_attrs:(comma_list idref_attrs)
+  in
+  Term.(const make $ input_arg $ id_attrs_arg $ idref_attrs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+
+let generate dataset scale seed output =
+  let write_doc config doc =
+    if Filename.check_suffix output ".xml" then Xml_writer.write_file output doc
+    else Serial.save output (Xml_to_graph.graph_of_doc ~config doc)
+  in
+  (match dataset with
+  | "xmark" -> write_doc Dkindex_datagen.Xmark.config (Dkindex_datagen.Xmark.doc ~seed ~scale ())
+  | "nasa" -> write_doc Dkindex_datagen.Nasa.config (Dkindex_datagen.Nasa.doc ~seed ~scale ())
+  | "treebank" ->
+    write_doc Dkindex_datagen.Treebank.config (Dkindex_datagen.Treebank.doc ~seed ~scale ())
+  | "random" ->
+    if Filename.check_suffix output ".xml" then
+      failwith "random graphs are not XML documents; use a .graph output"
+    else
+      Serial.save output
+        (Dkindex_datagen.Random_graph.graph ~seed ~nodes:(scale * 100) ~n_labels:12
+           ~extra_edges:(scale * 10) ())
+  | other -> failwith (Printf.sprintf "unknown dataset %S (xmark | nasa | treebank | random)" other));
+  Printf.printf "wrote %s\n" output
+
+let generate_cmd =
+  let dataset =
+    Arg.(
+      value & opt string "xmark"
+      & info [ "dataset" ] ~docv:"NAME" ~doc:"xmark | nasa | treebank | random")
+  in
+  let scale =
+    Arg.(value & opt int 100 & info [ "scale" ] ~docv:"N" ~doc:"Dataset scale")
+  in
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output (.xml or .graph)")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic dataset")
+    Term.(const generate $ dataset $ scale $ seed_arg $ output)
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+
+let stats g top =
+  Format.printf "%a@." Data_graph.pp_stats (Data_graph.stats g);
+  Format.printf "top labels by population:@.";
+  List.iteri
+    (fun i (name, count) ->
+      if i < top then Format.printf "  %-28s %d@." name count)
+    (Traversal.label_counts g)
+
+let stats_cmd =
+  let top = Arg.(value & opt int 15 & info [ "top" ] ~docv:"N" ~doc:"Labels to list") in
+  Cmd.v (Cmd.info "stats" ~doc:"Print dataset statistics") Term.(const stats $ graph_term $ top)
+
+(* ------------------------------------------------------------------ *)
+(* index construction shared by build/query                            *)
+
+let make_index g kind k workload_size seed =
+  match kind with
+  | "label-split" | "a0" -> Label_split.build g
+  | "ak" -> A_k_index.build g ~k
+  | "1-index" | "one" -> One_index.build g
+  | "fb" -> Fb_index.build g
+  | "dk" ->
+    let queries = Dkindex_workload.Query_gen.generate ~seed ~count:workload_size g in
+    let reqs = Dkindex_workload.Miner.mine g queries in
+    Dk_index.build g ~reqs
+  | other ->
+    failwith (Printf.sprintf "unknown index %S (label-split | ak | 1-index | fb | dk)" other)
+
+let index_kind_arg =
+  Arg.(
+    value & opt string "dk"
+    & info [ "index" ] ~docv:"KIND" ~doc:"label-split | ak | 1-index | fb | dk")
+
+let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"k for the A(k)-index")
+
+let workload_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "workload-queries" ] ~docv:"N" ~doc:"Workload size used to tune the D(k)-index")
+
+let build g kind k workload_size seed save =
+  let t0 = Unix.gettimeofday () in
+  let idx = make_index g kind k workload_size seed in
+  let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  Printf.printf "%s built in %.1f ms\n" kind ms;
+  (match save with
+  | Some path ->
+    Index_serial.save path idx;
+    Printf.printf "saved to %s\n" path
+  | None -> ());
+  Format.printf "%a@?" Index_stats.pp (Index_stats.compute idx)
+
+let build_cmd =
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Persist the index for later `query --load-index`")
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Build an index and print its profile")
+    Term.(const build $ graph_term $ index_kind_arg $ k_arg $ workload_arg $ seed_arg $ save)
+
+(* ------------------------------------------------------------------ *)
+(* query                                                               *)
+
+let query g kind k workload_size seed load expr_str show =
+  let idx =
+    match load with
+    | Some path -> Index_serial.load path
+    | None -> make_index g kind k workload_size seed
+  in
+  let g = Index_graph.data idx in
+  (* A leading '/' selects the tree-pattern language; anything else is
+     a regular path expression. *)
+  let result =
+    if String.length expr_str > 0 && Char.equal expr_str.[0] '/' then
+      let pattern = Dkindex_pathexpr.Tree_pattern.parse expr_str in
+      Query_eval.eval_pattern ~validate:(not (String.equal kind "fb")) idx pattern
+    else
+      let expr = Dkindex_pathexpr.Path_parser.parse expr_str in
+      match Dkindex_pathexpr.Path_ast.as_label_seq expr with
+      | Some labels -> Query_eval.eval_path_strings idx labels
+      | None -> Query_eval.eval_expr idx expr
+  in
+  Printf.printf "%d matching nodes (cost: %s; %d candidates validated, %d sound index nodes)\n"
+    (List.length result.Query_eval.nodes)
+    (Format.asprintf "%a" Dkindex_pathexpr.Cost.pp result.Query_eval.cost)
+    result.Query_eval.n_candidates result.Query_eval.n_certain;
+  List.iteri
+    (fun i u ->
+      if i < show then Printf.printf "  node %d label %s\n" u (Data_graph.label_name g u))
+    result.Query_eval.nodes
+
+let query_cmd =
+  let expr =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPR" ~doc:"Path expression, e.g. 'director.movie.title'")
+  in
+  let show = Arg.(value & opt int 10 & info [ "show" ] ~docv:"N" ~doc:"Results to print") in
+  let load =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load-index" ] ~docv:"FILE" ~doc:"Use a previously saved index instead of building one")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Evaluate a query through an index: a regular path expression \
+          ('a.b.c', 'a.(b|c)*.d'), or, starting with '/', a branching tree \
+          pattern ('//a[./b]//c')")
+    Term.(
+      const query $ graph_term $ index_kind_arg $ k_arg $ workload_arg $ seed_arg $ load $ expr
+      $ show)
+
+(* ------------------------------------------------------------------ *)
+(* workload                                                            *)
+
+let workload g count seed =
+  let queries = Dkindex_workload.Query_gen.generate ~seed ~count g in
+  Format.printf "generated %d queries:@." (List.length queries);
+  List.iter (fun q -> Format.printf "  %a@." (Dkindex_workload.Query_gen.pp_query g) q) queries;
+  let reqs = Dkindex_workload.Miner.mine g queries in
+  Format.printf "mined requirements:@.";
+  List.iter (fun (l, k) -> Format.printf "  %-28s k >= %d@." l k) reqs
+
+let workload_cmd =
+  let count = Arg.(value & opt int 100 & info [ "count" ] ~docv:"N" ~doc:"Queries") in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Generate a workload and mine requirements")
+    Term.(const workload $ graph_term $ count $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dot                                                                 *)
+
+let dot g output max_nodes =
+  Dot.write_dot ~max_nodes output g;
+  Printf.printf "wrote %s\n" output
+
+let dot_cmd =
+  let output =
+    Arg.(
+      required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"DOT file")
+  in
+  let max_nodes =
+    Arg.(value & opt int 500 & info [ "max-nodes" ] ~docv:"N" ~doc:"Node cap")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export a dataset to Graphviz")
+    Term.(const dot $ graph_term $ output $ max_nodes)
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                              *)
+
+let verify g kind k workload_size seed load quick =
+  let idx =
+    match load with Some path -> Index_serial.load path | None -> make_index g kind k workload_size seed
+  in
+  let g = Index_graph.data idx in
+  let queries =
+    match Dkindex_workload.Query_gen.generate ~seed ~count:50 g with
+    | queries -> queries
+    | exception Invalid_argument _ -> []
+  in
+  let report = Verify.run ~quick ~queries idx in
+  Format.printf "%a@?" Verify.pp_report report;
+  if report.Verify.issues <> [] then exit 1
+
+let verify_cmd =
+  let load =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load-index" ] ~docv:"FILE" ~doc:"Verify a previously saved index")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Skip the label-path soundness check") in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Audit an index: structural invariants, extent soundness, query exactness")
+    Term.(
+      const verify $ graph_term $ index_kind_arg $ k_arg $ workload_arg $ seed_arg $ load $ quick)
+
+(* ------------------------------------------------------------------ *)
+
+(* Global --verbose handling: each subcommand's term already built, so
+   install the reporter from an environment check at startup. *)
+let () =
+  (match Sys.getenv_opt "DKINDEX_VERBOSE" with
+  | Some ("1" | "true" | "debug") ->
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.Src.set_level Dkindex_core.Log.src (Some Logs.Debug)
+  | Some _ | None -> ());
+  let info =
+    Cmd.info "dkindex" ~version:"1.0.0"
+      ~doc:"Adaptive structural summaries for graph-structured data (SIGMOD 2003 D(k)-index)"
+  in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; stats_cmd; build_cmd; query_cmd; workload_cmd; verify_cmd; dot_cmd ]))

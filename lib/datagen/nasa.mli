@@ -1,0 +1,32 @@
+(** NASA-like synthetic dataset (substitution for the IBM generator +
+    nasa.dtd file used in the paper's Section 6).
+
+    The paper picked the NASA astronomical-metadata DTD because it is
+    "broader, deeper and less regular" than XMark "with more
+    references", and kept 8 of its 20 reference kinds.  This generator
+    follows the published nasa.dtd element hierarchy (dataset / altname
+    / reference / source (journal | book | other) / history / revision
+    / tableHead / fields / definitions ...), is roughly twice as deep
+    as XMark thanks to recursive [para] / [footnote] content, draws
+    every optional element independently, and wires exactly 8 reference
+    kinds:
+
+    + [dataset\@related] -> dataset
+    + [keyword\@definition] -> definition
+    + [field\@definition] -> definition
+    + [tableLink\@field] -> field
+    + [revision\@reference] -> reference
+    + [footnote\@dataset] -> dataset
+    + [para\@field] -> field
+    + [source\@journal] -> journal
+
+    [scale] is the number of datasets; a scale of 100 yields roughly
+    15k nodes. *)
+
+val doc : ?seed:int -> scale:int -> unit -> Dkindex_xml.Xml_ast.doc
+val config : Dkindex_xml.Xml_to_graph.config
+val graph : ?seed:int -> scale:int -> unit -> Dkindex_graph.Data_graph.t
+
+val ref_pairs : (string * string) list
+(** The 8 ID/IDREF label pairs of the synthetic NASA schema (paper,
+    Section 6.2). *)

@@ -1,0 +1,33 @@
+module B = Dkindex_graph.Builder
+
+let label_name i = Printf.sprintf "l%d" i
+
+let skeleton rng b ~nodes ~n_labels =
+  for _ = 1 to nodes - 1 do
+    let id = B.add_node b (label_name (Prng.int rng n_labels)) in
+    let parent = Prng.int rng id in
+    B.add_edge b parent id
+  done
+
+let graph ?(seed = 7) ?(value_fraction = 0.0) ~nodes ~n_labels ~extra_edges () =
+  if nodes < 1 then invalid_arg "Random_graph.graph: need at least the root";
+  let rng = Prng.create ~seed in
+  let b = B.create () in
+  skeleton rng b ~nodes ~n_labels;
+  for _ = 1 to extra_edges do
+    let u = Prng.int rng nodes and v = Prng.int rng nodes in
+    if v <> 0 then B.add_edge b u v
+  done;
+  if value_fraction > 0.0 then
+    for u = 1 to nodes - 1 do
+      if Prng.bool rng value_fraction then
+        B.set_value b u (Printf.sprintf "v%d" (Prng.int rng 4))
+    done;
+  B.build b
+
+let tree ?(seed = 7) ~nodes ~n_labels () =
+  if nodes < 1 then invalid_arg "Random_graph.tree: need at least the root";
+  let rng = Prng.create ~seed in
+  let b = B.create () in
+  skeleton rng b ~nodes ~n_labels;
+  B.build b

@@ -1,0 +1,23 @@
+(** Random rooted labeled graphs for property-based testing.
+
+    Every node except the root gets at least one parent among
+    earlier-created nodes, so the whole graph is reachable from the
+    root (as index theory assumes); [extra_edges] adds arbitrary
+    additional edges, including back edges, so the result is a general
+    graph, not a DAG. *)
+
+val graph :
+  ?seed:int ->
+  ?value_fraction:float ->
+  nodes:int ->
+  n_labels:int ->
+  extra_edges:int ->
+  unit ->
+  Dkindex_graph.Data_graph.t
+(** Labels are ["l0" .. "l<n_labels-1>"]; node 0 is the ROOT.
+    [value_fraction] (default 0) gives that share of nodes an atomic
+    payload from ["v0" .. "v3"], for value-predicate tests. *)
+
+val tree :
+  ?seed:int -> nodes:int -> n_labels:int -> unit -> Dkindex_graph.Data_graph.t
+(** Random tree (exactly one parent per non-root node). *)

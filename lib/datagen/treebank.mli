@@ -1,0 +1,22 @@
+(** Treebank-like synthetic dataset: deeply recursive parse trees.
+
+    The Penn Treebank XML encoding (annotated parse trees) is the
+    classic stress test for bisimulation-based indexes: its recursive
+    grammar productions (S / NP / VP / PP / SBAR nesting each other to
+    depth 30+) make rooted label paths highly diverse, so the 1-index
+    barely compresses and the A(k)/D(k) size-for-accuracy trade-off is
+    at its sharpest.  The original corpus is licensed, so this is a
+    grammar-driven synthetic equivalent: sentences are derived from a
+    small probabilistic grammar over the Treebank tags, with word
+    leaves as VALUE nodes and trace references (filler-gap [coindexing]
+    between moved constituents) as the ID/IDREF edges.
+
+    [scale] is the number of sentences; a scale of 100 yields roughly
+    20k nodes of depth ~25. *)
+
+val doc : ?seed:int -> scale:int -> unit -> Dkindex_xml.Xml_ast.doc
+val config : Dkindex_xml.Xml_to_graph.config
+val graph : ?seed:int -> scale:int -> unit -> Dkindex_graph.Data_graph.t
+
+val ref_pairs : (string * string) list
+(** The trace-coindexation reference pairs, for the update experiments. *)

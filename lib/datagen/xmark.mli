@@ -1,0 +1,28 @@
+(** XMark-like synthetic dataset (substitution for the XMark benchmark
+    generator used in the paper's Section 6).
+
+    Generates the XMark auction-site document: a regular, shallow
+    element hierarchy (site / regions / items / categories / people /
+    open and closed auctions) with the benchmark's ID/IDREF reference
+    topology (items reference categories, auctions reference items and
+    persons, persons watch auctions, the category graph links
+    categories).  See DESIGN.md, "Substitutions".
+
+    [scale] is the number of items; the other populations are derived
+    with XMark-like ratios (persons = scale, open auctions = 3/4 scale,
+    closed auctions = 1/2 scale, categories = scale / 10).  A scale of
+    100 yields a graph of roughly 10k nodes. *)
+
+val doc : ?seed:int -> scale:int -> unit -> Dkindex_xml.Xml_ast.doc
+
+val config : Dkindex_xml.Xml_to_graph.config
+(** ID/IDREF attribute mapping for XMark documents. *)
+
+val graph : ?seed:int -> scale:int -> unit -> Dkindex_graph.Data_graph.t
+(** [graph ~scale] = generate the document and load it with {!config}. *)
+
+val ref_pairs : (string * string) list
+(** The (source label, target label) ID/IDREF pairs of the schema, used
+    by the update experiments: "we randomly choose a pair of ID/IDREF
+    labels in the DTD file and one data node from each label group"
+    (paper, Section 6.2). *)

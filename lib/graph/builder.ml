@@ -1,0 +1,49 @@
+type t = {
+  pool : Label.Pool.t;
+  mutable labels : Label.t array;
+  mutable count : int;
+  mutable edges : (int * int) list;
+  mutable values : (int * string) list;
+}
+
+let create_with_root root_label =
+  let pool = Label.Pool.create () in
+  let root = Label.Pool.intern pool root_label in
+  { pool; labels = Array.make 1024 root; count = 1; edges = []; values = [] }
+
+let create () = create_with_root Label.root_name
+let root _ = 0
+let n_nodes b = b.count
+let pool b = b.pool
+
+let add_node b name =
+  let l = Label.Pool.intern b.pool name in
+  if b.count >= Array.length b.labels then begin
+    let labels = Array.make (2 * Array.length b.labels) l in
+    Array.blit b.labels 0 labels 0 b.count;
+    b.labels <- labels
+  end;
+  let id = b.count in
+  b.labels.(id) <- l;
+  b.count <- id + 1;
+  id
+
+let add_edge b u v = b.edges <- (u, v) :: b.edges
+
+let add_child b ~parent name =
+  let id = add_node b name in
+  add_edge b parent id;
+  id
+
+let add_value ?text b ~parent =
+  let id = add_child b ~parent Label.value_name in
+  (match text with Some payload -> b.values <- (id, payload) :: b.values | None -> ());
+  id
+
+let set_value b node payload = b.values <- (node, payload) :: b.values
+
+let build b =
+  Data_graph.make ~values:b.values
+    ~pool:(Label.Pool.copy b.pool)
+    ~labels:(Array.sub b.labels 0 b.count)
+    ~edges:b.edges ()

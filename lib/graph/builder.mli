@@ -1,0 +1,37 @@
+(** Incremental construction of data graphs.
+
+    A builder accumulates nodes and edges and produces an immutable
+    {!Data_graph.t}.  The first node added becomes the root and should
+    carry the label {!Label.root_name}; {!create} adds it for you. *)
+
+type t
+
+val create : unit -> t
+(** A fresh builder whose node [0] is the [ROOT]-labeled root. *)
+
+val create_with_root : string -> t
+(** Like {!create} but with a custom root label (used when building
+    sub-documents that are later grafted). *)
+
+val root : t -> int
+
+val add_node : t -> string -> int
+(** [add_node b label] allocates a new node and returns its id. *)
+
+val add_child : t -> parent:int -> string -> int
+(** [add_child b ~parent label] = [add_node] + [add_edge parent]. *)
+
+val add_value : ?text:string -> t -> parent:int -> int
+(** Attach a [VALUE]-labeled leaf under [parent] (atomic content),
+    optionally recording its payload. *)
+
+val set_value : t -> int -> string -> unit
+(** Record (or overwrite) an atomic payload on an existing node. *)
+
+val add_edge : t -> int -> int -> unit
+val n_nodes : t -> int
+val pool : t -> Label.Pool.t
+
+val build : t -> Data_graph.t
+(** Freeze the builder.  The builder may keep being used afterwards;
+    later [build]s see later additions. *)

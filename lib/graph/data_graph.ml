@@ -1,0 +1,201 @@
+type t = {
+  pool : Label.Pool.t;
+  labels : Label.t array;
+  children : int list array;
+  parents : int list array;
+  values : (int, string) Hashtbl.t;  (* node -> atomic payload *)
+  mutable n_edges : int;
+  mutable by_label : int list array option;
+      (* label code -> node ids, built lazily; labels never change *)
+}
+
+let pool g = g.pool
+let n_nodes g = Array.length g.labels
+let n_edges g = g.n_edges
+let root _ = 0
+let label g u = g.labels.(u)
+let label_name g u = Label.Pool.name g.pool g.labels.(u)
+let value g u = Hashtbl.find_opt g.values u
+let children g u = g.children.(u)
+let parents g u = g.parents.(u)
+let out_degree g u = List.length g.children.(u)
+let in_degree g u = List.length g.parents.(u)
+let iter_children g u f = List.iter f g.children.(u)
+let iter_parents g u f = List.iter f g.parents.(u)
+
+let iter_nodes g f =
+  for u = 0 to n_nodes g - 1 do
+    f u
+  done
+
+let iter_edges g f =
+  iter_nodes g (fun u -> List.iter (fun v -> f u v) g.children.(u))
+
+let fold_nodes g ~init ~f =
+  let acc = ref init in
+  iter_nodes g (fun u -> acc := f !acc u);
+  !acc
+
+let nodes_with_label g l =
+  let table =
+    match g.by_label with
+    | Some table -> table
+    | None ->
+      let table = Array.make (Label.Pool.count g.pool) [] in
+      (* Walk ids downwards so each bucket ends up increasing. *)
+      for u = n_nodes g - 1 downto 0 do
+        let code = Label.to_int g.labels.(u) in
+        table.(code) <- u :: table.(code)
+      done;
+      g.by_label <- Some table;
+      table
+  in
+  let code = Label.to_int l in
+  if code < 0 || code >= Array.length table then [] else table.(code)
+
+let has_edge g u v = List.mem v g.children.(u)
+
+let check_range n (u, v) =
+  if u < 0 || u >= n || v < 0 || v >= n then
+    invalid_arg (Printf.sprintf "Data_graph: edge (%d, %d) out of range" u v)
+
+let make ?(values = []) ~pool ~labels ~edges () =
+  let n = Array.length labels in
+  if n = 0 then invalid_arg "Data_graph.make: no nodes";
+  let children = Array.make n [] and parents = Array.make n [] in
+  let seen = Hashtbl.create (List.length edges) in
+  let n_edges = ref 0 in
+  let add (u, v) =
+    check_range n (u, v);
+    if not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.add seen (u, v) ();
+      children.(u) <- v :: children.(u);
+      parents.(v) <- u :: parents.(v);
+      incr n_edges
+    end
+  in
+  List.iter add edges;
+  let value_table = Hashtbl.create (max 16 (List.length values)) in
+  List.iter
+    (fun (u, payload) ->
+      if u < 0 || u >= n then invalid_arg "Data_graph.make: value node out of range";
+      Hashtbl.replace value_table u payload)
+    values;
+  {
+    pool;
+    labels = Array.copy labels;
+    children;
+    parents;
+    values = value_table;
+    n_edges = !n_edges;
+    by_label = None;
+  }
+
+let add_edge g u v =
+  check_range (n_nodes g) (u, v);
+  if not (has_edge g u v) then begin
+    g.children.(u) <- v :: g.children.(u);
+    g.parents.(v) <- u :: g.parents.(v);
+    g.n_edges <- g.n_edges + 1
+  end
+
+let remove_once x l =
+  let rec go acc = function
+    | [] -> None
+    | y :: rest -> if y = x then Some (List.rev_append acc rest) else go (y :: acc) rest
+  in
+  go [] l
+
+let remove_edge g u v =
+  check_range (n_nodes g) (u, v);
+  match remove_once v g.children.(u) with
+  | None -> invalid_arg (Printf.sprintf "Data_graph.remove_edge: no edge (%d, %d)" u v)
+  | Some children ->
+    g.children.(u) <- children;
+    (match remove_once u g.parents.(v) with
+    | Some parents -> g.parents.(v) <- parents
+    | None -> assert false);
+    g.n_edges <- g.n_edges - 1
+
+let copy g =
+  {
+    pool = Label.Pool.copy g.pool;
+    labels = Array.copy g.labels;
+    children = Array.copy g.children;
+    parents = Array.copy g.parents;
+    values = Hashtbl.copy g.values;
+    n_edges = g.n_edges;
+    by_label = None;
+  }
+
+let graft g h =
+  let pool = Label.Pool.copy g.pool in
+  let ng = n_nodes g and nh = n_nodes h in
+  (* h's root (node 0) is dropped; its other nodes shift by offset - 1. *)
+  let offset = ng in
+  let remap u = u - 1 + offset in
+  let labels = Array.make (ng + nh - 1) (Label.of_int 0) in
+  Array.blit g.labels 0 labels 0 ng;
+  for u = 1 to nh - 1 do
+    labels.(remap u) <- Label.Pool.intern pool (label_name h u)
+  done;
+  let edges = ref [] in
+  iter_edges g (fun u v -> edges := (u, v) :: !edges);
+  iter_edges h (fun u v ->
+      let u' = if u = 0 then root g else remap u
+      and v' = if v = 0 then root g else remap v in
+      edges := (u', v') :: !edges);
+  let values = ref [] in
+  Hashtbl.iter (fun u payload -> values := (u, payload) :: !values) g.values;
+  Hashtbl.iter
+    (fun u payload -> if u > 0 then values := (remap u, payload) :: !values)
+    h.values;
+  (make ~values:!values ~pool ~labels ~edges:!edges (), offset)
+
+type stats = {
+  nodes : int;
+  edges : int;
+  labels : int;
+  max_out_degree : int;
+  max_in_degree : int;
+  max_depth : int;
+  unreachable : int;
+}
+
+let stats g =
+  let n = n_nodes g in
+  let depth = Array.make n (-1) in
+  depth.(root g) <- 0;
+  let queue = Queue.create () in
+  Queue.add (root g) queue;
+  let max_depth = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    if depth.(u) > !max_depth then max_depth := depth.(u);
+    iter_children g u (fun v ->
+        if depth.(v) < 0 then begin
+          depth.(v) <- depth.(u) + 1;
+          Queue.add v queue
+        end)
+  done;
+  let unreachable = ref 0 in
+  Array.iter (fun d -> if d < 0 then incr unreachable) depth;
+  let max_out = ref 0 and max_in = ref 0 in
+  iter_nodes g (fun u ->
+      if out_degree g u > !max_out then max_out := out_degree g u;
+      if in_degree g u > !max_in then max_in := in_degree g u);
+  {
+    nodes = n;
+    edges = n_edges g;
+    labels = Label.Pool.count g.pool;
+    max_out_degree = !max_out;
+    max_in_degree = !max_in;
+    max_depth = !max_depth;
+    unreachable = !unreachable;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "nodes=%d edges=%d labels=%d max_out=%d max_in=%d max_depth=%d unreachable=%d"
+    s.nodes s.edges s.labels s.max_out_degree s.max_in_degree s.max_depth
+    s.unreachable

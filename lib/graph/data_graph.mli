@@ -1,0 +1,98 @@
+(** The data graph: a rooted, directed, node-labeled graph.
+
+    This is the paper's data model (Section 3): XML and other
+    semi-structured data are modeled as a directed graph whose nodes
+    carry a label and a unique identifier.  Tree edges (containment)
+    and reference edges (ID/IDREF, XLink) are not distinguished.  A
+    single root node carries the distinguished label [ROOT].
+
+    Node identifiers are dense integers [0 .. n_nodes - 1]; the root is
+    always node [0].  Adjacency is mutable only through {!add_edge},
+    which supports the paper's edge-addition updates (Section 5.2);
+    node sets are fixed at construction (subgraph addition builds a new
+    graph, see {!graft}). *)
+
+type t
+
+(** {1 Accessors} *)
+
+val pool : t -> Label.Pool.t
+val n_nodes : t -> int
+val n_edges : t -> int
+val root : t -> int
+val label : t -> int -> Label.t
+val label_name : t -> int -> string
+val children : t -> int -> int list
+val parents : t -> int -> int list
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val value : t -> int -> string option
+(** The atomic payload of a [VALUE] node (text content, attribute
+    value), if one was recorded.  Structural algorithms ignore
+    payloads; queries with value predicates read them during
+    validation. *)
+
+val iter_children : t -> int -> (int -> unit) -> unit
+val iter_parents : t -> int -> (int -> unit) -> unit
+val iter_nodes : t -> (int -> unit) -> unit
+val iter_edges : t -> (int -> int -> unit) -> unit
+val fold_nodes : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+val nodes_with_label : t -> Label.t -> int list
+(** All nodes carrying the given label, in increasing id order.
+    Computed once on demand and invalidated by nothing ({!add_edge}
+    does not change labels). *)
+
+val has_edge : t -> int -> int -> bool
+
+(** {1 Construction and mutation} *)
+
+val make :
+  ?values:(int * string) list ->
+  pool:Label.Pool.t ->
+  labels:Label.t array ->
+  edges:(int * int) list ->
+  unit ->
+  t
+(** [make ~pool ~labels ~edges ()] builds a graph over nodes
+    [0 .. Array.length labels - 1] with node [0] as root.  Duplicate
+    edges are kept once; self-loops are allowed (they can arise from
+    IDREFs).  [values] attaches atomic payloads to nodes.
+    @raise Invalid_argument on out-of-range endpoints or if [labels]
+    is empty. *)
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge g u v] inserts the edge [u -> v].  No-op if the edge is
+    already present. *)
+
+val remove_edge : t -> int -> int -> unit
+(** [remove_edge g u v] deletes the edge [u -> v].
+    @raise Invalid_argument if the edge is not present. *)
+
+val graft : t -> t -> t * int
+(** [graft g h] builds a new graph consisting of [g], a disjoint copy
+    of [h] (minus [h]'s root), grafted under [g]'s root: every child of
+    [h]'s root becomes a child of [g]'s root.  Labels of [h] are
+    re-interned into [g]'s pool (a fresh copy of it).  Returns the new
+    graph and the id offset added to [h]'s node ids (node [i > 0] of
+    [h] becomes [i - 1 + offset]).  This implements inserting "a new
+    file into the database" (Section 5.1). *)
+
+val copy : t -> t
+(** Deep copy; mutations on the copy do not affect the original. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  nodes : int;
+  edges : int;
+  labels : int;
+  max_out_degree : int;
+  max_in_degree : int;
+  max_depth : int;  (** longest shortest-path distance from the root *)
+  unreachable : int;  (** nodes not reachable from the root *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

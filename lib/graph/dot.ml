@@ -1,0 +1,24 @@
+let to_dot ?(max_nodes = 500) g =
+  let buf = Buffer.create 4096 in
+  let n = min (Data_graph.n_nodes g) max_nodes in
+  Buffer.add_string buf "digraph data_graph {\n  rankdir=TB;\n  node [shape=ellipse, fontsize=10];\n";
+  for u = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s:%d\"];\n" u (Data_graph.label_name g u) u)
+  done;
+  for u = 0 to n - 1 do
+    Data_graph.iter_children g u (fun v ->
+        if v < n then Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" u v))
+  done;
+  if Data_graph.n_nodes g > max_nodes then
+    Buffer.add_string buf
+      (Printf.sprintf "  elided [shape=box, label=\"%d more nodes elided\"];\n"
+         (Data_graph.n_nodes g - max_nodes));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_dot ?max_nodes path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?max_nodes g))

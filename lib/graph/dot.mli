@@ -1,0 +1,8 @@
+(** Graphviz export for data graphs (debugging and documentation). *)
+
+val to_dot : ?max_nodes:int -> Data_graph.t -> string
+(** Render the graph in DOT syntax.  [max_nodes] (default 500) caps the
+    output for large graphs; extra nodes are elided with a note. *)
+
+val write_dot : ?max_nodes:int -> string -> Data_graph.t -> unit
+(** [write_dot path g] writes [to_dot g] to [path]. *)

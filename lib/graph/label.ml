@@ -1,0 +1,64 @@
+type t = int
+
+let to_int t = t
+let of_int i = i
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+
+let root_name = "ROOT"
+let value_name = "VALUE"
+
+module Pool = struct
+  type nonrec t = {
+    by_name : (string, int) Hashtbl.t;
+    mutable names : string array;
+    mutable count : int;
+  }
+
+  let create () = { by_name = Hashtbl.create 64; names = Array.make 16 ""; count = 0 }
+
+  let grow pool =
+    let cap = Array.length pool.names in
+    if pool.count >= cap then begin
+      let names = Array.make (2 * cap) "" in
+      Array.blit pool.names 0 names 0 cap;
+      pool.names <- names
+    end
+
+  let intern pool name =
+    match Hashtbl.find_opt pool.by_name name with
+    | Some code -> code
+    | None ->
+      grow pool;
+      let code = pool.count in
+      pool.names.(code) <- name;
+      pool.count <- code + 1;
+      Hashtbl.add pool.by_name name code;
+      code
+
+  let find_opt pool name = Hashtbl.find_opt pool.by_name name
+
+  let name pool code =
+    if code < 0 || code >= pool.count then
+      invalid_arg (Printf.sprintf "Label.Pool.name: unknown code %d" code)
+    else pool.names.(code)
+
+  let count pool = pool.count
+
+  let fold f pool init =
+    let acc = ref init in
+    for code = 0 to pool.count - 1 do
+      acc := f code pool.names.(code) !acc
+    done;
+    !acc
+
+  let copy pool =
+    {
+      by_name = Hashtbl.copy pool.by_name;
+      names = Array.copy pool.names;
+      count = pool.count;
+    }
+end
+
+let pp pool ppf t = Format.pp_print_string ppf (Pool.name pool t)

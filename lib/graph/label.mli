@@ -1,0 +1,44 @@
+(** Interned node labels.
+
+    Every data graph owns a {!Pool.t} that maps label names (XML tag
+    names, attribute names, or the distinguished labels [ROOT] and
+    [VALUE]) to dense integer codes.  All index structures work on the
+    integer codes; names are only needed for parsing and printing. *)
+
+type t = private int
+(** A label code, dense in [0 .. Pool.count - 1] for its pool. *)
+
+val to_int : t -> int
+val of_int : int -> t
+(** [of_int] trusts the caller that the code belongs to the pool in
+    use; it exists so that arrays indexed by labels can be rebuilt. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val root_name : string
+(** ["ROOT"], the distinguished label of the single root node. *)
+
+val value_name : string
+(** ["VALUE"], the distinguished label of atomic value nodes. *)
+
+module Pool : sig
+  type label := t
+  type t
+
+  val create : unit -> t
+  val intern : t -> string -> label
+  (** [intern pool name] returns the code for [name], allocating a
+      fresh code on first sight. *)
+
+  val find_opt : t -> string -> label option
+  val name : t -> label -> string
+  (** @raise Invalid_argument if the code was not allocated by [pool]. *)
+
+  val count : t -> int
+  val fold : (label -> string -> 'a -> 'a) -> t -> 'a -> 'a
+  val copy : t -> t
+end
+
+val pp : Pool.t -> Format.formatter -> t -> unit

@@ -1,0 +1,155 @@
+let magic = "dkindex-graph 1"
+let magic_v2 = "dkindex-graph 2"
+
+(* Payloads are written percent-escaped so they stay one-per-line. *)
+let escape_value s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\n' -> Buffer.add_string buf "%0A"
+      | '\r' -> Buffer.add_string buf "%0D"
+      | '%' -> Buffer.add_string buf "%25"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape_value s =
+  let buf = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    if Char.equal s.[!i] '%' && !i + 2 < n then begin
+      (match String.sub s (!i + 1) 2 with
+      | "0A" -> Buffer.add_char buf '\n'
+      | "0D" -> Buffer.add_char buf '\r'
+      | "25" -> Buffer.add_char buf '%'
+      | other -> Buffer.add_string buf ("%" ^ other));
+      i := !i + 3
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let to_string g =
+  let buf = Buffer.create (Data_graph.n_nodes g * 16) in
+  Buffer.add_string buf magic_v2;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "nodes %d\n" (Data_graph.n_nodes g));
+  Data_graph.iter_nodes g (fun u ->
+      Buffer.add_string buf (Data_graph.label_name g u);
+      Buffer.add_char buf '\n');
+  Buffer.add_string buf (Printf.sprintf "edges %d\n" (Data_graph.n_edges g));
+  Data_graph.iter_edges g (fun u v ->
+      Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
+  let values = ref [] in
+  Data_graph.iter_nodes g (fun u ->
+      match Data_graph.value g u with
+      | Some payload -> values := (u, payload) :: !values
+      | None -> ());
+  Buffer.add_string buf (Printf.sprintf "values %d\n" (List.length !values));
+  List.iter
+    (fun (u, payload) -> Buffer.add_string buf (Printf.sprintf "%d %s\n" u (escape_value payload)))
+    (List.rev !values);
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let version = ref 2 in
+  let expect_header rest =
+    match rest with
+    | first :: rest when String.equal first magic_v2 -> rest
+    | first :: rest when String.equal first magic ->
+      version := 1;
+      rest
+    | _ -> fail "Serial.of_string: bad magic"
+  in
+  let parse_count keyword line =
+    match String.split_on_char ' ' line with
+    | [ kw; n ] when String.equal kw keyword -> (
+      match int_of_string_opt n with
+      | Some n when n >= 0 -> n
+      | _ -> fail "Serial.of_string: bad %s count" keyword)
+    | _ -> fail "Serial.of_string: expected '%s <count>'" keyword
+  in
+  match expect_header lines with
+  | [] -> fail "Serial.of_string: truncated"
+  | count_line :: rest ->
+    let n = parse_count "nodes" count_line in
+    let pool = Label.Pool.create () in
+    let labels = Array.make (max n 1) (Label.of_int 0) in
+    let rec read_labels i rest =
+      if i >= n then rest
+      else
+        match rest with
+        | name :: rest ->
+          labels.(i) <- Label.Pool.intern pool name;
+          read_labels (i + 1) rest
+        | [] -> fail "Serial.of_string: truncated labels"
+    in
+    let rest = read_labels 0 rest in
+    (match rest with
+    | [] -> fail "Serial.of_string: missing edges"
+    | edge_line :: rest ->
+      let m = parse_count "edges" edge_line in
+      let edges = ref [] in
+      let rec read_edges i rest =
+        if i >= m then rest
+        else
+          match rest with
+          | line :: rest -> (
+            match String.split_on_char ' ' line with
+            | [ u; v ] -> (
+              match (int_of_string_opt u, int_of_string_opt v) with
+              | Some u, Some v ->
+                edges := (u, v) :: !edges;
+                read_edges (i + 1) rest
+              | _ -> fail "Serial.of_string: bad edge")
+            | _ -> fail "Serial.of_string: bad edge line")
+          | [] -> fail "Serial.of_string: truncated edges"
+      in
+      let rest = read_edges 0 rest in
+      if n = 0 then fail "Serial.of_string: empty graph";
+      let values = ref [] in
+      (if !version >= 2 then
+         match rest with
+         | [] -> fail "Serial.of_string: missing values section"
+         | values_line :: rest ->
+           let nv = parse_count "values" values_line in
+           let rec read_values i rest =
+             if i >= nv then ()
+             else
+               match rest with
+               | line :: rest -> (
+                 match String.index_opt line ' ' with
+                 | Some sp -> (
+                   match int_of_string_opt (String.sub line 0 sp) with
+                   | Some u ->
+                     values :=
+                       (u, unescape_value (String.sub line (sp + 1) (String.length line - sp - 1)))
+                       :: !values;
+                     read_values (i + 1) rest
+                   | None -> fail "Serial.of_string: bad value line")
+                 | None -> fail "Serial.of_string: bad value line")
+               | [] -> fail "Serial.of_string: truncated values"
+           in
+           read_values 0 rest);
+      Data_graph.make ~values:!values ~pool ~labels:(Array.sub labels 0 n) ~edges:!edges ())
+
+let save path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

@@ -1,0 +1,19 @@
+(** Plain-text persistence for data graphs.
+
+    Format (version 1):
+    {v
+    dkindex-graph 1
+    nodes <n>
+    <label name of node 0>
+    ...
+    edges <m>
+    <src> <dst>
+    ...
+    v} *)
+
+val to_string : Data_graph.t -> string
+val of_string : string -> Data_graph.t
+(** @raise Failure on malformed input. *)
+
+val save : string -> Data_graph.t -> unit
+val load : string -> Data_graph.t

@@ -1,0 +1,76 @@
+let depths g =
+  let n = Data_graph.n_nodes g in
+  let depth = Array.make n (-1) in
+  let queue = Queue.create () in
+  depth.(Data_graph.root g) <- 0;
+  Queue.add (Data_graph.root g) queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Data_graph.iter_children g u (fun v ->
+        if depth.(v) < 0 then begin
+          depth.(v) <- depth.(u) + 1;
+          Queue.add v queue
+        end)
+  done;
+  depth
+
+let bfs_order g =
+  let n = Data_graph.n_nodes g in
+  let seen = Array.make n false in
+  let order = Array.make n 0 in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  seen.(Data_graph.root g) <- true;
+  Queue.add (Data_graph.root g) queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order.(!count) <- u;
+    incr count;
+    Data_graph.iter_children g u (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.add v queue
+        end)
+  done;
+  Array.sub order 0 !count
+
+let reachable g ~from =
+  let n = Data_graph.n_nodes g in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(from) <- true;
+  Queue.add from queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Data_graph.iter_children g u (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.add v queue
+        end)
+  done;
+  seen
+
+let label_path_to g node ~max_len =
+  (* Walk parent edges greedily, preferring any parent; the path is one
+     witness among possibly many. *)
+  let rec up u acc len =
+    if len >= max_len then acc
+    else
+      match Data_graph.parents g u with
+      | [] -> acc
+      | p :: _ -> up p (Data_graph.label g p :: acc) (len + 1)
+  in
+  if max_len <= 0 then [] else up node [ Data_graph.label g node ] 1
+
+let label_counts g =
+  let pool = Data_graph.pool g in
+  let counts = Array.make (Label.Pool.count pool) 0 in
+  Data_graph.iter_nodes g (fun u ->
+      let code = Label.to_int (Data_graph.label g u) in
+      counts.(code) <- counts.(code) + 1);
+  let entries =
+    Label.Pool.fold
+      (fun code name acc -> (name, counts.(Label.to_int code)) :: acc)
+      pool []
+  in
+  List.sort (fun (_, a) (_, b) -> compare b a) entries

@@ -1,0 +1,20 @@
+(** Graph traversal utilities shared by index construction, query
+    evaluation and the benchmarks. *)
+
+val bfs_order : Data_graph.t -> int array
+(** Nodes reachable from the root, in breadth-first order. *)
+
+val depths : Data_graph.t -> int array
+(** [depths g].(u) is the shortest-path distance from the root to [u],
+    or [-1] if unreachable. *)
+
+val reachable : Data_graph.t -> from:int -> bool array
+(** Forward reachability from a node (inclusive). *)
+
+val label_path_to : Data_graph.t -> int -> max_len:int -> Label.t list
+(** One label path ending at the given node, at most [max_len] labels
+    long (including the node's own label), obtained by walking parent
+    edges; prefers longer paths.  Used by the workload generator. *)
+
+val label_counts : Data_graph.t -> (string * int) list
+(** Number of nodes per label name, sorted by decreasing count. *)

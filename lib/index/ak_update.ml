@@ -1,0 +1,107 @@
+open Dkindex_graph
+
+(* Split a class so that members agree on their exact set of parent
+   classes, consulting the data graph; returns the resulting ids and
+   whether anything split. *)
+let refine_class t id =
+  let data = Index_graph.data t in
+  let nd = Index_graph.node t id in
+  let table : (int list, int list) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun u ->
+      let ps = ref [] in
+      Data_graph.iter_parents data u (fun p -> ps := Index_graph.cls t p :: !ps);
+      let key = List.sort_uniq compare !ps in
+      (match Hashtbl.find_opt table key with
+      | None ->
+        order := key :: !order;
+        Hashtbl.add table key [ u ]
+      | Some members -> Hashtbl.replace table key (u :: members)))
+    nd.extent;
+  let groups = List.rev_map (fun key -> Hashtbl.find table key) !order in
+  let ids = Index_graph.split t id groups in
+  (ids, match ids with [ _ ] -> false | _ -> true)
+
+let add_edge t ~k u v =
+  let data = Index_graph.data t in
+  Data_graph.add_edge data u v;
+  let iu = Index_graph.cls t u and iv = Index_graph.cls t v in
+  (* v's incoming paths changed: isolate it in a fresh index node. *)
+  let nv = Index_graph.node t iv in
+  let start_ids =
+    if nv.extent_size = 1 then begin
+      Index_graph.add_index_edge t iu iv;
+      [ iv ]
+    end
+    else
+      Index_graph.split t iv [ [ v ]; List.filter (fun w -> w <> v) nv.extent ]
+  in
+  (* Propagate: descendants within distance k - 1 are re-partitioned
+     against the data graph; stop early along branches that no longer
+     split. *)
+  let frontier = ref (Int_set.of_list start_ids) in
+  let continue_ = ref true in
+  let distance = ref 1 in
+  while !continue_ && !distance <= k - 1 do
+    let children =
+      Int_set.fold
+        (fun id acc ->
+          if Index_graph.is_alive t id then
+            Int_set.union acc (Index_graph.node t id).children
+          else acc)
+        !frontier Int_set.empty
+    in
+    let next = ref Int_set.empty in
+    Int_set.iter
+      (fun child ->
+        if Index_graph.is_alive t child then begin
+          let ids, changed = refine_class t child in
+          if changed then next := Int_set.union !next (Int_set.of_list ids)
+        end)
+      children;
+    frontier := !next;
+    continue_ := not (Int_set.is_empty !next);
+    incr distance
+  done
+
+let add_subgraph t ~k h =
+  let g = Index_graph.data t in
+  let g', offset = Data_graph.graft g h in
+  let ih = A_k_index.build h ~k in
+  let h_root_class = Index_graph.cls ih (Data_graph.root h) in
+  if (Index_graph.node ih h_root_class).Index_graph.extent_size <> 1 then
+    invalid_arg "Ak_update.add_subgraph: subgraph root label must be unique in it";
+  let n' = Data_graph.n_nodes g' in
+  let cls' = Array.make n' 0 in
+  let count = ref 0 in
+  let assign () =
+    let id = !count in
+    incr count;
+    id
+  in
+  let dense_of_t = Hashtbl.create 256 in
+  Index_graph.iter_alive t (fun nd ->
+      Hashtbl.add dense_of_t nd.Index_graph.id (assign ()));
+  for u = 0 to Data_graph.n_nodes g - 1 do
+    cls'.(u) <- Hashtbl.find dense_of_t (Index_graph.cls t u)
+  done;
+  Index_graph.iter_alive ih (fun nd ->
+      if nd.Index_graph.id <> h_root_class then begin
+        let id = assign () in
+        List.iter (fun m -> cls'.(m - 1 + offset) <- id) nd.Index_graph.extent
+      end);
+  let combined =
+    Index_graph.of_partition g' ~cls:cls' ~n_classes:!count
+      ~k_of_class:(fun _ -> k)
+      ~req_of_class:(fun _ -> k)
+  in
+  (* Uniform requirements: the Theorem 2 rebuild over the combined index
+     graph is exactly the A(k) recomputation, at index-node cost. *)
+  let pool' = Data_graph.pool g' in
+  let reqs =
+    Dkindex_graph.Label.Pool.fold
+      (fun _ name acc -> (name, k) :: acc)
+      pool' []
+  in
+  (g', Dk_index.rebuild combined ~reqs)

@@ -1,0 +1,27 @@
+(** Edge-addition update for the A(k)-index — the baseline of the
+    paper's Table 1.
+
+    No native A(k) update algorithm existed, so the paper adapts the
+    1-index propagate strategy of Kaushik et al. (VLDB 2002): the
+    target node of the new edge is moved into its own index node, and
+    descendant index nodes within distance (k - 1) are re-partitioned
+    against the {e data graph} until their extents are again truly
+    k-bisimilar.  The data-graph touching is what makes this expensive
+    as k grows — the effect Table 1 measures. *)
+
+val add_edge : Index_graph.t -> k:int -> int -> int -> unit
+(** [add_edge t ~k u v] with data node ids; [t] must be an A(k)-index
+    (or any index whose nodes all carry local similarity [k]). *)
+
+val add_subgraph :
+  Index_graph.t ->
+  k:int ->
+  Dkindex_graph.Data_graph.t ->
+  Dkindex_graph.Data_graph.t * Index_graph.t
+(** Document insertion for the A(k)-index — the paper notes that the
+    1-index update for document insertion "can be easily generalized to
+    apply in the A(k)-index context" (Section 2).  Builds the A(k) of
+    the new document, grafts it beside the old index, and recomputes
+    the A(k) partition over the combined index graph (the same
+    Theorem 2 machinery as {!Dk_update.add_subgraph}, with uniform
+    requirements).  Returns the combined data graph and its index. *)

@@ -1,0 +1,45 @@
+open Dkindex_graph
+
+let label_parents g =
+  let n_labels = Label.Pool.count (Data_graph.pool g) in
+  let parents = Array.make n_labels Int_set.empty in
+  Data_graph.iter_edges g (fun u v ->
+      let lu = Label.to_int (Data_graph.label g u)
+      and lv = Label.to_int (Data_graph.label g v) in
+      parents.(lv) <- Int_set.add lu parents.(lv));
+  parents
+
+let run g ~reqs =
+  let pool = Data_graph.pool g in
+  let n_labels = Label.Pool.count pool in
+  let req = Array.make n_labels 0 in
+  List.iter
+    (fun (name, k) ->
+      if k < 0 then invalid_arg "Broadcast.run: negative requirement";
+      match Label.Pool.find_opt pool name with
+      | Some l -> req.(Label.to_int l) <- max req.(Label.to_int l) k
+      | None -> ())
+    reqs;
+  let parents = label_parents g in
+  let kmax = Array.fold_left max 0 req in
+  if kmax > 0 then begin
+    (* Buckets of labels by requirement at insertion time; a label whose
+       requirement was raised after insertion is skipped when its stale
+       bucket entry is reached. *)
+    let buckets = Array.make (kmax + 1) [] in
+    Array.iteri (fun l k -> if k > 0 then buckets.(k) <- l :: buckets.(k)) req;
+    for k = kmax downto 1 do
+      List.iter
+        (fun l ->
+          if req.(l) = k then
+            Int_set.iter
+              (fun p ->
+                if req.(p) < k - 1 then begin
+                  req.(p) <- k - 1;
+                  buckets.(k - 1) <- p :: buckets.(k - 1)
+                end)
+              parents.(l))
+        buckets.(k)
+    done
+  end;
+  req

@@ -1,0 +1,21 @@
+(** Algorithm 1: the local similarity broadcast algorithm.
+
+    Input: per-label local-similarity requirements mined from the query
+    load.  Because Definition 3 demands [k(parent) >= k(child) - 1] on
+    every index edge, a requirement on a label forces requirements on
+    the labels of its ancestors in the label-split graph.  The
+    broadcast processes requirements in decreasing buckets, raising
+    each parent label to at least (k - 1); it runs in O(m) over the
+    label-split index graph. *)
+
+open Dkindex_graph
+
+val run : Data_graph.t -> reqs:(string * int) list -> int array
+(** [run g ~reqs] returns the effective requirement per label code.
+    Labels absent from [reqs] start at 0 (the paper's default);
+    unknown label names in [reqs] are ignored.
+    @raise Invalid_argument on a negative requirement. *)
+
+val label_parents : Data_graph.t -> Int_set.t array
+(** Adjacency of the label-split graph: for each label code, the codes
+    of labels occurring as a parent of some node with that label. *)

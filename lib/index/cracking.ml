@@ -1,0 +1,19 @@
+open Dkindex_graph
+
+let eval_path t path =
+  let result = Query_eval.eval_path t path in
+  let m = Array.length path in
+  if result.Query_eval.n_candidates > 0 && m >= 2 then begin
+    let pool = Data_graph.pool (Index_graph.data t) in
+    let target = Label.Pool.name pool path.(m - 1) in
+    Log.debug (fun m' ->
+        m' "cracking: promoting label %s to %d after a validated query" target (m - 1));
+    Dk_tune.promote_labels t [ (target, m - 1) ]
+  end;
+  result
+
+let eval_path_strings t labels =
+  let pool = Data_graph.pool (Index_graph.data t) in
+  let interned = List.map (Label.Pool.find_opt pool) labels in
+  if List.exists Option.is_none interned then Query_eval.eval_path t [||]
+  else eval_path t (Array.of_list (List.map Option.get interned))

@@ -1,0 +1,26 @@
+(** Query-driven index cracking.
+
+    The paper closes with: "Currently, the update and evaluation
+    processes are executed independently.  Potentially, they can be
+    combined to speed up the D(k)-index's processing of path queries."
+    This module is that combination, in the spirit of database
+    cracking: when a query has to fall back to validation (its target
+    index nodes' local similarity is below the query length), the
+    evaluation answer is returned as usual — and the target label is
+    then promoted to the query's length, so every later query of that
+    shape is answered from the index alone.
+
+    Starting from the cheapest index (label-split), a query stream
+    incrementally refines exactly the labels it touches, converging to
+    the same structure the offline-mined D(k)-index would have built —
+    without ever seeing the workload in advance (experiment ExtJ). *)
+
+open Dkindex_graph
+
+val eval_path : Index_graph.t -> Label.t array -> Query_eval.result
+(** Evaluate like {!Query_eval.eval_path}; afterwards, if validation
+    was needed, promote the query's target label to [length - 1].  The
+    returned result (and its cost) is the evaluation itself; the
+    promotion is the reinvestment. *)
+
+val eval_path_strings : Index_graph.t -> string list -> Query_eval.result

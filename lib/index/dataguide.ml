@@ -1,0 +1,99 @@
+open Dkindex_graph
+module Cost = Dkindex_pathexpr.Cost
+
+type t = {
+  labels : Label.t array;  (* state -> label *)
+  extents : int array array;  (* state -> sorted data nodes *)
+  children : (Label.t * int) list array;  (* state -> labeled transitions *)
+  by_label : int list array;  (* label code -> states *)
+}
+
+exception Too_large of int
+
+let build ?(max_states = 1_000_000) g =
+  (* State identity: the (sorted) target set.  The root state is the
+     singleton {root}. *)
+  let table : (int array, int) Hashtbl.t = Hashtbl.create 1024 in
+  let labels = ref [] and extents = ref [] and count = ref 0 in
+  let transitions : (int * Label.t * int) list ref = ref [] in
+  let queue = Queue.create () in
+  let intern ~label set =
+    match Hashtbl.find_opt table set with
+    | Some id -> id
+    | None ->
+      if !count >= max_states then raise (Too_large !count);
+      let id = !count in
+      incr count;
+      Hashtbl.add table set id;
+      labels := label :: !labels;
+      extents := set :: !extents;
+      Queue.add (id, set) queue;
+      id
+  in
+  let root = Data_graph.root g in
+  let root_id = intern ~label:(Data_graph.label g root) [| root |] in
+  ignore root_id;
+  while not (Queue.is_empty queue) do
+    let id, set = Queue.pop queue in
+    (* Group the children of the set by label. *)
+    let buckets : (int, Int_set.t) Hashtbl.t = Hashtbl.create 16 in
+    Array.iter
+      (fun u ->
+        Data_graph.iter_children g u (fun v ->
+            let code = Label.to_int (Data_graph.label g v) in
+            let current =
+              Option.value (Hashtbl.find_opt buckets code) ~default:Int_set.empty
+            in
+            Hashtbl.replace buckets code (Int_set.add v current)))
+      set;
+    Hashtbl.iter
+      (fun code members ->
+        let target = Array.of_list (Int_set.elements members) in
+        let label = Label.of_int code in
+        let tid = intern ~label target in
+        transitions := (id, label, tid) :: !transitions)
+      buckets
+  done;
+  let n = !count in
+  let labels = Array.of_list (List.rev !labels) in
+  let extents = Array.of_list (List.rev !extents) in
+  let children = Array.make n [] in
+  List.iter (fun (s, l, d) -> children.(s) <- (l, d) :: children.(s)) !transitions;
+  let by_label = Array.make (Label.Pool.count (Data_graph.pool g)) [] in
+  for s = n - 1 downto 0 do
+    let code = Label.to_int labels.(s) in
+    by_label.(code) <- s :: by_label.(code)
+  done;
+  { labels; extents; children; by_label }
+
+let n_states t = Array.length t.labels
+let n_edges t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.children
+
+let eval_label_path t path ~cost =
+  let m = Array.length path in
+  if m = 0 then []
+  else begin
+    let code0 = Label.to_int path.(0) in
+    let start = if code0 < Array.length t.by_label then t.by_label.(code0) else [] in
+    List.iter (fun _ -> Cost.visit_index cost) start;
+    let frontier = ref start in
+    for i = 1 to m - 1 do
+      let next = Hashtbl.create 32 in
+      List.iter
+        (fun s ->
+          List.iter
+            (fun (l, d) ->
+              if Label.equal l path.(i) && not (Hashtbl.mem next d) then begin
+                Hashtbl.add next d ();
+                Cost.visit_index cost
+              end)
+            t.children.(s))
+        !frontier;
+      frontier := Hashtbl.fold (fun key () acc -> key :: acc) next []
+    done;
+    let result = Hashtbl.create 64 in
+    List.iter
+      (fun s -> Array.iter (fun u -> Hashtbl.replace result u ()) t.extents.(s))
+      !frontier;
+    List.sort compare (Hashtbl.fold (fun u () acc -> u :: acc) result [])
+  end

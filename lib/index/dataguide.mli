@@ -1,0 +1,26 @@
+(** The strong DataGuide of Goldman and Widom (VLDB 1997).
+
+    Built by determinizing the data graph from the root (subset
+    construction): each state is the target set of one or more rooted
+    label paths.  Unlike the bisimulation indexes, extents may overlap
+    and the number of states can be exponential in the data size —
+    which is why the paper rules it out for complex graph data; it is
+    provided here as the related-work comparison point (experiment
+    ExtD). *)
+
+open Dkindex_graph
+
+type t
+
+exception Too_large of int
+
+val build : ?max_states:int -> Data_graph.t -> t
+(** @raise Too_large when more than [max_states] (default 1_000_000)
+    states would be created. *)
+
+val n_states : t -> int
+val n_edges : t -> int
+
+val eval_label_path : t -> Label.t array -> cost:Dkindex_pathexpr.Cost.t -> int list
+(** Evaluate a plain label path (matching anywhere, like
+    {!Matcher.eval_label_path}); exact, no validation needed. *)

@@ -1,0 +1,29 @@
+(** The D(k)-index (Section 4): an index graph whose nodes carry
+    individual local similarities, constrained by Definition 3
+    ([k(parent) >= k(child) - 1] along every edge) so that a path
+    query of length m answered at an index node with k >= m is sound
+    (Theorem 1).
+
+    Construction (Algorithm 2) starts from the label-split graph,
+    broadcasts the query-load requirements (Algorithm 1), then refines
+    round by round, splitting in round k only the classes whose
+    requirement is at least k. *)
+
+open Dkindex_graph
+
+type requirements = (string * int) list
+(** Per-label local-similarity requirements mined from the query load;
+    labels not listed default to 0. *)
+
+val build : Data_graph.t -> reqs:requirements -> Index_graph.t
+
+val effective_reqs : Data_graph.t -> reqs:requirements -> int array
+(** The per-label-code requirements after the broadcast step. *)
+
+val rebuild : Index_graph.t -> reqs:requirements -> Index_graph.t
+(** Theorem 2: the D(k)-index of any refinement of a D(k)-index equals
+    the D(k)-index of the data.  [rebuild] treats the given index graph
+    as a data graph, constructs the D(k)-index over it, and merges
+    extents — the engine behind both subgraph addition (Algorithm 3)
+    and the demoting process (Section 5.4).  The result indexes the
+    same underlying data graph. *)

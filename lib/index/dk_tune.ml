@@ -1,0 +1,95 @@
+open Dkindex_graph
+
+(* Group an extent by the exact set of parent index nodes of each
+   member.  Because those parents are (k-1)-guaranteed classes, members
+   sharing the same parent-class set are k-bisimilar (the inductive
+   argument behind Algorithm 2 and Theorem 1). *)
+let parent_groups t extent =
+  let data = Index_graph.data t in
+  let table : (int list, int list) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun u ->
+      let ps = ref [] in
+      Data_graph.iter_parents data u (fun p -> ps := Index_graph.cls t p :: !ps);
+      let key = List.sort_uniq compare !ps in
+      (match Hashtbl.find_opt table key with
+      | None ->
+        order := key :: !order;
+        Hashtbl.add table key [ u ]
+      | Some members -> Hashtbl.replace table key (u :: members)))
+    extent;
+  List.rev_map (fun key -> Hashtbl.find table key) !order
+
+let rec promote t id ~k =
+  match Index_graph.resolve t id with
+  | [ id ] when Index_graph.is_alive t id -> promote_live t id ~k
+  | ids -> List.concat_map (fun id' -> promote t id' ~k) ids
+
+and promote_live t id ~k =
+  let nd = Index_graph.node t id in
+  if nd.k >= k then begin
+    Index_graph.set_req t id (max nd.req k);
+    [ id ]
+  end
+  else begin
+    (* Parents first (Algorithm 6): raise every parent to k - 1.  A
+       parent promotion can split this very node when the index graph
+       is cyclic, so re-dispatch if [id] died. *)
+    let rec ensure_parents () =
+      if Index_graph.is_alive t id then begin
+        let nd = Index_graph.node t id in
+        let weak =
+          Int_set.filter (fun p -> (Index_graph.node t p).k < k - 1) nd.parents
+        in
+        match Int_set.choose_opt weak with
+        | None -> ()
+        | Some p ->
+          ignore (promote t p ~k:(k - 1));
+          ensure_parents ()
+      end
+    in
+    ensure_parents ();
+    if not (Index_graph.is_alive t id) then promote t id ~k
+    else begin
+      let nd = Index_graph.node t id in
+      let groups = parent_groups t nd.extent in
+      let fresh = Index_graph.split t id groups in
+      List.iter
+        (fun nid ->
+          Index_graph.set_k t nid k;
+          Index_graph.set_req t nid (max (Index_graph.node t nid).req k))
+        fresh;
+      fresh
+    end
+  end
+
+let promote_labels t targets =
+  let pool = Data_graph.pool (Index_graph.data t) in
+  let targets =
+    List.filter_map
+      (fun (name, k) ->
+        match Label.Pool.find_opt pool name with Some l -> Some (l, k) | None -> None)
+      targets
+  in
+  (* Highest similarities first: promoting them raises close ancestors,
+     often saving later promotions (paper, end of Section 5.3). *)
+  let targets = List.sort (fun (_, a) (_, b) -> compare b a) targets in
+  List.iter
+    (fun (l, k) ->
+      (* A node in the snapshot can be split while a sibling of the same
+         label is promoted (labels can be their own ancestors); promote
+         follows the forwarding of retired ids to their fragments. *)
+      List.iter (fun id -> ignore (promote t id ~k)) (Index_graph.nodes_with_label t l))
+    targets
+
+let promote_to_requirements t =
+  Log.debug (fun m -> m "promote_to_requirements over %d index nodes" (Index_graph.n_nodes t));
+  let lagging =
+    Index_graph.fold_alive t ~init:[] ~f:(fun acc nd ->
+        if nd.k < nd.req then (nd.id, nd.req) :: acc else acc)
+  in
+  let lagging = List.sort (fun (_, a) (_, b) -> compare b a) lagging in
+  List.iter (fun (id, req) -> ignore (promote t id ~k:req)) lagging
+
+let demote t ~reqs = Dk_index.rebuild t ~reqs

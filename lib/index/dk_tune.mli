@@ -1,0 +1,33 @@
+(** Query-load tuning of the D(k)-index: the promoting process
+    (Section 5.3, Algorithm 6) and the demoting process (Section 5.4).
+
+    Both are meant to run periodically: promotion restores local
+    similarities degraded by edge-addition updates (or raises them for
+    labels that became hot in the query load); demotion shrinks an
+    index that refinements made too large. *)
+
+
+
+val promote : Index_graph.t -> int -> k:int -> int list
+(** Algorithm 6.  [promote t id ~k] raises index node [id]'s local
+    similarity to at least [k]: parents are recursively promoted to
+    [k - 1] first, then [id]'s extent is split by its (now
+    sufficiently-refined) parents.  Returns the ids replacing [id]
+    (possibly just [[id]]).  The [req] of the touched nodes is raised
+    to the promoted value. *)
+
+val promote_labels : Index_graph.t -> (string * int) list -> unit
+(** Promote every index node of each listed label to the given local
+    similarity.  Labels are processed in decreasing similarity order
+    (the paper's batching note: promoting the highest requirements
+    first saves ancestor promotions). *)
+
+val promote_to_requirements : Index_graph.t -> unit
+(** Promote every index node whose local similarity fell below its
+    recorded requirement back to that requirement — the periodic
+    maintenance pass suggested by Section 5.3. *)
+
+val demote : Index_graph.t -> reqs:Dk_index.requirements -> Index_graph.t
+(** Section 5.4: shrink the index by rebuilding it (Theorem 2) from the
+    current refinement under lower requirements.  Returns a fresh
+    index; the argument is unchanged. *)

@@ -1,0 +1,21 @@
+(** The F&B-index (Kaushik, Bohannon, Naughton, Korth, SIGMOD 2002) —
+    the covering index for branching path queries that the D(k) paper
+    names as the next research direction.
+
+    The partition is stable {e forwards and backwards}: refinement by
+    parent classes (as in the 1-index) alternates with refinement by
+    child classes, to a fixpoint.  At the fixpoint every index edge is
+    universal in both directions — each member of a class has a parent
+    in every parent class {e and} a child in every child class — so
+    evaluating a tree pattern on the index graph returns exactly the
+    data-graph answer, including descendant axes and predicate
+    branches, with no validation.
+
+    The price is size: the F&B partition refines the 1-index, often
+    substantially (experiment ExtF). *)
+
+val build : Dkindex_graph.Data_graph.t -> Index_graph.t
+(** Nodes carry {!Index_graph.k_infinite} (sound for any query). *)
+
+val rounds : Dkindex_graph.Data_graph.t -> int
+(** Number of alternating refinement rounds until the fixpoint. *)

@@ -1,0 +1,313 @@
+open Dkindex_graph
+
+type inode = {
+  id : int;
+  label : Label.t;
+  mutable extent : int list;
+  mutable extent_size : int;
+  mutable k : int;
+  mutable req : int;
+  mutable parents : Int_set.t;
+  mutable children : Int_set.t;
+}
+
+type t = {
+  data : Data_graph.t;
+  cls : int array;
+  mutable nodes : inode option array;
+  mutable next_id : int;
+  mutable n_alive : int;
+  by_label : int list array;
+      (* label code -> index node ids, possibly stale (dead ids filtered on
+         read); appended to on allocation *)
+  forwards : (int, int list) Hashtbl.t;  (* dead id -> ids that replaced it *)
+}
+
+let k_infinite = max_int / 4
+
+let data t = t.data
+
+let node t id =
+  if id < 0 || id >= t.next_id then
+    invalid_arg (Printf.sprintf "Index_graph.node: id %d out of range" id)
+  else
+    match t.nodes.(id) with
+    | Some nd -> nd
+    | None -> invalid_arg (Printf.sprintf "Index_graph.node: id %d is dead" id)
+
+let is_alive t id = id >= 0 && id < t.next_id && Option.is_some t.nodes.(id)
+let cls t u = t.cls.(u)
+let root_node t = t.cls.(Data_graph.root t.data)
+let n_nodes t = t.n_alive
+
+let iter_alive t f =
+  for id = 0 to t.next_id - 1 do
+    match t.nodes.(id) with Some nd -> f nd | None -> ()
+  done
+
+let fold_alive t ~init ~f =
+  let acc = ref init in
+  iter_alive t (fun nd -> acc := f !acc nd);
+  !acc
+
+let n_edges t = fold_alive t ~init:0 ~f:(fun acc nd -> acc + Int_set.cardinal nd.children)
+
+let nodes_with_label t l =
+  let code = Label.to_int l in
+  if code < 0 || code >= Array.length t.by_label then []
+  else begin
+    let live = List.filter (is_alive t) t.by_label.(code) in
+    t.by_label.(code) <- live;
+    live
+  end
+
+let max_k t =
+  fold_alive t ~init:0 ~f:(fun acc nd ->
+      if nd.k < k_infinite && nd.k > acc then nd.k else acc)
+
+let alloc t ~label ~extent ~k ~req =
+  if t.next_id >= Array.length t.nodes then begin
+    let nodes = Array.make (max 16 (2 * Array.length t.nodes)) None in
+    Array.blit t.nodes 0 nodes 0 t.next_id;
+    t.nodes <- nodes
+  end;
+  let id = t.next_id in
+  let nd =
+    {
+      id;
+      label;
+      extent;
+      extent_size = List.length extent;
+      k;
+      req;
+      parents = Int_set.empty;
+      children = Int_set.empty;
+    }
+  in
+  t.nodes.(id) <- Some nd;
+  t.next_id <- id + 1;
+  t.n_alive <- t.n_alive + 1;
+  let code = Label.to_int label in
+  t.by_label.(code) <- id :: t.by_label.(code);
+  nd
+
+let kill t id =
+  match t.nodes.(id) with
+  | Some _ ->
+    t.nodes.(id) <- None;
+    t.n_alive <- t.n_alive - 1
+  | None -> ()
+
+(* Recompute [nd]'s adjacency from the data graph and patch neighbors'
+   sets to point back.  [t.cls] must already map nd's extent to nd.id. *)
+let attach_edges t nd =
+  List.iter
+    (fun u ->
+      Data_graph.iter_parents t.data u (fun p ->
+          let pc = t.cls.(p) in
+          nd.parents <- Int_set.add pc nd.parents;
+          (node t pc).children <- Int_set.add nd.id (node t pc).children);
+      Data_graph.iter_children t.data u (fun c ->
+          let cc = t.cls.(c) in
+          nd.children <- Int_set.add cc nd.children;
+          (node t cc).parents <- Int_set.add nd.id (node t cc).parents))
+    nd.extent
+
+let of_partition g ~cls ~n_classes ~k_of_class ~req_of_class =
+  let n = Data_graph.n_nodes g in
+  if Array.length cls <> n then invalid_arg "Index_graph.of_partition: cls size mismatch";
+  let extents = Array.make n_classes [] in
+  let labels = Array.make n_classes None in
+  for u = n - 1 downto 0 do
+    let c = cls.(u) in
+    if c < 0 || c >= n_classes then invalid_arg "Index_graph.of_partition: class out of range";
+    extents.(c) <- u :: extents.(c);
+    let l = Data_graph.label g u in
+    (match labels.(c) with
+    | None -> labels.(c) <- Some l
+    | Some l' ->
+      if not (Label.equal l l') then
+        invalid_arg "Index_graph.of_partition: class mixes labels")
+  done;
+  let t =
+    {
+      data = g;
+      cls = Array.copy cls;
+      nodes = Array.make (max 16 n_classes) None;
+      next_id = 0;
+      n_alive = 0;
+      by_label = Array.make (Label.Pool.count (Data_graph.pool g)) [];
+      forwards = Hashtbl.create 64;
+    }
+  in
+  for c = 0 to n_classes - 1 do
+    match labels.(c) with
+    | None -> invalid_arg "Index_graph.of_partition: empty class"
+    | Some label ->
+      ignore (alloc t ~label ~extent:extents.(c) ~k:(k_of_class c) ~req:(req_of_class c))
+  done;
+  (* Edges in one pass over the data edges. *)
+  Data_graph.iter_edges g (fun u v ->
+      let a = t.cls.(u) and b = t.cls.(v) in
+      let na = node t a and nb = node t b in
+      na.children <- Int_set.add b na.children;
+      nb.parents <- Int_set.add a nb.parents);
+  t
+
+let split t id groups =
+  let old = node t id in
+  (match groups with
+  | [] -> invalid_arg "Index_graph.split: no groups"
+  | _ -> ());
+  let total = List.fold_left (fun acc g -> acc + List.length g) 0 groups in
+  if total <> old.extent_size then
+    invalid_arg "Index_graph.split: groups do not cover the extent";
+  match groups with
+  | [ _ ] -> [ id ]
+  | groups ->
+    List.iter (function [] -> invalid_arg "Index_graph.split: empty group" | _ -> ()) groups;
+    (* Detach the old node from its neighbors. *)
+    Int_set.iter
+      (fun p -> if p <> id then (node t p).children <- Int_set.remove id (node t p).children)
+      old.parents;
+    Int_set.iter
+      (fun c -> if c <> id then (node t c).parents <- Int_set.remove id (node t c).parents)
+      old.children;
+    kill t id;
+    let fresh =
+      List.map
+        (fun extent -> alloc t ~label:old.label ~extent ~k:old.k ~req:old.req)
+        groups
+    in
+    List.iter (fun nd -> List.iter (fun u -> t.cls.(u) <- nd.id) nd.extent) fresh;
+    List.iter (fun nd -> attach_edges t nd) fresh;
+    let ids = List.map (fun nd -> nd.id) fresh in
+    Hashtbl.replace t.forwards id ids;
+    ids
+
+let resolve t id =
+  let rec go id =
+    if is_alive t id then [ id ]
+    else
+      match Hashtbl.find_opt t.forwards id with
+      | Some ids -> List.concat_map go ids
+      | None -> invalid_arg (Printf.sprintf "Index_graph.resolve: unknown id %d" id)
+  in
+  go id
+
+let add_index_edge t a b =
+  let na = node t a and nb = node t b in
+  na.children <- Int_set.add b na.children;
+  nb.parents <- Int_set.add a nb.parents
+
+let remove_index_edge t a b =
+  let na = node t a and nb = node t b in
+  na.children <- Int_set.remove b na.children;
+  nb.parents <- Int_set.remove a nb.parents
+
+let set_k t id k = (node t id).k <- k
+let set_req t id req = (node t id).req <- req
+
+let as_data_graph t =
+  let map = Array.make t.n_alive 0 in
+  let rev = Hashtbl.create t.n_alive in
+  (* Derived node 0 must hold the data root. *)
+  let root_id = root_node t in
+  map.(0) <- root_id;
+  Hashtbl.add rev root_id 0;
+  let count = ref 1 in
+  iter_alive t (fun nd ->
+      if nd.id <> root_id then begin
+        map.(!count) <- nd.id;
+        Hashtbl.add rev nd.id !count;
+        incr count
+      end);
+  let pool = Label.Pool.copy (Data_graph.pool t.data) in
+  let labels = Array.map (fun id -> (node t id).label) map in
+  let edges = ref [] in
+  iter_alive t (fun nd ->
+      let du = Hashtbl.find rev nd.id in
+      Int_set.iter (fun c -> edges := (du, Hashtbl.find rev c) :: !edges) nd.children);
+  (Data_graph.make ~pool ~labels ~edges:!edges (), map)
+
+let compact t =
+  let dense = Hashtbl.create t.n_alive in
+  let count = ref 0 in
+  let ks = ref [] and reqs = ref [] in
+  iter_alive t (fun nd ->
+      Hashtbl.add dense nd.id !count;
+      ks := (!count, nd.k) :: !ks;
+      reqs := (!count, nd.req) :: !reqs;
+      incr count);
+  let k_of = Array.make !count 0 and req_of = Array.make !count 0 in
+  List.iter (fun (c, k) -> k_of.(c) <- k) !ks;
+  List.iter (fun (c, r) -> req_of.(c) <- r) !reqs;
+  let cls = Array.map (fun id -> Hashtbl.find dense id) t.cls in
+  of_partition t.data ~cls ~n_classes:!count
+    ~k_of_class:(fun c -> k_of.(c))
+    ~req_of_class:(fun c -> req_of.(c))
+
+let partition_signature t =
+  let n = Data_graph.n_nodes t.data in
+  let repr = Hashtbl.create t.n_alive in
+  iter_alive t (fun nd ->
+      let m = List.fold_left min max_int nd.extent in
+      Hashtbl.add repr nd.id (m, nd.k));
+  Array.init n (fun u -> Hashtbl.find repr t.cls.(u))
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let check_invariants t =
+  let n = Data_graph.n_nodes t.data in
+  (* cls maps into live nodes and extents are consistent with cls. *)
+  let counted = Array.make t.next_id 0 in
+  for u = 0 to n - 1 do
+    let c = t.cls.(u) in
+    if not (is_alive t c) then fail "cls(%d) = %d is dead" u c;
+    counted.(c) <- counted.(c) + 1
+  done;
+  iter_alive t (fun nd ->
+      if nd.extent_size <> List.length nd.extent then fail "extent_size mismatch at %d" nd.id;
+      if counted.(nd.id) <> nd.extent_size then
+        fail "extent of %d has %d members but cls maps %d nodes to it" nd.id nd.extent_size
+          counted.(nd.id);
+      List.iter
+        (fun u ->
+          if t.cls.(u) <> nd.id then fail "node %d in extent of %d but cls says %d" u nd.id t.cls.(u);
+          if not (Label.equal (Data_graph.label t.data u) nd.label) then
+            fail "label mismatch in extent of %d" nd.id)
+        nd.extent);
+  (* Edges match the data graph exactly. *)
+  let expected = Hashtbl.create 256 in
+  Data_graph.iter_edges t.data (fun u v -> Hashtbl.replace expected (t.cls.(u), t.cls.(v)) ());
+  iter_alive t (fun nd ->
+      Int_set.iter
+        (fun c ->
+          if not (is_alive t c) then fail "edge %d -> dead %d" nd.id c;
+          if not (Hashtbl.mem expected (nd.id, c)) then
+            fail "index edge %d -> %d has no data counterpart" nd.id c;
+          if not (Int_set.mem nd.id (node t c).parents) then
+            fail "edge %d -> %d missing reverse link" nd.id c)
+        nd.children;
+      Int_set.iter
+        (fun p ->
+          if not (is_alive t p) then fail "edge dead %d -> %d" p nd.id;
+          if not (Int_set.mem nd.id (node t p).children) then
+            fail "edge %d -> %d missing forward link" p nd.id)
+        nd.parents);
+  Hashtbl.iter
+    (fun (a, b) () ->
+      if not (Int_set.mem b (node t a).children) then
+        fail "data edge between extents of %d and %d missing in index" a b)
+    expected;
+  (* Definition 3: k(parent) >= k(child) - 1 along every index edge. *)
+  iter_alive t (fun nd ->
+      Int_set.iter
+        (fun c ->
+          let kc = (node t c).k in
+          if nd.k < kc - 1 then fail "D(k) violation: k(%d)=%d < k(%d)=%d - 1" nd.id nd.k c kc)
+        nd.children)
+
+let stats_line t =
+  let extent_total = fold_alive t ~init:0 ~f:(fun acc nd -> acc + nd.extent_size) in
+  Printf.sprintf "index nodes=%d edges=%d data nodes=%d" t.n_alive (n_edges t) extent_total

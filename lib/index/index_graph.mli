@@ -1,0 +1,128 @@
+(** The index graph: the common representation of every structural
+    summary in this library (label-split, A(k), 1-index, D(k)).
+
+    An index graph over a data graph [G] partitions [G]'s nodes into
+    extents.  Each index node carries:
+    - its (shared) label,
+    - its extent (the data nodes it summarizes),
+    - its local similarity [k]: the guarantee that all data nodes of
+      the extent are at least k-bisimilar (Definition 2),
+    - its requirement [req]: the local similarity the current query
+      load asks of this label (Section 4.2).
+
+    There is an index edge [A -> B] exactly when some data edge runs
+    from a node of [extent A] to a node of [extent B].
+
+    Index nodes can be split in place ({!split}); this is the
+    primitive behind D(k) promotion and the A(k) propagate update.
+    Splitting retires the old node id and allocates fresh ids, so ids
+    are stable for as long as a node is alive. *)
+
+open Dkindex_graph
+
+type inode = private {
+  id : int;
+  label : Label.t;
+  mutable extent : int list;
+  mutable extent_size : int;
+  mutable k : int;
+  mutable req : int;
+  mutable parents : Int_set.t;  (** index node ids *)
+  mutable children : Int_set.t;
+}
+
+type t
+
+val k_infinite : int
+(** Local similarity of 1-index nodes: sound for any query length. *)
+
+(** {1 Construction} *)
+
+val of_partition :
+  Data_graph.t ->
+  cls:int array ->
+  n_classes:int ->
+  k_of_class:(int -> int) ->
+  req_of_class:(int -> int) ->
+  t
+(** Build an index graph from a partition of the data nodes given as a
+    [cls] map (data node -> class id in [0 .. n_classes-1]).  Index
+    node ids coincide with class ids.  @raise Invalid_argument if a
+    class is empty or mixes labels. *)
+
+(** {1 Accessors} *)
+
+val data : t -> Data_graph.t
+val node : t -> int -> inode
+(** @raise Invalid_argument if the id is dead or out of range. *)
+
+val is_alive : t -> int -> bool
+val cls : t -> int -> int
+(** Index node id of a data node. *)
+
+val root_node : t -> int
+(** Index node containing the data root. *)
+
+val n_nodes : t -> int
+(** Number of live index nodes (the "index size" of the figures). *)
+
+val n_edges : t -> int
+val iter_alive : t -> (inode -> unit) -> unit
+val fold_alive : t -> init:'a -> f:('a -> inode -> 'a) -> 'a
+val nodes_with_label : t -> Label.t -> int list
+(** Live index nodes carrying the label. *)
+
+val max_k : t -> int
+(** Largest finite local similarity among live nodes (0 for an empty
+    index). *)
+
+(** {1 Mutation} *)
+
+val split : t -> int -> int list list -> int list
+(** [split t id groups] replaces index node [id] by one node per group;
+    [groups] must be a partition of [id]'s extent into non-empty
+    lists.  New nodes inherit label, [k] and [req]; edges are recomputed
+    from the data graph.  Returns the new ids ([ [id] ] unchanged if a
+    single group is passed).  @raise Invalid_argument if the groups do
+    not partition the extent. *)
+
+val resolve : t -> int -> int list
+(** Live index nodes descending from a possibly-retired id (follows
+    {!split} forwarding).  The identity on live ids. *)
+
+val add_index_edge : t -> int -> int -> unit
+(** Record an index edge (used right after a data edge insertion).
+    No-op if present. *)
+
+val remove_index_edge : t -> int -> int -> unit
+(** Drop an index edge (used after a data edge deletion left no edge
+    between the two extents).  No-op if absent. *)
+
+val set_k : t -> int -> int -> unit
+val set_req : t -> int -> int -> unit
+
+(** {1 Derived views} *)
+
+val as_data_graph : t -> Data_graph.t * int array
+(** View the live index graph as a data graph (Theorem 2: an index can
+    be rebuilt from any of its refinements).  Returns the derived graph
+    and a map from derived node id to index node id.  The derived node
+    [0] is the index node holding the data root. *)
+
+val compact : t -> t
+(** A fresh, densely-numbered copy of the live index over the same data
+    graph (many splits leave retired slots behind).  Forwarding history
+    is dropped. *)
+
+val partition_signature : t -> (int * int) array
+(** For testing: array indexed by data node of
+    [(canonical class representative, k of its class)], where the
+    representative is the smallest data node id in the class.  Two
+    index graphs are structurally equal iff their signatures are. *)
+
+val check_invariants : t -> unit
+(** Validate internal consistency and the D(k)-index definition
+    (Definition 3: [k(parent) >= k(child) - 1] on every edge); raises
+    [Failure] with a description otherwise.  For tests. *)
+
+val stats_line : t -> string

@@ -1,0 +1,115 @@
+open Dkindex_graph
+
+let magic = "dkindex-index 1"
+
+let to_string t =
+  let data = Index_graph.data t in
+  let n = Data_graph.n_nodes data in
+  let buf = Buffer.create (n * 8) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  let graph_text = Serial.to_string data in
+  Buffer.add_string buf (Printf.sprintf "graph %d\n" (String.length graph_text));
+  Buffer.add_string buf graph_text;
+  (* Dense class ids in first-touch order over data nodes. *)
+  let dense = Hashtbl.create 256 in
+  let order = ref [] and count = ref 0 in
+  Buffer.add_string buf "cls\n";
+  for u = 0 to n - 1 do
+    let id = Index_graph.cls t u in
+    let c =
+      match Hashtbl.find_opt dense id with
+      | Some c -> c
+      | None ->
+        let c = !count in
+        incr count;
+        Hashtbl.add dense id c;
+        order := id :: !order;
+        c
+    in
+    Buffer.add_string buf (string_of_int c);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf (Printf.sprintf "classes %d\n" !count);
+  List.iter
+    (fun id ->
+      let nd = Index_graph.node t id in
+      let enc k = if k >= Index_graph.k_infinite then -1 else k in
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d\n" (enc nd.Index_graph.k) (enc nd.Index_graph.req)))
+    (List.rev !order);
+  Buffer.contents buf
+
+let of_string s =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let len = String.length s in
+  let line_end pos = match String.index_from_opt s pos '\n' with
+    | Some i -> i
+    | None -> fail "Index_serial.of_string: truncated"
+  in
+  let read_line pos =
+    let e = line_end pos in
+    (String.sub s pos (e - pos), e + 1)
+  in
+  let header, pos = read_line 0 in
+  if not (String.equal header magic) then fail "Index_serial.of_string: bad magic";
+  let graph_line, pos = read_line pos in
+  let graph_len =
+    match String.split_on_char ' ' graph_line with
+    | [ "graph"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 0 && pos + n <= len -> n
+      | _ -> fail "Index_serial.of_string: bad graph length")
+    | _ -> fail "Index_serial.of_string: expected 'graph <len>'"
+  in
+  let data = Serial.of_string (String.sub s pos graph_len) in
+  let pos = pos + graph_len in
+  let marker, pos = read_line pos in
+  if not (String.equal marker "cls") then fail "Index_serial.of_string: expected 'cls'";
+  let n = Data_graph.n_nodes data in
+  let cls = Array.make n 0 in
+  let pos = ref pos in
+  for u = 0 to n - 1 do
+    let line, next = read_line !pos in
+    (match int_of_string_opt line with
+    | Some c when c >= 0 -> cls.(u) <- c
+    | _ -> fail "Index_serial.of_string: bad class for node %d" u);
+    pos := next
+  done;
+  let classes_line, next = read_line !pos in
+  pos := next;
+  let m =
+    match String.split_on_char ' ' classes_line with
+    | [ "classes"; m ] -> (
+      match int_of_string_opt m with
+      | Some m when m > 0 -> m
+      | _ -> fail "Index_serial.of_string: bad class count")
+    | _ -> fail "Index_serial.of_string: expected 'classes <m>'"
+  in
+  Array.iter (fun c -> if c >= m then fail "Index_serial.of_string: class out of range") cls;
+  let ks = Array.make m 0 and reqs = Array.make m 0 in
+  for c = 0 to m - 1 do
+    let line, next = read_line !pos in
+    (match String.split_on_char ' ' line with
+    | [ k; req ] -> (
+      match (int_of_string_opt k, int_of_string_opt req) with
+      | Some k, Some req ->
+        ks.(c) <- (if k < 0 then Index_graph.k_infinite else k);
+        reqs.(c) <- (if req < 0 then Index_graph.k_infinite else req)
+      | _ -> fail "Index_serial.of_string: bad class line %d" c)
+    | _ -> fail "Index_serial.of_string: bad class line %d" c);
+    pos := next
+  done;
+  Index_graph.of_partition data ~cls ~n_classes:m
+    ~k_of_class:(fun c -> ks.(c))
+    ~req_of_class:(fun c -> reqs.(c))
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

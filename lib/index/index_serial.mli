@@ -1,0 +1,26 @@
+(** Plain-text persistence for index graphs.
+
+    The serialization embeds the underlying data graph, the partition
+    (class of every data node, dense ids) and each class's local
+    similarity and requirement, so a loaded index is immediately
+    queryable and updatable.
+
+    Format (version 1):
+    {v
+    dkindex-index 1
+    graph <byte length of the embedded Serial graph text>
+    <embedded graph>
+    cls
+    <class of data node 0>
+    ...
+    classes <m>
+    <k or -1 for infinite> <req or -1>
+    ...
+    v} *)
+
+val to_string : Index_graph.t -> string
+val of_string : string -> Index_graph.t
+(** @raise Failure on malformed input. *)
+
+val save : string -> Index_graph.t -> unit
+val load : string -> Index_graph.t

@@ -1,0 +1,20 @@
+(** Descriptive statistics of an index graph, for tooling and reports
+    (the CLI's [build] command and the examples print these). *)
+
+type t = {
+  n_nodes : int;
+  n_edges : int;
+  n_data_nodes : int;
+  compression : float;  (** data nodes per index node *)
+  largest_extent : int;
+  singleton_extents : int;
+  k_histogram : (int * int) list;
+      (** local similarity (-1 for infinite) -> number of index nodes,
+          ascending *)
+  label_rows : (string * int * int) list;
+      (** label, index nodes, data nodes; descending by index nodes *)
+}
+
+val compute : Index_graph.t -> t
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable report ([label_rows] capped at 12). *)

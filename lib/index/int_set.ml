@@ -1,0 +1,5 @@
+(** Sets of node / index-node identifiers. *)
+
+include Set.Make (Int)
+
+let of_list_rev l = List.fold_left (fun acc x -> add x acc) empty l

@@ -1,0 +1,100 @@
+open Dkindex_graph
+
+type partition = { cls : int array; n_classes : int; parent_class : int array }
+
+let label_partition g =
+  let n = Data_graph.n_nodes g in
+  let cls = Array.make n 0 in
+  let by_label = Hashtbl.create 64 in
+  let count = ref 0 in
+  for u = 0 to n - 1 do
+    let code = Label.to_int (Data_graph.label g u) in
+    let c =
+      match Hashtbl.find_opt by_label code with
+      | Some c -> c
+      | None ->
+        let c = !count in
+        incr count;
+        Hashtbl.add by_label code c;
+        c
+    in
+    cls.(u) <- c
+  done;
+  { cls; n_classes = !count; parent_class = Array.init !count Fun.id }
+
+let class_labels g p =
+  let labels = Array.make p.n_classes (Label.of_int 0) in
+  Data_graph.iter_nodes g (fun u -> labels.(p.cls.(u)) <- Data_graph.label g u);
+  labels
+
+(* Key of a node for the next round: its class and the de-duplicated
+   sorted classes of its parents (empty for ineligible classes, which
+   must pass through unsplit). *)
+let node_key g p ~eligible u =
+  let c = p.cls.(u) in
+  if eligible c then begin
+    let parents_key = ref [] in
+    Data_graph.iter_parents g u (fun v -> parents_key := p.cls.(v) :: !parents_key);
+    (c, List.sort_uniq compare !parents_key)
+  end
+  else (c, [])
+
+let compute_keys ~domains g p ~eligible =
+  let n = Data_graph.n_nodes g in
+  let keys = Array.make n (0, []) in
+  if domains <= 1 || n < 4096 then
+    for u = 0 to n - 1 do
+      keys.(u) <- node_key g p ~eligible u
+    done
+  else begin
+    let chunk = (n + domains - 1) / domains in
+    let worker d () =
+      let lo = d * chunk and hi = min n ((d + 1) * chunk) in
+      for u = lo to hi - 1 do
+        keys.(u) <- node_key g p ~eligible u
+      done
+    in
+    let spawned = List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1))) in
+    worker 0 ();
+    List.iter Domain.join spawned
+  end;
+  keys
+
+let refine ?(domains = 1) g p ~eligible =
+  let n = Data_graph.n_nodes g in
+  let keys = compute_keys ~domains g p ~eligible in
+  let table : (int * int list, int) Hashtbl.t = Hashtbl.create (p.n_classes * 2) in
+  let cls = Array.make n 0 in
+  let count = ref 0 in
+  let parent_class = ref [] in
+  for u = 0 to n - 1 do
+    let key = keys.(u) in
+    let c' =
+      match Hashtbl.find_opt table key with
+      | Some c' -> c'
+      | None ->
+        let c' = !count in
+        incr count;
+        Hashtbl.add table key c';
+        parent_class := fst key :: !parent_class;
+        c'
+    in
+    cls.(u) <- c'
+  done;
+  let parent_class = Array.of_list (List.rev !parent_class) in
+  ({ cls; n_classes = !count; parent_class }, !count <> p.n_classes)
+
+let k_partition ?domains g ~k =
+  let p = ref (label_partition g) in
+  for _ = 1 to k do
+    let p', _ = refine ?domains g !p ~eligible:(fun _ -> true) in
+    p := p'
+  done;
+  !p
+
+let stable_partition ?domains g =
+  let rec go p rounds =
+    let p', changed = refine ?domains g p ~eligible:(fun _ -> true) in
+    if changed then go p' (rounds + 1) else (p, rounds)
+  in
+  go (label_partition g) 0

@@ -1,0 +1,45 @@
+(** k-bisimulation partition refinement (Definition 2).
+
+    Round [k] refines the [k-1] partition by splitting every class on
+    the key {i (own class, set of parent classes)}; the result is
+    exactly the [k]-bisimilarity partition.  This computes the same
+    fixpoint as the split-by-[Succ] loop of the A(k) / D(k)
+    construction algorithms, in O(m) time per round. *)
+
+open Dkindex_graph
+
+type partition = {
+  cls : int array;  (** data node -> class id, dense in [0 .. n) *)
+  n_classes : int;
+  parent_class : int array;
+      (** class id -> the class it was split from in the previous round
+          (the identity for the initial label partition) *)
+}
+
+val label_partition : Data_graph.t -> partition
+(** 0-bisimilarity: one class per distinct label.  Class ids follow
+    first occurrence in node order, so the root's class is 0. *)
+
+val class_labels : Data_graph.t -> partition -> Label.t array
+(** Label carried by each class. *)
+
+val refine :
+  ?domains:int -> Data_graph.t -> partition -> eligible:(int -> bool) -> partition * bool
+(** One refinement round splitting only classes for which [eligible]
+    holds; returns the new partition and whether anything split.
+    [parent_class] of the result maps into the argument partition.
+
+    [domains] (default 1) parallelizes the per-node key computation
+    (the dominant cost: collecting and sorting parent classes) across
+    that many OCaml 5 domains; the interning pass stays sequential, so
+    the result is bit-for-bit independent of [domains].  [eligible]
+    must be safe to call from multiple domains (a pure array read
+    qualifies). *)
+
+val k_partition : ?domains:int -> Data_graph.t -> k:int -> partition
+(** The A(k) partition: [k] full rounds from the label partition. *)
+
+val stable_partition : ?domains:int -> Data_graph.t -> partition * int
+(** The full bisimulation (1-index) partition: refine to fixpoint.
+    Also returns the number of rounds taken (the graph's bisimulation
+    depth). *)

@@ -1,0 +1,5 @@
+let build g =
+  let p = Kbisim.label_partition g in
+  Index_graph.of_partition g ~cls:p.cls ~n_classes:p.n_classes
+    ~k_of_class:(fun _ -> 0)
+    ~req_of_class:(fun _ -> 0)

@@ -1,0 +1,6 @@
+(** The label-split index: one index node per distinct label.
+
+    This is "the simplest index graph", i.e. the D(k)-index with all
+    local similarities 0, and equal to the A(0)-index. *)
+
+val build : Dkindex_graph.Data_graph.t -> Index_graph.t

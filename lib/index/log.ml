@@ -1,0 +1,10 @@
+(** The library's log source: enable with
+    [Logs.Src.set_level Dkindex_core.Log.src (Some Logs.Debug)]
+    (the CLI's [--verbose] does this). *)
+
+let src = Logs.Src.create "dkindex" ~doc:"D(k)-index operations"
+
+module M = (val Logs.src_log src : Logs.LOG)
+
+let debug = M.debug
+let info = M.info

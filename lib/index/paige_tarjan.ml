@@ -1,0 +1,245 @@
+open Dkindex_graph
+
+(* The relational coarsest partition algorithm of Paige and Tarjan,
+   instantiated for backward bisimilarity: x E p iff p is a parent of
+   x, so E^{-1}(S) is "nodes with a parent in S" and a stable partition
+   groups nodes whose parents hit exactly the same blocks — Definition
+   1 of the D(k) paper.
+
+   P-blocks are intrusive doubly-linked lists over node ids; X-blocks
+   group P-blocks and the worklist holds compound X-blocks (those with
+   at least two P-blocks).  Each refinement picks the smaller half of a
+   compound block as the splitter B, splits every P-block into
+   (parents-in-B-and-elsewhere | parents-only-in-B | no-parents-in-B)
+   using per-(node, X-block) parent counts, and updates the counts.
+   Every node changes splitter side O(log n) times, giving the
+   O(m log n) bound. *)
+
+type state = {
+  g : Data_graph.t;
+  (* intrusive lists *)
+  next : int array;
+  prev : int array;
+  pblock_of : int array;  (* node -> P-block *)
+  head : int array;  (* P-block -> first node or -1 *)
+  size : int array;  (* P-block -> size *)
+  mutable n_pblocks : int;
+  xblock_of : int array;  (* P-block -> X-block *)
+  xmembers : int list array;  (* X-block -> its P-blocks *)
+  xcount : int array;  (* X-block -> number of P-blocks *)
+  mutable n_xblocks : int;
+  counts : (int * int, int) Hashtbl.t;  (* (node, X-block) -> parents inside *)
+  mutable worklist : int list;  (* compound X-blocks *)
+  queued : bool array;  (* X-block -> already on the worklist *)
+}
+
+let detach st x =
+  let b = st.pblock_of.(x) in
+  let p = st.prev.(x) and n = st.next.(x) in
+  if p >= 0 then st.next.(p) <- n else st.head.(b) <- n;
+  if n >= 0 then st.prev.(n) <- p;
+  st.size.(b) <- st.size.(b) - 1
+
+let attach st x b =
+  let h = st.head.(b) in
+  st.next.(x) <- h;
+  st.prev.(x) <- -1;
+  if h >= 0 then st.prev.(h) <- x;
+  st.head.(b) <- x;
+  st.pblock_of.(x) <- b;
+  st.size.(b) <- st.size.(b) + 1
+
+let iter_pblock st b f =
+  let x = ref st.head.(b) in
+  while !x >= 0 do
+    let nx = st.next.(!x) in
+    f !x;
+    x := nx
+  done
+
+let fresh_pblock st xb =
+  let b = st.n_pblocks in
+  st.n_pblocks <- b + 1;
+  st.head.(b) <- -1;
+  st.size.(b) <- 0;
+  st.xblock_of.(b) <- xb;
+  st.xmembers.(xb) <- b :: st.xmembers.(xb);
+  st.xcount.(xb) <- st.xcount.(xb) + 1;
+  b
+
+let enqueue_if_compound st xb =
+  if st.xcount.(xb) >= 2 && not st.queued.(xb) then begin
+    st.queued.(xb) <- true;
+    st.worklist <- xb :: st.worklist
+  end
+
+(* Split the P-blocks of the marked nodes: every marked node moves into
+   a sibling block (per original block).  Calls [on_new old_b new_b]
+   for every split that actually separated a block. *)
+let split_marked st marked ~on_new =
+  let sibling : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      let b = st.pblock_of.(x) in
+      let b' =
+        match Hashtbl.find_opt sibling b with
+        | Some b' -> b'
+        | None ->
+          let b' = fresh_pblock st st.xblock_of.(b) in
+          Hashtbl.add sibling b b';
+          b'
+      in
+      detach st x;
+      attach st x b')
+    marked;
+  Hashtbl.iter
+    (fun b b' ->
+      if st.size.(b) = 0 then begin
+        (* everything moved: undo the split by renaming, keeping b'.
+           The X-block gained no real block. *)
+        st.xcount.(st.xblock_of.(b)) <- st.xcount.(st.xblock_of.(b)) - 1;
+        st.xmembers.(st.xblock_of.(b)) <-
+          List.filter (fun p -> p <> b) st.xmembers.(st.xblock_of.(b))
+      end
+      else begin
+        on_new b b';
+        enqueue_if_compound st st.xblock_of.(b)
+      end)
+    sibling
+
+let stable_partition g =
+  let n = Data_graph.n_nodes g in
+  let max_blocks = (4 * n) + 8 in
+  let st =
+    {
+      g;
+      next = Array.make n (-1);
+      prev = Array.make n (-1);
+      pblock_of = Array.make n 0;
+      head = Array.make max_blocks (-1);
+      size = Array.make max_blocks 0;
+      n_pblocks = 0;
+      xblock_of = Array.make max_blocks 0;
+      xmembers = Array.make max_blocks [];
+      xcount = Array.make max_blocks 0;
+      n_xblocks = 0;
+      counts = Hashtbl.create (4 * n);
+      worklist = [];
+      queued = Array.make max_blocks false;
+    }
+  in
+  (* X-block 0 holds everything. *)
+  st.n_xblocks <- 1;
+  (* Initial P: the label partition. *)
+  let label_block : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  for x = n - 1 downto 0 do
+    let code = Label.to_int (Data_graph.label g x) in
+    let b =
+      match Hashtbl.find_opt label_block code with
+      | Some b -> b
+      | None ->
+        let b = fresh_pblock st 0 in
+        Hashtbl.add label_block code b;
+        b
+    in
+    attach st x b
+  done;
+  (* counts w.r.t. the universe = in-degree *)
+  for x = 0 to n - 1 do
+    let d = Data_graph.in_degree g x in
+    if d > 0 then Hashtbl.replace st.counts (x, 0) d
+  done;
+  (* Make P stable w.r.t. the universe: a block mixing parentless and
+     parented nodes must separate them. *)
+  let mixed_block b =
+    let has_orphan = ref false and has_parented = ref false in
+    iter_pblock st b (fun y ->
+        if Data_graph.in_degree g y = 0 then has_orphan := true else has_parented := true);
+    !has_orphan && !has_parented
+  in
+  let orphans = ref [] in
+  for x = 0 to n - 1 do
+    if Data_graph.in_degree g x = 0 && mixed_block st.pblock_of.(x) then
+      orphans := x :: !orphans
+  done;
+  split_marked st !orphans ~on_new:(fun _ _ -> ());
+  enqueue_if_compound st 0;
+  (* Main refinement loop. *)
+  while st.worklist <> [] do
+    let s =
+      match st.worklist with
+      | s :: rest ->
+        st.worklist <- rest;
+        st.queued.(s) <- false;
+        s
+      | [] -> assert false
+    in
+    if st.xcount.(s) >= 2 then begin
+      (* B: the smaller of the first two P-blocks of S. *)
+      let b, rest =
+        match st.xmembers.(s) with
+        | b1 :: b2 :: rest ->
+          if st.size.(b1) <= st.size.(b2) then (b1, b2 :: rest) else (b2, b1 :: rest)
+        | _ -> assert false
+      in
+      st.xmembers.(s) <- rest;
+      st.xcount.(s) <- st.xcount.(s) - 1;
+      (* New X-block holding only B. *)
+      let xb = st.n_xblocks in
+      st.n_xblocks <- xb + 1;
+      st.xmembers.(xb) <- [ b ];
+      st.xcount.(xb) <- 1;
+      st.xblock_of.(b) <- xb;
+      if st.xcount.(s) >= 2 then enqueue_if_compound st s;
+      (* count_b x = parents of x inside B *)
+      let count_b : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      iter_pblock st b (fun p ->
+          Data_graph.iter_children g p (fun c ->
+              Hashtbl.replace count_b c (1 + Option.value (Hashtbl.find_opt count_b c) ~default:0)));
+      let touched = Hashtbl.fold (fun x _ acc -> x :: acc) count_b [] in
+      (* (1) split by E^{-1}(B): nodes with some parent in B move out *)
+      split_marked st touched ~on_new:(fun _ _ -> ());
+      (* (2) split by E^{-1}(B) \ E^{-1}(S-B): among the touched, nodes
+         whose every S-parent lies in B move out of their block. *)
+      let only_b =
+        List.filter
+          (fun x ->
+            let total = Option.value (Hashtbl.find_opt st.counts (x, s)) ~default:0 in
+            total = Hashtbl.find count_b x)
+          touched
+      in
+      split_marked st only_b ~on_new:(fun _ _ -> ());
+      (* (3) update counts: move B's share from S to XB. *)
+      List.iter
+        (fun x ->
+          let cb = Hashtbl.find count_b x in
+          Hashtbl.replace st.counts (x, xb) cb;
+          let total = Option.value (Hashtbl.find_opt st.counts (x, s)) ~default:0 in
+          let remaining = total - cb in
+          if remaining > 0 then Hashtbl.replace st.counts (x, s) remaining
+          else Hashtbl.remove st.counts (x, s))
+        touched;
+      enqueue_if_compound st xb
+    end
+  done;
+  (* Emit a dense partition. *)
+  let dense = Hashtbl.create st.n_pblocks in
+  let n_classes = ref 0 in
+  let cls =
+    Array.init n (fun x ->
+        let b = st.pblock_of.(x) in
+        match Hashtbl.find_opt dense b with
+        | Some c -> c
+        | None ->
+          let c = !n_classes in
+          incr n_classes;
+          Hashtbl.add dense b c;
+          c)
+  in
+  { Kbisim.cls; n_classes = !n_classes; parent_class = Array.init !n_classes Fun.id }
+
+let build_one_index g =
+  let p = stable_partition g in
+  Index_graph.of_partition g ~cls:p.Kbisim.cls ~n_classes:p.Kbisim.n_classes
+    ~k_of_class:(fun _ -> Index_graph.k_infinite)
+    ~req_of_class:(fun _ -> Index_graph.k_infinite)

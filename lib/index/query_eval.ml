@@ -1,0 +1,290 @@
+open Dkindex_graph
+open Dkindex_pathexpr
+
+type result = {
+  nodes : int list;
+  cost : Cost.t;
+  n_candidates : int;
+  n_certain : int;
+}
+
+let empty_result cost = { nodes = []; cost; n_candidates = 0; n_certain = 0 }
+
+let finish t cost finals ~certain ~validate =
+  let n_candidates = ref 0 and n_certain = ref 0 in
+  let validate = lazy (validate ()) in
+  let nodes =
+    List.concat_map
+      (fun id ->
+        let nd = Index_graph.node t id in
+        if certain nd then begin
+          incr n_certain;
+          nd.Index_graph.extent
+        end
+        else begin
+          n_candidates := !n_candidates + nd.Index_graph.extent_size;
+          List.filter (Lazy.force validate) nd.Index_graph.extent
+        end)
+      finals
+  in
+  {
+    nodes = List.sort compare nodes;
+    cost;
+    n_candidates = !n_candidates;
+    n_certain = !n_certain;
+  }
+
+(* Backward evaluation: does some index path matching path.(0..pos)
+   end at [id]?  [pos] strictly decreases, so memoization is sound even
+   on cyclic index graphs. *)
+let eval_path_backward t path ~cost =
+  let m = Array.length path in
+  let memo : (int * int, bool) Hashtbl.t = Hashtbl.create 128 in
+  let rec matches id pos =
+    Label.equal (Index_graph.node t id).Index_graph.label path.(pos)
+    && (pos = 0
+       ||
+       match Hashtbl.find_opt memo (id, pos) with
+       | Some r -> r
+       | None ->
+         Cost.visit_index cost;
+         let r =
+           Int_set.exists (fun p -> matches p (pos - 1)) (Index_graph.node t id).Index_graph.parents
+         in
+         Hashtbl.add memo (id, pos) r;
+         r)
+  in
+  let targets = Index_graph.nodes_with_label t path.(m - 1) in
+  List.iter (fun _ -> Cost.visit_index cost) targets;
+  List.filter (fun id -> matches id (m - 1)) targets
+
+let eval_path_forward t path ~cost =
+  let m = Array.length path in
+  let start = Index_graph.nodes_with_label t path.(0) in
+  List.iter (fun _ -> Cost.visit_index cost) start;
+  let frontier = ref start in
+  for i = 1 to m - 1 do
+    let next = Hashtbl.create 32 in
+    List.iter
+      (fun id ->
+        Int_set.iter
+          (fun child ->
+            if
+              Label.equal (Index_graph.node t child).Index_graph.label path.(i)
+              && not (Hashtbl.mem next child)
+            then begin
+              Hashtbl.add next child ();
+              Cost.visit_index cost
+            end)
+          (Index_graph.node t id).Index_graph.children)
+      !frontier;
+    frontier := Hashtbl.fold (fun key () acc -> key :: acc) next []
+  done;
+  !frontier
+
+let eval_path ?(strategy = `Forward) t path =
+  let cost = Cost.create () in
+  let m = Array.length path in
+  if m = 0 then empty_result cost
+  else begin
+    let backward =
+      match strategy with
+      | `Forward -> false
+      | `Backward -> true
+      | `Auto ->
+        List.length (Index_graph.nodes_with_label t path.(m - 1))
+        < List.length (Index_graph.nodes_with_label t path.(0))
+    in
+    let finals =
+      if backward then eval_path_backward t path ~cost else eval_path_forward t path ~cost
+    in
+    let data = Index_graph.data t in
+    finish t cost finals
+      ~certain:(fun nd -> nd.Index_graph.k >= m - 1)
+      ~validate:(fun () -> Matcher.make_path_validator data path ~cost)
+  end
+
+let eval_path_strings t labels =
+  let pool = Data_graph.pool (Index_graph.data t) in
+  let interned = List.map (Label.Pool.find_opt pool) labels in
+  if List.exists Option.is_none interned then empty_result (Cost.create ())
+  else eval_path t (Array.of_list (List.map Option.get interned))
+
+let eval_expr t expr =
+  let cost = Cost.create () in
+  let data = Index_graph.data t in
+  let nfa = Nfa.compile (Data_graph.pool data) expr in
+  let n_states = Nfa.n_states nfa in
+  (* Track matching path lengths only as far as they can influence the
+     soundness decision: for a bounded expression, its longest word; for
+     an unbounded one, just beyond the largest finite similarity. *)
+  let cap =
+    match Path_ast.max_word_length expr with
+    | Some m -> m + 1
+    | None -> Index_graph.max_k t + 2
+  in
+  (* dist.(q) for each matched index node: length (in labels) of the
+     longest matching path reaching state q at this node, capped. *)
+  let dist : (int, int array) Hashtbl.t = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let relax id q len =
+    let len = min len cap in
+    let row =
+      match Hashtbl.find_opt dist id with
+      | Some row -> row
+      | None ->
+        let row = Array.make n_states (-1) in
+        Hashtbl.add dist id row;
+        row
+    in
+    if len > row.(q) then begin
+      row.(q) <- len;
+      Queue.add id queue
+    end
+  in
+  let init = Nfa.initial nfa in
+  Index_graph.iter_alive t (fun nd ->
+      let s = Nfa.step nfa init nd.Index_graph.label in
+      Bitset.iter s (fun q -> relax nd.Index_graph.id q 1));
+  let singleton = Bitset.create n_states in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    if Index_graph.is_alive t id then begin
+      Cost.visit_index cost;
+      let row = Hashtbl.find dist id in
+      let nd = Index_graph.node t id in
+      Int_set.iter
+        (fun child ->
+          let child_label = (Index_graph.node t child).Index_graph.label in
+          for q = 0 to n_states - 1 do
+            if row.(q) >= 0 then begin
+              Bitset.clear singleton;
+              Bitset.add singleton q;
+              let next = Nfa.step nfa singleton child_label in
+              Bitset.iter next (fun q' -> relax child q' (row.(q) + 1))
+            end
+          done)
+        nd.Index_graph.children
+    end
+  done;
+  (* Matched index nodes and the longest accepted-path length each. *)
+  let finals = ref [] in
+  let max_len = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun id row ->
+      if Index_graph.is_alive t id then begin
+        let best = ref (-1) in
+        for q = 0 to n_states - 1 do
+          if row.(q) >= 0 then begin
+            let states = Bitset.create n_states in
+            Bitset.add states q;
+            if Nfa.accepting nfa states && row.(q) > !best then best := row.(q)
+          end
+        done;
+        if !best >= 0 then begin
+          finals := id :: !finals;
+          Hashtbl.add max_len id !best
+        end
+      end)
+    dist;
+  finish t cost !finals
+    ~certain:(fun nd ->
+      (* 1-index nodes are sound for any expression; others when the
+         longest matching path (uncapped) fits their similarity. *)
+      nd.Index_graph.k >= Index_graph.k_infinite
+      ||
+      let len = Hashtbl.find max_len nd.Index_graph.id in
+      len < cap && nd.Index_graph.k >= len - 1)
+    ~validate:(fun () -> fun u -> Matcher.node_matches_nfa data nfa ~node:u ~cost)
+
+(* ------------------------------------------------------------------ *)
+(* Branching path queries                                               *)
+
+let index_view t ~cost =
+  {
+    Tree_pattern.root = Index_graph.root_node t;
+    label_name =
+      (fun id ->
+        Label.Pool.name (Data_graph.pool (Index_graph.data t)) (Index_graph.node t id).Index_graph.label);
+    children = (fun id -> Int_set.elements (Index_graph.node t id).Index_graph.children);
+    (* Index nodes carry no payloads: value predicates over-approximate
+       here and are settled by validation. *)
+    check_value = (fun _ _ -> true);
+    visit = (fun _ -> Cost.visit_index cost);
+  }
+
+(* Exact per-node validation of a pattern candidate: the node must
+   satisfy the last step's own subtree (predicates, downward) and some
+   chain of ancestors must realize the main path (upward).  Only
+   positive prefix results are cached: negative ones can depend on the
+   visited set in cyclic graphs. *)
+let make_pattern_validator g (pattern : Tree_pattern.t) ~cost =
+  let view = Tree_pattern.data_view g ~cost in
+  let steps = Array.of_list pattern.Tree_pattern.steps in
+  let m = Array.length steps in
+  let root = Data_graph.root g in
+  (* Strict descendants of the root, for a leading '//': an index
+     extent may contain structurally-equivalent but unreachable nodes,
+     which must not be validated in. *)
+  let root_descendants =
+    lazy (Int_set.of_list (Tree_pattern.descendants view root))
+  in
+  let true_memo : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let rec prefix_matches u i =
+    Hashtbl.mem true_memo (u, i)
+    ||
+    let axis, node = steps.(i) in
+    Cost.visit_data cost;
+    let here = Tree_pattern.matches_at view node u in
+    let ok =
+      here
+      &&
+      if i = 0 then begin
+        match axis with
+        | Tree_pattern.Child -> List.mem root (Data_graph.parents g u)
+        | Tree_pattern.Descendant -> Int_set.mem u (Lazy.force root_descendants)
+      end
+      else begin
+        match axis with
+        | Tree_pattern.Child ->
+          List.exists (fun p -> prefix_matches p (i - 1)) (Data_graph.parents g u)
+        | Tree_pattern.Descendant -> ancestor_matches (Int_set.singleton u) u (i - 1)
+      end
+    in
+    if ok then Hashtbl.replace true_memo (u, i) ();
+    ok
+  and ancestor_matches visited u i =
+    (* [visited] only guards re-expansion: a node can be its own strict
+       ancestor through a cycle, so the prefix test itself must run on
+       every parent, visited or not. *)
+    List.exists
+      (fun p ->
+        prefix_matches p i
+        || ((not (Int_set.mem p visited)) && ancestor_matches (Int_set.add p visited) p i))
+      (Data_graph.parents g u)
+  in
+  fun u -> m > 0 && prefix_matches u (m - 1)
+
+let eval_pattern ?(validate = true) t pattern =
+  let cost = Cost.create () in
+  (* Value predicates cannot be decided on the index (no payloads);
+     force validation so results stay exact even on a covering index. *)
+  let validate = validate || Tree_pattern.has_value_test pattern in
+  let view = index_view t ~cost in
+  let finals = Tree_pattern.eval view pattern in
+  if not validate then
+    let nodes =
+      List.concat_map (fun id -> (Index_graph.node t id).Index_graph.extent) finals
+    in
+    {
+      nodes = List.sort compare nodes;
+      cost;
+      n_candidates = 0;
+      n_certain = List.length finals;
+    }
+  else begin
+    let data = Index_graph.data t in
+    finish t cost finals
+      ~certain:(fun _ -> false)
+      ~validate:(fun () -> make_pattern_validator data pattern ~cost)
+  end

@@ -1,0 +1,56 @@
+(** Path query evaluation on an index graph, with validation.
+
+    Evaluation follows the paper's model: traverse the index graph
+    (each index node touched costs one visit); a matched index node
+    whose local similarity covers the query length contributes its
+    whole extent for free (the D(k)-index soundness property), while a
+    matched node with a smaller similarity is only {e approximate} and
+    its extent members must be validated against the data graph — each
+    data node touched during validation costs one visit
+    (Section 6.1). *)
+
+open Dkindex_graph
+open Dkindex_pathexpr
+
+type result = {
+  nodes : int list;  (** matching data nodes, sorted *)
+  cost : Cost.t;
+  n_candidates : int;  (** extent members that needed validation *)
+  n_certain : int;  (** matched index nodes answered without validation *)
+}
+
+val eval_path :
+  ?strategy:[ `Forward | `Backward | `Auto ] -> Index_graph.t -> Label.t array -> result
+(** Evaluate a plain label path (the experiment workload).  A matched
+    index node with [m] labels is certain when [k >= m - 1]
+    (property 3 of Section 4.1).
+
+    [strategy] selects the traversal direction over the index graph:
+    - [`Forward] (default, the paper's evaluation): start from every
+      index node carrying the first label and walk children;
+    - [`Backward]: start from the target label's index nodes and search
+      parents for a matching prefix (memoized) — far cheaper when the
+      target label is rarer than the first label;
+    - [`Auto]: pick by comparing the two labels' index populations.
+
+    All strategies return identical results and identical
+    validation behavior; only the index-visit cost differs. *)
+
+val eval_path_strings : Index_graph.t -> string list -> result
+(** Convenience wrapper interning label names; unknown labels yield an
+    empty result. *)
+
+val eval_expr : Index_graph.t -> Path_ast.t -> result
+(** General regular path expressions: the index traversal tracks the
+    longest matching path length into each matched index node (capped
+    just above the index's largest similarity) and validates nodes the
+    similarity does not cover. *)
+
+val eval_pattern : ?validate:bool -> Index_graph.t -> Tree_pattern.t -> result
+(** Branching path queries (tree patterns).  The pattern is evaluated
+    over the index graph; with [validate] (the default) every candidate
+    extent member is then checked against the data graph (predicates
+    downward, the main path upward), so the result is exact on {e any}
+    index.  Pass [~validate:false] only for a covering index
+    ({!Fb_index.build}), where the index answer is exact by
+    construction — on other indexes that would return a superset. *)

@@ -1,0 +1,114 @@
+open Dkindex_graph
+module Cost = Dkindex_pathexpr.Cost
+
+type issue = { subject : string; problem : string }
+type report = { issues : issue list; checked_nodes : int; checked_queries : int }
+
+let structure t =
+  match Index_graph.check_invariants t with
+  | () -> []
+  | exception Failure msg -> [ { subject = "index structure"; problem = msg } ]
+
+(* Label-path sets of length exactly [j] ending at a data node. *)
+let path_sets g =
+  let module Paths = Set.Make (struct
+    type t = int list
+
+    let compare = compare
+  end) in
+  let memo : (int * int, Paths.t) Hashtbl.t = Hashtbl.create 1024 in
+  let rec paths u j =
+    if j <= 1 then Paths.singleton [ Label.to_int (Data_graph.label g u) ]
+    else
+      match Hashtbl.find_opt memo (u, j) with
+      | Some set -> set
+      | None ->
+        let own = Label.to_int (Data_graph.label g u) in
+        let set =
+          List.fold_left
+            (fun acc p ->
+              Paths.fold (fun path acc -> Paths.add (path @ [ own ]) acc) (paths p (j - 1)) acc)
+            Paths.empty (Data_graph.parents g u)
+        in
+        Hashtbl.add memo (u, j) set;
+        set
+  in
+  fun u j -> Paths.elements (paths u j)
+
+let take n l =
+  let rec go n = function x :: rest when n > 0 -> x :: go (n - 1) rest | _ -> [] in
+  go n l
+
+let soundness ?(max_k = 5) ?(max_extent = 64) t =
+  let g = Index_graph.data t in
+  let sets = path_sets g in
+  let issues = ref [] in
+  Index_graph.iter_alive t (fun nd ->
+      let k = min max_k nd.Index_graph.k in
+      match take max_extent nd.Index_graph.extent with
+      | [] | [ _ ] -> ()
+      | first :: rest ->
+        (try
+           for j = 1 to k + 1 do
+             let expected = sets first j in
+             List.iter
+               (fun other ->
+                 if not (Stdlib.( = ) (sets other j) expected) then begin
+                   issues :=
+                     {
+                       subject = Printf.sprintf "index node %d" nd.Index_graph.id;
+                       problem =
+                         Printf.sprintf
+                           "extent members %d and %d disagree on incoming label paths of length %d (k=%d)"
+                           first other j nd.Index_graph.k;
+                     }
+                     :: !issues;
+                   raise Exit
+                 end)
+               rest
+           done
+         with Exit -> ()));
+  List.rev !issues
+
+let check_queries t workload =
+  (* exported as [queries] *)
+  let g = Index_graph.data t in
+  let pool = Data_graph.pool g in
+  List.filter_map
+    (fun q ->
+      let expected = Dkindex_pathexpr.Matcher.eval_label_path g q ~cost:(Cost.create ()) in
+      let got = (Query_eval.eval_path t q).Query_eval.nodes in
+      if Stdlib.( = ) expected got then None
+      else
+        Some
+          {
+            subject =
+              Printf.sprintf "query %s"
+                (String.concat "."
+                   (Array.to_list (Array.map (Label.Pool.name pool) q)));
+            problem =
+              Printf.sprintf "index answered %d nodes, data graph %d" (List.length got)
+                (List.length expected);
+          })
+    workload
+
+let run ?(quick = false) ?(queries = ([] : Label.t array list)) t =
+  let query_issues = check_queries t queries in
+  let structural = structure t in
+  let sound = if quick then [] else soundness t in
+  {
+    issues = structural @ sound @ query_issues;
+    checked_nodes = Index_graph.n_nodes t;
+    checked_queries = List.length queries;
+  }
+
+let pp_report ppf r =
+  if r.issues = [] then
+    Format.fprintf ppf "OK: %d index nodes and %d queries verified@." r.checked_nodes
+      r.checked_queries
+  else begin
+    Format.fprintf ppf "%d issue(s) found:@." (List.length r.issues);
+    List.iter (fun i -> Format.fprintf ppf "  %s: %s@." i.subject i.problem) r.issues
+  end
+
+let queries = check_queries

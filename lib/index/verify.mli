@@ -1,0 +1,42 @@
+(** Index auditing: check that an index graph is a faithful summary of
+    its data graph.
+
+    Meant for operational use (the CLI's [verify] command, test
+    harnesses, post-crash checks), not for hot paths: the label-path
+    check is exponential in the similarity it verifies, so it is
+    capped. *)
+
+type issue = {
+  subject : string;  (** e.g. ["index node 42"] or ["query a.b.c"] *)
+  problem : string;
+}
+
+type report = {
+  issues : issue list;
+  checked_nodes : int;
+  checked_queries : int;
+}
+
+val structure : Index_graph.t -> issue list
+(** The {!Index_graph.check_invariants} checks, reported instead of
+    raised: partition consistency, edge/data agreement, Definition 3. *)
+
+val soundness : ?max_k:int -> ?max_extent:int -> Index_graph.t -> issue list
+(** Extents share their incoming label-path sets up to each node's
+    local similarity (the Theorem 1 premise) — the property that makes
+    validation-free answers exact.  Similarities above [max_k]
+    (default 5) are checked only up to the cap; extents larger than
+    [max_extent] (default 64) are sampled. *)
+
+val queries :
+  Index_graph.t -> Dkindex_graph.Label.t array list -> issue list
+(** Evaluate the given label-path queries through the index and compare
+    with direct data-graph evaluation (e.g. a
+    [Dkindex_workload.Query_gen] workload). *)
+
+val run :
+  ?quick:bool -> ?queries:Dkindex_graph.Label.t array list -> Index_graph.t -> report
+(** All of the above; [quick] (default false) skips the soundness
+    check. *)
+
+val pp_report : Format.formatter -> report -> unit

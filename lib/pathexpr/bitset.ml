@@ -1,0 +1,68 @@
+type t = { words : int array; n : int }
+
+let bits = 63
+let n_words n = ((max n 1) + bits - 1) / bits
+let create n = { words = Array.make (n_words n) 0; n }
+let capacity t = t.n
+let copy t = { words = Array.copy t.words; n = t.n }
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Bitset: %d out of range" i)
+
+let add t i =
+  check t i;
+  t.words.(i / bits) <- t.words.(i / bits) lor (1 lsl (i mod bits))
+
+let mem t i =
+  check t i;
+  t.words.(i / bits) land (1 lsl (i mod bits)) <> 0
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+let equal a b = a.n = b.n && Array.for_all2 ( = ) a.words b.words
+
+let cardinal t =
+  let count = ref 0 in
+  Array.iter
+    (fun w ->
+      let w = ref w in
+      while !w <> 0 do
+        w := !w land (!w - 1);
+        incr count
+      done)
+    t.words;
+  !count
+
+let union_into ~dst src =
+  if dst.n <> src.n then invalid_arg "Bitset.union_into: capacity mismatch";
+  let changed = ref false in
+  for i = 0 to Array.length dst.words - 1 do
+    let merged = dst.words.(i) lor src.words.(i) in
+    if merged <> dst.words.(i) then begin
+      dst.words.(i) <- merged;
+      changed := true
+    end
+  done;
+  !changed
+
+let subset a b =
+  if a.n <> b.n then invalid_arg "Bitset.subset: capacity mismatch";
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land lnot b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let inter_nonempty a b =
+  if a.n <> b.n then invalid_arg "Bitset.inter_nonempty: capacity mismatch";
+  let hit = ref false in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land b.words.(i) <> 0 then hit := true
+  done;
+  !hit
+
+let iter t f =
+  for i = 0 to t.n - 1 do
+    if t.words.(i / bits) land (1 lsl (i mod bits)) <> 0 then f i
+  done
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0

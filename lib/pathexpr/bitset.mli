@@ -1,0 +1,25 @@
+(** Fixed-capacity mutable bit sets, used for NFA state sets. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [0 .. n-1]. *)
+
+val capacity : t -> int
+val copy : t -> t
+val add : t -> int -> unit
+val mem : t -> int -> bool
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val cardinal : t -> int
+
+val union_into : dst:t -> t -> bool
+(** [union_into ~dst src] adds [src] to [dst]; returns [true] when
+    [dst] changed. *)
+
+val subset : t -> t -> bool
+(** [subset a b] is true when every member of [a] is in [b]. *)
+
+val inter_nonempty : t -> t -> bool
+val iter : t -> (int -> unit) -> unit
+val clear : t -> unit

@@ -1,0 +1,13 @@
+type t = { mutable index_visits : int; mutable data_visits : int }
+
+let create () = { index_visits = 0; data_visits = 0 }
+let total t = t.index_visits + t.data_visits
+let visit_index t = t.index_visits <- t.index_visits + 1
+let visit_data t = t.data_visits <- t.data_visits + 1
+
+let add acc c =
+  acc.index_visits <- acc.index_visits + c.index_visits;
+  acc.data_visits <- acc.data_visits + c.data_visits
+
+let pp ppf t =
+  Format.fprintf ppf "index=%d data=%d total=%d" t.index_visits t.data_visits (total t)

@@ -1,0 +1,15 @@
+(** The paper's in-memory query cost model (Section 6.1): the cost of a
+    query is the number of nodes visited during evaluation.  Index
+    nodes and data nodes visited during validation are both counted;
+    data nodes in the extents of matched index nodes are free. *)
+
+type t = { mutable index_visits : int; mutable data_visits : int }
+
+val create : unit -> t
+val total : t -> int
+val visit_index : t -> unit
+val visit_data : t -> unit
+val add : t -> t -> unit
+(** [add acc c] accumulates [c] into [acc]. *)
+
+val pp : Format.formatter -> t -> unit

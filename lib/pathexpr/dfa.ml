@@ -1,0 +1,71 @@
+module Label = Dkindex_graph.Label
+
+type t = {
+  n_labels : int;
+  delta : int array;  (* state * n_labels + label -> state, -1 dead *)
+  accept : bool array;
+  start : int;
+}
+
+exception Too_large of int
+
+let of_nfa ?(max_states = 4096) ~n_labels nfa =
+  (* Subset construction keyed by the NFA state set's string image. *)
+  let key set =
+    let buf = Buffer.create 16 in
+    Bitset.iter set (fun q ->
+        Buffer.add_string buf (string_of_int q);
+        Buffer.add_char buf ',');
+    Buffer.contents buf
+  in
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let sets = ref [] and count = ref 0 in
+  let queue = Queue.create () in
+  let intern set =
+    let k = key set in
+    match Hashtbl.find_opt ids k with
+    | Some id -> id
+    | None ->
+      if !count >= max_states then raise (Too_large !count);
+      let id = !count in
+      incr count;
+      Hashtbl.add ids k id;
+      sets := (id, set) :: !sets;
+      Queue.add (id, set) queue;
+      id
+  in
+  let transitions = ref [] in
+  let start = intern (Nfa.initial nfa) in
+  while not (Queue.is_empty queue) do
+    let id, set = Queue.pop queue in
+    for code = 0 to n_labels - 1 do
+      let next = Nfa.step nfa set (Label.of_int code) in
+      if not (Bitset.is_empty next) then begin
+        let nid = intern next in
+        transitions := (id, code, nid) :: !transitions
+      end
+    done
+  done;
+  let n = !count in
+  let delta = Array.make (n * n_labels) (-1) in
+  List.iter (fun (id, code, nid) -> delta.((id * n_labels) + code) <- nid) !transitions;
+  let accept = Array.make n false in
+  List.iter (fun (id, set) -> accept.(id) <- Nfa.accepting nfa set) !sets;
+  { n_labels; delta; accept; start }
+
+let compile ?max_states pool expr =
+  of_nfa ?max_states ~n_labels:(Label.Pool.count pool) (Nfa.compile pool expr)
+
+let n_states t = Array.length t.accept
+let start t = t.start
+
+let step t state l =
+  if state < 0 then -1
+  else
+    let code = Label.to_int l in
+    if code < 0 || code >= t.n_labels then -1 else t.delta.((state * t.n_labels) + code)
+
+let accepting t state = state >= 0 && t.accept.(state)
+
+let accepts_word t word =
+  accepting t (List.fold_left (fun state l -> step t state l) t.start word)

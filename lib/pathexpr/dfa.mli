@@ -1,0 +1,30 @@
+(** Deterministic automata for path expressions, by subset construction
+    over the Thompson NFA.
+
+    Where the NFA carries a state {e set} per visited graph node, the
+    DFA carries a single integer, which makes repeated evaluation of
+    the same expression over large graphs noticeably cheaper (see the
+    micro-benchmarks).  Subset construction can explode for pathological
+    expressions, so {!compile} takes a state cap. *)
+
+type t
+
+exception Too_large of int
+
+val compile :
+  ?max_states:int -> Dkindex_graph.Label.Pool.t -> Path_ast.t -> t
+(** Default [max_states] is 4096.  @raise Too_large beyond the cap. *)
+
+val of_nfa : ?max_states:int -> n_labels:int -> Nfa.t -> t
+
+val n_states : t -> int
+
+val start : t -> int
+
+val step : t -> int -> Dkindex_graph.Label.t -> int
+(** [-1] is the dead state (also accepted as input, staying dead). *)
+
+val accepting : t -> int -> bool
+(** [accepting t (-1)] is [false]. *)
+
+val accepts_word : t -> Dkindex_graph.Label.t list -> bool

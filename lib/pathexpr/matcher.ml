@@ -1,0 +1,150 @@
+open Dkindex_graph
+module Int_states = Set.Make (Int)
+
+let eval_nfa g nfa ~cost =
+  let n = Data_graph.n_nodes g in
+  let states : Bitset.t option array = Array.make n None in
+  let queue = Queue.create () in
+  let enqueue u set =
+    match states.(u) with
+    | None ->
+      states.(u) <- Some set;
+      Queue.add u queue
+    | Some existing -> if Bitset.union_into ~dst:existing set then Queue.add u queue
+  in
+  let init = Nfa.initial nfa in
+  Data_graph.iter_nodes g (fun u ->
+      let s = Nfa.step nfa init (Data_graph.label g u) in
+      if not (Bitset.is_empty s) then enqueue u s);
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Cost.visit_data cost;
+    match states.(u) with
+    | None -> ()
+    | Some su ->
+      Data_graph.iter_children g u (fun c ->
+          let t = Nfa.step nfa su (Data_graph.label g c) in
+          if not (Bitset.is_empty t) then enqueue c t)
+  done;
+  let result = ref [] in
+  for u = n - 1 downto 0 do
+    match states.(u) with
+    | Some s when Nfa.accepting nfa s -> result := u :: !result
+    | Some _ | None -> ()
+  done;
+  !result
+
+let eval_label_path g path ~cost =
+  let m = Array.length path in
+  if m = 0 then []
+  else begin
+    let start = Data_graph.nodes_with_label g path.(0) in
+    List.iter (fun _ -> Cost.visit_data cost) start;
+    let frontier = ref start in
+    for i = 1 to m - 1 do
+      let next = Hashtbl.create 64 in
+      List.iter
+        (fun u ->
+          Data_graph.iter_children g u (fun c ->
+              if
+                Label.equal (Data_graph.label g c) path.(i)
+                && not (Hashtbl.mem next c)
+              then begin
+                Hashtbl.add next c ();
+                Cost.visit_data cost
+              end))
+        !frontier;
+      frontier := Hashtbl.fold (fun key () acc -> key :: acc) next []
+    done;
+    List.sort_uniq compare !frontier
+  end
+
+let make_path_validator g path ~cost =
+  let m = Array.length path in
+  let memo : (int * int, bool) Hashtbl.t = Hashtbl.create 256 in
+  (* [matches u pos]: does path.(0 .. pos) match some node path ending
+     at u?  pos strictly decreases along recursion, so no cycles. *)
+  let rec matches u pos =
+    if not (Label.equal (Data_graph.label g u) path.(pos)) then false
+    else if pos = 0 then true
+    else
+      match Hashtbl.find_opt memo (u, pos) with
+      | Some r -> r
+      | None ->
+        Cost.visit_data cost;
+        let r = List.exists (fun p -> matches p (pos - 1)) (Data_graph.parents g u) in
+        Hashtbl.add memo (u, pos) r;
+        r
+  in
+  fun u -> m > 0 && matches u (m - 1)
+
+let node_matches_nfa g nfa ~node ~cost =
+  (* Restrict the product fixpoint to the node's ancestor closure: only
+     paths through ancestors can end at [node]. *)
+  let in_closure = Hashtbl.create 64 in
+  let rec collect u =
+    if not (Hashtbl.mem in_closure u) then begin
+      Hashtbl.add in_closure u ();
+      Cost.visit_data cost;
+      List.iter collect (Data_graph.parents g u)
+    end
+  in
+  collect node;
+  let states : (int, Bitset.t) Hashtbl.t = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let enqueue u set =
+    match Hashtbl.find_opt states u with
+    | None ->
+      Hashtbl.add states u set;
+      Queue.add u queue
+    | Some existing -> if Bitset.union_into ~dst:existing set then Queue.add u queue
+  in
+  let init = Nfa.initial nfa in
+  Hashtbl.iter
+    (fun u () ->
+      let s = Nfa.step nfa init (Data_graph.label g u) in
+      if not (Bitset.is_empty s) then enqueue u s)
+    in_closure;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Cost.visit_data cost;
+    match Hashtbl.find_opt states u with
+    | None -> ()
+    | Some su ->
+      Data_graph.iter_children g u (fun c ->
+          if Hashtbl.mem in_closure c then begin
+            let t = Nfa.step nfa su (Data_graph.label g c) in
+            if not (Bitset.is_empty t) then enqueue c t
+          end)
+  done;
+  match Hashtbl.find_opt states node with
+  | Some s -> Nfa.accepting nfa s
+  | None -> false
+
+let eval_dfa g dfa ~cost =
+  (* Product reachability over (node, DFA state).  Because matching can
+     start anywhere, each node may carry several live DFA states. *)
+  let states : (int, Int_states.t) Hashtbl.t = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let enqueue u s =
+    let current = Option.value (Hashtbl.find_opt states u) ~default:Int_states.empty in
+    if not (Int_states.mem s current) then begin
+      Hashtbl.replace states u (Int_states.add s current);
+      Queue.add (u, s) queue
+    end
+  in
+  Data_graph.iter_nodes g (fun u ->
+      let s = Dfa.step dfa (Dfa.start dfa) (Data_graph.label g u) in
+      if s >= 0 then enqueue u s);
+  while not (Queue.is_empty queue) do
+    let u, s = Queue.pop queue in
+    Cost.visit_data cost;
+    Data_graph.iter_children g u (fun c ->
+        let s' = Dfa.step dfa s (Data_graph.label g c) in
+        if s' >= 0 then enqueue c s')
+  done;
+  let result = ref [] in
+  Hashtbl.iter
+    (fun u live -> if Int_states.exists (Dfa.accepting dfa) live then result := u :: !result)
+    states;
+  List.sort compare !result

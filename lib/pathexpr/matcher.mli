@@ -1,0 +1,37 @@
+(** Path expression evaluation directly on the data graph.
+
+    A node is in the result when some node path ending at it matches
+    the expression; paths may start anywhere (the paper's
+    partial-match semantics).  Every function charges the nodes it
+    touches to the supplied {!Cost.t}. *)
+
+open Dkindex_graph
+
+val eval_nfa : Data_graph.t -> Nfa.t -> cost:Cost.t -> int list
+(** Full regular path expression evaluation via product reachability of
+    (node, NFA-state set); returns matching node ids, sorted. *)
+
+val eval_dfa : Data_graph.t -> Dfa.t -> cost:Cost.t -> int list
+(** Same result through a determinized automaton: each graph node
+    carries a set of integer DFA states instead of NFA bitset unions —
+    the faster choice for repeated evaluation (and the cost model
+    counts the same node visits). *)
+
+val eval_label_path : Data_graph.t -> Label.t array -> cost:Cost.t -> int list
+(** Specialized evaluation for plain label sequences, the workload of
+    the paper's experiments; equivalent to {!eval_nfa} on the same
+    query but cheaper.  Returns matching node ids, sorted. *)
+
+val make_path_validator :
+  Data_graph.t -> Label.t array -> cost:Cost.t -> int -> bool
+(** [make_path_validator g path ~cost] returns a predicate deciding
+    whether the label path matches a given node, by walking parent
+    edges backwards.  Memoized across calls: validating many candidate
+    nodes of one query shares work, as an implementation would.  This
+    is the paper's validation step; every (node, position) pair
+    explored counts as one data-node visit. *)
+
+val node_matches_nfa : Data_graph.t -> Nfa.t -> node:int -> cost:Cost.t -> bool
+(** General (regex) validation of a single node: computes backward
+    state sets over the node's ancestor closure.  Used for queries that
+    are not plain label paths. *)

@@ -1,0 +1,121 @@
+module Label = Dkindex_graph.Label
+
+type sym =
+  | Any_sym
+  | Sym of int  (** label code; [-1] never matches *)
+
+type t = {
+  n_states : int;
+  start : int;
+  accept : int;
+  delta : (sym * int) list array;
+  eps : int list array;
+}
+
+let n_states t = t.n_states
+
+(* Thompson construction with one start and one accept state per
+   fragment, connected with epsilon edges. *)
+let compile pool expr =
+  let delta = ref [] and eps = ref [] and count = ref 0 in
+  let fresh () =
+    let id = !count in
+    incr count;
+    id
+  in
+  let add_eps u v = eps := (u, v) :: !eps in
+  let add_sym u sym v = delta := (u, (sym, v)) :: !delta in
+  let sym_of_label name =
+    match Label.Pool.find_opt pool name with
+    | Some l -> Sym (Label.to_int l)
+    | None -> Sym (-1)
+  in
+  let rec build = function
+    | Path_ast.Any ->
+      let s = fresh () and e = fresh () in
+      add_sym s Any_sym e;
+      (s, e)
+    | Path_ast.Label name ->
+      let s = fresh () and e = fresh () in
+      add_sym s (sym_of_label name) e;
+      (s, e)
+    | Path_ast.Seq (a, b) ->
+      let sa, ea = build a in
+      let sb, eb = build b in
+      add_eps ea sb;
+      (sa, eb)
+    | Path_ast.Alt (a, b) ->
+      let s = fresh () and e = fresh () in
+      let sa, ea = build a in
+      let sb, eb = build b in
+      add_eps s sa;
+      add_eps s sb;
+      add_eps ea e;
+      add_eps eb e;
+      (s, e)
+    | Path_ast.Opt a ->
+      let s = fresh () and e = fresh () in
+      let sa, ea = build a in
+      add_eps s sa;
+      add_eps ea e;
+      add_eps s e;
+      (s, e)
+    | Path_ast.Star a ->
+      let s = fresh () and e = fresh () in
+      let sa, ea = build a in
+      add_eps s sa;
+      add_eps ea e;
+      add_eps s e;
+      add_eps e s;
+      (s, e)
+  in
+  let start, accept = build expr in
+  let n = !count in
+  let delta_arr = Array.make n [] and eps_arr = Array.make n [] in
+  List.iter (fun (u, edge) -> delta_arr.(u) <- edge :: delta_arr.(u)) !delta;
+  List.iter (fun (u, v) -> eps_arr.(u) <- v :: eps_arr.(u)) !eps;
+  { n_states = n; start; accept; delta = delta_arr; eps = eps_arr }
+
+let eclose t set =
+  let stack = ref [] in
+  Bitset.iter set (fun q -> stack := q :: !stack);
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | q :: rest ->
+      stack := rest;
+      List.iter
+        (fun q' ->
+          if not (Bitset.mem set q') then begin
+            Bitset.add set q';
+            stack := q' :: !stack
+          end)
+        t.eps.(q);
+      loop ()
+  in
+  loop ()
+
+let initial t =
+  let set = Bitset.create t.n_states in
+  Bitset.add set t.start;
+  eclose t set;
+  set
+
+let step t states l =
+  let code = Label.to_int l in
+  let next = Bitset.create t.n_states in
+  Bitset.iter states (fun q ->
+      List.iter
+        (fun (sym, q') ->
+          match sym with
+          | Any_sym -> Bitset.add next q'
+          | Sym c -> if c = code then Bitset.add next q')
+        t.delta.(q));
+  eclose t next;
+  next
+
+let accepting t states = Bitset.mem states t.accept
+
+let accepts_word t word =
+  let states = List.fold_left (fun states l -> step t states l) (initial t) word in
+  accepting t states

@@ -1,0 +1,23 @@
+(** Thompson construction of a nondeterministic finite automaton from a
+    path expression, over interned label codes.
+
+    Labels mentioned by the expression that do not occur in the data
+    graph's pool compile to transitions that can never fire. *)
+
+type t
+
+val compile : Dkindex_graph.Label.Pool.t -> Path_ast.t -> t
+
+val n_states : t -> int
+
+val initial : t -> Bitset.t
+(** Epsilon closure of the start state (a fresh set). *)
+
+val step : t -> Bitset.t -> Dkindex_graph.Label.t -> Bitset.t
+(** [step nfa states l] consumes one label and returns the epsilon
+    closure of the successor set (a fresh set). *)
+
+val accepting : t -> Bitset.t -> bool
+
+val accepts_word : t -> Dkindex_graph.Label.t list -> bool
+(** Direct word membership, used by tests as an oracle. *)

@@ -1,0 +1,95 @@
+exception Parse_error of { pos : int; msg : string }
+
+type state = { src : string; mutable pos : int }
+
+let error st fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error { pos = st.pos; msg })) fmt
+
+let eof st = st.pos >= String.length st.src
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let skip_space st =
+  while (not (eof st)) && (Char.equal (peek st) ' ' || Char.equal (peek st) '\t') do
+    st.pos <- st.pos + 1
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || Char.equal c '_' || Char.equal c ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || Char.equal c '-'
+
+let parse_name st =
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    st.pos <- st.pos + 1
+  done;
+  String.sub st.src start (st.pos - start)
+
+let rec parse_expr st =
+  let left = parse_seq st in
+  skip_space st;
+  if (not (eof st)) && Char.equal (peek st) '|' then begin
+    st.pos <- st.pos + 1;
+    Path_ast.Alt (left, parse_expr st)
+  end
+  else left
+
+and parse_seq st =
+  let left = parse_postfix st in
+  skip_space st;
+  if (not (eof st)) && Char.equal (peek st) '.' then begin
+    st.pos <- st.pos + 1;
+    match parse_seq st with
+    (* Re-associate to the left so as_label_seq prints naturally. *)
+    | rest -> Path_ast.Seq (left, rest)
+  end
+  else left
+
+and parse_postfix st =
+  let atom = ref (parse_atom st) in
+  let rec loop () =
+    skip_space st;
+    match peek st with
+    | '*' ->
+      st.pos <- st.pos + 1;
+      atom := Path_ast.Star !atom;
+      loop ()
+    | '?' ->
+      st.pos <- st.pos + 1;
+      atom := Path_ast.Opt !atom;
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  !atom
+
+and parse_atom st =
+  skip_space st;
+  if eof st then error st "unexpected end of expression"
+  else
+    match peek st with
+    | '(' ->
+      st.pos <- st.pos + 1;
+      let inner = parse_expr st in
+      skip_space st;
+      if Char.equal (peek st) ')' then begin
+        st.pos <- st.pos + 1;
+        inner
+      end
+      else error st "expected ')'"
+    | c when is_name_start c ->
+      let name = parse_name st in
+      if String.equal name "_" then Path_ast.Any else Path_ast.Label name
+    | c -> error st "unexpected character %C" c
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let expr = parse_expr st in
+  skip_space st;
+  if not (eof st) then error st "trailing input";
+  expr
+
+let parse_opt src = match parse src with
+  | expr -> Some expr
+  | exception Parse_error _ -> None

@@ -1,0 +1,18 @@
+(** Parser for the concrete syntax of regular path expressions.
+
+    Grammar (tightest binding last):
+    {v
+    expr    ::= seq ('|' seq)*
+    seq     ::= postfix ('.' postfix)*
+    postfix ::= atom ('*' | '?')*
+    atom    ::= '_' | name | '(' expr ')'
+    v}
+    Names follow XML name syntax.  Whitespace is allowed anywhere
+    between tokens. *)
+
+exception Parse_error of { pos : int; msg : string }
+
+val parse : string -> Path_ast.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_opt : string -> Path_ast.t option

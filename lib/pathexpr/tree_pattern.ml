@@ -1,0 +1,262 @@
+type axis = Child | Descendant
+
+type node = { label : string option; value_test : string option; preds : (axis * node) list }
+type t = { steps : (axis * node) list }
+
+exception Parse_error of { pos : int; msg : string }
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+
+type state = { src : string; mutable pos : int }
+
+let error st fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error { pos = st.pos; msg })) fmt
+
+let eof st = st.pos >= String.length st.src
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.equal (String.sub st.src st.pos n) s
+
+let eat st s =
+  if looking_at st s then begin
+    st.pos <- st.pos + String.length s;
+    true
+  end
+  else false
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || Char.equal c '_' || Char.equal c ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9') || Char.equal c '-'
+
+let parse_name st =
+  if eat st "*" then None
+  else if is_name_start (peek st) then begin
+    let start = st.pos in
+    while (not (eof st)) && is_name_char (peek st) do
+      st.pos <- st.pos + 1
+    done;
+    Some (String.sub st.src start (st.pos - start))
+  end
+  else error st "expected a name or '*'"
+
+let parse_axis st =
+  if eat st "//" then Some Descendant else if eat st "/" then Some Child else None
+
+(* Fold a chain of steps into a single predicate node: a/b//c becomes
+   a[with pred b[with pred //c]] since predicates are existential. *)
+let rec chain_to_node = function
+  | [] -> invalid_arg "Tree_pattern.chain_to_node"
+  | [ (axis, node) ] -> (axis, node)
+  | (axis, node) :: rest ->
+    let sub = chain_to_node rest in
+    (axis, { node with preds = node.preds @ [ sub ] })
+
+let parse_quoted st =
+  if not (eat st "\"") then error st "expected '\"'";
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eat st "\"" then ()
+    else if st.pos < String.length st.src then begin
+      Buffer.add_char buf st.src.[st.pos];
+      st.pos <- st.pos + 1;
+      go ()
+    end
+    else error st "unterminated string"
+  in
+  go ();
+  Buffer.contents buf
+
+let rec parse_step st =
+  let label = parse_name st in
+  let preds = ref [] in
+  let value_test = ref None in
+  while eat st "[" do
+    if looking_at st ".=" || looking_at st ". =" then begin
+      ignore (eat st ".");
+      while eat st " " do () done;
+      if not (eat st "=") then error st "expected '='";
+      while eat st " " do () done;
+      value_test := Some (parse_quoted st);
+      if not (eat st "]") then error st "expected ']'"
+    end
+    else begin
+      let first_axis =
+        if eat st ".//" then Descendant
+        else begin
+          ignore (eat st "./");
+          Child
+        end
+      in
+      let chain = parse_chain st first_axis in
+      if not (eat st "]") then error st "expected ']'";
+      preds := chain_to_node chain :: !preds
+    end
+  done;
+  { label; value_test = !value_test; preds = List.rev !preds }
+
+and parse_chain st first_axis =
+  let first = parse_step st in
+  let rec more acc =
+    match parse_axis st with
+    | Some axis -> more ((axis, parse_step st) :: acc)
+    | None -> List.rev acc
+  in
+  more [ (first_axis, first) ]
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let axis0 =
+    match parse_axis st with
+    | Some a -> a
+    | None -> error st "pattern must start with '/' or '//'"
+  in
+  let steps = parse_chain st axis0 in
+  if not (eof st) then error st "trailing input";
+  { steps }
+
+(* ------------------------------------------------------------------ *)
+(* Printer                                                             *)
+
+let axis_str = function Child -> "/" | Descendant -> "//"
+
+let rec pp_node ppf n =
+  Format.pp_print_string ppf (Option.value n.label ~default:"*");
+  (match n.value_test with
+  | Some s -> Format.fprintf ppf "[.=%S]" s
+  | None -> ());
+  List.iter
+    (fun (axis, sub) ->
+      match axis with
+      | Child -> Format.fprintf ppf "[./%a]" pp_node sub
+      | Descendant -> Format.fprintf ppf "[.//%a]" pp_node sub)
+    n.preds
+
+let pp ppf t =
+  List.iter (fun (axis, n) -> Format.fprintf ppf "%s%a" (axis_str axis) pp_node n) t.steps
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+
+type view = {
+  root : int;
+  label_name : int -> string;
+  children : int -> int list;
+  check_value : int -> string -> bool;
+  visit : int -> unit;
+}
+
+let has_value_test t =
+  let rec node_has n =
+    Option.is_some n.value_test || List.exists (fun (_, sub) -> node_has sub) n.preds
+  in
+  List.exists (fun (_, n) -> node_has n) t.steps
+
+let data_view g ~cost =
+  let module G = Dkindex_graph.Data_graph in
+  let check_value u expected =
+    let matches w = match G.value g w with Some s -> String.equal s expected | None -> false in
+    matches u
+    || List.exists
+         (fun c ->
+           String.equal (G.label_name g c) Dkindex_graph.Label.value_name && matches c)
+         (G.children g u)
+  in
+  {
+    root = G.root g;
+    label_name = G.label_name g;
+    children = G.children g;
+    check_value;
+    visit = (fun _ -> Cost.visit_data cost);
+  }
+
+let descendants view u =
+  let seen = Hashtbl.create 16 in
+  let rec go w =
+    List.iter
+      (fun c ->
+        if not (Hashtbl.mem seen c) then begin
+          Hashtbl.add seen c ();
+          view.visit c;
+          go c
+        end)
+      (view.children w)
+  in
+  go u;
+  Hashtbl.fold (fun c () acc -> c :: acc) seen []
+
+let axis_set view axis u =
+  match axis with
+  | Child ->
+    let cs = view.children u in
+    List.iter view.visit cs;
+    cs
+  | Descendant -> descendants view u
+
+(* Pattern nodes are numbered (by physical identity; patterns are tiny)
+   for memoization. *)
+let number_nodes t =
+  let acc = ref [] in
+  let rec go n =
+    acc := n :: !acc;
+    List.iter (fun (_, sub) -> go sub) n.preds
+  in
+  List.iter (fun (_, n) -> go n) t.steps;
+  List.rev !acc
+
+let make_sat view numbering =
+  let memo : (int * int, bool) Hashtbl.t = Hashtbl.create 256 in
+  let id_of n =
+    let rec idx i = function
+      | [] -> invalid_arg "Tree_pattern: foreign pattern node"
+      | x :: rest -> if x == n then i else idx (i + 1) rest
+    in
+    idx 0 numbering
+  in
+  let rec sat u (n : node) =
+    let key = (u, id_of n) in
+    match Hashtbl.find_opt memo key with
+    | Some r -> r
+    | None ->
+      let label_ok =
+        match n.label with None -> true | Some l -> String.equal l (view.label_name u)
+      in
+      let value_ok =
+        match n.value_test with None -> true | Some s -> view.check_value u s
+      in
+      let r =
+        label_ok && value_ok
+        && List.for_all
+             (fun (axis, sub) -> List.exists (fun w -> sat w sub) (axis_set view axis u))
+             n.preds
+      in
+      Hashtbl.add memo key r;
+      r
+  in
+  sat
+
+let eval view t =
+  let numbering = number_nodes t in
+  let sat = make_sat view numbering in
+  let step frontier (axis, n) =
+    let next = Hashtbl.create 32 in
+    List.iter
+      (fun u ->
+        List.iter
+          (fun w -> if (not (Hashtbl.mem next w)) && sat w n then Hashtbl.add next w ())
+          (axis_set view axis u))
+      frontier;
+    Hashtbl.fold (fun w () acc -> w :: acc) next []
+  in
+  let result = List.fold_left step [ view.root ] t.steps in
+  List.sort compare result
+
+let matches_at view n u =
+  let fake = { steps = [ (Child, n) ] } in
+  let sat = make_sat view (number_nodes fake) in
+  sat u n

@@ -1,0 +1,74 @@
+(** Branching path queries (tree patterns).
+
+    The paper's future-work section points at the F&B-index (Kaushik et
+    al., SIGMOD 2002), the covering index for {e branching} path
+    queries; this module supplies the query language those indexes
+    answer: a tree of label tests connected by child ([/]) and
+    descendant ([//]) axes, with predicates in brackets.  The result of
+    a pattern is the set of data nodes matched by the {e last step of
+    its main path}; all predicate branches are existential filters.
+
+    Concrete syntax (an XPath subset):
+    {v
+    pattern := ('/' | '//') step (('/' | '//') step)*
+    step    := (name | '*') pred*
+    pred    := '[' ('.//' | './')? step (('/' | '//') step)* ']'
+             | '[' '.' '=' '"' text '"' ']'
+    v}
+    The leading axis is relative to the root, e.g.
+    [//movie[.//actor]/title] or [//person[./name[.="Kian"]]].
+
+    Value predicates compare atomic payloads
+    ({!Dkindex_graph.Data_graph.value}); index graphs carry no
+    payloads, so evaluation through an index treats them as
+    over-approximations to be settled by validation. *)
+
+type axis = Child | Descendant
+
+type node = {
+  label : string option;  (** [None] for [*] *)
+  value_test : string option;
+      (** [Some s] requires the node's atomic content to equal [s]: it
+          matches when the node itself carries payload [s] or has a
+          [VALUE] child carrying it (the [[.="s"]] predicate) *)
+  preds : (axis * node) list;
+}
+
+type t = { steps : (axis * node) list }  (** non-empty; first axis from the root *)
+
+exception Parse_error of { pos : int; msg : string }
+
+val parse : string -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Evaluation}
+
+    Evaluation is generic over an integer-node graph so the same code
+    runs on the data graph and on index graphs. *)
+
+type view = {
+  root : int;
+  label_name : int -> string;
+  children : int -> int list;
+  check_value : int -> string -> bool;
+      (** value-predicate oracle; an index view answers [true]
+          (over-approximation), the data view compares payloads *)
+  visit : int -> unit;  (** cost hook, called once per node expansion *)
+}
+
+val data_view : Dkindex_graph.Data_graph.t -> cost:Cost.t -> view
+
+val has_value_test : t -> bool
+(** Does any node of the pattern carry a value predicate? *)
+
+val eval : view -> t -> int list
+(** Matching node ids of the main path's last step, sorted. *)
+
+val descendants : view -> int -> int list
+(** Strict descendants of a node (its children and everything reachable
+    below, which can include the node itself on a cycle). *)
+
+val matches_at : view -> node -> int -> bool
+(** Does the (single) pattern node with its predicate subtree accept
+    this graph node?  Exposed for validation. *)

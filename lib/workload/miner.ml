@@ -1,0 +1,34 @@
+open Dkindex_graph
+
+let lengths_by_target g queries =
+  let pool = Data_graph.pool g in
+  let table : (string, int list) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun q ->
+      let m = Array.length q in
+      if m > 0 then begin
+        let target = Label.Pool.name pool q.(m - 1) in
+        let need = m - 1 in
+        let current = Option.value (Hashtbl.find_opt table target) ~default:[] in
+        Hashtbl.replace table target (need :: current)
+      end)
+    queries;
+  table
+
+let mine g queries =
+  let table = lengths_by_target g queries in
+  Hashtbl.fold (fun label needs acc -> (label, List.fold_left max 0 needs) :: acc) table []
+  |> List.sort compare
+
+let mine_quantile g ~quantile queries =
+  if quantile < 0.0 || quantile > 1.0 then invalid_arg "Miner.mine_quantile";
+  let table = lengths_by_target g queries in
+  Hashtbl.fold
+    (fun label needs acc ->
+      let sorted = List.sort compare needs in
+      let n = List.length sorted in
+      let rank = min (n - 1) (int_of_float (ceil (quantile *. float_of_int n)) - 1) in
+      let rank = max 0 rank in
+      (label, List.nth sorted rank) :: acc)
+    table []
+  |> List.sort compare

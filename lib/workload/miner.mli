@@ -1,0 +1,20 @@
+(** Query-load mining: derive per-label local-similarity requirements
+    from a workload (paper, Section 6.1).
+
+    "We set a label's local similarity requirement to be the longest
+    length of test path queries less one such that no validation will
+    be needed": a query of m labels evaluated at a target index node is
+    sound when the node's local similarity is at least m - 1, so the
+    requirement of a label is the maximum (m - 1) over the workload
+    queries that end in it.  Labels never queried default to 0. *)
+
+open Dkindex_graph
+
+val mine : Data_graph.t -> Query_gen.t -> Dkindex_core.Dk_index.requirements
+(** Requirement per label name covering every query exactly. *)
+
+val mine_quantile :
+  Data_graph.t -> quantile:float -> Query_gen.t -> Dkindex_core.Dk_index.requirements
+(** Cheaper variant for the ablation study: per label, the requirement
+    covering the given fraction of the queries ending in it (so
+    [~quantile:1.0] = {!mine}); the remaining tail pays validation. *)

@@ -1,0 +1,88 @@
+open Dkindex_graph
+module Prng = Dkindex_datagen.Prng
+
+type t = Label.t array list
+
+(* Sample a node path ending at a random node by walking parent edges;
+   returns the path as a node list, start first. *)
+let sample_node_path rng g ~len =
+  let n = Data_graph.n_nodes g in
+  let v = Prng.int rng n in
+  let rec up u acc count =
+    if count >= len then acc
+    else
+      match Data_graph.parents g u with
+      | [] -> acc
+      | parents ->
+        let p = Prng.choose_list rng parents in
+        up p (p :: acc) (count + 1)
+  in
+  up v [ v ] 1
+
+let labels_of g nodes = Array.of_list (List.map (Data_graph.label g) nodes)
+
+let generate ?(seed = 11) ?(count = 100) ?(min_len = 2) ?(max_len = 5) g =
+  if min_len < 1 || max_len < min_len then invalid_arg "Query_gen.generate: bad lengths";
+  let rng = Prng.create ~seed in
+  let n_long = max 1 (count / 5) in
+  (* Long paths, kept as node paths so branching variations stay
+     non-empty by construction. *)
+  let long_paths = ref [] and n_found = ref 0 and attempts = ref 0 in
+  while !n_found < n_long && !attempts < n_long * 200 do
+    incr attempts;
+    let path = sample_node_path rng g ~len:max_len in
+    if List.length path >= min_len then begin
+      long_paths := Array.of_list path :: !long_paths;
+      incr n_found
+    end
+  done;
+  let long_paths = Array.of_list !long_paths in
+  if Array.length long_paths = 0 then
+    invalid_arg "Query_gen.generate: graph has no path of the minimum length";
+  let seen = Hashtbl.create count in
+  let queries = ref [] and n_queries = ref 0 in
+  let push q =
+    let key = Array.map Label.to_int q in
+    (* Allow a few duplicates only when the label space is tiny. *)
+    if not (Hashtbl.mem seen key) || Hashtbl.length seen < 8 then begin
+      Hashtbl.replace seen key ();
+      queries := q :: !queries;
+      incr n_queries
+    end
+  in
+  (* The long queries themselves. *)
+  Array.iter (fun path -> if !n_queries < count then push (labels_of g (Array.to_list path))) long_paths;
+  (* Branching variations until the budget is filled. *)
+  let attempts = ref 0 in
+  while !n_queries < count && !attempts < count * 200 do
+    incr attempts;
+    let path = long_paths.(Prng.int rng (Array.length long_paths)) in
+    let path_len = Array.length path in
+    let lo = max 0 (min_len - 2) and hi = min (path_len - 1) (max_len - 2) in
+    if hi >= lo then begin
+      let j = Prng.range rng lo hi in
+      let prefix = Array.to_list (Array.sub path 0 (j + 1)) in
+      if Prng.bool rng 0.3 && j + 1 >= min_len then
+        (* A plain shorter prefix. *)
+        push (labels_of g prefix)
+      else begin
+        (* Branch: extend the prefix with some child of its endpoint. *)
+        let endpoint = path.(j) in
+        match Data_graph.children g endpoint with
+        | [] -> ()
+        | children ->
+          let c = Prng.choose_list rng children in
+          push (Array.of_list (List.map (Data_graph.label g) prefix @ [ Data_graph.label g c ]))
+      end
+    end
+  done;
+  List.rev !queries
+
+let to_strings g t =
+  let pool = Data_graph.pool g in
+  List.map (fun q -> Array.to_list (Array.map (Label.Pool.name pool) q)) t
+
+let pp_query g ppf q =
+  let pool = Data_graph.pool g in
+  Format.pp_print_string ppf
+    (String.concat "." (Array.to_list (Array.map (Label.Pool.name pool) q)))

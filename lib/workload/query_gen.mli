@@ -1,0 +1,32 @@
+(** Test-path workload generator (paper, Section 6.1).
+
+    "We randomly generate 100 test paths with lengths between 2 and 5
+    ... First, the program randomly chooses some long query paths;
+    then, from these long paths, many shorter branching paths are
+    generated" — simulating correlated real-world query patterns: a
+    few long navigations plus many shorter variations sharing their
+    prefixes.
+
+    Every generated path is guaranteed non-empty on the data graph
+    (paths are sampled from label paths that exist in the data). *)
+
+open Dkindex_graph
+
+type t = Label.t array list
+(** Queries as label arrays (2 to 5 labels each). *)
+
+val generate :
+  ?seed:int ->
+  ?count:int ->
+  ?min_len:int ->
+  ?max_len:int ->
+  Data_graph.t ->
+  t
+(** Defaults reproduce the paper: [count = 100], lengths 2..5.
+    Roughly a fifth of the queries are fresh "long" paths of
+    [max_len]; the rest are shorter branching variations: a prefix of
+    a long path extended by one different label that exists in the
+    data. *)
+
+val to_strings : Data_graph.t -> t -> string list list
+val pp_query : Data_graph.t -> Format.formatter -> Label.t array -> unit

@@ -1,0 +1,97 @@
+open Dkindex_graph
+open Dkindex_core
+
+type config = { window : int; hot_fraction : float; size_budget : int option }
+
+let default_config = { window = 200; hot_fraction = 0.01; size_budget = None }
+
+type action =
+  | Promoted of (string * int) list
+  | Demoted of { before : int; after : int }
+
+type entry = { target : string; need : int }
+
+type t = {
+  config : config;
+  mutable idx : Index_graph.t;
+  window : entry Queue.t;
+}
+
+let create ?(config = default_config) idx =
+  if config.window <= 0 then invalid_arg "Tuner.create: window must be positive";
+  { config; idx; window = Queue.create () }
+
+let index t = t.idx
+
+let observe t query =
+  let result = Query_eval.eval_path t.idx query in
+  let m = Array.length query in
+  if m > 0 then begin
+    let pool = Data_graph.pool (Index_graph.data t.idx) in
+    let target = Label.Pool.name pool query.(m - 1) in
+    Queue.add { target; need = m - 1 } t.window;
+    while Queue.length t.window > t.config.window do
+      ignore (Queue.pop t.window)
+    done
+  end;
+  result
+
+let required_now t =
+  let counts : (string, int * int) Hashtbl.t = Hashtbl.create 32 in
+  Queue.iter
+    (fun { target; need } ->
+      let n, k = Option.value (Hashtbl.find_opt counts target) ~default:(0, 0) in
+      Hashtbl.replace counts target (n + 1, max k need))
+    t.window;
+  let hot_count =
+    max 1 (int_of_float (ceil (t.config.hot_fraction *. float_of_int (Queue.length t.window))))
+  in
+  Hashtbl.fold
+    (fun target (n, k) acc -> if n >= hot_count then (target, k) :: acc else acc)
+    counts []
+  |> List.sort compare
+
+(* The smallest local similarity the index currently guarantees for a
+   label, or None if the label has no index node. *)
+let current_floor t label_name =
+  let pool = Data_graph.pool (Index_graph.data t.idx) in
+  match Label.Pool.find_opt pool label_name with
+  | None -> None
+  | Some l -> (
+    match Index_graph.nodes_with_label t.idx l with
+    | [] -> None
+    | ids ->
+      Some
+        (List.fold_left
+           (fun acc id -> min acc (Index_graph.node t.idx id).Index_graph.k)
+           max_int ids))
+
+let lagging t =
+  List.filter
+    (fun (label, k) ->
+      match current_floor t label with Some floor -> floor < k | None -> false)
+    (required_now t)
+
+let run_maintenance t =
+  let actions = ref [] in
+  let lag = lagging t in
+  if lag <> [] then begin
+    Dk_tune.promote_labels t.idx lag;
+    actions := Promoted lag :: !actions
+  end;
+  (match t.config.size_budget with
+  | Some budget when Index_graph.n_nodes t.idx > budget ->
+    let before = Index_graph.n_nodes t.idx in
+    let demoted = Dk_tune.demote t.idx ~reqs:(required_now t) in
+    if Index_graph.n_nodes demoted < before then begin
+      t.idx <- demoted;
+      actions := Demoted { before; after = Index_graph.n_nodes demoted } :: !actions
+    end
+  | Some _ | None -> ());
+  List.rev !actions
+
+let pp_action ppf = function
+  | Promoted labels ->
+    Format.fprintf ppf "promoted %s"
+      (String.concat ", " (List.map (fun (l, k) -> Printf.sprintf "%s->%d" l k) labels))
+  | Demoted { before; after } -> Format.fprintf ppf "demoted %d -> %d nodes" before after

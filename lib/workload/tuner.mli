@@ -1,0 +1,57 @@
+(** Online query-load mining and automatic D(k) maintenance — the
+    paper's first future-work direction ("mine query patterns on query
+    loads"), built on the promoting and demoting processes of
+    Section 5.
+
+    A tuner wraps a D(k)-index.  Every query evaluated through
+    {!observe} is recorded in a sliding window; {!run_maintenance}
+    (meant to run periodically, like the paper's promote/demote passes)
+    compares the similarity requirements mined from the window with
+    what the index currently guarantees, promotes labels that queries
+    now reach through longer paths than the index can answer soundly,
+    and — when the index outgrows its size budget — demotes it to
+    exactly the window's requirements. *)
+
+open Dkindex_graph
+open Dkindex_core
+
+type config = {
+  window : int;  (** queries remembered (default 200) *)
+  hot_fraction : float;
+      (** a label's requirement is honored once it attracts at least
+          this fraction of the window (default 0.01) *)
+  size_budget : int option;
+      (** demote when the index has more nodes than this (default
+          [None]: never demote) *)
+}
+
+val default_config : config
+
+type action =
+  | Promoted of (string * int) list
+      (** labels raised, with their new local similarity *)
+  | Demoted of { before : int; after : int }  (** index sizes *)
+
+type t
+
+val create : ?config:config -> Index_graph.t -> t
+val index : t -> Index_graph.t
+(** The current index (replaced by a demotion). *)
+
+val observe : t -> Label.t array -> Query_eval.result
+(** Evaluate a label-path query through the current index and record
+    it in the window. *)
+
+val required_now : t -> (string * int) list
+(** Requirements mined from the current window: for each hot target
+    label, the longest observed query length minus one. *)
+
+val lagging : t -> (string * int) list
+(** The subset of {!required_now} the index cannot yet answer soundly
+    (some index node of the label has a smaller local similarity). *)
+
+val run_maintenance : t -> action list
+(** Promote lagging labels; then demote if over budget.  Returns what
+    was done (possibly nothing). *)
+
+val pp_action : Format.formatter -> action -> unit

@@ -1,0 +1,46 @@
+type attr = { name : string; value : string }
+
+type node =
+  | Element of element
+  | Text of string
+
+and element = { tag : string; attrs : attr list; children : node list }
+
+type doc = { root : element }
+
+let element ?(attrs = []) tag children =
+  { tag; attrs = List.map (fun (name, value) -> { name; value }) attrs; children }
+
+let text s = Text s
+
+let attr_opt el name =
+  List.find_map (fun a -> if String.equal a.name name then Some a.value else None) el.attrs
+
+let iter_elements doc f =
+  let rec go el =
+    f el;
+    List.iter (function Element child -> go child | Text _ -> ()) el.children
+  in
+  go doc.root
+
+let n_elements doc =
+  let count = ref 0 in
+  iter_elements doc (fun _ -> incr count);
+  !count
+
+let rec equal_element a b =
+  String.equal a.tag b.tag
+  && List.length a.attrs = List.length b.attrs
+  && List.for_all2
+       (fun x y -> String.equal x.name y.name && String.equal x.value y.value)
+       a.attrs b.attrs
+  && List.length a.children = List.length b.children
+  && List.for_all2 equal_node a.children b.children
+
+and equal_node a b =
+  match (a, b) with
+  | Element a, Element b -> equal_element a b
+  | Text a, Text b -> String.equal a b
+  | Element _, Text _ | Text _, Element _ -> false
+
+let equal_doc a b = equal_element a.root b.root

@@ -1,0 +1,31 @@
+(** Abstract syntax of XML documents.
+
+    A deliberately small but practical model: elements, attributes and
+    character data.  Comments, processing instructions and the DOCTYPE
+    declaration are accepted by the parser and dropped. *)
+
+type attr = { name : string; value : string }
+
+type node =
+  | Element of element
+  | Text of string
+
+and element = { tag : string; attrs : attr list; children : node list }
+
+type doc = { root : element }
+
+val element : ?attrs:(string * string) list -> string -> node list -> element
+(** Convenience constructor. *)
+
+val text : string -> node
+
+val attr_opt : element -> string -> string option
+(** First attribute with the given name, if any. *)
+
+val n_elements : doc -> int
+(** Number of element nodes in the document (root included). *)
+
+val iter_elements : doc -> (element -> unit) -> unit
+(** Pre-order traversal over every element. *)
+
+val equal_doc : doc -> doc -> bool

@@ -1,0 +1,262 @@
+exception Parse_error of { pos : int; line : int; msg : string }
+
+type state = { src : string; mutable pos : int; mutable line : int }
+
+let error st fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error { pos = st.pos; line = st.line; msg })) fmt
+
+let eof st = st.pos >= String.length st.src
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let advance st =
+  if not (eof st) then begin
+    if Char.equal st.src.[st.pos] '\n' then st.line <- st.line + 1;
+    st.pos <- st.pos + 1
+  end
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.equal (String.sub st.src st.pos n) s
+
+let expect st s =
+  if looking_at st s then
+    for _ = 1 to String.length s do
+      advance st
+    done
+  else error st "expected %S" s
+
+let is_space c = Char.equal c ' ' || Char.equal c '\t' || Char.equal c '\n' || Char.equal c '\r'
+
+let skip_space st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || Char.equal c '_' || Char.equal c ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || Char.equal c '-' || Char.equal c '.'
+
+let parse_name st =
+  if not (is_name_start (peek st)) then error st "expected a name, found %C" (peek st);
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let decode_entity st =
+  (* Called with the cursor just past '&'. *)
+  let start = st.pos in
+  while (not (eof st)) && not (Char.equal (peek st) ';') do
+    advance st
+  done;
+  if eof st then error st "unterminated entity reference";
+  let entity = String.sub st.src start (st.pos - start) in
+  advance st;
+  match entity with
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "amp" -> "&"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | _ ->
+    let code =
+      if String.length entity > 2 && Char.equal entity.[0] '#' && (Char.equal entity.[1] 'x' || Char.equal entity.[1] 'X')
+      then int_of_string_opt ("0x" ^ String.sub entity 2 (String.length entity - 2))
+      else if String.length entity > 1 && Char.equal entity.[0] '#' then
+        int_of_string_opt (String.sub entity 1 (String.length entity - 1))
+      else None
+    in
+    (match code with
+    | Some c when c >= 0 && c < 128 -> String.make 1 (Char.chr c)
+    | Some c ->
+      (* Encode non-ASCII scalar values as UTF-8. *)
+      let buf = Buffer.create 4 in
+      Buffer.add_utf_8_uchar buf (Uchar.of_int c);
+      Buffer.contents buf
+    | None -> error st "unknown entity &%s;" entity)
+
+let parse_attr_value st =
+  let quote = peek st in
+  if not (Char.equal quote '"' || Char.equal quote '\'') then
+    error st "expected quoted attribute value";
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if eof st then error st "unterminated attribute value"
+    else if Char.equal (peek st) quote then advance st
+    else if Char.equal (peek st) '&' then begin
+      advance st;
+      Buffer.add_string buf (decode_entity st);
+      loop ()
+    end
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      loop ()
+    end
+  in
+  loop ();
+  Buffer.contents buf
+
+let rec parse_attrs st acc =
+  skip_space st;
+  if is_name_start (peek st) then begin
+    let name = parse_name st in
+    skip_space st;
+    expect st "=";
+    skip_space st;
+    let value = parse_attr_value st in
+    parse_attrs st ({ Xml_ast.name; value } :: acc)
+  end
+  else List.rev acc
+
+let skip_until st closer =
+  let n = String.length st.src and c = String.length closer in
+  let rec loop () =
+    if st.pos + c > n then error st "unterminated construct (expected %S)" closer
+    else if looking_at st closer then expect st closer
+    else begin
+      advance st;
+      loop ()
+    end
+  in
+  loop ()
+
+let skip_misc st =
+  (* Comments, PIs, DOCTYPE, whitespace before/between markup. *)
+  let rec loop () =
+    skip_space st;
+    if looking_at st "<!--" then begin
+      expect st "<!--";
+      skip_until st "-->";
+      loop ()
+    end
+    else if looking_at st "<?" then begin
+      expect st "<?";
+      skip_until st "?>";
+      loop ()
+    end
+    else if looking_at st "<!DOCTYPE" then begin
+      expect st "<!DOCTYPE";
+      (* Skip to matching '>', allowing one level of [...] internal subset. *)
+      let rec doctype () =
+        if eof st then error st "unterminated DOCTYPE"
+        else
+          match peek st with
+          | '[' ->
+            advance st;
+            skip_until st "]";
+            doctype ()
+          | '>' -> advance st
+          | _ ->
+            advance st;
+            doctype ()
+      in
+      doctype ();
+      loop ()
+    end
+  in
+  loop ()
+
+let all_space s =
+  let ok = ref true in
+  String.iter (fun c -> if not (is_space c) then ok := false) s;
+  !ok
+
+let rec parse_element st =
+  expect st "<";
+  let tag = parse_name st in
+  let attrs = parse_attrs st [] in
+  skip_space st;
+  if looking_at st "/>" then begin
+    expect st "/>";
+    { Xml_ast.tag; attrs; children = [] }
+  end
+  else begin
+    expect st ">";
+    let children = parse_content st [] in
+    expect st "</";
+    let closing = parse_name st in
+    if not (String.equal closing tag) then
+      error st "mismatched closing tag </%s> for <%s>" closing tag;
+    skip_space st;
+    expect st ">";
+    { Xml_ast.tag; attrs; children }
+  end
+
+and parse_content st acc =
+  if eof st then error st "unexpected end of input inside element"
+  else if looking_at st "</" then List.rev acc
+  else if looking_at st "<!--" then begin
+    expect st "<!--";
+    skip_until st "-->";
+    parse_content st acc
+  end
+  else if looking_at st "<![CDATA[" then begin
+    expect st "<![CDATA[";
+    let start = st.pos in
+    let rec find () =
+      if eof st then error st "unterminated CDATA"
+      else if looking_at st "]]>" then ()
+      else begin
+        advance st;
+        find ()
+      end
+    in
+    find ();
+    let data = String.sub st.src start (st.pos - start) in
+    expect st "]]>";
+    parse_content st (Xml_ast.Text data :: acc)
+  end
+  else if looking_at st "<?" then begin
+    expect st "<?";
+    skip_until st "?>";
+    parse_content st acc
+  end
+  else if Char.equal (peek st) '<' then
+    parse_content st (Xml_ast.Element (parse_element st) :: acc)
+  else begin
+    let buf = Buffer.create 32 in
+    let rec text () =
+      if eof st || Char.equal (peek st) '<' then ()
+      else if Char.equal (peek st) '&' then begin
+        advance st;
+        Buffer.add_string buf (decode_entity st);
+        text ()
+      end
+      else begin
+        Buffer.add_char buf (peek st);
+        advance st;
+        text ()
+      end
+    in
+    text ();
+    let data = Buffer.contents buf in
+    if all_space data then parse_content st acc
+    else parse_content st (Xml_ast.Text data :: acc)
+  end
+
+let parse_string src =
+  let st = { src; pos = 0; line = 1 } in
+  skip_misc st;
+  if not (Char.equal (peek st) '<') then error st "expected root element";
+  let root = parse_element st in
+  skip_misc st;
+  if not (eof st) then error st "trailing content after root element";
+  { Xml_ast.root }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      parse_string (really_input_string ic len))
+
+let pp_error ppf = function
+  | Parse_error { pos; line; msg } ->
+    Format.fprintf ppf "XML parse error at line %d (offset %d): %s" line pos msg
+  | exn -> raise exn

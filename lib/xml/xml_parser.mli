@@ -1,0 +1,22 @@
+(** A recursive-descent parser for the XML subset of {!Xml_ast}.
+
+    Supported: the XML declaration, DOCTYPE (skipped), comments
+    (skipped), processing instructions (skipped), CDATA sections,
+    elements with attributes (single or double quoted), character data
+    with the five predefined entities and decimal / hexadecimal
+    character references.  Namespaces are not interpreted (prefixes
+    stay part of the tag name), and DTD-internal subsets are skipped
+    textually.
+
+    Whitespace-only text between elements is dropped; other text is
+    kept verbatim. *)
+
+exception Parse_error of { pos : int; line : int; msg : string }
+
+val parse_string : string -> Xml_ast.doc
+(** @raise Parse_error on malformed input. *)
+
+val parse_file : string -> Xml_ast.doc
+
+val pp_error : Format.formatter -> exn -> unit
+(** Pretty-print a {!Parse_error}; re-raises other exceptions. *)

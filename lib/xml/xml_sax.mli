@@ -1,0 +1,39 @@
+(** Streaming (SAX-style) XML parsing.
+
+    {!Xml_parser} materializes the whole document tree; for bulk
+    loading large files into a data graph that is wasteful, since the
+    graph {!Dkindex_graph.Builder} only needs a single pass of events.
+    This module delivers the same XML subset (see {!Xml_parser}) as a
+    pull stream over a constant-size buffer:
+
+    - elements open and close ({!Start_element} / {!End_element});
+    - character data and CDATA arrive as {!Text} (whitespace-only text
+      is dropped, contiguous text may arrive in several events);
+    - comments, processing instructions and DOCTYPE are skipped.
+
+    The pull interface drives everything else: {!fold_string},
+    {!fold_channel} and {!fold_file} are conveniences over {!next}. *)
+
+type event =
+  | Start_element of { tag : string; attrs : Xml_ast.attr list }
+  | End_element of string
+  | Text of string
+
+exception Parse_error of { line : int; msg : string }
+
+type t
+
+val of_string : string -> t
+val of_channel : ?buffer_size:int -> in_channel -> t
+(** [buffer_size] (default 64 KiB) bounds lexer memory; individual
+    tokens (a tag with its attributes, an entity) must fit in it. *)
+
+val next : t -> event option
+(** The next event, or [None] after the root element closes.
+    @raise Parse_error on malformed input (including trailing content
+    and unclosed elements). *)
+
+val fold : t -> init:'a -> f:('a -> event -> 'a) -> 'a
+val fold_string : string -> init:'a -> f:('a -> event -> 'a) -> 'a
+val fold_channel : in_channel -> init:'a -> f:('a -> event -> 'a) -> 'a
+val fold_file : string -> init:'a -> f:('a -> event -> 'a) -> 'a

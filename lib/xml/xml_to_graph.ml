@@ -1,0 +1,105 @@
+type config = { id_attrs : string list; idref_attrs : string list }
+
+let default_config = { id_attrs = [ "id" ]; idref_attrs = [ "idref"; "ref" ] }
+
+type result = {
+  graph : Dkindex_graph.Data_graph.t;
+  n_reference_edges : int;
+  unresolved_refs : string list;
+}
+
+module B = Dkindex_graph.Builder
+
+let split_refs value =
+  String.split_on_char ' ' value |> List.filter (fun s -> not (String.equal s ""))
+
+let convert ?(config = default_config) doc =
+  let builder = B.create () in
+  let ids = Hashtbl.create 256 in
+  (* pending references: (source node, target id string) *)
+  let pending = ref [] in
+  let is_id name = List.mem name config.id_attrs in
+  let is_idref name = List.mem name config.idref_attrs in
+  let rec emit parent (el : Xml_ast.element) =
+    let node = B.add_child builder ~parent el.tag in
+    List.iter
+      (fun (a : Xml_ast.attr) ->
+        if is_id a.name then Hashtbl.replace ids a.value node
+        else if is_idref a.name then
+          List.iter (fun target -> pending := (node, target) :: !pending) (split_refs a.value)
+        else begin
+          let attr_node = B.add_child builder ~parent:node a.name in
+          ignore (B.add_value builder ~parent:attr_node ~text:a.value)
+        end)
+      el.attrs;
+    List.iter
+      (function
+        | Xml_ast.Element child -> emit node child
+        | Xml_ast.Text text -> ignore (B.add_value builder ~parent:node ~text))
+      el.children
+  in
+  emit (B.root builder) doc.Xml_ast.root;
+  let unresolved = ref [] and n_refs = ref 0 in
+  List.iter
+    (fun (source, target) ->
+      match Hashtbl.find_opt ids target with
+      | Some node ->
+        B.add_edge builder source node;
+        incr n_refs
+      | None -> unresolved := target :: !unresolved)
+    !pending;
+  {
+    graph = B.build builder;
+    n_reference_edges = !n_refs;
+    unresolved_refs = List.rev !unresolved;
+  }
+
+let graph_of_doc ?config doc = (convert ?config doc).graph
+
+let convert_events ?(config = default_config) stream =
+  let builder = B.create () in
+  let ids = Hashtbl.create 256 in
+  let pending = ref [] in
+  let is_id name = List.mem name config.id_attrs in
+  let is_idref name = List.mem name config.idref_attrs in
+  let stack = ref [ B.root builder ] in
+  let top () = match !stack with node :: _ -> node | [] -> assert false in
+  Xml_sax.fold stream ~init:() ~f:(fun () event ->
+      match event with
+      | Xml_sax.Start_element { tag; attrs } ->
+        let node = B.add_child builder ~parent:(top ()) tag in
+        List.iter
+          (fun (a : Xml_ast.attr) ->
+            if is_id a.name then Hashtbl.replace ids a.value node
+            else if is_idref a.name then
+              List.iter
+                (fun target -> pending := (node, target) :: !pending)
+                (split_refs a.value)
+            else begin
+              let attr_node = B.add_child builder ~parent:node a.name in
+              ignore (B.add_value builder ~parent:attr_node ~text:a.value)
+            end)
+          attrs;
+        stack := node :: !stack
+      | Xml_sax.End_element _ -> stack := List.tl !stack
+      | Xml_sax.Text text -> ignore (B.add_value builder ~parent:(top ()) ~text));
+  let unresolved = ref [] and n_refs = ref 0 in
+  List.iter
+    (fun (source, target) ->
+      match Hashtbl.find_opt ids target with
+      | Some node ->
+        B.add_edge builder source node;
+        incr n_refs
+      | None -> unresolved := target :: !unresolved)
+    !pending;
+  {
+    graph = B.build builder;
+    n_reference_edges = !n_refs;
+    unresolved_refs = List.rev !unresolved;
+  }
+
+let convert_file ?config path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> convert_events ?config (Xml_sax.of_channel ic))

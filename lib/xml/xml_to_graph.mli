@@ -1,0 +1,44 @@
+(** Loading an XML document into the paper's data-graph model.
+
+    Mapping (Section 3 of the paper):
+    - a single root node labeled [ROOT];
+    - every element becomes a node labeled with its tag, a child of its
+      containing element (tree edges);
+    - every text node becomes a [VALUE]-labeled leaf;
+    - every ordinary attribute becomes a node labeled with the
+      attribute name, holding a [VALUE] leaf;
+    - ID attributes register the element under their value;
+    - IDREF(S) attributes become reference edges from the owning
+      element to the target element(s).  Tree and reference edges are
+      not distinguished in the graph. *)
+
+type config = {
+  id_attrs : string list;  (** attribute names that define ids, e.g. [["id"]] *)
+  idref_attrs : string list;
+      (** attribute names whose (space-separated) values are references *)
+}
+
+val default_config : config
+(** [id_attrs = ["id"]], [idref_attrs = ["idref"; "ref"]]. *)
+
+type result = {
+  graph : Dkindex_graph.Data_graph.t;
+  n_reference_edges : int;
+  unresolved_refs : string list;  (** referenced ids that were never defined *)
+}
+
+val convert : ?config:config -> Xml_ast.doc -> result
+
+val graph_of_doc : ?config:config -> Xml_ast.doc -> Dkindex_graph.Data_graph.t
+(** [convert] keeping only the graph. *)
+
+(** {1 Streaming}
+
+    Bulk loading without materializing the document: events from
+    {!Xml_sax} feed the graph builder directly, so peak memory is the
+    graph plus a constant lexer buffer. *)
+
+val convert_events : ?config:config -> Xml_sax.t -> result
+val convert_file : ?config:config -> string -> result
+(** Stream-parse an XML file.  Produces exactly the same graph as
+    [convert (Xml_parser.parse_file path)]. *)

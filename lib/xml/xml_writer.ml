@@ -1,0 +1,90 @@
+let escape ~quotes s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' when quotes -> Buffer.add_string buf "&quot;"
+      | '\'' when quotes -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_text = escape ~quotes:false
+let escape_attr = escape ~quotes:true
+
+let doc_to_string ?(indent = true) doc =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  let pad level = if indent then Buffer.add_string buf (String.make (2 * level) ' ') in
+  let newline () = if indent then Buffer.add_char buf '\n' in
+  let open_tag (el : Xml_ast.element) =
+    Buffer.add_char buf '<';
+    Buffer.add_string buf el.tag;
+    List.iter
+      (fun (a : Xml_ast.attr) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf a.name;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_attr a.value);
+        Buffer.add_char buf '"')
+      el.attrs
+  in
+  let has_text_child el =
+    List.exists (function Xml_ast.Text _ -> true | Xml_ast.Element _ -> false) el.Xml_ast.children
+  in
+  (* Mixed and text-only content is emitted without any added
+     whitespace: indentation inside it would change the text nodes a
+     parser reads back. *)
+  let rec emit_inline (el : Xml_ast.element) =
+    open_tag el;
+    match el.children with
+    | [] -> Buffer.add_string buf "/>"
+    | children ->
+      Buffer.add_char buf '>';
+      List.iter
+        (function
+          | Xml_ast.Text s -> Buffer.add_string buf (escape_text s)
+          | Xml_ast.Element child -> emit_inline child)
+        children;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf el.tag;
+      Buffer.add_char buf '>'
+  in
+  let rec emit level (el : Xml_ast.element) =
+    pad level;
+    if has_text_child el then begin
+      emit_inline el;
+      newline ()
+    end
+    else
+      match el.children with
+      | [] ->
+        open_tag el;
+        Buffer.add_string buf "/>";
+        newline ()
+      | children ->
+        open_tag el;
+        Buffer.add_char buf '>';
+        newline ();
+        List.iter
+          (function
+            | Xml_ast.Element child -> emit (level + 1) child
+            | Xml_ast.Text _ -> assert false)
+          children;
+        pad level;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf el.tag;
+        Buffer.add_char buf '>';
+        newline ()
+  in
+  emit 0 doc.Xml_ast.root;
+  Buffer.contents buf
+
+let write_file ?indent path doc =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (doc_to_string ?indent doc))

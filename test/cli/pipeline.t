@@ -1,0 +1,41 @@
+An end-to-end run of the command-line tool: generate a dataset, inspect
+it, build and persist an index, query through it, and audit it.
+(Timing numbers are normalized with sed; everything else is
+deterministic for the fixed seed.)
+
+  $ dkindex generate --dataset xmark --scale 20 --seed 7 -o auction.xml
+  wrote auction.xml
+
+  $ dkindex stats -i auction.xml --idref-attrs category,item,person,open_auction,from,to | head -1
+  nodes=1541 edges=1715 labels=69 max_out=20 max_in=29 max_depth=8 unreachable=0
+
+  $ dkindex build -i auction.xml --idref-attrs category,item,person,open_auction,from,to --index dk --save auction.index | sed 's/in [0-9.]* ms/in N ms/' | head -4
+  dk built in N ms
+  saved to auction.index
+  index nodes   615
+  index edges   790
+
+  $ dkindex query -i auction.xml --load-index auction.index "open_auction.itemref.item.name" | head -1
+  9 matching nodes (cost: index=16 data=0 total=16; 0 candidates validated, 6 sound index nodes)
+
+  $ dkindex query -i auction.xml --idref-attrs category,item,person,open_auction,from,to --index fb "//open_auction[./bidder]/itemref" | head -1
+  10 matching nodes (cost: index=1707 data=0 total=1707; 0 candidates validated, 10 sound index nodes)
+
+  $ dkindex verify -i auction.xml --load-index auction.index
+  OK: 615 index nodes and 50 queries verified
+
+  $ dkindex workload -i auction.xml --count 5 | head -1
+  generated 5 queries:
+
+The other generators and the Graphviz export:
+
+  $ dkindex generate --dataset treebank --scale 5 --seed 3 -o tb.xml
+  wrote tb.xml
+  $ dkindex generate --dataset nasa --scale 5 --seed 3 -o nasa.graph
+  wrote nasa.graph
+  $ dkindex stats -i nasa.graph | head -1
+  nodes=448 edges=469 labels=44 max_out=11 max_in=5 max_depth=9 unreachable=0
+  $ dkindex dot -i nasa.graph -o nasa.dot --max-nodes 10
+  wrote nasa.dot
+  $ head -1 nasa.dot
+  digraph data_graph {
