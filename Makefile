@@ -1,6 +1,6 @@
-.PHONY: all build test bench bench-quick examples clean fmt
+.PHONY: all build test bench bench-quick bench-smoke bench-trajectory examples clean fmt
 
-all: build
+all: build test bench-smoke
 
 build:
 	dune build @all
@@ -14,6 +14,16 @@ bench:
 
 bench-quick:
 	dune exec bench/main.exe -- --quick
+
+# Tiny-scale trajectory run (< 30 s): allocation assertions, no JSON.
+# Also runs as part of `dune runtest` via the alias in bench/dune.
+bench-smoke:
+	dune exec bench/trajectory.exe -- --smoke
+
+# Full trajectory pass: refreshes BENCH_PR1.json (current numbers),
+# keeping the recorded baselines for comparison.
+bench-trajectory:
+	dune exec bench/trajectory.exe -- --scale 40 --baseline BENCH_PR1.json --out BENCH_PR1.json
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1,0 +1,413 @@
+(* Benchmark trajectory harness: a stable, machine-readable perf
+   baseline for stacked PRs to regress against.
+
+   Runs the micro-benchmark suite (best-of ns per op over repeated
+   samples — timing noise on a shared machine is strictly additive, so
+   the minimum is the robust estimator) plus a construction / query /
+   update macro pass on XMark, and writes the results as JSON (default
+   BENCH_PR1.json).  An optional [--baseline prev.json] merges a
+   previous run into the output as per-benchmark {"baseline_ns",
+   "after_ns"} pairs so a PR records its own before/after evidence.
+
+   All workloads are pinned (fixed label paths, fixed requirements,
+   PRNG-seeded update edges drawn from label buckets that are stable
+   under adjacency-layout changes) so numbers are comparable across
+   internal representation changes.
+
+   [--smoke] runs a tiny scale (< 30 s) suitable for `dune runtest` /
+   `make bench-smoke`, skips the JSON file, and additionally asserts
+   the allocation discipline of the Kbisim signature pass. *)
+
+open Dkindex_graph
+open Dkindex_core
+module Cost = Dkindex_pathexpr.Cost
+
+let scale = ref 40
+let out_file = ref "BENCH_PR1.json"
+let baseline_file = ref ""
+let smoke = ref false
+let no_out = ref false
+
+let spec =
+  [
+    ("--scale", Arg.Set_int scale, "N  XMark scale for the macro pass (default 40)");
+    ("--out", Arg.Set_string out_file, "FILE  output JSON (default BENCH_PR1.json)");
+    ( "--baseline",
+      Arg.Set_string baseline_file,
+      "FILE  merge a previous run as baseline_ns/after_ns pairs" );
+    ("--smoke", Arg.Set smoke, "   tiny-scale smoke run: no JSON, allocation assertions");
+    ("--no-out", Arg.Set no_out, "   measure and print, but write no file");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Timing: minimum ns/op over [reps] samples.  Each sample times a
+   batch sized so that one sample lasts >= 2 ms, which keeps clock
+   granularity noise < 1%; taking the minimum discards samples
+   inflated by ambient load. *)
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let best_ns ?(reps = 9) f =
+  (* Calibrate the batch size on a first untimed-ish run. *)
+  let t0 = now_ns () in
+  f ();
+  let once = now_ns () -. t0 in
+  let batch = max 1 (int_of_float (2e6 /. max 1.0 once)) in
+  let samples =
+    Array.init reps (fun _ ->
+        let t0 = now_ns () in
+        for _ = 1 to batch do
+          f ()
+        done;
+        (now_ns () -. t0) /. float_of_int batch)
+  in
+  Array.sort compare samples;
+  samples.(0)
+
+(* Like [best_ns] but re-allocates fresh resources per sample and
+   times [runs] applications of [f] on each (for mutating operations).
+   One application can be under a microsecond — the clock's resolution
+   — so each sample times a batch of [batch] fresh resources
+   back-to-back, keeping the timed region in the tens of microseconds
+   at least. *)
+let best_ns_with_resource ?(reps = 21) ?(batch = 32) ~allocate ~runs f =
+  let samples =
+    Array.init reps (fun _ ->
+        let rs = Array.init batch (fun _ -> allocate ()) in
+        let t0 = now_ns () in
+        Array.iter f rs;
+        (now_ns () -. t0) /. float_of_int (runs * batch))
+  in
+  Array.sort compare samples;
+  samples.(0)
+
+(* [Gc.quick_stat] only refreshes [minor_words] at collection
+   boundaries; the [Gc.minor_words] primitive reads the allocation
+   pointer exactly. *)
+let allocated_words () =
+  let s = Gc.quick_stat () in
+  Gc.minor_words () +. s.Gc.major_words -. s.Gc.promoted_words
+
+(* ------------------------------------------------------------------ *)
+(* Pinned workload *)
+
+(* Label paths that exist in the XMark generator at every scale.  Kept
+   as strings: eval_path_strings interns against the pool, so these are
+   stable under any adjacency-layout change. *)
+let query_paths =
+  [
+    [ "site"; "open_auctions"; "open_auction"; "bidder"; "personref" ];
+    [ "site"; "people"; "person"; "profile"; "interest" ];
+    [ "open_auction"; "bidder"; "increase" ];
+    [ "site"; "closed_auctions"; "closed_auction"; "annotation"; "author" ];
+    [ "person"; "watches"; "watch" ];
+  ]
+
+(* Fixed requirements: what a mined workload over paths like the above
+   typically asks for, pinned so D(k) construction work is identical
+   across runs. *)
+let fixed_reqs =
+  [
+    ("personref", 4);
+    ("bidder", 3);
+    ("interest", 4);
+    ("author", 4);
+    ("watch", 2);
+    ("itemref", 2);
+    ("increase", 2);
+    ("city", 3);
+  ]
+
+let intern_path pool path =
+  match List.map (Label.Pool.find_opt pool) path with
+  | codes when List.for_all Option.is_some codes ->
+    Array.of_list (List.map Option.get codes)
+  | _ -> invalid_arg ("trajectory: unknown label in query " ^ String.concat "." path)
+
+(* The Section 6.2 random ID/IDREF edge additions, reproduced here so
+   the harness does not depend on bench/experiments.ml internals.
+   nodes_with_label returns increasing ids, so the drawn edges are
+   stable across adjacency-layout changes. *)
+let update_edges g ~count ~seed =
+  let rng = Dkindex_datagen.Prng.create ~seed in
+  let pool = Data_graph.pool g in
+  let groups =
+    List.filter_map
+      (fun (src, dst) ->
+        match (Label.Pool.find_opt pool src, Label.Pool.find_opt pool dst) with
+        | Some ls, Some ld -> (
+          match (Data_graph.nodes_with_label g ls, Data_graph.nodes_with_label g ld) with
+          | [], _ | _, [] -> None
+          | srcs, dsts -> Some (Array.of_list srcs, Array.of_list dsts))
+        | _, _ -> None)
+      Dkindex_datagen.Xmark.ref_pairs
+  in
+  let groups = Array.of_list groups in
+  List.init count (fun _ ->
+      let srcs, dsts = Dkindex_datagen.Prng.choose rng groups in
+      (Dkindex_datagen.Prng.choose rng srcs, Dkindex_datagen.Prng.choose rng dsts))
+
+(* ------------------------------------------------------------------ *)
+(* JSON (minimal writer/reader for the flat shapes we emit) *)
+
+type entry = { name : string; after_ns : float; baseline_ns : float option }
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Reads {"benchmarks": {"name": {... "after_ns": N ...}, ...}} written
+   by a previous run; tolerant of field order. *)
+let read_baseline path =
+  let text =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let table = Hashtbl.create 32 in
+  (* Scan for  "name": { ... "after_ns": <float> ... }  pairs. *)
+  let len = String.length text in
+  let rec skip_ws i = if i < len && (text.[i] = ' ' || text.[i] = '\n' || text.[i] = '\t') then skip_ws (i + 1) else i in
+  let rec scan i depth current =
+    if i >= len then ()
+    else
+      match text.[i] with
+      | '"' -> (
+        let j = ref (i + 1) in
+        let buf = Buffer.create 16 in
+        while !j < len && text.[!j] <> '"' do
+          if text.[!j] = '\\' && !j + 1 < len then begin
+            Buffer.add_char buf text.[!j + 1];
+            j := !j + 2
+          end
+          else begin
+            Buffer.add_char buf text.[!j];
+            incr j
+          end
+        done;
+        let key = Buffer.contents buf in
+        let k = skip_ws (!j + 1) in
+        if k < len && text.[k] = ':' then begin
+          let v = skip_ws (k + 1) in
+          if v < len && text.[v] = '{' then scan (v + 1) (depth + 1) (Some key)
+          else begin
+            (* numeric or other scalar *)
+            (if String.equal key "after_ns" || String.equal key "median_ns" then
+               match current with
+               | Some bench ->
+                 let e = ref v in
+                 while
+                   !e < len
+                   && (match text.[!e] with '0' .. '9' | '.' | '-' | 'e' | '+' -> true | _ -> false)
+                 do
+                   incr e
+                 done;
+                 (try Hashtbl.replace table bench (float_of_string (String.sub text v (!e - v)))
+                  with _ -> ())
+               | None -> ());
+            scan (k + 1) depth current
+          end
+        end
+        else scan (!j + 1) depth current)
+      | '}' -> scan (i + 1) (depth - 1) (if depth - 1 <= 2 then None else current)
+      | _ -> scan (i + 1) depth current
+  in
+  scan 0 0 None;
+  table
+
+let write_json path ~entries ~macro =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"schema\": \"dkindex-bench-trajectory/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"scale\": %d,\n" !scale);
+  Buffer.add_string buf "  \"benchmarks\": {\n";
+  let n = List.length entries in
+  List.iteri
+    (fun i e ->
+      Buffer.add_string buf (Printf.sprintf "    \"%s\": {" (json_escape e.name));
+      (match e.baseline_ns with
+      | Some b ->
+        Buffer.add_string buf
+          (Printf.sprintf "\"baseline_ns\": %.1f, \"after_ns\": %.1f, \"speedup\": %.3f" b
+             e.after_ns
+             (if e.after_ns > 0.0 then b /. e.after_ns else 0.0))
+      | None -> Buffer.add_string buf (Printf.sprintf "\"after_ns\": %.1f" e.after_ns));
+      Buffer.add_string buf (if i = n - 1 then "}\n" else "},\n"))
+    entries;
+  Buffer.add_string buf "  },\n  \"macro\": {\n";
+  let nm = List.length macro in
+  List.iteri
+    (fun i (k, v) ->
+      Buffer.add_string buf (Printf.sprintf "    \"%s\": %s" (json_escape k) v);
+      Buffer.add_string buf (if i = nm - 1 then "\n" else ",\n"))
+    macro;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
+(* Allocation-discipline assertion (smoke mode): one Kbisim refinement
+   round must not allocate per-parent list cells.  On a graph with m >>
+   n the list-based refinement allocated >= 3m words; the signature
+   pass writes into preallocated scratch, so the whole round stays well
+   under m words once the O(n) result arrays are discounted. *)
+let assert_refine_allocation () =
+  let nodes = 2_000 and fan = 64 in
+  let b = Builder.create () in
+  let spine = Array.make nodes 0 in
+  let node = ref (Builder.root b) in
+  for i = 0 to nodes - 1 do
+    node := Builder.add_child b ~parent:!node (if i mod 3 = 0 then "a" else "b");
+    spine.(i) <- !node
+  done;
+  (* Dense extra edges: m ~ nodes * fan/2 without new nodes. *)
+  let rng = Dkindex_datagen.Prng.create ~seed:7 in
+  for _ = 1 to (nodes * fan / 2) do
+    let u = spine.(Dkindex_datagen.Prng.int rng nodes)
+    and v = spine.(Dkindex_datagen.Prng.int rng nodes) in
+    Builder.add_edge b u v
+  done;
+  let g = Builder.build b in
+  let m = Data_graph.n_edges g in
+  let n = Data_graph.n_nodes g in
+  let p = Kbisim.label_partition g in
+  (* Warm up (tables, one refinement's worth of survivors). *)
+  ignore (Kbisim.refine g p ~eligible:(fun _ -> true));
+  let before = allocated_words () in
+  let p1, _ = Kbisim.refine g p ~eligible:(fun _ -> true) in
+  let words = allocated_words () -. before in
+  let budget = float_of_int ((24 * n) + (16 * p1.Kbisim.n_classes) + 65_536) in
+  Printf.printf "  refine allocation: %.0f words (m=%d, n=%d, budget=%.0f)\n%!" words m n
+    budget;
+  if words > float_of_int m || words > budget then
+    failwith
+      (Printf.sprintf
+         "Kbisim.refine allocated %.0f words on a graph with m=%d edges — per-node/per-edge \
+          allocation crept back into the signature pass"
+         words m)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "bench/trajectory.exe";
+  if !smoke then begin
+    scale := 6;
+    no_out := true
+  end;
+  Printf.printf "trajectory: XMark scale %d%s\n%!" !scale (if !smoke then " (smoke)" else "");
+  let g = Dkindex_datagen.Xmark.graph ~scale:!scale () in
+  let pool = Data_graph.pool g in
+  let queries = List.map (intern_path pool) query_paths in
+  let q0 = List.hd queries in
+  let reqs = fixed_reqs in
+  let t_build0 = now_ns () in
+  let words0 = allocated_words () in
+  let dk = Dk_index.build g ~reqs in
+  let build_words = allocated_words () -. words0 in
+  let build_ms = (now_ns () -. t_build0) /. 1e6 in
+  let a2 = A_k_index.build g ~k:2 in
+  let n_updates = if !smoke then 10 else 50 in
+  let edges = update_edges g ~count:n_updates ~seed:3 in
+  let u1, v1 = List.hd edges in
+  let iu = Index_graph.cls dk u1 and iv = Index_graph.cls dk v1 in
+  let entries = ref [] in
+  let bench name f =
+    let ns = best_ns f in
+    Printf.printf "  %-44s %12.0f ns/op\n%!" name ns;
+    entries := { name; after_ns = ns; baseline_ns = None } :: !entries
+  in
+  let bench_resource name ~allocate ~runs f =
+    let ns = best_ns_with_resource ~allocate ~runs f in
+    Printf.printf "  %-44s %12.0f ns/op\n%!" name ns;
+    entries := { name; after_ns = ns; baseline_ns = None } :: !entries
+  in
+  (* Figures 4/5: construction and query evaluation. *)
+  bench "fig4/5:build-A(2)" (fun () -> ignore (A_k_index.build g ~k:2));
+  bench "fig4/5:build-D(k)" (fun () -> ignore (Dk_index.build g ~reqs));
+  bench "fig4/5:query-D(k)" (fun () -> ignore (Query_eval.eval_path dk q0));
+  bench "fig4/5:query-A(2)" (fun () -> ignore (Query_eval.eval_path a2 q0));
+  bench "fig4/5:query-data-naive" (fun () ->
+      ignore (Dkindex_pathexpr.Matcher.eval_label_path g q0 ~cost:(Cost.create ())));
+  (* Path-expression engine over the index. *)
+  (let expr = Dkindex_pathexpr.Path_parser.parse "open_auction.(bidder|seller).personref?" in
+   bench "fig4/5:query-expr-D(k)" (fun () -> ignore (Query_eval.eval_expr dk expr)));
+  (* Substrate: bisimulation refinement. *)
+  bench "substrate:label-split" (fun () -> ignore (Label_split.build g));
+  bench "substrate:1-index" (fun () -> ignore (One_index.build g));
+  bench "substrate:1-index-paige-tarjan" (fun () -> ignore (Paige_tarjan.build_one_index g));
+  (let deep =
+     let b = Builder.create () in
+     let node = ref (Builder.root b) in
+     for _ = 1 to 2000 do
+       node := Builder.add_child b ~parent:!node "a"
+     done;
+     Builder.build b
+   in
+   bench "substrate:deep-chain-hash-refinement" (fun () -> ignore (One_index.build deep)));
+  (* Table 1: updates. *)
+  bench "table1:update-local-similarity" (fun () ->
+      ignore (Dk_update.update_local_similarity dk ~u:iu ~v:iv));
+  bench_resource "table1:D(k)-add-edge"
+    ~allocate:(fun () -> Dk_index.build (Data_graph.copy g) ~reqs)
+    ~runs:n_updates
+    (fun idx -> List.iter (fun (u, v) -> Dk_update.add_edge idx u v) edges);
+  bench_resource "table1:A(2)-add-edge"
+    ~allocate:(fun () -> A_k_index.build (Data_graph.copy g) ~k:2)
+    ~runs:n_updates
+    (fun idx -> List.iter (fun (u, v) -> Ak_update.add_edge idx ~k:2 u v) edges);
+  bench_resource "table1:data-add-edge"
+    ~allocate:(fun () -> Data_graph.copy g)
+    ~runs:n_updates
+    (fun h -> List.iter (fun (u, v) -> Data_graph.add_edge h u v) edges);
+  bench "extB:demote-rebuild" (fun () -> ignore (Dk_index.rebuild dk ~reqs));
+  let entries = List.rev !entries in
+  (* Macro pass facts. *)
+  let query_cost =
+    List.fold_left
+      (fun acc q -> acc + Cost.total (Query_eval.eval_path dk q).Query_eval.cost)
+      0 queries
+  in
+  let gstats = Data_graph.stats g in
+  let macro =
+    [
+      ("data_nodes", string_of_int gstats.Data_graph.nodes);
+      ("data_edges", string_of_int gstats.Data_graph.edges);
+      ("dk_index_nodes", string_of_int (Index_graph.n_nodes dk));
+      ("dk_index_edges", string_of_int (Index_graph.n_edges dk));
+      ("a2_index_nodes", string_of_int (Index_graph.n_nodes a2));
+      ("dk_build_ms", Printf.sprintf "%.1f" build_ms);
+      ("dk_build_allocated_words", Printf.sprintf "%.0f" build_words);
+      ("workload_query_cost_visits", string_of_int query_cost);
+      ("n_update_edges", string_of_int n_updates);
+    ]
+  in
+  Printf.printf "  macro: %s\n%!"
+    (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) macro));
+  if !smoke then begin
+    assert_refine_allocation ();
+    (* Exercise the update path end to end so harness bitrot (not just
+       compile rot) fails the smoke run. *)
+    let idx = Dk_index.build (Data_graph.copy g) ~reqs in
+    List.iter (fun (u, v) -> Dk_update.add_edge idx u v) edges;
+    Index_graph.check_invariants idx;
+    Printf.printf "trajectory smoke: OK\n%!"
+  end;
+  if not !no_out then begin
+    let entries =
+      if String.equal !baseline_file "" then entries
+      else begin
+        let table = read_baseline !baseline_file in
+        List.map
+          (fun e -> { e with baseline_ns = Hashtbl.find_opt table e.name })
+          entries
+      end
+    in
+    write_json !out_file ~entries ~macro;
+    Printf.printf "wrote %s\n%!" !out_file
+  end

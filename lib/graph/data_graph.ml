@@ -1,10 +1,33 @@
+(* Adjacency lives in a CSR (compressed sparse row) layout: one flat
+   offsets array and one flat neighbor array per direction, with each
+   node's neighbor run sorted increasing.  Mutation goes through a
+   small overflow layer — per-node extra-edge lists for additions and a
+   tombstone set for deletions — that is folded back into fresh CSR
+   arrays once it grows past a fraction of the edge count, so updates
+   stay amortized O(1) and the hot iteration paths stay allocation-free
+   flat-array loops almost all the time. *)
+
+type adj = {
+  mutable off : int array;  (* n + 1 offsets into arr *)
+  mutable arr : int array;  (* neighbor runs, each sorted increasing *)
+}
+
 type t = {
   pool : Label.Pool.t;
   labels : Label.t array;
-  children : int list array;
-  parents : int list array;
+  children : adj;
+  parents : adj;
   values : (int, string) Hashtbl.t;  (* node -> atomic payload *)
   mutable n_edges : int;
+  (* Overflow layer: recent additions as per-node lists (unsorted,
+     newest first), recent deletions as (u, v) tombstones against the
+     CSR. *)
+  extra_children : int list array;
+  extra_parents : int list array;
+  deleted : (int * int, unit) Hashtbl.t;
+  mutable n_extra : int;
+  mutable n_deleted : int;
+  mutable rebuild_at : int;  (* overflow size that triggers a rebuild *)
   mutable by_label : int list array option;
       (* label code -> node ids, built lazily; labels never change *)
 }
@@ -16,20 +39,157 @@ let root _ = 0
 let label g u = g.labels.(u)
 let label_name g u = Label.Pool.name g.pool g.labels.(u)
 let value g u = Hashtbl.find_opt g.values u
-let children g u = g.children.(u)
-let parents g u = g.parents.(u)
-let out_degree g u = List.length g.children.(u)
-let in_degree g u = List.length g.parents.(u)
-let iter_children g u f = List.iter f g.children.(u)
-let iter_parents g u f = List.iter f g.parents.(u)
+
+(* ------------------------------------------------------------------ *)
+(* CSR construction *)
+
+(* Build a children CSR for [n] nodes from an edge producer ([iter]
+   must yield the same multiset on every call): counting-sort by
+   source, sort each run, then compact duplicates in place.  Returns
+   the deduplicated layout and edge count. *)
+let csr_of_edges n iter =
+  let deg = Array.make (n + 1) 0 in
+  iter (fun u _ -> deg.(u + 1) <- deg.(u + 1) + 1);
+  for i = 1 to n do
+    deg.(i) <- deg.(i) + deg.(i - 1)
+  done;
+  let fill = Array.copy deg in
+  let arr = Array.make deg.(n) 0 in
+  iter (fun u v ->
+      arr.(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1);
+  (* Sort and dedup each run, compacting the whole array. *)
+  let off = Array.make (n + 1) 0 in
+  let w = ref 0 in
+  for u = 0 to n - 1 do
+    off.(u) <- !w;
+    let lo = deg.(u) and hi = deg.(u + 1) in
+    Int_arr.sort_range arr ~lo ~hi;
+    let len = Int_arr.dedup_range arr ~lo ~hi in
+    Array.blit arr lo arr !w len;
+    w := !w + len
+  done;
+  off.(n) <- !w;
+  ({ off; arr = (if !w = Array.length arr then arr else Array.sub arr 0 !w) }, !w)
+
+(* The reverse CSR of a deduplicated children CSR.  Scanning sources in
+   increasing order appends each parent in increasing order, so runs
+   come out sorted without a sorting pass. *)
+let reverse_csr n children =
+  let deg = Array.make (n + 1) 0 in
+  for i = 0 to children.off.(n) - 1 do
+    let v = children.arr.(i) in
+    deg.(v + 1) <- deg.(v + 1) + 1
+  done;
+  for i = 1 to n do
+    deg.(i) <- deg.(i) + deg.(i - 1)
+  done;
+  let fill = Array.copy deg in
+  let arr = Array.make deg.(n) 0 in
+  for u = 0 to n - 1 do
+    for i = children.off.(u) to children.off.(u + 1) - 1 do
+      let v = children.arr.(i) in
+      arr.(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1
+    done
+  done;
+  { off = deg; arr }
+
+(* ------------------------------------------------------------------ *)
+(* Iteration: CSR run (skipping tombstones when any exist) + overflow *)
+
+let iter_children g u f =
+  let off = g.children.off and arr = g.children.arr in
+  if g.n_deleted = 0 then
+    for i = off.(u) to off.(u + 1) - 1 do
+      f arr.(i)
+    done
+  else
+    for i = off.(u) to off.(u + 1) - 1 do
+      if not (Hashtbl.mem g.deleted (u, arr.(i))) then f arr.(i)
+    done;
+  if g.n_extra > 0 then List.iter f g.extra_children.(u)
+
+let iter_parents g u f =
+  let off = g.parents.off and arr = g.parents.arr in
+  if g.n_deleted = 0 then
+    for i = off.(u) to off.(u + 1) - 1 do
+      f arr.(i)
+    done
+  else
+    for i = off.(u) to off.(u + 1) - 1 do
+      if not (Hashtbl.mem g.deleted (arr.(i), u)) then f arr.(i)
+    done;
+  if g.n_extra > 0 then List.iter f g.extra_parents.(u)
+
+let exists_children g u pred =
+  let off = g.children.off and arr = g.children.arr in
+  let i = ref off.(u) and hi = off.(u + 1) in
+  let found = ref false in
+  if g.n_deleted = 0 then
+    while (not !found) && !i < hi do
+      if pred arr.(!i) then found := true;
+      incr i
+    done
+  else
+    while (not !found) && !i < hi do
+      if (not (Hashtbl.mem g.deleted (u, arr.(!i)))) && pred arr.(!i) then found := true;
+      incr i
+    done;
+  !found || (g.n_extra > 0 && List.exists pred g.extra_children.(u))
+
+let exists_parents g u pred =
+  let off = g.parents.off and arr = g.parents.arr in
+  let i = ref off.(u) and hi = off.(u + 1) in
+  let found = ref false in
+  if g.n_deleted = 0 then
+    while (not !found) && !i < hi do
+      if pred arr.(!i) then found := true;
+      incr i
+    done
+  else
+    while (not !found) && !i < hi do
+      if (not (Hashtbl.mem g.deleted (arr.(!i), u))) && pred arr.(!i) then found := true;
+      incr i
+    done;
+  !found || (g.n_extra > 0 && List.exists pred g.extra_parents.(u))
+
+let collect_sorted g adj ~extra ~del u =
+  (* Materialize one node's neighbor list, sorted increasing. *)
+  let off = adj.off and arr = adj.arr in
+  let lo = off.(u) and hi = off.(u + 1) in
+  let base = ref [] in
+  for i = hi - 1 downto lo do
+    if g.n_deleted = 0 || not (Hashtbl.mem g.deleted (del u arr.(i))) then
+      base := arr.(i) :: !base
+  done;
+  match (if g.n_extra = 0 then [] else extra.(u)) with
+  | [] -> !base
+  | extras -> List.merge Int.compare !base (List.sort Int.compare extras)
+
+let children g u = collect_sorted g g.children ~extra:g.extra_children ~del:(fun u v -> (u, v)) u
+let parents g u = collect_sorted g g.parents ~extra:g.extra_parents ~del:(fun u v -> (v, u)) u
+
+let degree_of g adj ~extra ~del u =
+  let lo = adj.off.(u) and hi = adj.off.(u + 1) in
+  let d = ref 0 in
+  if g.n_deleted = 0 then d := hi - lo
+  else
+    for i = lo to hi - 1 do
+      if not (Hashtbl.mem g.deleted (del u adj.arr.(i))) then incr d
+    done;
+  if g.n_extra > 0 then d := !d + List.length extra.(u);
+  !d
+
+let out_degree g u = degree_of g g.children ~extra:g.extra_children ~del:(fun u v -> (u, v)) u
+let in_degree g u = degree_of g g.parents ~extra:g.extra_parents ~del:(fun u v -> (v, u)) u
 
 let iter_nodes g f =
   for u = 0 to n_nodes g - 1 do
     f u
   done
 
-let iter_edges g f =
-  iter_nodes g (fun u -> List.iter (fun v -> f u v) g.children.(u))
+let iter_edges g f = iter_nodes g (fun u -> iter_children g u (fun v -> f u v))
 
 let fold_nodes g ~init ~f =
   let acc = ref init in
@@ -53,28 +213,34 @@ let nodes_with_label g l =
   let code = Label.to_int l in
   if code < 0 || code >= Array.length table then [] else table.(code)
 
-let has_edge g u v = List.mem v g.children.(u)
+let has_edge g u v =
+  (not (g.n_deleted > 0 && Hashtbl.mem g.deleted (u, v)))
+  && (Int_arr.mem_range g.children.arr ~lo:g.children.off.(u) ~hi:g.children.off.(u + 1) v
+     || (g.n_extra > 0 && List.memq v g.extra_children.(u)))
 
-let check_range n (u, v) =
+(* A tombstoned CSR edge still occupies its slot, so membership of the
+   base layout alone (ignoring tombstones) also matters for updates. *)
+let in_csr g u v =
+  Int_arr.mem_range g.children.arr ~lo:g.children.off.(u) ~hi:g.children.off.(u + 1) v
+
+let check_range n u v =
   if u < 0 || u >= n || v < 0 || v >= n then
     invalid_arg (Printf.sprintf "Data_graph: edge (%d, %d) out of range" u v)
+
+(* Recomputed only at (re)build time so the mutation fast path does no
+   division; using the edge count as of the last rebuild leaves the
+   amortization argument intact. *)
+let rebuild_threshold m = max 32 (m / 8)
+
+(* ------------------------------------------------------------------ *)
+(* Construction and mutation *)
 
 let make ?(values = []) ~pool ~labels ~edges () =
   let n = Array.length labels in
   if n = 0 then invalid_arg "Data_graph.make: no nodes";
-  let children = Array.make n [] and parents = Array.make n [] in
-  let seen = Hashtbl.create (List.length edges) in
-  let n_edges = ref 0 in
-  let add (u, v) =
-    check_range n (u, v);
-    if not (Hashtbl.mem seen (u, v)) then begin
-      Hashtbl.add seen (u, v) ();
-      children.(u) <- v :: children.(u);
-      parents.(v) <- u :: parents.(v);
-      incr n_edges
-    end
-  in
-  List.iter add edges;
+  List.iter (fun (u, v) -> check_range n u v) edges;
+  let children, m = csr_of_edges n (fun f -> List.iter (fun (u, v) -> f u v) edges) in
+  let parents = reverse_csr n children in
   let value_table = Hashtbl.create (max 16 (List.length values)) in
   List.iter
     (fun (u, payload) ->
@@ -87,16 +253,84 @@ let make ?(values = []) ~pool ~labels ~edges () =
     children;
     parents;
     values = value_table;
-    n_edges = !n_edges;
+    n_edges = m;
+    extra_children = Array.make n [];
+    extra_parents = Array.make n [];
+    deleted = Hashtbl.create 8;
+    n_extra = 0;
+    n_deleted = 0;
+    rebuild_at = rebuild_threshold m;
     by_label = None;
   }
 
+(* Fold the overflow layer back into flat arrays.  Amortized: runs
+   after O(n_edges) overflow operations and costs O(n + m). *)
+let rebuild_csr g =
+  let n = n_nodes g in
+  let children, m = csr_of_edges n (fun f -> iter_edges g (fun u v -> f u v)) in
+  g.children.off <- children.off;
+  g.children.arr <- children.arr;
+  let parents = reverse_csr n { off = children.off; arr = children.arr } in
+  g.parents.off <- parents.off;
+  g.parents.arr <- parents.arr;
+  Array.fill g.extra_children 0 n [];
+  Array.fill g.extra_parents 0 n [];
+  Hashtbl.reset g.deleted;
+  g.n_extra <- 0;
+  g.n_deleted <- 0;
+  g.n_edges <- m;
+  g.rebuild_at <- rebuild_threshold m
+
+let maybe_rebuild g =
+  if g.n_extra + g.n_deleted > g.rebuild_at then rebuild_csr g
+
+let flatten g = if g.n_extra + g.n_deleted > 0 then rebuild_csr g
+
+let csr_children g =
+  flatten g;
+  (g.children.off, g.children.arr)
+
+let csr_parents g =
+  flatten g;
+  (g.parents.off, g.parents.arr)
+
 let add_edge g u v =
-  check_range (n_nodes g) (u, v);
-  if not (has_edge g u v) then begin
-    g.children.(u) <- v :: g.children.(u);
-    g.parents.(v) <- u :: g.parents.(v);
+  check_range (n_nodes g) u v;
+  (* [u] and [v] are validated above, so array reads are unchecked on
+     this hot path (loaders add edges in bulk). *)
+  if g.n_deleted > 0 && Hashtbl.mem g.deleted (u, v) then begin
+    (* The slot still exists in the CSR: just lift the tombstone. *)
+    Hashtbl.remove g.deleted (u, v);
+    g.n_deleted <- g.n_deleted - 1;
     g.n_edges <- g.n_edges + 1
+  end
+  else begin
+    let lo = Array.unsafe_get g.children.off u in
+    let hi = Array.unsafe_get g.children.off (u + 1) in
+    let in_csr =
+      (* Hand-inlined short scan: ocamlopt does not inline functions
+         containing loops across modules, and this is the hottest loop
+         in bulk loading. *)
+      if hi - lo <= 16 then begin
+        let arr = g.children.arr in
+        let i = ref lo in
+        while !i < hi && Array.unsafe_get arr !i < v do
+          incr i
+        done;
+        !i < hi && Array.unsafe_get arr !i = v
+      end
+      else Int_arr.mem_range g.children.arr ~lo ~hi v
+    in
+    if
+      not
+        (in_csr || (g.n_extra > 0 && List.memq v (Array.unsafe_get g.extra_children u)))
+    then begin
+      Array.unsafe_set g.extra_children u (v :: Array.unsafe_get g.extra_children u);
+      Array.unsafe_set g.extra_parents v (u :: Array.unsafe_get g.extra_parents v);
+      g.n_extra <- g.n_extra + 1;
+      g.n_edges <- g.n_edges + 1;
+      if g.n_extra + g.n_deleted > g.rebuild_at then rebuild_csr g
+    end
   end
 
 let remove_once x l =
@@ -107,24 +341,39 @@ let remove_once x l =
   go [] l
 
 let remove_edge g u v =
-  check_range (n_nodes g) (u, v);
-  match remove_once v g.children.(u) with
-  | None -> invalid_arg (Printf.sprintf "Data_graph.remove_edge: no edge (%d, %d)" u v)
-  | Some children ->
-    g.children.(u) <- children;
-    (match remove_once u g.parents.(v) with
-    | Some parents -> g.parents.(v) <- parents
+  check_range (n_nodes g) u v;
+  if not (has_edge g u v) then
+    invalid_arg (Printf.sprintf "Data_graph.remove_edge: no edge (%d, %d)" u v);
+  if in_csr g u v then begin
+    Hashtbl.replace g.deleted (u, v) ();
+    g.n_deleted <- g.n_deleted + 1
+  end
+  else begin
+    (match remove_once v g.extra_children.(u) with
+    | Some rest -> g.extra_children.(u) <- rest
     | None -> assert false);
-    g.n_edges <- g.n_edges - 1
+    (match remove_once u g.extra_parents.(v) with
+    | Some rest -> g.extra_parents.(v) <- rest
+    | None -> assert false);
+    g.n_extra <- g.n_extra - 1
+  end;
+  g.n_edges <- g.n_edges - 1;
+  maybe_rebuild g
 
 let copy g =
   {
     pool = Label.Pool.copy g.pool;
     labels = Array.copy g.labels;
-    children = Array.copy g.children;
-    parents = Array.copy g.parents;
+    children = { off = Array.copy g.children.off; arr = Array.copy g.children.arr };
+    parents = { off = Array.copy g.parents.off; arr = Array.copy g.parents.arr };
     values = Hashtbl.copy g.values;
     n_edges = g.n_edges;
+    extra_children = Array.copy g.extra_children;
+    extra_parents = Array.copy g.extra_parents;
+    deleted = Hashtbl.copy g.deleted;
+    n_extra = g.n_extra;
+    n_deleted = g.n_deleted;
+    rebuild_at = g.rebuild_at;
     by_label = None;
   }
 

@@ -7,10 +7,18 @@
     single root node carries the distinguished label [ROOT].
 
     Node identifiers are dense integers [0 .. n_nodes - 1]; the root is
-    always node [0].  Adjacency is mutable only through {!add_edge},
-    which supports the paper's edge-addition updates (Section 5.2);
-    node sets are fixed at construction (subgraph addition builds a new
-    graph, see {!graft}). *)
+    always node [0].  Adjacency is mutable only through {!add_edge} and
+    {!remove_edge}, which support the paper's edge updates
+    (Section 5.2); node sets are fixed at construction (subgraph
+    addition builds a new graph, see {!graft}).
+
+    Internally adjacency is stored in CSR (compressed sparse row)
+    layout: a flat offsets array plus a flat neighbor array per
+    direction, each node's neighbor run sorted increasing.  Updates go
+    through a small overflow buffer that is folded back into fresh flat
+    arrays once it exceeds a fraction of the edge count, so
+    {!iter_children}/{!iter_parents} are allocation-free flat-array
+    loops and {!has_edge} is a binary search in the common case. *)
 
 type t
 
@@ -23,7 +31,13 @@ val root : t -> int
 val label : t -> int -> Label.t
 val label_name : t -> int -> string
 val children : t -> int -> int list
+(** Materialized child list, sorted increasing.  Allocates; prefer
+    {!iter_children} on hot paths. *)
+
 val parents : t -> int -> int list
+(** Materialized parent list, sorted increasing.  Allocates; prefer
+    {!iter_parents} on hot paths. *)
+
 val out_degree : t -> int -> int
 val in_degree : t -> int -> int
 
@@ -35,7 +49,32 @@ val value : t -> int -> string option
 
 val iter_children : t -> int -> (int -> unit) -> unit
 val iter_parents : t -> int -> (int -> unit) -> unit
+
+val exists_children : t -> int -> (int -> bool) -> bool
+(** [exists_children g u pred] is [List.exists pred (children g u)]
+    without materializing the list; stops at the first hit. *)
+
+val exists_parents : t -> int -> (int -> bool) -> bool
+(** [exists_parents g u pred] is [List.exists pred (parents g u)]
+    without materializing the list; stops at the first hit. *)
+
 val iter_nodes : t -> (int -> unit) -> unit
+
+val flatten : t -> unit
+(** Fold any pending overflow updates back into the flat CSR arrays.
+    Semantically a no-op; called implicitly by {!csr_children} and
+    {!csr_parents}. *)
+
+val csr_children : t -> int array * int array
+(** [(off, arr)]: node [u]'s children are [arr.(off.(u)) ..
+    arr.(off.(u + 1) - 1)], sorted increasing.  Flattens pending
+    updates first.  The arrays are the graph's own storage — valid
+    until the next mutation, never to be written.  For allocation-free
+    hot loops that cannot afford a closure per node. *)
+
+val csr_parents : t -> int array * int array
+(** The parent-direction counterpart of {!csr_children}. *)
+
 val iter_edges : t -> (int -> int -> unit) -> unit
 val fold_nodes : t -> init:'a -> f:('a -> int -> 'a) -> 'a
 

@@ -1,0 +1,132 @@
+let insertion_sort (a : int array) lo hi =
+  for i = lo + 1 to hi - 1 do
+    let x = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= lo && a.(!j) > x do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- x
+  done
+
+let swap (a : int array) i j =
+  let t = a.(i) in
+  a.(i) <- a.(j);
+  a.(j) <- t
+
+(* Median-of-three quicksort with insertion sort below a cutoff; the
+   smaller partition recurses so stack depth stays O(log n). *)
+let rec qsort (a : int array) lo hi =
+  if hi - lo <= 16 then insertion_sort a lo hi
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    (* order a.(lo), a.(mid), a.(hi-1); pivot = median at mid *)
+    if a.(mid) < a.(lo) then swap a mid lo;
+    if a.(hi - 1) < a.(lo) then swap a (hi - 1) lo;
+    if a.(hi - 1) < a.(mid) then swap a (hi - 1) mid;
+    let pivot = a.(mid) in
+    let i = ref lo and j = ref (hi - 1) in
+    while !i <= !j do
+      while a.(!i) < pivot do
+        incr i
+      done;
+      while a.(!j) > pivot do
+        decr j
+      done;
+      if !i <= !j then begin
+        swap a !i !j;
+        incr i;
+        decr j
+      end
+    done;
+    if !j - lo < hi - !i then begin
+      qsort a lo (!j + 1);
+      qsort a !i hi
+    end
+    else begin
+      qsort a !i hi;
+      qsort a lo (!j + 1)
+    end
+  end
+
+let sort_range a ~lo ~hi = if hi - lo > 1 then qsort a lo hi
+
+let dedup_range (a : int array) ~lo ~hi =
+  if hi <= lo then 0
+  else begin
+    let w = ref (lo + 1) in
+    for r = lo + 1 to hi - 1 do
+      if a.(r) <> a.(!w - 1) then begin
+        a.(!w) <- a.(r);
+        incr w
+      end
+    done;
+    !w - lo
+  end
+
+let mem_range (a : int array) ~lo ~hi x =
+  if hi - lo <= 16 then begin
+    (* Typical degrees are tiny: a linear scan beats the branchier
+       binary search on short runs.  [lo, hi) comes from a CSR offsets
+       array, so the unchecked reads are in bounds. *)
+    let i = ref lo in
+    while !i < hi && Array.unsafe_get a !i < x do
+      incr i
+    done;
+    !i < hi && Array.unsafe_get a !i = x
+  end
+  else begin
+    let lo = ref lo and hi = ref hi in
+    let found = ref false in
+    while (not !found) && !lo < !hi do
+      let mid = !lo + ((!hi - !lo) / 2) in
+      let v = a.(mid) in
+      if v = x then found := true else if v < x then lo := mid + 1 else hi := mid
+    done;
+    !found
+  end
+
+let of_list l =
+  let a = Array.of_list l in
+  sort_range a ~lo:0 ~hi:(Array.length a);
+  a
+
+let merge (a : int array) (b : int array) =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 then b
+  else if lb = 0 then a
+  else begin
+    let out = Array.make (la + lb) 0 in
+    let i = ref 0 and j = ref 0 and w = ref 0 in
+    while !i < la && !j < lb do
+      if a.(!i) <= b.(!j) then begin
+        out.(!w) <- a.(!i);
+        incr i
+      end
+      else begin
+        out.(!w) <- b.(!j);
+        incr j
+      end;
+      incr w
+    done;
+    Array.blit a !i out !w (la - !i);
+    Array.blit b !j out (!w + la - !i) (lb - !j);
+    out
+  end
+
+let merge_many arrays =
+  match List.filter (fun a -> Array.length a > 0) arrays with
+  | [] -> [||]
+  | [ a ] -> a
+  | arrays ->
+    (* Pairwise tournament over a queue of runs. *)
+    let q = Queue.create () in
+    List.iter (fun a -> Queue.add a q) arrays;
+    while Queue.length q > 1 do
+      let a = Queue.pop q in
+      let b = Queue.pop q in
+      Queue.add (merge a b) q
+    done;
+    Queue.pop q
+
+let to_list = Array.to_list

@@ -8,18 +8,18 @@ let refine_class t id =
   let nd = Index_graph.node t id in
   let table : (int list, int list) Hashtbl.t = Hashtbl.create 8 in
   let order = ref [] in
-  List.iter
+  Array.iter
     (fun u ->
       let ps = ref [] in
       Data_graph.iter_parents data u (fun p -> ps := Index_graph.cls t p :: !ps);
       let key = List.sort_uniq compare !ps in
-      (match Hashtbl.find_opt table key with
+      match Hashtbl.find_opt table key with
       | None ->
         order := key :: !order;
         Hashtbl.add table key [ u ]
-      | Some members -> Hashtbl.replace table key (u :: members)))
+      | Some members -> Hashtbl.replace table key (u :: members))
     nd.extent;
-  let groups = List.rev_map (fun key -> Hashtbl.find table key) !order in
+  let groups = List.rev_map (fun key -> Int_arr.of_list (Hashtbl.find table key)) !order in
   let ids = Index_graph.split t id groups in
   (ids, match ids with [ _ ] -> false | _ -> true)
 
@@ -34,8 +34,18 @@ let add_edge t ~k u v =
       Index_graph.add_index_edge t iu iv;
       [ iv ]
     end
-    else
-      Index_graph.split t iv [ [ v ]; List.filter (fun w -> w <> v) nv.extent ]
+    else begin
+      let rest = Array.make (nv.extent_size - 1) 0 in
+      let w = ref 0 in
+      Array.iter
+        (fun x ->
+          if x <> v then begin
+            rest.(!w) <- x;
+            incr w
+          end)
+        nv.extent;
+      Index_graph.split t iv [ [| v |]; rest ]
+    end
   in
   (* Propagate: descendants within distance k - 1 are re-partitioned
      against the data graph; stop early along branches that no longer
@@ -89,7 +99,7 @@ let add_subgraph t ~k h =
   Index_graph.iter_alive ih (fun nd ->
       if nd.Index_graph.id <> h_root_class then begin
         let id = assign () in
-        List.iter (fun m -> cls'.(m - 1 + offset) <- id) nd.Index_graph.extent
+        Array.iter (fun m -> cls'.(m - 1 + offset) <- id) nd.Index_graph.extent
       end);
   let combined =
     Index_graph.of_partition g' ~cls:cls' ~n_classes:!count

@@ -3,10 +3,30 @@ open Dkindex_graph
 let label_parents g =
   let n_labels = Label.Pool.count (Data_graph.pool g) in
   let parents = Array.make n_labels Int_set.empty in
-  Data_graph.iter_edges g (fun u v ->
-      let lu = Label.to_int (Data_graph.label g u)
-      and lv = Label.to_int (Data_graph.label g v) in
-      parents.(lv) <- Int_set.add lu parents.(lv));
+  if n_labels * n_labels <= 1 lsl 22 then begin
+    (* Small pools: dedup label pairs through a flat byte matrix so the
+       edge scan does no set lookups (almost every pair repeats).  The
+       scan walks the CSR arrays directly, loading each parent's label
+       once per node rather than once per edge. *)
+    let seen = Bytes.make (n_labels * n_labels) '\000' in
+    let off, arr = Data_graph.csr_children g in
+    for u = 0 to Data_graph.n_nodes g - 1 do
+      let lu = Label.to_int (Data_graph.label g u) in
+      for i = off.(u) to off.(u + 1) - 1 do
+        let lv = Label.to_int (Data_graph.label g (Array.unsafe_get arr i)) in
+        let j = (lv * n_labels) + lu in
+        if Bytes.unsafe_get seen j = '\000' then begin
+          Bytes.unsafe_set seen j '\001';
+          parents.(lv) <- Int_set.add lu parents.(lv)
+        end
+      done
+    done
+  end
+  else
+    Data_graph.iter_edges g (fun u v ->
+        let lu = Label.to_int (Data_graph.label g u)
+        and lv = Label.to_int (Data_graph.label g v) in
+        parents.(lv) <- Int_set.add lu parents.(lv));
   parents
 
 let run g ~reqs =

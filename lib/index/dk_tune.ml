@@ -8,18 +8,20 @@ let parent_groups t extent =
   let data = Index_graph.data t in
   let table : (int list, int list) Hashtbl.t = Hashtbl.create 16 in
   let order = ref [] in
-  List.iter
+  Array.iter
     (fun u ->
       let ps = ref [] in
       Data_graph.iter_parents data u (fun p -> ps := Index_graph.cls t p :: !ps);
       let key = List.sort_uniq compare !ps in
-      (match Hashtbl.find_opt table key with
+      match Hashtbl.find_opt table key with
       | None ->
         order := key :: !order;
         Hashtbl.add table key [ u ]
-      | Some members -> Hashtbl.replace table key (u :: members)))
+      | Some members -> Hashtbl.replace table key (u :: members))
     extent;
-  List.rev_map (fun key -> Hashtbl.find table key) !order
+  (* Members were prepended during an ascending extent scan, so each
+     group reverses back into sorted order. *)
+  List.rev_map (fun key -> Int_arr.of_list (Hashtbl.find table key)) !order
 
 let rec promote t id ~k =
   match Index_graph.resolve t id with

@@ -94,14 +94,14 @@ let remove_edge t u v =
   Data_graph.remove_edge data u v;
   let iu = Index_graph.cls t u and iv = Index_graph.cls t v in
   let in_class w cls = Index_graph.cls t w = cls in
-  let retains_parent = List.exists (fun p -> in_class p iu) (Data_graph.parents data v) in
+  let retains_parent = Data_graph.exists_parents data v (fun p -> in_class p iu) in
   if not retains_parent then begin
     (* v lost every parent from that extent: its incoming label-path
        set diverged from its siblings' already at length 1. *)
     lower_and_broadcast t iv 0;
     let edge_remains =
-      List.exists
-        (fun w -> List.exists (fun c -> in_class c iv) (Data_graph.children data w))
+      Array.exists
+        (fun w -> Data_graph.exists_children data w (fun c -> in_class c iv))
         (Index_graph.node t iu).extent
     in
     if not edge_remains then Index_graph.remove_index_edge t iu iv
@@ -150,7 +150,7 @@ let add_subgraph t h ~reqs =
       if nd.id <> h_root_class then begin
         let id = assign () in
         ks := (id, nd.k) :: !ks;
-        List.iter (fun m -> cls'.(m - 1 + offset) <- id) nd.extent
+        Array.iter (fun m -> cls'.(m - 1 + offset) <- id) nd.extent
       end);
   let k_of = Array.make !count 0 in
   List.iter (fun (id, k) -> k_of.(id) <- k) !ks;

@@ -1,35 +1,7 @@
-open Dkindex_graph
-
-(* One backward round (split by child classes), mirroring
-   Kbisim.refine's forward round. *)
-let refine_by_children g (p : Kbisim.partition) =
-  let n = Data_graph.n_nodes g in
-  let table : (int * int list, int) Hashtbl.t = Hashtbl.create (p.n_classes * 2) in
-  let cls = Array.make n 0 in
-  let count = ref 0 and parent_class = ref [] in
-  for u = 0 to n - 1 do
-    let children_key = ref [] in
-    Data_graph.iter_children g u (fun v -> children_key := p.cls.(v) :: !children_key);
-    let key = (p.cls.(u), List.sort_uniq compare !children_key) in
-    let c' =
-      match Hashtbl.find_opt table key with
-      | Some c' -> c'
-      | None ->
-        let c' = !count in
-        incr count;
-        Hashtbl.add table key c';
-        parent_class := p.cls.(u) :: !parent_class;
-        c'
-    in
-    cls.(u) <- c'
-  done;
-  ( { Kbisim.cls; n_classes = !count; parent_class = Array.of_list (List.rev !parent_class) },
-    !count <> p.n_classes )
-
 let fixpoint g =
   let rec go p rounds =
     let p1, fwd = Kbisim.refine g p ~eligible:(fun _ -> true) in
-    let p2, bwd = refine_by_children g p1 in
+    let p2, bwd = Kbisim.refine_by_children g p1 in
     if fwd || bwd then go p2 (rounds + 1) else (p, rounds)
   in
   go (Kbisim.label_partition g) 0

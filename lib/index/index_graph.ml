@@ -3,7 +3,7 @@ open Dkindex_graph
 type inode = {
   id : int;
   label : Label.t;
-  mutable extent : int list;
+  mutable extent : int array;  (* sorted increasing *)
   mutable extent_size : int;
   mutable k : int;
   mutable req : int;
@@ -18,8 +18,11 @@ type t = {
   mutable next_id : int;
   mutable n_alive : int;
   by_label : int list array;
-      (* label code -> index node ids, possibly stale (dead ids filtered on
-         read); appended to on allocation *)
+      (* label code -> index node ids, possibly stale; appended to on
+         allocation and compacted on read only when [dead_in_bucket]
+         says something in the bucket actually died *)
+  dead_in_bucket : int array;  (* label code -> dead ids still in bucket *)
+  live_count : int array;  (* label code -> live index nodes *)
   forwards : (int, int list) Hashtbl.t;  (* dead id -> ids that replaced it *)
 }
 
@@ -40,6 +43,11 @@ let cls t u = t.cls.(u)
 let root_node t = t.cls.(Data_graph.root t.data)
 let n_nodes t = t.n_alive
 
+let extent_mem nd u =
+  Int_arr.mem_range nd.extent ~lo:0 ~hi:(Array.length nd.extent) u
+
+let extent_min nd = nd.extent.(0)
+
 let iter_alive t f =
   for id = 0 to t.next_id - 1 do
     match t.nodes.(id) with Some nd -> f nd | None -> ()
@@ -55,11 +63,17 @@ let n_edges t = fold_alive t ~init:0 ~f:(fun acc nd -> acc + Int_set.cardinal nd
 let nodes_with_label t l =
   let code = Label.to_int l in
   if code < 0 || code >= Array.length t.by_label then []
+  else if t.dead_in_bucket.(code) = 0 then t.by_label.(code)
   else begin
     let live = List.filter (is_alive t) t.by_label.(code) in
     t.by_label.(code) <- live;
+    t.dead_in_bucket.(code) <- 0;
     live
   end
+
+let count_with_label t l =
+  let code = Label.to_int l in
+  if code < 0 || code >= Array.length t.live_count then 0 else t.live_count.(code)
 
 let max_k t =
   fold_alive t ~init:0 ~f:(fun acc nd ->
@@ -77,7 +91,7 @@ let alloc t ~label ~extent ~k ~req =
       id;
       label;
       extent;
-      extent_size = List.length extent;
+      extent_size = Array.length extent;
       k;
       req;
       parents = Int_set.empty;
@@ -89,19 +103,23 @@ let alloc t ~label ~extent ~k ~req =
   t.n_alive <- t.n_alive + 1;
   let code = Label.to_int label in
   t.by_label.(code) <- id :: t.by_label.(code);
+  t.live_count.(code) <- t.live_count.(code) + 1;
   nd
 
 let kill t id =
   match t.nodes.(id) with
-  | Some _ ->
+  | Some nd ->
     t.nodes.(id) <- None;
-    t.n_alive <- t.n_alive - 1
+    t.n_alive <- t.n_alive - 1;
+    let code = Label.to_int nd.label in
+    t.dead_in_bucket.(code) <- t.dead_in_bucket.(code) + 1;
+    t.live_count.(code) <- t.live_count.(code) - 1
   | None -> ()
 
 (* Recompute [nd]'s adjacency from the data graph and patch neighbors'
    sets to point back.  [t.cls] must already map nd's extent to nd.id. *)
 let attach_edges t nd =
-  List.iter
+  Array.iter
     (fun u ->
       Data_graph.iter_parents t.data u (fun p ->
           let pc = t.cls.(p) in
@@ -116,18 +134,26 @@ let attach_edges t nd =
 let of_partition g ~cls ~n_classes ~k_of_class ~req_of_class =
   let n = Data_graph.n_nodes g in
   if Array.length cls <> n then invalid_arg "Index_graph.of_partition: cls size mismatch";
-  let extents = Array.make n_classes [] in
+  let sizes = Array.make n_classes 0 in
   let labels = Array.make n_classes None in
-  for u = n - 1 downto 0 do
+  for u = 0 to n - 1 do
     let c = cls.(u) in
     if c < 0 || c >= n_classes then invalid_arg "Index_graph.of_partition: class out of range";
-    extents.(c) <- u :: extents.(c);
+    sizes.(c) <- sizes.(c) + 1;
     let l = Data_graph.label g u in
-    (match labels.(c) with
+    match labels.(c) with
     | None -> labels.(c) <- Some l
     | Some l' ->
       if not (Label.equal l l') then
-        invalid_arg "Index_graph.of_partition: class mixes labels")
+        invalid_arg "Index_graph.of_partition: class mixes labels"
+  done;
+  (* Fill extents by a second ascending scan: each comes out sorted. *)
+  let extents = Array.map (fun s -> Array.make s 0) sizes in
+  let fill = Array.make n_classes 0 in
+  for u = 0 to n - 1 do
+    let c = cls.(u) in
+    extents.(c).(fill.(c)) <- u;
+    fill.(c) <- fill.(c) + 1
   done;
   let t =
     {
@@ -137,6 +163,8 @@ let of_partition g ~cls ~n_classes ~k_of_class ~req_of_class =
       next_id = 0;
       n_alive = 0;
       by_label = Array.make (Label.Pool.count (Data_graph.pool g)) [];
+      dead_in_bucket = Array.make (Label.Pool.count (Data_graph.pool g)) 0;
+      live_count = Array.make (Label.Pool.count (Data_graph.pool g)) 0;
       forwards = Hashtbl.create 64;
     }
   in
@@ -146,12 +174,35 @@ let of_partition g ~cls ~n_classes ~k_of_class ~req_of_class =
     | Some label ->
       ignore (alloc t ~label ~extent:extents.(c) ~k:(k_of_class c) ~req:(req_of_class c))
   done;
-  (* Edges in one pass over the data edges. *)
-  Data_graph.iter_edges g (fun u v ->
-      let a = t.cls.(u) and b = t.cls.(v) in
-      let na = node t a and nb = node t b in
-      na.children <- Int_set.add b na.children;
-      nb.parents <- Int_set.add a nb.parents);
+  (* Edges: project every data edge to its (class, class) pair and
+     dedup so the balanced-set inserts run only once per distinct index
+     edge (data edges repeat heavily).  A flat byte matrix keeps the
+     per-edge check to two loads when the class count is small; huge
+     partitions fall back to a hash table. *)
+  if n_classes * n_classes <= 1 lsl 22 then begin
+    let seen = Bytes.make (n_classes * n_classes) '\000' in
+    Data_graph.iter_edges g (fun u v ->
+        let a = t.cls.(u) and b = t.cls.(v) in
+        let i = (a * n_classes) + b in
+        if Bytes.unsafe_get seen i = '\000' then begin
+          Bytes.unsafe_set seen i '\001';
+          let na = node t a and nb = node t b in
+          na.children <- Int_set.add b na.children;
+          nb.parents <- Int_set.add a nb.parents
+        end)
+  end
+  else begin
+    let seen = Hashtbl.create 256 in
+    Data_graph.iter_edges g (fun u v ->
+        let a = t.cls.(u) and b = t.cls.(v) in
+        let key = (a * n_classes) + b in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          let na = node t a and nb = node t b in
+          na.children <- Int_set.add b na.children;
+          nb.parents <- Int_set.add a nb.parents
+        end)
+  end;
   t
 
 let split t id groups =
@@ -159,13 +210,15 @@ let split t id groups =
   (match groups with
   | [] -> invalid_arg "Index_graph.split: no groups"
   | _ -> ());
-  let total = List.fold_left (fun acc g -> acc + List.length g) 0 groups in
+  let total = List.fold_left (fun acc g -> acc + Array.length g) 0 groups in
   if total <> old.extent_size then
     invalid_arg "Index_graph.split: groups do not cover the extent";
   match groups with
   | [ _ ] -> [ id ]
   | groups ->
-    List.iter (function [] -> invalid_arg "Index_graph.split: empty group" | _ -> ()) groups;
+    List.iter
+      (fun g -> if Array.length g = 0 then invalid_arg "Index_graph.split: empty group")
+      groups;
     (* Detach the old node from its neighbors. *)
     Int_set.iter
       (fun p -> if p <> id then (node t p).children <- Int_set.remove id (node t p).children)
@@ -179,7 +232,7 @@ let split t id groups =
         (fun extent -> alloc t ~label:old.label ~extent ~k:old.k ~req:old.req)
         groups
     in
-    List.iter (fun nd -> List.iter (fun u -> t.cls.(u) <- nd.id) nd.extent) fresh;
+    List.iter (fun nd -> Array.iter (fun u -> t.cls.(u) <- nd.id) nd.extent) fresh;
     List.iter (fun nd -> attach_edges t nd) fresh;
     let ids = List.map (fun nd -> nd.id) fresh in
     Hashtbl.replace t.forwards id ids;
@@ -250,9 +303,7 @@ let compact t =
 let partition_signature t =
   let n = Data_graph.n_nodes t.data in
   let repr = Hashtbl.create t.n_alive in
-  iter_alive t (fun nd ->
-      let m = List.fold_left min max_int nd.extent in
-      Hashtbl.add repr nd.id (m, nd.k));
+  iter_alive t (fun nd -> Hashtbl.add repr nd.id (extent_min nd, nd.k));
   Array.init n (fun u -> Hashtbl.find repr t.cls.(u))
 
 let fail fmt = Printf.ksprintf failwith fmt
@@ -267,11 +318,14 @@ let check_invariants t =
     counted.(c) <- counted.(c) + 1
   done;
   iter_alive t (fun nd ->
-      if nd.extent_size <> List.length nd.extent then fail "extent_size mismatch at %d" nd.id;
+      if nd.extent_size <> Array.length nd.extent then fail "extent_size mismatch at %d" nd.id;
       if counted.(nd.id) <> nd.extent_size then
         fail "extent of %d has %d members but cls maps %d nodes to it" nd.id nd.extent_size
           counted.(nd.id);
-      List.iter
+      for i = 1 to Array.length nd.extent - 1 do
+        if nd.extent.(i - 1) >= nd.extent.(i) then fail "extent of %d not sorted" nd.id
+      done;
+      Array.iter
         (fun u ->
           if t.cls.(u) <> nd.id then fail "node %d in extent of %d but cls says %d" u nd.id t.cls.(u);
           if not (Label.equal (Data_graph.label t.data u) nd.label) then

@@ -23,7 +23,7 @@ open Dkindex_graph
 type inode = private {
   id : int;
   label : Label.t;
-  mutable extent : int list;
+  mutable extent : int array;  (** sorted increasing; do not mutate *)
   mutable extent_size : int;
   mutable k : int;
   mutable req : int;
@@ -70,7 +70,19 @@ val n_edges : t -> int
 val iter_alive : t -> (inode -> unit) -> unit
 val fold_alive : t -> init:'a -> f:('a -> inode -> 'a) -> 'a
 val nodes_with_label : t -> Label.t -> int list
-(** Live index nodes carrying the label. *)
+(** Live index nodes carrying the label.  The per-label bucket is only
+    compacted when a node with that label has actually died since the
+    last read; otherwise this returns the cached list as-is. *)
+
+val count_with_label : t -> Label.t -> int
+(** Number of live index nodes carrying the label, in O(1). *)
+
+val extent_mem : inode -> int -> bool
+(** Whether a data node belongs to the extent (binary search). *)
+
+val extent_min : inode -> int
+(** Smallest data node id in the extent (its canonical
+    representative). *)
 
 val max_k : t -> int
 (** Largest finite local similarity among live nodes (0 for an empty
@@ -78,13 +90,13 @@ val max_k : t -> int
 
 (** {1 Mutation} *)
 
-val split : t -> int -> int list list -> int list
+val split : t -> int -> int array list -> int list
 (** [split t id groups] replaces index node [id] by one node per group;
-    [groups] must be a partition of [id]'s extent into non-empty
-    lists.  New nodes inherit label, [k] and [req]; edges are recomputed
-    from the data graph.  Returns the new ids ([ [id] ] unchanged if a
-    single group is passed).  @raise Invalid_argument if the groups do
-    not partition the extent. *)
+    [groups] must be a partition of [id]'s extent into non-empty,
+    sorted arrays.  New nodes inherit label, [k] and [req]; edges are
+    recomputed from the data graph.  Returns the new ids ([ [id] ]
+    unchanged if a single group is passed).  @raise Invalid_argument if
+    the groups do not partition the extent. *)
 
 val resolve : t -> int -> int list
 (** Live index nodes descending from a possibly-retired id (follows

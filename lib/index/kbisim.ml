@@ -5,18 +5,21 @@ type partition = { cls : int array; n_classes : int; parent_class : int array }
 let label_partition g =
   let n = Data_graph.n_nodes g in
   let cls = Array.make n 0 in
-  let by_label = Hashtbl.create 64 in
+  (* Label codes are dense pool indices, so a flat array replaces the
+     hash table (and the option its lookup would allocate per node). *)
+  let by_label = Array.make (Label.Pool.count (Data_graph.pool g)) (-1) in
   let count = ref 0 in
   for u = 0 to n - 1 do
     let code = Label.to_int (Data_graph.label g u) in
     let c =
-      match Hashtbl.find_opt by_label code with
-      | Some c -> c
-      | None ->
+      let c = by_label.(code) in
+      if c >= 0 then c
+      else begin
         let c = !count in
         incr count;
-        Hashtbl.add by_label code c;
+        by_label.(code) <- c;
         c
+      end
     in
     cls.(u) <- c
   done;
@@ -27,62 +30,249 @@ let class_labels g p =
   Data_graph.iter_nodes g (fun u -> labels.(p.cls.(u)) <- Data_graph.label g u);
   labels
 
-(* Key of a node for the next round: its class and the de-duplicated
-   sorted classes of its parents (empty for ineligible classes, which
-   must pass through unsplit). *)
-let node_key g p ~eligible u =
+(* A node's key for the next round is (own class, set of adjacent
+   classes).  Rather than materializing and sorting that set per node,
+   we hash it into a 64-bit signature with an order-insensitive combine
+   (sum + xor of mixed class ids, so duplicates are dropped by a stamp
+   array and ordering never matters), intern signatures in an
+   int-keyed table, and verify every signature hit against a stored
+   representative node to rule out collisions.  Per-node work is
+   O(degree) with no lists built. *)
+
+let mix x =
+  let x = x lxor (x lsr 33) in
+  let x = x * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x27D4EB2F165667C5 in
+  x lxor (x lsr 32)
+
+(* The refinement passes read adjacency through the graph's flat CSR
+   arrays (offsets [off], neighbors [arr]) rather than the
+   closure-taking iterators: a closure per node would itself be a
+   per-node allocation, and these loops must stay allocation-free. *)
+
+(* Signature of node [u]: ineligible classes pass through unsplit, so
+   their nodes hash as if they had no adjacent classes — the same key
+   shape an eligible node with no neighbors gets (matching the
+   list-key semantics, where both were [(c, [])]).  [seen] is a
+   per-class stamp array, stamped with the node id, so deduplication
+   needs no clearing between nodes. *)
+let signature p ~eligible ~seen ~off ~arr u =
   let c = p.cls.(u) in
   if eligible c then begin
-    let parents_key = ref [] in
-    Data_graph.iter_parents g u (fun v -> parents_key := p.cls.(v) :: !parents_key);
-    (c, List.sort_uniq compare !parents_key)
+    let sum = ref 0 and xr = ref 0 and cnt = ref 0 in
+    for i = off.(u) to off.(u + 1) - 1 do
+      let pc = p.cls.(arr.(i)) in
+      if seen.(pc) <> u then begin
+        seen.(pc) <- u;
+        let h = mix pc in
+        sum := !sum + h;
+        xr := !xr lxor h;
+        incr cnt
+      end
+    done;
+    mix (c + (!sum lxor (!xr * 31) lxor (!cnt * 0x27D4EB2F165667C5)))
   end
-  else (c, [])
+  else mix c
 
-let compute_keys ~domains g p ~eligible =
-  let n = Data_graph.n_nodes g in
-  let keys = Array.make n (0, []) in
-  if domains <= 1 || n < 4096 then
-    for u = 0 to n - 1 do
-      keys.(u) <- node_key g p ~eligible u
-    done
+(* Exact key equality of node [u] against representative [rep] (both
+   known to be in old class [c]): ineligible classes compare equal
+   outright; otherwise their adjacent-class sets must coincide.  The
+   ticket-stamped [vstamp] array marks the representative's distinct
+   classes with ticket [t] and the candidate's matches with [t + 1],
+   so set equality is two O(degree) scans with no clearing. *)
+let same_key p ~eligible ~vstamp ~ticket ~off ~arr u ~rep c =
+  if not (eligible c) then true
   else begin
+    ticket := !ticket + 2;
+    let t = !ticket in
+    let distinct = ref 0 in
+    for i = off.(rep) to off.(rep + 1) - 1 do
+      let pc = p.cls.(arr.(i)) in
+      if vstamp.(pc) <> t then begin
+        vstamp.(pc) <- t;
+        incr distinct
+      end
+    done;
+    let ok = ref true and matched = ref 0 in
+    for i = off.(u) to off.(u + 1) - 1 do
+      let pc = p.cls.(arr.(i)) in
+      if vstamp.(pc) = t then begin
+        vstamp.(pc) <- t + 1;
+        incr matched
+      end
+      else if vstamp.(pc) <> t + 1 then ok := false
+    done;
+    !ok && !matched = !distinct
+  end
+
+(* Interning state: per-class side arrays (growable, doubled) plus an
+   int-keyed table from signature to the head of a chain of classes
+   sharing that signature (collisions are resolved by [same_key]). *)
+type intern = {
+  mutable n : int;
+  mutable rep : int array;  (* class -> representative node *)
+  mutable old : int array;  (* class -> source class in the argument partition *)
+  mutable sg : int array;  (* class -> signature *)
+  mutable nxt : int array;  (* class -> next class with the same signature *)
+  table : (int, int) Hashtbl.t;  (* signature -> chain head *)
+}
+
+let intern_create hint =
+  let cap = max 256 hint in
+  {
+    n = 0;
+    rep = Array.make cap 0;
+    old = Array.make cap 0;
+    sg = Array.make cap 0;
+    nxt = Array.make cap (-1);
+    table = Hashtbl.create (2 * cap);
+  }
+
+let grow a = Array.append a (Array.make (Array.length a) 0)
+
+let intern_push it ~rep ~old ~sg ~nxt =
+  if it.n = Array.length it.rep then begin
+    it.rep <- grow it.rep;
+    it.old <- grow it.old;
+    it.sg <- grow it.sg;
+    it.nxt <- grow it.nxt
+  end;
+  let cid = it.n in
+  it.n <- cid + 1;
+  it.rep.(cid) <- rep;
+  it.old.(cid) <- old;
+  it.sg.(cid) <- sg;
+  it.nxt.(cid) <- nxt;
+  cid
+
+(* Find or allocate the class of node [u] with signature [sg] and old
+   class [c].  A plain while-loop over the chain: no closure, no
+   allocation on the hit path (the common one). *)
+let intern_assign it p ~eligible ~vstamp ~ticket ~off ~arr u sg c =
+  let head = try Hashtbl.find it.table sg with Not_found -> -1 in
+  let cid = ref head and found = ref (-1) in
+  while !found < 0 && !cid >= 0 do
+    if
+      it.old.(!cid) = c
+      && same_key p ~eligible ~vstamp ~ticket ~off ~arr u ~rep:it.rep.(!cid) c
+    then found := !cid
+    else cid := it.nxt.(!cid)
+  done;
+  if !found >= 0 then !found
+  else begin
+    let cid = intern_push it ~rep:u ~old:c ~sg ~nxt:head in
+    Hashtbl.replace it.table sg cid;
+    cid
+  end
+
+let refine_gen ?(domains = 1) g p ~eligible ~off ~arr =
+  let n = Data_graph.n_nodes g in
+  let nc = p.n_classes in
+  let cls = Array.make n 0 in
+  if domains <= 1 || n < 4096 then begin
+    (* Sequential: one fused pass computing each node's signature and
+       assigning its class. *)
+    let seen = Array.make nc (-1) in
+    let vstamp = Array.make nc 0 in
+    let ticket = ref 0 in
+    let it = intern_create nc in
+    (* An ineligible class passes through unsplit, so all its nodes land
+       in one new class: resolve it once and skip the hash lookup for
+       the rest of the class. *)
+    let direct = Array.make nc (-1) in
+    for u = 0 to n - 1 do
+      let c = p.cls.(u) in
+      if not (eligible c) then begin
+        let d = direct.(c) in
+        if d >= 0 then cls.(u) <- d
+        else begin
+          let cid = intern_assign it p ~eligible ~vstamp ~ticket ~off ~arr u (mix c) c in
+          direct.(c) <- cid;
+          cls.(u) <- cid
+        end
+      end
+      else begin
+        let sg = signature p ~eligible ~seen ~off ~arr u in
+        cls.(u) <- intern_assign it p ~eligible ~vstamp ~ticket ~off ~arr u sg c
+      end
+    done;
+    ({ cls; n_classes = it.n; parent_class = Array.sub it.old 0 it.n }, it.n <> nc)
+  end
+  else begin
+    (* Parallel: each domain interns its contiguous chunk of nodes
+       into a local table (local class ids ascend by first occurrence
+       within the chunk, written into [cls] as placeholders); the
+       local tables are then merged sequentially in domain order.
+       Because the chunks partition [0 .. n) in ascending order, the
+       merge meets keys in exactly global first-occurrence order, so
+       class ids come out bit-for-bit equal to the sequential pass.
+       A final parallel pass remaps placeholders through the per-domain
+       translation tables. *)
     let chunk = (n + domains - 1) / domains in
+    let locals = Array.make domains None in
     let worker d () =
       let lo = d * chunk and hi = min n ((d + 1) * chunk) in
+      let seen = Array.make nc (-1) in
+      let vstamp = Array.make nc 0 in
+      let ticket = ref 0 in
+      let it = intern_create (1 + ((nc - 1) / domains)) in
+      let direct = Array.make nc (-1) in
       for u = lo to hi - 1 do
-        keys.(u) <- node_key g p ~eligible u
-      done
+        let c = p.cls.(u) in
+        if not (eligible c) then begin
+          let d = direct.(c) in
+          if d >= 0 then cls.(u) <- d
+          else begin
+            let cid = intern_assign it p ~eligible ~vstamp ~ticket ~off ~arr u (mix c) c in
+            direct.(c) <- cid;
+            cls.(u) <- cid
+          end
+        end
+        else begin
+          let sg = signature p ~eligible ~seen ~off ~arr u in
+          cls.(u) <- intern_assign it p ~eligible ~vstamp ~ticket ~off ~arr u sg c
+        end
+      done;
+      locals.(d) <- Some it
     in
     let spawned = List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1))) in
     worker 0 ();
-    List.iter Domain.join spawned
-  end;
-  keys
-
-let refine ?(domains = 1) g p ~eligible =
-  let n = Data_graph.n_nodes g in
-  let keys = compute_keys ~domains g p ~eligible in
-  let table : (int * int list, int) Hashtbl.t = Hashtbl.create (p.n_classes * 2) in
-  let cls = Array.make n 0 in
-  let count = ref 0 in
-  let parent_class = ref [] in
-  for u = 0 to n - 1 do
-    let key = keys.(u) in
-    let c' =
-      match Hashtbl.find_opt table key with
-      | Some c' -> c'
-      | None ->
-        let c' = !count in
-        incr count;
-        Hashtbl.add table key c';
-        parent_class := fst key :: !parent_class;
-        c'
+    List.iter Domain.join spawned;
+    let vstamp = Array.make nc 0 in
+    let ticket = ref 0 in
+    let global = intern_create nc in
+    let trans =
+      Array.map
+        (function
+          | None -> [||]
+          | Some it ->
+            Array.init it.n (fun lid ->
+                intern_assign global p ~eligible ~vstamp ~ticket ~off ~arr it.rep.(lid)
+                  it.sg.(lid) it.old.(lid)))
+        locals
     in
-    cls.(u) <- c'
-  done;
-  let parent_class = Array.of_list (List.rev !parent_class) in
-  ({ cls; n_classes = !count; parent_class }, !count <> p.n_classes)
+    let remap d () =
+      let lo = d * chunk and hi = min n ((d + 1) * chunk) in
+      let t = trans.(d) in
+      for u = lo to hi - 1 do
+        cls.(u) <- t.(cls.(u))
+      done
+    in
+    let spawned = List.init (domains - 1) (fun d -> Domain.spawn (remap (d + 1))) in
+    remap 0 ();
+    List.iter Domain.join spawned;
+    ( { cls; n_classes = global.n; parent_class = Array.sub global.old 0 global.n },
+      global.n <> nc )
+  end
+
+let refine ?domains g p ~eligible =
+  let off, arr = Data_graph.csr_parents g in
+  refine_gen ?domains g p ~eligible ~off ~arr
+
+let refine_by_children ?domains g p =
+  let off, arr = Data_graph.csr_children g in
+  refine_gen ?domains g p ~eligible:(fun _ -> true) ~off ~arr
 
 let k_partition ?domains g ~k =
   let p = ref (label_partition g) in

@@ -29,12 +29,24 @@ val refine :
     holds; returns the new partition and whether anything split.
     [parent_class] of the result maps into the argument partition.
 
-    [domains] (default 1) parallelizes the per-node key computation
-    (the dominant cost: collecting and sorting parent classes) across
-    that many OCaml 5 domains; the interning pass stays sequential, so
-    the result is bit-for-bit independent of [domains].  [eligible]
-    must be safe to call from multiple domains (a pure array read
-    qualifies). *)
+    Keys are hashed into 64-bit order-insensitive signatures (no
+    per-node lists or sorting; O(degree) per node with every signature
+    hit verified against a representative node, so hash collisions
+    cannot merge distinct keys).
+
+    [domains] (default 1) parallelizes both the signature/interning
+    pass (per-domain chunks with local tables) and the final class
+    remap across that many OCaml 5 domains; local tables are merged
+    sequentially in domain order, which preserves global
+    first-occurrence numbering, so the result is bit-for-bit
+    independent of [domains].  [eligible] must be safe to call from
+    multiple domains (a pure array read qualifies). *)
+
+val refine_by_children :
+  ?domains:int -> Data_graph.t -> partition -> partition * bool
+(** One backward refinement round: splits every class on the key
+    {i (own class, set of child classes)}.  The mirror of {!refine}
+    used by the F&B-index construction; same determinism guarantees. *)
 
 val k_partition : ?domains:int -> Data_graph.t -> k:int -> partition
 (** The A(k) partition: [k] full rounds from the label partition. *)

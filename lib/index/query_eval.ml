@@ -10,11 +10,13 @@ type result = {
 
 let empty_result cost = { nodes = []; cost; n_candidates = 0; n_certain = 0 }
 
+(* Extents are sorted arrays and (being a partition) pairwise disjoint,
+   so the result list is a linear-time merge — no comparison sort. *)
 let finish t cost finals ~certain ~validate =
   let n_candidates = ref 0 and n_certain = ref 0 in
   let validate = lazy (validate ()) in
-  let nodes =
-    List.concat_map
+  let pieces =
+    List.map
       (fun id ->
         let nd = Index_graph.node t id in
         if certain nd then begin
@@ -23,12 +25,22 @@ let finish t cost finals ~certain ~validate =
         end
         else begin
           n_candidates := !n_candidates + nd.Index_graph.extent_size;
-          List.filter (Lazy.force validate) nd.Index_graph.extent
+          let v = Lazy.force validate in
+          let kept = Array.make nd.Index_graph.extent_size 0 in
+          let w = ref 0 in
+          Array.iter
+            (fun u ->
+              if v u then begin
+                kept.(!w) <- u;
+                incr w
+              end)
+            nd.Index_graph.extent;
+          Array.sub kept 0 !w
         end)
       finals
   in
   {
-    nodes = List.sort compare nodes;
+    nodes = Int_arr.to_list (Int_arr.merge_many pieces);
     cost;
     n_candidates = !n_candidates;
     n_certain = !n_certain;
@@ -92,8 +104,8 @@ let eval_path ?(strategy = `Forward) t path =
       | `Forward -> false
       | `Backward -> true
       | `Auto ->
-        List.length (Index_graph.nodes_with_label t path.(m - 1))
-        < List.length (Index_graph.nodes_with_label t path.(0))
+        Index_graph.count_with_label t path.(m - 1)
+        < Index_graph.count_with_label t path.(0)
     in
     let finals =
       if backward then eval_path_backward t path ~cost else eval_path_forward t path ~cost
@@ -146,7 +158,7 @@ let eval_expr t expr =
   Index_graph.iter_alive t (fun nd ->
       let s = Nfa.step nfa init nd.Index_graph.label in
       Bitset.iter s (fun q -> relax nd.Index_graph.id q 1));
-  let singleton = Bitset.create n_states in
+  let table = Nfa.transition_table nfa ~n_labels:(Label.Pool.count (Data_graph.pool data)) in
   while not (Queue.is_empty queue) do
     let id = Queue.pop queue in
     if Index_graph.is_alive t id then begin
@@ -155,14 +167,11 @@ let eval_expr t expr =
       let nd = Index_graph.node t id in
       Int_set.iter
         (fun child ->
-          let child_label = (Index_graph.node t child).Index_graph.label in
+          let child_code = Label.to_int (Index_graph.node t child).Index_graph.label in
           for q = 0 to n_states - 1 do
-            if row.(q) >= 0 then begin
-              Bitset.clear singleton;
-              Bitset.add singleton q;
-              let next = Nfa.step nfa singleton child_label in
-              Bitset.iter next (fun q' -> relax child q' (row.(q) + 1))
-            end
+            if row.(q) >= 0 then
+              Bitset.iter (Nfa.table_step table q child_code) (fun q' ->
+                  relax child q' (row.(q) + 1))
           done)
         nd.Index_graph.children
     end
@@ -241,13 +250,13 @@ let make_pattern_validator g (pattern : Tree_pattern.t) ~cost =
       &&
       if i = 0 then begin
         match axis with
-        | Tree_pattern.Child -> List.mem root (Data_graph.parents g u)
+        | Tree_pattern.Child -> Data_graph.has_edge g root u
         | Tree_pattern.Descendant -> Int_set.mem u (Lazy.force root_descendants)
       end
       else begin
         match axis with
         | Tree_pattern.Child ->
-          List.exists (fun p -> prefix_matches p (i - 1)) (Data_graph.parents g u)
+          Data_graph.exists_parents g u (fun p -> prefix_matches p (i - 1))
         | Tree_pattern.Descendant -> ancestor_matches (Int_set.singleton u) u (i - 1)
       end
     in
@@ -257,11 +266,9 @@ let make_pattern_validator g (pattern : Tree_pattern.t) ~cost =
     (* [visited] only guards re-expansion: a node can be its own strict
        ancestor through a cycle, so the prefix test itself must run on
        every parent, visited or not. *)
-    List.exists
-      (fun p ->
+    Data_graph.exists_parents g u (fun p ->
         prefix_matches p i
         || ((not (Int_set.mem p visited)) && ancestor_matches (Int_set.add p visited) p i))
-      (Data_graph.parents g u)
   in
   fun u -> m > 0 && prefix_matches u (m - 1)
 
@@ -273,11 +280,9 @@ let eval_pattern ?(validate = true) t pattern =
   let view = index_view t ~cost in
   let finals = Tree_pattern.eval view pattern in
   if not validate then
-    let nodes =
-      List.concat_map (fun id -> (Index_graph.node t id).Index_graph.extent) finals
-    in
+    let pieces = List.map (fun id -> (Index_graph.node t id).Index_graph.extent) finals in
     {
-      nodes = List.sort compare nodes;
+      nodes = Int_arr.to_list (Int_arr.merge_many pieces);
       cost;
       n_candidates = 0;
       n_certain = List.length finals;

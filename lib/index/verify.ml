@@ -35,9 +35,7 @@ let path_sets g =
   in
   fun u j -> Paths.elements (paths u j)
 
-let take n l =
-  let rec go n = function x :: rest when n > 0 -> x :: go (n - 1) rest | _ -> [] in
-  go n l
+let take n a = Array.to_list (Array.sub a 0 (min n (Array.length a)))
 
 let soundness ?(max_k = 5) ?(max_extent = 64) t =
   let g = Index_graph.data t in

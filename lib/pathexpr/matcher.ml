@@ -72,7 +72,7 @@ let make_path_validator g path ~cost =
       | Some r -> r
       | None ->
         Cost.visit_data cost;
-        let r = List.exists (fun p -> matches p (pos - 1)) (Data_graph.parents g u) in
+        let r = Data_graph.exists_parents g u (fun p -> matches p (pos - 1)) in
         Hashtbl.add memo (u, pos) r;
         r
   in
@@ -86,7 +86,7 @@ let node_matches_nfa g nfa ~node ~cost =
     if not (Hashtbl.mem in_closure u) then begin
       Hashtbl.add in_closure u ();
       Cost.visit_data cost;
-      List.iter collect (Data_graph.parents g u)
+      Data_graph.iter_parents g u collect
     end
   in
   collect node;

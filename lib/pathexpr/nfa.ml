@@ -116,6 +116,27 @@ let step t states l =
 
 let accepting t states = Bitset.mem states t.accept
 
+(* Dense (state, label code) -> successor-set table.  Evaluators that
+   repeatedly step singleton state sets (one per live NFA state per
+   index edge) precompute this once and replace each [step] call — a
+   fresh Bitset plus delta-list walk plus epsilon closure — with an
+   array read of a shared, already-closed set. *)
+type table = Bitset.t array array  (* state -> label code -> eclosed successors *)
+
+let transition_table t ~n_labels =
+  Array.init t.n_states (fun q ->
+      let rows = Array.init n_labels (fun _ -> Bitset.create t.n_states) in
+      List.iter
+        (fun (sym, q') ->
+          match sym with
+          | Any_sym -> Array.iter (fun row -> Bitset.add row q') rows
+          | Sym c -> if c >= 0 && c < n_labels then Bitset.add rows.(c) q')
+        t.delta.(q);
+      Array.iter (fun row -> eclose t row) rows;
+      rows)
+
+let table_step (table : table) q code = table.(q).(code)
+
 let accepts_word t word =
   let states = List.fold_left (fun states l -> step t states l) (initial t) word in
   accepting t states

@@ -19,5 +19,20 @@ val step : t -> Bitset.t -> Dkindex_graph.Label.t -> Bitset.t
 
 val accepting : t -> Bitset.t -> bool
 
+type table
+(** Dense [(state, label code)] transition table: each cell holds the
+    epsilon-closed successor set of stepping that single state by that
+    label.  Replaces repeated {!step} calls on singleton sets in inner
+    evaluation loops. *)
+
+val transition_table : t -> n_labels:int -> table
+(** Precompute the table for label codes [0 .. n_labels - 1] (use the
+    label pool's count).  O(states * labels) space. *)
+
+val table_step : table -> int -> int -> Bitset.t
+(** [table_step table q code] is the cached, epsilon-closed result of
+    stepping state [q] by label [code].  The returned set is shared —
+    do not mutate it. *)
+
 val accepts_word : t -> Dkindex_graph.Label.t list -> bool
 (** Direct word membership, used by tests as an oracle. *)

@@ -12,8 +12,8 @@ deterministic for the fixed seed.)
   $ dkindex build -i auction.xml --idref-attrs category,item,person,open_auction,from,to --index dk --save auction.index | sed 's/in [0-9.]* ms/in N ms/' | head -4
   dk built in N ms
   saved to auction.index
-  index nodes   615
-  index edges   790
+  index nodes   621
+  index edges   796
 
   $ dkindex query -i auction.xml --load-index auction.index "open_auction.itemref.item.name" | head -1
   9 matching nodes (cost: index=16 data=0 total=16; 0 candidates validated, 6 sound index nodes)
@@ -22,7 +22,7 @@ deterministic for the fixed seed.)
   10 matching nodes (cost: index=1707 data=0 total=1707; 0 candidates validated, 10 sound index nodes)
 
   $ dkindex verify -i auction.xml --load-index auction.index
-  OK: 615 index nodes and 50 queries verified
+  OK: 621 index nodes and 50 queries verified
 
   $ dkindex workload -i auction.xml --count 5 | head -1
   generated 5 queries:

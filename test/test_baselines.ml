@@ -25,7 +25,7 @@ let ak_tests =
                 let bisim = k_bisimilar g in
                 let reps =
                   Index_graph.fold_alive idx ~init:[] ~f:(fun acc nd ->
-                      List.hd nd.Index_graph.extent :: acc)
+                      nd.Index_graph.extent.(0) :: acc)
                 in
                 List.iteri
                   (fun i u ->

@@ -30,7 +30,7 @@ let of_partition_tests =
         let g, _, _, _ = diamond () in
         let idx = Label_split.build g in
         let nd = Index_graph.node idx (Index_graph.root_node idx) in
-        check_bool "contains 0" true (List.mem 0 nd.Index_graph.extent));
+        check_bool "contains 0" true (Array.mem 0 nd.Index_graph.extent));
     test "class mixing labels is rejected" (fun () ->
         let g, _, _, _ = diamond () in
         let cls = Array.make (Data_graph.n_nodes g) 0 in
@@ -66,7 +66,7 @@ let split_tests =
         let g, a1, a2, bb = diamond () in
         let idx = Label_split.build g in
         let a_class = Index_graph.cls idx a1 in
-        let fresh = Index_graph.split idx a_class [ [ a1 ]; [ a2 ] ] in
+        let fresh = Index_graph.split idx a_class [ [| a1 |]; [| a2 |] ] in
         check_int "two nodes" 2 (List.length fresh);
         check_bool "old dead" false (Index_graph.is_alive idx a_class);
         check_bool "cls updated" true (Index_graph.cls idx a1 <> Index_graph.cls idx a2);
@@ -86,20 +86,20 @@ let split_tests =
         let idx = Label_split.build g in
         let a_class = Index_graph.cls idx a1 in
         check_bool "short groups raise" true
-          (match Index_graph.split idx a_class [ [ a1 ] ] with
+          (match Index_graph.split idx a_class [ [| a1 |] ] with
           | _ -> false
           | exception Invalid_argument _ -> true));
     test "split updates nodes_with_label" (fun () ->
         let g, a1, a2, _ = diamond () in
         let idx = Label_split.build g in
         let a = Data_graph.label g a1 in
-        ignore (Index_graph.split idx (Index_graph.cls idx a1) [ [ a1 ]; [ a2 ] ]);
+        ignore (Index_graph.split idx (Index_graph.cls idx a1) [ [| a1 |]; [| a2 |] ]);
         check_int "two live nodes" 2 (List.length (Index_graph.nodes_with_label idx a)));
     test "resolve follows split forwarding" (fun () ->
         let g, a1, a2, _ = diamond () in
         let idx = Label_split.build g in
         let a_class = Index_graph.cls idx a1 in
-        let fresh = Index_graph.split idx a_class [ [ a1 ]; [ a2 ] ] in
+        let fresh = Index_graph.split idx a_class [ [| a1 |]; [| a2 |] ] in
         check_int_list "forwarded" (List.sort compare fresh)
           (List.sort compare (Index_graph.resolve idx a_class));
         check_int_list "live id resolves to itself" [ List.hd fresh ]
@@ -108,15 +108,15 @@ let split_tests =
         let g = chain_graph [ "x"; "x"; "x" ] in
         let idx = Label_split.build g in
         let x_class = Index_graph.cls idx 1 in
-        let fresh = Index_graph.split idx x_class [ [ 1 ]; [ 2; 3 ] ] in
+        let fresh = Index_graph.split idx x_class [ [| 1 |]; [| 2; 3 |] ] in
         let second = List.nth fresh 1 in
-        ignore (Index_graph.split idx second [ [ 2 ]; [ 3 ] ]);
+        ignore (Index_graph.split idx second [ [| 2 |]; [| 3 |] ]);
         check_int "three leaves" 3 (List.length (Index_graph.resolve idx x_class)));
     test "dead node access raises" (fun () ->
         let g, a1, a2, _ = diamond () in
         let idx = Label_split.build g in
         let a_class = Index_graph.cls idx a1 in
-        ignore (Index_graph.split idx a_class [ [ a1 ]; [ a2 ] ]);
+        ignore (Index_graph.split idx a_class [ [| a1 |]; [| a2 |] ]);
         check_bool "raises" true
           (match Index_graph.node idx a_class with
           | _ -> false
@@ -131,7 +131,7 @@ let split_tests =
         let c = Index_graph.cls idx x1 in
         let nd = Index_graph.node idx c in
         check_bool "self loop" true (Int_set.mem c nd.Index_graph.children);
-        ignore (Index_graph.split idx c [ [ x1 ]; [ x2 ] ]);
+        ignore (Index_graph.split idx c [ [| x1 |]; [| x2 |] ]);
         Index_graph.check_invariants idx;
         check_bool "x1 -> x2 edge kept" true
           (Int_set.mem (Index_graph.cls idx x2)

@@ -100,7 +100,7 @@ let fb_tests =
           (Index_graph.n_nodes fb >= Index_graph.n_nodes one);
         (* refinement: each F&B class sits inside a 1-index class *)
         Index_graph.iter_alive fb (fun nd ->
-            match nd.Index_graph.extent with
+            match Array.to_list nd.Index_graph.extent with
             | [] -> ()
             | first :: rest ->
               List.iter
@@ -115,7 +115,7 @@ let fb_tests =
               (fun child_id ->
                 let child = Index_graph.node fb child_id in
                 (* every member of the child has a parent in nd *)
-                List.iter
+                Array.iter
                   (fun u ->
                     check_bool "backward universal" true
                       (List.exists
@@ -123,7 +123,7 @@ let fb_tests =
                          (Data_graph.parents g u)))
                   child.Index_graph.extent;
                 (* every member of nd has a child in the child class *)
-                List.iter
+                Array.iter
                   (fun u ->
                     check_bool "forward universal" true
                       (List.exists

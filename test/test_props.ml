@@ -287,7 +287,7 @@ let prop_subgraph_addition =
          similarity, and answers the load identically. *)
       let refines = ref true in
       Index_graph.iter_alive incremental (fun nd ->
-          match nd.Index_graph.extent with
+          match Array.to_list nd.Index_graph.extent with
           | [] -> ()
           | first :: rest ->
             List.iter

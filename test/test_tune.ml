@@ -131,7 +131,7 @@ let promote_tests =
         check_bool "at least as fine" true
           (Index_graph.n_nodes idx >= Index_graph.n_nodes a2);
         Index_graph.iter_alive idx (fun nd ->
-            match nd.Index_graph.extent with
+            match Array.to_list nd.Index_graph.extent with
             | [] -> ()
             | first :: rest ->
               List.iter

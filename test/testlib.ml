@@ -133,7 +133,7 @@ let assert_extents_bisimilar ?(cap = 8) g idx =
   let bisim = k_bisimilar g in
   Dkindex_core.Index_graph.iter_alive idx (fun nd ->
       let k = min cap nd.Dkindex_core.Index_graph.k in
-      match nd.Dkindex_core.Index_graph.extent with
+      match Array.to_list nd.Dkindex_core.Index_graph.extent with
       | [] -> ()
       | first :: rest ->
         List.iter
@@ -226,7 +226,7 @@ let assert_extents_path_equivalent ?(cap = 6) g idx =
   let sets = label_path_sets g in
   Dkindex_core.Index_graph.iter_alive idx (fun nd ->
       let k = min cap nd.Dkindex_core.Index_graph.k in
-      match nd.Dkindex_core.Index_graph.extent with
+      match Array.to_list nd.Dkindex_core.Index_graph.extent with
       | [] -> ()
       | first :: rest ->
         for j = 1 to k + 1 do
