@@ -20,10 +20,10 @@ bench-quick:
 bench-smoke:
 	dune exec bench/trajectory.exe -- --smoke
 
-# Full trajectory pass: refreshes BENCH_PR1.json (current numbers),
+# Full trajectory pass: refreshes BENCH_PR2.json (current numbers),
 # keeping the recorded baselines for comparison.
 bench-trajectory:
-	dune exec bench/trajectory.exe -- --scale 40 --baseline BENCH_PR1.json --out BENCH_PR1.json
+	dune exec bench/trajectory.exe -- --scale 40 --baseline BENCH_PR2.json --out BENCH_PR2.json
 
 examples:
 	dune exec examples/quickstart.exe

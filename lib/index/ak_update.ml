@@ -12,7 +12,7 @@ let refine_class t id =
     (fun u ->
       let ps = ref [] in
       Data_graph.iter_parents data u (fun p -> ps := Index_graph.cls t p :: !ps);
-      let key = List.sort_uniq compare !ps in
+      let key = List.sort_uniq Int.compare !ps in
       match Hashtbl.find_opt table key with
       | None ->
         order := key :: !order;
@@ -26,6 +26,7 @@ let refine_class t id =
 let add_edge t ~k u v =
   let data = Index_graph.data t in
   Data_graph.add_edge data u v;
+  Index_graph.touch t;
   let iu = Index_graph.cls t u and iv = Index_graph.cls t v in
   (* v's incoming paths changed: isolate it in a fresh index node. *)
   let nv = Index_graph.node t iv in
@@ -57,8 +58,11 @@ let add_edge t ~k u v =
     let children =
       Int_set.fold
         (fun id acc ->
-          if Index_graph.is_alive t id then
-            Int_set.union acc (Index_graph.node t id).children
+          if Index_graph.is_alive t id then begin
+            let acc = ref acc in
+            Index_graph.iter_children t id (fun c -> acc := Int_set.add c !acc);
+            !acc
+          end
           else acc)
         !frontier Int_set.empty
     in

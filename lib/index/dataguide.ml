@@ -95,5 +95,5 @@ let eval_label_path t path ~cost =
     List.iter
       (fun s -> Array.iter (fun u -> Hashtbl.replace result u ()) t.extents.(s))
       !frontier;
-    List.sort compare (Hashtbl.fold (fun u () acc -> u :: acc) result [])
+    List.sort Int.compare (Hashtbl.fold (fun u () acc -> u :: acc) result [])
   end

@@ -45,14 +45,12 @@ let enforce_definition3 t =
   while not (Queue.is_empty queue) do
     let w = Queue.pop queue in
     let kw = (Index_graph.node t w).Index_graph.k in
-    Int_set.iter
-      (fun x ->
+    Index_graph.iter_children t w (fun x ->
         let nx = Index_graph.node t x in
         if kw + 1 < nx.Index_graph.k then begin
           Index_graph.set_k t x (kw + 1);
           Queue.add x queue
         end)
-      (Index_graph.node t w).Index_graph.children
   done
 
 let rebuild idx ~reqs =

@@ -12,7 +12,7 @@ let parent_groups t extent =
     (fun u ->
       let ps = ref [] in
       Data_graph.iter_parents data u (fun p -> ps := Index_graph.cls t p :: !ps);
-      let key = List.sort_uniq compare !ps in
+      let key = List.sort_uniq Int.compare !ps in
       match Hashtbl.find_opt table key with
       | None ->
         order := key :: !order;
@@ -40,11 +40,12 @@ and promote_live t id ~k =
        is cyclic, so re-dispatch if [id] died. *)
     let rec ensure_parents () =
       if Index_graph.is_alive t id then begin
-        let nd = Index_graph.node t id in
         let weak =
-          Int_set.filter (fun p -> (Index_graph.node t p).k < k - 1) nd.parents
+          List.find_opt
+            (fun p -> (Index_graph.node t p).k < k - 1)
+            (Index_graph.parents_list t id)
         in
-        match Int_set.choose_opt weak with
+        match weak with
         | None -> ()
         | Some p ->
           ignore (promote t p ~k:(k - 1));

@@ -15,15 +15,16 @@ let extend t set =
     (fun path witnesses acc ->
       Int_set.fold
         (fun w acc ->
-          Int_set.fold
-            (fun x acc ->
+          let acc = ref acc in
+          Index_graph.iter_parents t w (fun x ->
               let key = label_code t x :: path in
-              Path_map.update key
-                (function
-                  | None -> Some (Int_set.singleton x)
-                  | Some s -> Some (Int_set.add x s))
-                acc)
-            (Index_graph.node t w).parents acc)
+              acc :=
+                Path_map.update key
+                  (function
+                    | None -> Some (Int_set.singleton x)
+                    | Some s -> Some (Int_set.add x s))
+                  !acc);
+          !acc)
         witnesses acc)
     set Path_map.empty
 
@@ -34,15 +35,16 @@ let update_local_similarity t ~u ~v =
   else begin
     let new_set = Path_map.singleton [ label_code t u ] (Int_set.singleton u) in
     let old_set =
-      Int_set.fold
-        (fun p acc ->
-          Path_map.update
-            [ label_code t p ]
-            (function
-              | None -> Some (Int_set.singleton p)
-              | Some s -> Some (Int_set.add p s))
-            acc)
-        nv.parents Path_map.empty
+      let acc = ref Path_map.empty in
+      Index_graph.iter_parents t v (fun p ->
+          acc :=
+            Path_map.update
+              [ label_code t p ]
+              (function
+                | None -> Some (Int_set.singleton p)
+                | Some s -> Some (Int_set.add p s))
+              !acc);
+      !acc
     in
     let rec loop k_new new_set old_set =
       if k_new >= upbound then k_new
@@ -68,14 +70,12 @@ let lower_and_broadcast t iv k_new =
   while not (Queue.is_empty queue) do
     let w = Queue.pop queue in
     let kw = (Index_graph.node t w).k in
-    Int_set.iter
-      (fun x ->
+    Index_graph.iter_children t w (fun x ->
         let nx = Index_graph.node t x in
         if kw + 1 < nx.k then begin
           Index_graph.set_k t x (kw + 1);
           Queue.add x queue
         end)
-      (Index_graph.node t w).children
   done
 
 let add_edge t u v =
@@ -86,12 +86,16 @@ let add_edge t u v =
       m "edge %d->%d: index %d->%d, k(%d) %d -> %d" u v iu iv iv
         (Index_graph.node t iv).k k_n);
   Data_graph.add_edge data u v;
+  (* The data edge changes validation answers even when the index edge
+     (and every k) is already in place. *)
+  Index_graph.touch t;
   Index_graph.add_index_edge t iu iv;
   lower_and_broadcast t iv k_n
 
 let remove_edge t u v =
   let data = Index_graph.data t in
   Data_graph.remove_edge data u v;
+  Index_graph.touch t;
   let iu = Index_graph.cls t u and iv = Index_graph.cls t v in
   let in_class w cls = Index_graph.cls t w = cls in
   let retains_parent = Data_graph.exists_parents data v (fun p -> in_class p iu) in

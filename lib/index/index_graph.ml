@@ -7,8 +7,19 @@ type inode = {
   mutable extent_size : int;
   mutable k : int;
   mutable req : int;
-  mutable parents : Int_set.t;
-  mutable children : Int_set.t;
+}
+
+(* Index adjacency mirrors Data_graph's layout: one flat offsets array
+   plus one flat neighbor array per direction (each run sorted
+   increasing), with an overflow layer — per-node extra-edge lists for
+   additions, a tombstone table for deletions — folded back into fresh
+   CSR arrays once it grows past a fraction of the edge count.  Index
+   node ids allocated after the last rebuild ([id >= csr_n]) live
+   purely in the overflow until the next fold. *)
+type adj = {
+  mutable off : int array;  (* csr_n + 1 offsets into arr *)
+  mutable arr : int array;  (* neighbor runs, each sorted increasing *)
+  mutable csr_n : int;  (* node-id space covered by the offsets *)
 }
 
 type t = {
@@ -17,6 +28,17 @@ type t = {
   mutable nodes : inode option array;
   mutable next_id : int;
   mutable n_alive : int;
+  mutable n_iedges : int;  (* live index edges, maintained exactly *)
+  children : adj;
+  parents : adj;
+  mutable extra_children : int list array;  (* capacity tracks [nodes] *)
+  mutable extra_parents : int list array;
+  deleted : (int, unit) Hashtbl.t;  (* tombstoned CSR edges, keyed by [edge_key] *)
+  mutable del_out : int array;  (* id -> tombstoned out-edges; capacity tracks [nodes] *)
+  mutable del_in : int array;  (* id -> tombstoned in-edges *)
+  mutable n_extra : int;
+  mutable n_deleted : int;
+  mutable rebuild_at : int;  (* overflow size that triggers a rebuild *)
   by_label : int list array;
       (* label code -> index node ids, possibly stale; appended to on
          allocation and compacted on read only when [dead_in_bucket]
@@ -24,6 +46,8 @@ type t = {
   dead_in_bucket : int array;  (* label code -> dead ids still in bucket *)
   live_count : int array;  (* label code -> live index nodes *)
   forwards : (int, int list) Hashtbl.t;  (* dead id -> ids that replaced it *)
+  mutable generation : int;
+      (* bumped on every mutation; validation caches snapshot it *)
 }
 
 let k_infinite = max_int / 4
@@ -42,6 +66,10 @@ let is_alive t id = id >= 0 && id < t.next_id && Option.is_some t.nodes.(id)
 let cls t u = t.cls.(u)
 let root_node t = t.cls.(Data_graph.root t.data)
 let n_nodes t = t.n_alive
+let max_id t = t.next_id
+let n_edges t = t.n_iedges
+let generation t = t.generation
+let touch t = t.generation <- t.generation + 1
 
 let extent_mem nd u =
   Int_arr.mem_range nd.extent ~lo:0 ~hi:(Array.length nd.extent) u
@@ -58,7 +86,291 @@ let fold_alive t ~init ~f =
   iter_alive t (fun nd -> acc := f !acc nd);
   !acc
 
-let n_edges t = fold_alive t ~init:0 ~f:(fun acc nd -> acc + Int_set.cardinal nd.children)
+(* ------------------------------------------------------------------ *)
+(* Adjacency: CSR run (skipping tombstones when any exist) + overflow *)
+
+(* Tombstones are keyed by one immediate int, not an (int * int) tuple:
+   membership tests sit on the iteration hot path, and hashing a tuple
+   both allocates and follows pointers.  Index-node ids are array
+   indexes, far below 2^31, so the packing cannot collide.  [del_out] /
+   [del_in] count tombstones per endpoint so iteration over the vast
+   majority of nodes — whose runs contain no tombstoned edge — skips
+   the table entirely even mid-churn. *)
+let edge_key a b = (a lsl 31) lor b
+
+let iter_children t id f =
+  if id < t.children.csr_n then begin
+    let off = t.children.off and arr = t.children.arr in
+    if t.del_out.(id) = 0 then
+      for i = off.(id) to off.(id + 1) - 1 do
+        f arr.(i)
+      done
+    else
+      for i = off.(id) to off.(id + 1) - 1 do
+        if not (Hashtbl.mem t.deleted (edge_key id arr.(i))) then f arr.(i)
+      done
+  end;
+  if t.n_extra > 0 then List.iter f t.extra_children.(id)
+
+let iter_parents t id f =
+  if id < t.parents.csr_n then begin
+    let off = t.parents.off and arr = t.parents.arr in
+    if t.del_in.(id) = 0 then
+      for i = off.(id) to off.(id + 1) - 1 do
+        f arr.(i)
+      done
+    else
+      for i = off.(id) to off.(id + 1) - 1 do
+        if not (Hashtbl.mem t.deleted (edge_key arr.(i) id)) then f arr.(i)
+      done
+  end;
+  if t.n_extra > 0 then List.iter f t.extra_parents.(id)
+
+let exists_children t id pred =
+  let found = ref false in
+  if id < t.children.csr_n then begin
+    let off = t.children.off and arr = t.children.arr in
+    let i = ref off.(id) and hi = off.(id + 1) in
+    if t.del_out.(id) = 0 then
+      while (not !found) && !i < hi do
+        if pred arr.(!i) then found := true;
+        incr i
+      done
+    else
+      while (not !found) && !i < hi do
+        if (not (Hashtbl.mem t.deleted (edge_key id arr.(!i)))) && pred arr.(!i) then found := true;
+        incr i
+      done
+  end;
+  !found || (t.n_extra > 0 && List.exists pred t.extra_children.(id))
+
+let exists_parents t id pred =
+  let found = ref false in
+  if id < t.parents.csr_n then begin
+    let off = t.parents.off and arr = t.parents.arr in
+    let i = ref off.(id) and hi = off.(id + 1) in
+    if t.del_in.(id) = 0 then
+      while (not !found) && !i < hi do
+        if pred arr.(!i) then found := true;
+        incr i
+      done
+    else
+      while (not !found) && !i < hi do
+        if (not (Hashtbl.mem t.deleted (edge_key arr.(!i) id))) && pred arr.(!i) then found := true;
+        incr i
+      done
+  end;
+  !found || (t.n_extra > 0 && List.exists pred t.extra_parents.(id))
+
+let collect_sorted t a ~extra ~ndel ~del id =
+  let base = ref [] in
+  if id < a.csr_n then begin
+    let off = a.off and arr = a.arr in
+    for i = off.(id + 1) - 1 downto off.(id) do
+      if ndel = 0 || not (Hashtbl.mem t.deleted (del id arr.(i))) then
+        base := arr.(i) :: !base
+    done
+  end;
+  match (if t.n_extra = 0 then [] else extra.(id)) with
+  | [] -> !base
+  | extras -> List.merge Int.compare !base (List.sort Int.compare extras)
+
+let children_list t id =
+  collect_sorted t t.children ~extra:t.extra_children ~ndel:t.del_out.(id) ~del:edge_key id
+
+let parents_list t id =
+  collect_sorted t t.parents ~extra:t.extra_parents ~ndel:t.del_in.(id)
+    ~del:(fun a b -> edge_key b a) id
+
+let out_degree t id =
+  let d = ref 0 in
+  iter_children t id (fun _ -> incr d);
+  !d
+
+let in_degree t id =
+  let d = ref 0 in
+  iter_parents t id (fun _ -> incr d);
+  !d
+
+let in_csr t a b =
+  a < t.children.csr_n
+  && Int_arr.mem_range t.children.arr ~lo:t.children.off.(a) ~hi:t.children.off.(a + 1) b
+
+let has_index_edge t a b =
+  (not (t.del_out.(a) > 0 && Hashtbl.mem t.deleted (edge_key a b)))
+  && (in_csr t a b || (t.n_extra > 0 && List.memq b t.extra_children.(a)))
+
+(* Balances split bursts against read speed: rebuilding at m/4 made an
+   update cascade rebuild the CSR several times over, while letting the
+   overflow grow to m leaves enough edges outside the flat arrays to
+   slow query traversal measurably.  (Serving paths sidestep the
+   tradeoff entirely via [prepare_serving].) *)
+let rebuild_threshold m = max 64 (m / 2)
+
+(* Fold the overflow layer back into flat arrays covering every id
+   allocated so far.  Amortized: runs after O(n_iedges) overflow
+   operations and costs O(next_id + edges). *)
+let rebuild_csr t =
+  let n = t.next_id in
+  let deg = Array.make (n + 1) 0 in
+  for id = 0 to n - 1 do
+    iter_children t id (fun _ -> deg.(id + 1) <- deg.(id + 1) + 1)
+  done;
+  for i = 1 to n do
+    deg.(i) <- deg.(i) + deg.(i - 1)
+  done;
+  let fill = Array.copy deg in
+  let arr = Array.make deg.(n) 0 in
+  for id = 0 to n - 1 do
+    iter_children t id (fun c ->
+        arr.(fill.(id)) <- c;
+        fill.(id) <- fill.(id) + 1)
+  done;
+  for id = 0 to n - 1 do
+    Int_arr.sort_range arr ~lo:deg.(id) ~hi:deg.(id + 1)
+  done;
+  (* Reverse direction: scanning sources ascending appends each parent
+     in increasing order, so runs come out sorted without a sort. *)
+  let pdeg = Array.make (n + 1) 0 in
+  Array.iter (fun v -> pdeg.(v + 1) <- pdeg.(v + 1) + 1) arr;
+  for i = 1 to n do
+    pdeg.(i) <- pdeg.(i) + pdeg.(i - 1)
+  done;
+  let pfill = Array.copy pdeg in
+  let parr = Array.make (Array.length arr) 0 in
+  for id = 0 to n - 1 do
+    for i = deg.(id) to deg.(id + 1) - 1 do
+      let v = arr.(i) in
+      parr.(pfill.(v)) <- id;
+      pfill.(v) <- pfill.(v) + 1
+    done
+  done;
+  t.children.off <- deg;
+  t.children.arr <- arr;
+  t.children.csr_n <- n;
+  t.parents.off <- pdeg;
+  t.parents.arr <- parr;
+  t.parents.csr_n <- n;
+  let cap = Array.length t.nodes in
+  t.extra_children <- Array.make cap [];
+  t.extra_parents <- Array.make cap [];
+  Hashtbl.reset t.deleted;
+  t.del_out <- Array.make cap 0;
+  t.del_in <- Array.make cap 0;
+  t.n_extra <- 0;
+  t.n_deleted <- 0;
+  t.rebuild_at <- rebuild_threshold t.n_iedges
+
+let maybe_rebuild t = if t.n_extra + t.n_deleted > t.rebuild_at then rebuild_csr t
+
+let flatten t =
+  if t.n_extra + t.n_deleted > 0 || t.children.csr_n < t.next_id then rebuild_csr t
+
+let csr_children t =
+  flatten t;
+  (t.children.off, t.children.arr)
+
+let csr_parents t =
+  flatten t;
+  (t.parents.off, t.parents.arr)
+
+(* Raw edge insert/delete: exact dedup, exact [n_iedges], amortized
+   rebuild.  Do not bump [generation] here — the public entry points
+   do, once per logical operation. *)
+let add_edge_raw t a b =
+  if t.del_out.(a) > 0 && Hashtbl.mem t.deleted (edge_key a b) then begin
+    (* The slot still exists in the CSR: just lift the tombstone. *)
+    Hashtbl.remove t.deleted (edge_key a b);
+    t.del_out.(a) <- t.del_out.(a) - 1;
+    t.del_in.(b) <- t.del_in.(b) - 1;
+    t.n_deleted <- t.n_deleted - 1;
+    t.n_iedges <- t.n_iedges + 1
+  end
+  else if
+    not (in_csr t a b || (t.n_extra > 0 && List.memq b t.extra_children.(a)))
+  then begin
+    t.extra_children.(a) <- b :: t.extra_children.(a);
+    t.extra_parents.(b) <- a :: t.extra_parents.(b);
+    t.n_extra <- t.n_extra + 1;
+    t.n_iedges <- t.n_iedges + 1;
+    maybe_rebuild t
+  end
+
+let remove_once x l =
+  let rec go acc = function
+    | [] -> None
+    | y :: rest -> if y = x then Some (List.rev_append acc rest) else go (y :: acc) rest
+  in
+  go [] l
+
+(* No-op if the edge is absent. *)
+let remove_edge_raw t a b =
+  if t.del_out.(a) > 0 && Hashtbl.mem t.deleted (edge_key a b) then ()
+  else if in_csr t a b then begin
+    Hashtbl.replace t.deleted (edge_key a b) ();
+    t.del_out.(a) <- t.del_out.(a) + 1;
+    t.del_in.(b) <- t.del_in.(b) + 1;
+    t.n_deleted <- t.n_deleted + 1;
+    t.n_iedges <- t.n_iedges - 1;
+    maybe_rebuild t
+  end
+  else
+    match remove_once b t.extra_children.(a) with
+    | None -> ()
+    | Some rest ->
+      t.extra_children.(a) <- rest;
+      (match remove_once a t.extra_parents.(b) with
+      | Some rest -> t.extra_parents.(b) <- rest
+      | None -> assert false);
+      t.n_extra <- t.n_extra - 1;
+      t.n_iedges <- t.n_iedges - 1
+
+(* ------------------------------------------------------------------ *)
+(* Node allocation *)
+
+let grow_capacity t =
+  let cap = max 16 (2 * Array.length t.nodes) in
+  let nodes = Array.make cap None in
+  Array.blit t.nodes 0 nodes 0 t.next_id;
+  t.nodes <- nodes;
+  let ec = Array.make cap [] and ep = Array.make cap [] in
+  Array.blit t.extra_children 0 ec 0 t.next_id;
+  Array.blit t.extra_parents 0 ep 0 t.next_id;
+  t.extra_children <- ec;
+  t.extra_parents <- ep;
+  let dout = Array.make cap 0 and din = Array.make cap 0 in
+  Array.blit t.del_out 0 dout 0 t.next_id;
+  Array.blit t.del_in 0 din 0 t.next_id;
+  t.del_out <- dout;
+  t.del_in <- din
+
+let alloc t ~label ~extent ~k ~req =
+  if t.next_id >= Array.length t.nodes then grow_capacity t;
+  let id = t.next_id in
+  let nd = { id; label; extent; extent_size = Array.length extent; k; req } in
+  t.nodes.(id) <- Some nd;
+  t.next_id <- id + 1;
+  t.n_alive <- t.n_alive + 1;
+  let code = Label.to_int label in
+  t.by_label.(code) <- id :: t.by_label.(code);
+  t.live_count.(code) <- t.live_count.(code) + 1;
+  nd
+
+let kill t id =
+  match t.nodes.(id) with
+  | Some nd ->
+    t.nodes.(id) <- None;
+    t.n_alive <- t.n_alive - 1;
+    let code = Label.to_int nd.label in
+    t.dead_in_bucket.(code) <- t.dead_in_bucket.(code) + 1;
+    t.live_count.(code) <- t.live_count.(code) - 1
+  | None -> ()
+
+(* Drop every edge incident to [id] (both directions; a self-loop is
+   removed once, the second removal being a no-op). *)
+let detach_all t id =
+  List.iter (fun c -> remove_edge_raw t id c) (children_list t id);
+  List.iter (fun p -> remove_edge_raw t p id) (parents_list t id)
 
 let nodes_with_label t l =
   let code = Label.to_int l in
@@ -79,56 +391,13 @@ let max_k t =
   fold_alive t ~init:0 ~f:(fun acc nd ->
       if nd.k < k_infinite && nd.k > acc then nd.k else acc)
 
-let alloc t ~label ~extent ~k ~req =
-  if t.next_id >= Array.length t.nodes then begin
-    let nodes = Array.make (max 16 (2 * Array.length t.nodes)) None in
-    Array.blit t.nodes 0 nodes 0 t.next_id;
-    t.nodes <- nodes
-  end;
-  let id = t.next_id in
-  let nd =
-    {
-      id;
-      label;
-      extent;
-      extent_size = Array.length extent;
-      k;
-      req;
-      parents = Int_set.empty;
-      children = Int_set.empty;
-    }
-  in
-  t.nodes.(id) <- Some nd;
-  t.next_id <- id + 1;
-  t.n_alive <- t.n_alive + 1;
-  let code = Label.to_int label in
-  t.by_label.(code) <- id :: t.by_label.(code);
-  t.live_count.(code) <- t.live_count.(code) + 1;
-  nd
-
-let kill t id =
-  match t.nodes.(id) with
-  | Some nd ->
-    t.nodes.(id) <- None;
-    t.n_alive <- t.n_alive - 1;
-    let code = Label.to_int nd.label in
-    t.dead_in_bucket.(code) <- t.dead_in_bucket.(code) + 1;
-    t.live_count.(code) <- t.live_count.(code) - 1
-  | None -> ()
-
 (* Recompute [nd]'s adjacency from the data graph and patch neighbors'
-   sets to point back.  [t.cls] must already map nd's extent to nd.id. *)
+   runs to point back.  [t.cls] must already map nd's extent to nd.id. *)
 let attach_edges t nd =
   Array.iter
     (fun u ->
-      Data_graph.iter_parents t.data u (fun p ->
-          let pc = t.cls.(p) in
-          nd.parents <- Int_set.add pc nd.parents;
-          (node t pc).children <- Int_set.add nd.id (node t pc).children);
-      Data_graph.iter_children t.data u (fun c ->
-          let cc = t.cls.(c) in
-          nd.children <- Int_set.add cc nd.children;
-          (node t cc).parents <- Int_set.add nd.id (node t cc).parents))
+      Data_graph.iter_parents t.data u (fun p -> add_edge_raw t t.cls.(p) nd.id);
+      Data_graph.iter_children t.data u (fun c -> add_edge_raw t nd.id t.cls.(c)))
     nd.extent
 
 let of_partition g ~cls ~n_classes ~k_of_class ~req_of_class =
@@ -162,10 +431,22 @@ let of_partition g ~cls ~n_classes ~k_of_class ~req_of_class =
       nodes = Array.make (max 16 n_classes) None;
       next_id = 0;
       n_alive = 0;
+      n_iedges = 0;
+      children = { off = [| 0 |]; arr = [||]; csr_n = 0 };
+      parents = { off = [| 0 |]; arr = [||]; csr_n = 0 };
+      extra_children = Array.make (max 16 n_classes) [];
+      extra_parents = Array.make (max 16 n_classes) [];
+      deleted = Hashtbl.create 8;
+      del_out = Array.make (max 16 n_classes) 0;
+      del_in = Array.make (max 16 n_classes) 0;
+      n_extra = 0;
+      n_deleted = 0;
+      rebuild_at = 32;
       by_label = Array.make (Label.Pool.count (Data_graph.pool g)) [];
       dead_in_bucket = Array.make (Label.Pool.count (Data_graph.pool g)) 0;
       live_count = Array.make (Label.Pool.count (Data_graph.pool g)) 0;
       forwards = Hashtbl.create 64;
+      generation = 0;
     }
   in
   for c = 0 to n_classes - 1 do
@@ -174,11 +455,28 @@ let of_partition g ~cls ~n_classes ~k_of_class ~req_of_class =
     | Some label ->
       ignore (alloc t ~label ~extent:extents.(c) ~k:(k_of_class c) ~req:(req_of_class c))
   done;
-  (* Edges: project every data edge to its (class, class) pair and
-     dedup so the balanced-set inserts run only once per distinct index
-     edge (data edges repeat heavily).  A flat byte matrix keeps the
-     per-edge check to two loads when the class count is small; huge
-     partitions fall back to a hash table. *)
+  (* Edges: project every data edge to its (class, class) pair, dedup,
+     then counting-sort the distinct pairs straight into the CSR
+     layout.  A flat byte matrix keeps the per-edge check to two loads
+     when the class count is small; huge partitions fall back to a
+     hash table. *)
+  let deg = Array.make (n_classes + 1) 0 in
+  let srcs = ref (Array.make 1024 0) and dsts = ref (Array.make 1024 0) in
+  let m = ref 0 in
+  let push a b =
+    if !m >= Array.length !srcs then begin
+      let cap = 2 * Array.length !srcs in
+      let s = Array.make cap 0 and d = Array.make cap 0 in
+      Array.blit !srcs 0 s 0 !m;
+      Array.blit !dsts 0 d 0 !m;
+      srcs := s;
+      dsts := d
+    end;
+    !srcs.(!m) <- a;
+    !dsts.(!m) <- b;
+    incr m;
+    deg.(a + 1) <- deg.(a + 1) + 1
+  in
   if n_classes * n_classes <= 1 lsl 22 then begin
     let seen = Bytes.make (n_classes * n_classes) '\000' in
     Data_graph.iter_edges g (fun u v ->
@@ -186,9 +484,7 @@ let of_partition g ~cls ~n_classes ~k_of_class ~req_of_class =
         let i = (a * n_classes) + b in
         if Bytes.unsafe_get seen i = '\000' then begin
           Bytes.unsafe_set seen i '\001';
-          let na = node t a and nb = node t b in
-          na.children <- Int_set.add b na.children;
-          nb.parents <- Int_set.add a nb.parents
+          push a b
         end)
   end
   else begin
@@ -198,11 +494,44 @@ let of_partition g ~cls ~n_classes ~k_of_class ~req_of_class =
         let key = (a * n_classes) + b in
         if not (Hashtbl.mem seen key) then begin
           Hashtbl.add seen key ();
-          let na = node t a and nb = node t b in
-          na.children <- Int_set.add b na.children;
-          nb.parents <- Int_set.add a nb.parents
+          push a b
         end)
   end;
+  for i = 1 to n_classes do
+    deg.(i) <- deg.(i) + deg.(i - 1)
+  done;
+  let cfill = Array.copy deg in
+  let carr = Array.make !m 0 in
+  for i = 0 to !m - 1 do
+    let a = !srcs.(i) in
+    carr.(cfill.(a)) <- !dsts.(i);
+    cfill.(a) <- cfill.(a) + 1
+  done;
+  for c = 0 to n_classes - 1 do
+    Int_arr.sort_range carr ~lo:deg.(c) ~hi:deg.(c + 1)
+  done;
+  let pdeg = Array.make (n_classes + 1) 0 in
+  Array.iter (fun v -> pdeg.(v + 1) <- pdeg.(v + 1) + 1) carr;
+  for i = 1 to n_classes do
+    pdeg.(i) <- pdeg.(i) + pdeg.(i - 1)
+  done;
+  let pfill = Array.copy pdeg in
+  let parr = Array.make !m 0 in
+  for a = 0 to n_classes - 1 do
+    for i = deg.(a) to deg.(a + 1) - 1 do
+      let b = carr.(i) in
+      parr.(pfill.(b)) <- a;
+      pfill.(b) <- pfill.(b) + 1
+    done
+  done;
+  t.children.off <- deg;
+  t.children.arr <- carr;
+  t.children.csr_n <- n_classes;
+  t.parents.off <- pdeg;
+  t.parents.arr <- parr;
+  t.parents.csr_n <- n_classes;
+  t.n_iedges <- !m;
+  t.rebuild_at <- rebuild_threshold !m;
   t
 
 let split t id groups =
@@ -219,13 +548,8 @@ let split t id groups =
     List.iter
       (fun g -> if Array.length g = 0 then invalid_arg "Index_graph.split: empty group")
       groups;
-    (* Detach the old node from its neighbors. *)
-    Int_set.iter
-      (fun p -> if p <> id then (node t p).children <- Int_set.remove id (node t p).children)
-      old.parents;
-    Int_set.iter
-      (fun c -> if c <> id then (node t c).parents <- Int_set.remove id (node t c).parents)
-      old.children;
+    touch t;
+    detach_all t id;
     kill t id;
     let fresh =
       List.map
@@ -249,17 +573,44 @@ let resolve t id =
   go id
 
 let add_index_edge t a b =
-  let na = node t a and nb = node t b in
-  na.children <- Int_set.add b na.children;
-  nb.parents <- Int_set.add a nb.parents
+  ignore (node t a);
+  ignore (node t b);
+  touch t;
+  add_edge_raw t a b
 
 let remove_index_edge t a b =
-  let na = node t a and nb = node t b in
-  na.children <- Int_set.remove b na.children;
-  nb.parents <- Int_set.remove a nb.parents
+  ignore (node t a);
+  ignore (node t b);
+  touch t;
+  remove_edge_raw t a b
 
-let set_k t id k = (node t id).k <- k
-let set_req t id req = (node t id).req <- req
+let set_k t id k =
+  let nd = node t id in
+  if nd.k <> k then begin
+    touch t;
+    nd.k <- k
+  end
+
+let set_req t id req =
+  let nd = node t id in
+  if nd.req <> req then begin
+    touch t;
+    nd.req <- req
+  end
+
+let prepare_serving t =
+  flatten t;
+  Array.iteri
+    (fun code dead ->
+      if dead > 0 then begin
+        t.by_label.(code) <- List.filter (is_alive t) t.by_label.(code);
+        t.dead_in_bucket.(code) <- 0
+      end)
+    t.dead_in_bucket;
+  Data_graph.flatten t.data;
+  (* Force the data graph's lazy label table so concurrent readers
+     never race to build it. *)
+  ignore (Data_graph.nodes_with_label t.data (Data_graph.label t.data (Data_graph.root t.data)))
 
 let as_data_graph t =
   let map = Array.make t.n_alive 0 in
@@ -280,7 +631,7 @@ let as_data_graph t =
   let edges = ref [] in
   iter_alive t (fun nd ->
       let du = Hashtbl.find rev nd.id in
-      Int_set.iter (fun c -> edges := (du, Hashtbl.find rev c) :: !edges) nd.children);
+      iter_children t nd.id (fun c -> edges := (du, Hashtbl.find rev c) :: !edges));
   (Data_graph.make ~pool ~labels ~edges:!edges (), map)
 
 let compact t =
@@ -331,36 +682,57 @@ let check_invariants t =
           if not (Label.equal (Data_graph.label t.data u) nd.label) then
             fail "label mismatch in extent of %d" nd.id)
         nd.extent);
+  (* Edge store is internally consistent: runs sorted and deduped,
+     both directions agree, dead nodes carry no edges, and the edge
+     counter is exact. *)
+  let seen_edges = ref 0 in
+  for id = 0 to t.next_id - 1 do
+    let cl = children_list t id in
+    let pl = parents_list t id in
+    if not (is_alive t id) && (cl <> [] || pl <> []) then
+      fail "dead node %d still has edges" id;
+    let rec check_sorted = function
+      | a :: (b :: _ as rest) ->
+        if a >= b then fail "adjacency run of %d not sorted/deduped" id;
+        check_sorted rest
+      | _ -> ()
+    in
+    check_sorted cl;
+    check_sorted pl;
+    List.iter
+      (fun c ->
+        incr seen_edges;
+        if not (List.mem id (parents_list t c)) then
+          fail "edge %d -> %d missing reverse link" id c)
+      cl;
+    List.iter
+      (fun p ->
+        if not (List.mem id (children_list t p)) then
+          fail "edge %d -> %d missing forward link" p id)
+      pl
+  done;
+  if !seen_edges <> t.n_iedges then
+    fail "n_edges counter says %d but the store holds %d" t.n_iedges !seen_edges;
   (* Edges match the data graph exactly. *)
   let expected = Hashtbl.create 256 in
   Data_graph.iter_edges t.data (fun u v -> Hashtbl.replace expected (t.cls.(u), t.cls.(v)) ());
   iter_alive t (fun nd ->
-      Int_set.iter
-        (fun c ->
+      iter_children t nd.id (fun c ->
           if not (is_alive t c) then fail "edge %d -> dead %d" nd.id c;
           if not (Hashtbl.mem expected (nd.id, c)) then
-            fail "index edge %d -> %d has no data counterpart" nd.id c;
-          if not (Int_set.mem nd.id (node t c).parents) then
-            fail "edge %d -> %d missing reverse link" nd.id c)
-        nd.children;
-      Int_set.iter
-        (fun p ->
-          if not (is_alive t p) then fail "edge dead %d -> %d" p nd.id;
-          if not (Int_set.mem nd.id (node t p).children) then
-            fail "edge %d -> %d missing forward link" p nd.id)
-        nd.parents);
+            fail "index edge %d -> %d has no data counterpart" nd.id c);
+      iter_parents t nd.id (fun p ->
+          if not (is_alive t p) then fail "edge dead %d -> %d" p nd.id));
   Hashtbl.iter
     (fun (a, b) () ->
-      if not (Int_set.mem b (node t a).children) then
+      if not (has_index_edge t a b) then
         fail "data edge between extents of %d and %d missing in index" a b)
     expected;
   (* Definition 3: k(parent) >= k(child) - 1 along every index edge. *)
   iter_alive t (fun nd ->
-      Int_set.iter
-        (fun c ->
+      iter_children t nd.id (fun c ->
           let kc = (node t c).k in
-          if nd.k < kc - 1 then fail "D(k) violation: k(%d)=%d < k(%d)=%d - 1" nd.id nd.k c kc)
-        nd.children)
+          if nd.k < kc - 1 then fail "D(k) violation: k(%d)=%d < k(%d)=%d - 1" nd.id nd.k c kc))
 
 let stats_line t =
   let extent_total = fold_alive t ~init:0 ~f:(fun acc nd -> acc + nd.extent_size) in

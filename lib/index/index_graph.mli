@@ -16,7 +16,12 @@
     Index nodes can be split in place ({!split}); this is the
     primitive behind D(k) promotion and the A(k) propagate update.
     Splitting retires the old node id and allocates fresh ids, so ids
-    are stable for as long as a node is alive. *)
+    are stable for as long as a node is alive.
+
+    Adjacency is stored CSR-style (flat offsets + neighbor arrays per
+    direction) with an overflow layer absorbing mutations, folded back
+    in amortized batches — the same layout {!Data_graph} uses.  All
+    [iter_*]/[exists_*] traversals are allocation-free. *)
 
 open Dkindex_graph
 
@@ -27,8 +32,6 @@ type inode = private {
   mutable extent_size : int;
   mutable k : int;
   mutable req : int;
-  mutable parents : Int_set.t;  (** index node ids *)
-  mutable children : Int_set.t;
 }
 
 type t
@@ -66,7 +69,13 @@ val root_node : t -> int
 val n_nodes : t -> int
 (** Number of live index nodes (the "index size" of the figures). *)
 
+val max_id : t -> int
+(** One past the largest id ever allocated (dead or alive).  Dense
+    per-node working arrays should be sized by this. *)
+
 val n_edges : t -> int
+(** Number of live index edges, in O(1). *)
+
 val iter_alive : t -> (inode -> unit) -> unit
 val fold_alive : t -> init:'a -> f:('a -> inode -> 'a) -> 'a
 val nodes_with_label : t -> Label.t -> int list
@@ -87,6 +96,39 @@ val extent_min : inode -> int
 val max_k : t -> int
 (** Largest finite local similarity among live nodes (0 for an empty
     index). *)
+
+(** {1 Adjacency} *)
+
+val iter_children : t -> int -> (int -> unit) -> unit
+(** Apply to every index child of a node.  Allocation-free on the CSR
+    portion.  Order is unspecified (CSR run first, then overflow). *)
+
+val iter_parents : t -> int -> (int -> unit) -> unit
+
+val exists_children : t -> int -> (int -> bool) -> bool
+(** Short-circuiting existential over the children. *)
+
+val exists_parents : t -> int -> (int -> bool) -> bool
+
+val children_list : t -> int -> int list
+(** Children as a sorted, duplicate-free list (allocates). *)
+
+val parents_list : t -> int -> int list
+
+val has_index_edge : t -> int -> int -> bool
+(** [has_index_edge t a b] — whether the index edge [a -> b] exists.
+    Binary search on the CSR run plus an overflow probe. *)
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val csr_children : t -> int array * int array
+(** [(off, arr)] — flat child adjacency: children of [id] are
+    [arr.(off.(id)) .. arr.(off.(id+1) - 1)], sorted increasing.
+    Flattens any pending overflow first; the arrays remain valid until
+    the next mutation. *)
+
+val csr_parents : t -> int array * int array
 
 (** {1 Mutation} *)
 
@@ -112,6 +154,29 @@ val remove_index_edge : t -> int -> int -> unit
 
 val set_k : t -> int -> int -> unit
 val set_req : t -> int -> int -> unit
+
+(** {1 Cache invalidation} *)
+
+val generation : t -> int
+(** Monotone counter bumped by every mutation ({!split},
+    {!add_index_edge}, {!remove_index_edge}, {!set_k}, {!set_req},
+    {!touch}).  Caches over query results snapshot it and drop their
+    contents when it moves ({!Validation_cache}). *)
+
+val touch : t -> unit
+(** Explicitly bump {!generation}.  Update drivers call this when they
+    change state the index graph cannot see itself (e.g. a data-graph
+    edge insertion that maps to an already-present index edge but
+    still changes validation answers). *)
+
+(** {1 Serving} *)
+
+val prepare_serving : t -> unit
+(** Make the structure safe for concurrent read-only access from
+    multiple domains: flatten index and data adjacency into pure CSR
+    form, compact every label bucket, and force lazily-built tables.
+    After this, all query-side reads are mutation-free until the next
+    update.  {!Query_eval.eval_batch} calls it before spawning. *)
 
 (** {1 Derived views} *)
 

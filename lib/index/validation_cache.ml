@@ -1,0 +1,95 @@
+open Dkindex_graph
+open Dkindex_pathexpr
+
+type nfa_entry = {
+  nfa : Nfa.t;
+  table : Nfa.table;
+  node_memo : (int, bool) Hashtbl.t;
+      (* data node -> does some matching path end here?  Both polarities
+         are cacheable: [Matcher.node_matches_nfa] is a fixpoint over
+         the node's ancestor closure, deterministic on a fixed graph. *)
+}
+
+type t = {
+  idx : Index_graph.t;
+  mutable gen : int;
+  path_memos : (int list, (int * int, bool) Hashtbl.t) Hashtbl.t;
+      (* label-code word -> (node, position) -> prefix-match answer *)
+  nfa_entries : (Path_ast.t, nfa_entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create idx =
+  {
+    idx;
+    gen = Index_graph.generation idx;
+    path_memos = Hashtbl.create 16;
+    nfa_entries = Hashtbl.create 8;
+    hits = 0;
+    misses = 0;
+  }
+
+let index t = t.idx
+
+let invalidate t =
+  Hashtbl.reset t.path_memos;
+  (* Compiled automata depend only on the expression and the label
+     pool, which never change under an index mutation — only the
+     per-node answers go. *)
+  Hashtbl.iter (fun _ e -> Hashtbl.reset e.node_memo) t.nfa_entries;
+  t.gen <- Index_graph.generation t.idx
+
+(* Every lookup passes through here: a generation moved by any index or
+   data mutation (split, promotion, demotion, edge updates — all bump
+   it, see {!Index_graph.generation}) drops the memoized answers before
+   they can be served stale. *)
+let sync t = if Index_graph.generation t.idx <> t.gen then invalidate t
+
+let path_validator t path ~cost =
+  sync t;
+  let key = Array.fold_right (fun l acc -> Label.to_int l :: acc) path [] in
+  let memo =
+    match Hashtbl.find_opt t.path_memos key with
+    | Some memo ->
+      t.hits <- t.hits + 1;
+      memo
+    | None ->
+      t.misses <- t.misses + 1;
+      let memo = Hashtbl.create 256 in
+      Hashtbl.add t.path_memos key memo;
+      memo
+  in
+  Matcher.make_path_validator ~memo (Index_graph.data t.idx) path ~cost
+
+let nfa_entry t expr =
+  sync t;
+  match Hashtbl.find_opt t.nfa_entries expr with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    e
+  | None ->
+    t.misses <- t.misses + 1;
+    let data = Index_graph.data t.idx in
+    let nfa = Nfa.compile (Data_graph.pool data) expr in
+    let table = Nfa.transition_table nfa ~n_labels:(Label.Pool.count (Data_graph.pool data)) in
+    let e = { nfa; table; node_memo = Hashtbl.create 256 } in
+    Hashtbl.add t.nfa_entries expr e;
+    e
+
+let nfa t expr =
+  let e = nfa_entry t expr in
+  (e.nfa, e.table)
+
+let nfa_validator t expr ~cost =
+  let e = nfa_entry t expr in
+  let data = Index_graph.data t.idx in
+  fun u ->
+    match Hashtbl.find_opt e.node_memo u with
+    | Some r -> r
+    | None ->
+      let r = Matcher.node_matches_nfa data e.nfa ~node:u ~cost in
+      Hashtbl.add e.node_memo u r;
+      r
+
+let stats t = (t.hits, t.misses)

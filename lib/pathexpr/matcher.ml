@@ -34,34 +34,86 @@ let eval_nfa g nfa ~cost =
   done;
   !result
 
+(* Scratch for [eval_label_path], reused across calls so a query that
+   touches a handful of nodes does not pay three O(n) array allocations.
+   Domain-local, so concurrent evaluation from worker domains (the batch
+   driver) cannot race.  The stamp array is never cleared: each call
+   claims a fresh band of stamp values above [gen], so stale entries
+   from earlier calls (all <= gen) can never collide. *)
+type scratch = {
+  mutable stamp : int array;
+  mutable cur : int array;
+  mutable nxt : int array;
+  mutable gen : int;
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () -> { stamp = [||]; cur = [||]; nxt = [||]; gen = 0 })
+
+let get_scratch n =
+  let s = Domain.DLS.get scratch_key in
+  if Array.length s.stamp < n then begin
+    s.stamp <- Array.make n 0;
+    s.cur <- Array.make n 0;
+    s.nxt <- Array.make n 0;
+    s.gen <- 0
+  end;
+  s
+
 let eval_label_path g path ~cost =
   let m = Array.length path in
   if m = 0 then []
   else begin
     let start = Data_graph.nodes_with_label g path.(0) in
     List.iter (fun _ -> Cost.visit_data cost) start;
-    let frontier = ref start in
-    for i = 1 to m - 1 do
-      let next = Hashtbl.create 64 in
+    if m = 1 then start (* sorted and duplicate-free already *)
+    else begin
+      (* Flat int-array frontiers with stamp-array dedup: stamp.(c) =
+         base + i marks c as already in level i's frontier, so no
+         hashing and no per-level table allocation. *)
+      let n = Data_graph.n_nodes g in
+      let s = get_scratch n in
+      let stamp = s.stamp in
+      let base = s.gen in
+      s.gen <- base + m;
+      let cur = ref s.cur and next = ref s.nxt in
+      let cur_len = ref 0 in
       List.iter
         (fun u ->
-          Data_graph.iter_children g u (fun c ->
-              if
-                Label.equal (Data_graph.label g c) path.(i)
-                && not (Hashtbl.mem next c)
-              then begin
-                Hashtbl.add next c ();
+          !cur.(!cur_len) <- u;
+          incr cur_len)
+        start;
+      for i = 1 to m - 1 do
+        let w = ref 0 in
+        let nxt = !next in
+        for j = 0 to !cur_len - 1 do
+          Data_graph.iter_children g !cur.(j) (fun c ->
+              if stamp.(c) <> base + i && Label.equal (Data_graph.label g c) path.(i) then begin
+                stamp.(c) <- base + i;
+                nxt.(!w) <- c;
+                incr w;
                 Cost.visit_data cost
-              end))
-        !frontier;
-      frontier := Hashtbl.fold (fun key () acc -> key :: acc) next []
-    done;
-    List.sort_uniq compare !frontier
+              end)
+        done;
+        let tmp = !cur in
+        cur := !next;
+        next := tmp;
+        cur_len := !w
+      done;
+      Int_arr.sort_range !cur ~lo:0 ~hi:!cur_len;
+      let result = ref [] in
+      for j = !cur_len - 1 downto 0 do
+        result := !cur.(j) :: !result
+      done;
+      !result
+    end
   end
 
-let make_path_validator g path ~cost =
+let make_path_validator ?memo g path ~cost =
   let m = Array.length path in
-  let memo : (int * int, bool) Hashtbl.t = Hashtbl.create 256 in
+  let memo : (int * int, bool) Hashtbl.t =
+    match memo with Some h -> h | None -> Hashtbl.create 256
+  in
   (* [matches u pos]: does path.(0 .. pos) match some node path ending
      at u?  pos strictly decreases along recursion, so no cycles. *)
   let rec matches u pos =
@@ -147,4 +199,4 @@ let eval_dfa g dfa ~cost =
   Hashtbl.iter
     (fun u live -> if Int_states.exists (Dfa.accepting dfa) live then result := u :: !result)
     states;
-  List.sort compare !result
+  List.sort Int.compare !result

@@ -23,13 +23,23 @@ val eval_label_path : Data_graph.t -> Label.t array -> cost:Cost.t -> int list
     query but cheaper.  Returns matching node ids, sorted. *)
 
 val make_path_validator :
-  Data_graph.t -> Label.t array -> cost:Cost.t -> int -> bool
+  ?memo:(int * int, bool) Hashtbl.t ->
+  Data_graph.t ->
+  Label.t array ->
+  cost:Cost.t ->
+  int ->
+  bool
 (** [make_path_validator g path ~cost] returns a predicate deciding
     whether the label path matches a given node, by walking parent
     edges backwards.  Memoized across calls: validating many candidate
     nodes of one query shares work, as an implementation would.  This
     is the paper's validation step; every (node, position) pair
-    explored counts as one data-node visit. *)
+    explored counts as one data-node visit.
+
+    [memo] supplies an external [(node, position) -> bool] table to use
+    instead of a fresh private one, letting a cache keep validation
+    work alive across queries ({!Validation_cache}).  Entries are only
+    valid for a fixed data graph and the same [path]. *)
 
 val node_matches_nfa : Data_graph.t -> Nfa.t -> node:int -> cost:Cost.t -> bool
 (** General (regex) validation of a single node: computes backward

@@ -10,6 +10,8 @@ type t = {
   accept : int;
   delta : (sym * int) list array;
   eps : int list array;
+  accepting_states : Bitset.t;
+      (* states whose epsilon closure contains [accept] *)
 }
 
 let n_states t = t.n_states
@@ -74,7 +76,28 @@ let compile pool expr =
   let delta_arr = Array.make n [] and eps_arr = Array.make n [] in
   List.iter (fun (u, edge) -> delta_arr.(u) <- edge :: delta_arr.(u)) !delta;
   List.iter (fun (u, v) -> eps_arr.(u) <- v :: eps_arr.(u)) !eps;
-  { n_states = n; start; accept; delta = delta_arr; eps = eps_arr }
+  (* Accepting states: backward epsilon reachability from [accept]. *)
+  let rev_eps = Array.make n [] in
+  List.iter (fun (u, v) -> rev_eps.(v) <- u :: rev_eps.(v)) !eps;
+  let accepting_states = Bitset.create n in
+  Bitset.add accepting_states accept;
+  let stack = ref [ accept ] in
+  let rec close () =
+    match !stack with
+    | [] -> ()
+    | q :: rest ->
+      stack := rest;
+      List.iter
+        (fun p ->
+          if not (Bitset.mem accepting_states p) then begin
+            Bitset.add accepting_states p;
+            stack := p :: !stack
+          end)
+        rev_eps.(q);
+      close ()
+  in
+  close ();
+  { n_states = n; start; accept; delta = delta_arr; eps = eps_arr; accepting_states }
 
 let eclose t set =
   let stack = ref [] in
@@ -115,6 +138,8 @@ let step t states l =
   next
 
 let accepting t states = Bitset.mem states t.accept
+
+let is_accepting_state t q = Bitset.mem t.accepting_states q
 
 (* Dense (state, label code) -> successor-set table.  Evaluators that
    repeatedly step singleton state sets (one per live NFA state per

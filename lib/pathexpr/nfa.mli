@@ -19,6 +19,12 @@ val step : t -> Bitset.t -> Dkindex_graph.Label.t -> Bitset.t
 
 val accepting : t -> Bitset.t -> bool
 
+val is_accepting_state : t -> int -> bool
+(** [is_accepting_state t q] — whether [q]'s epsilon closure contains
+    the accept state.  Backed by a bitset precomputed at {!compile}
+    time; O(1), no allocation.  On epsilon-closed state sets,
+    [accepting t s] holds iff [s] contains some accepting state. *)
+
 type table
 (** Dense [(state, label code)] transition table: each cell holds the
     epsilon-closed successor set of stepping that single state by that

@@ -254,7 +254,7 @@ let eval view t =
     Hashtbl.fold (fun w () acc -> w :: acc) next []
   in
   let result = List.fold_left step [ view.root ] t.steps in
-  List.sort compare result
+  List.sort Int.compare result
 
 let matches_at view n u =
   let fake = { steps = [ (Child, n) ] } in

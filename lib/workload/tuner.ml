@@ -49,7 +49,8 @@ let required_now t =
   Hashtbl.fold
     (fun target (n, k) acc -> if n >= hot_count then (target, k) :: acc else acc)
     counts []
-  |> List.sort compare
+  |> List.sort (fun (a, ka) (b, kb) ->
+         match String.compare a b with 0 -> Int.compare ka kb | c -> c)
 
 (* The smallest local similarity the index currently guarantees for a
    label, or None if the label has no index node. *)

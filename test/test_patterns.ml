@@ -111,8 +111,7 @@ let fb_tests =
         let g = random_graph ~seed:252 ~nodes:120 in
         let fb = Fb_index.build g in
         Index_graph.iter_alive fb (fun nd ->
-            Int_set.iter
-              (fun child_id ->
+            Index_graph.iter_children fb nd.Index_graph.id (fun child_id ->
                 let child = Index_graph.node fb child_id in
                 (* every member of the child has a parent in nd *)
                 Array.iter
@@ -129,8 +128,7 @@ let fb_tests =
                       (List.exists
                          (fun c -> Index_graph.cls fb c = child_id)
                          (Data_graph.children g u)))
-                  nd.Index_graph.extent)
-              nd.Index_graph.children));
+                  nd.Index_graph.extent)));
     test "on a chain the F&B index equals the 1-index" (fun () ->
         let g = chain_graph [ "a"; "b"; "c" ] in
         check_int "same size" (Index_graph.n_nodes (One_index.build g))

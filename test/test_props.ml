@@ -529,10 +529,11 @@ let reference_update_local_similarity idx ~u ~v =
   let rec paths_into id len =
     if len = 1 then [ [ label id ] ]
     else
-      Int_set.fold
-        (fun p acc ->
+      List.fold_left
+        (fun acc p ->
           List.fold_left (fun acc path -> (path @ [ label id ]) :: acc) acc (paths_into p (len - 1)))
-        (node id).Index_graph.parents []
+        []
+        (Index_graph.parents_list idx id)
   in
   let module S = Set.Make (struct
     type t = Dkindex_graph.Label.t list
@@ -550,9 +551,10 @@ let reference_update_local_similarity idx ~u ~v =
       ||
       let through = S.of_list (paths_into u len) in
       let old_paths =
-        Int_set.fold
-          (fun p acc -> List.fold_left (fun acc x -> S.add x acc) acc (paths_into p len))
-          (node v).Index_graph.parents S.empty
+        List.fold_left
+          (fun acc p -> List.fold_left (fun acc x -> S.add x acc) acc (paths_into p len))
+          S.empty
+          (Index_graph.parents_list idx v)
       in
       S.subset through old_paths && check (len + 1)
     in
