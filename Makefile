@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick bench-smoke bench-trajectory examples clean fmt
+.PHONY: all build test bench bench-quick bench-smoke bench-trajectory serve loadgen examples clean fmt
 
 all: build test bench-smoke
 
@@ -20,10 +20,18 @@ bench-quick:
 bench-smoke:
 	dune exec bench/trajectory.exe -- --smoke
 
-# Full trajectory pass: refreshes BENCH_PR2.json (current numbers),
+# Full trajectory pass: refreshes BENCH_PR3.json (current numbers),
 # keeping the recorded baselines for comparison.
 bench-trajectory:
-	dune exec bench/trajectory.exe -- --scale 40 --baseline BENCH_PR2.json --out BENCH_PR2.json
+	dune exec bench/trajectory.exe -- --scale 40 --baseline BENCH_PR3.json --out BENCH_PR3.json
+
+# Serve the pinned XMark dataset over TCP (dkserve protocol, DESIGN.md 9).
+serve:
+	dune exec dkindex-server -- --xmark 40 --port 7411 --workers 2 --snapshot auction.index
+
+# Drive a running server: throughput + latency percentiles.
+loadgen:
+	dune exec dkindex-loadgen -- --port 7411 --xmark 40 -c 4 -n 2000
 
 examples:
 	dune exec examples/quickstart.exe

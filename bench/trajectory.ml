@@ -5,7 +5,7 @@
    samples — timing noise on a shared machine is strictly additive, so
    the minimum is the robust estimator) plus a construction / query /
    update macro pass on XMark, and writes the results as JSON (default
-   BENCH_PR1.json).  An optional [--baseline prev.json] merges a
+   BENCH_PR3.json).  An optional [--baseline prev.json] merges a
    previous run into the output as per-benchmark {"baseline_ns",
    "after_ns"} pairs so a PR records its own before/after evidence.
 
@@ -21,9 +21,12 @@
 open Dkindex_graph
 open Dkindex_core
 module Cost = Dkindex_pathexpr.Cost
+module Server = Dkindex_server.Server
+module Client = Dkindex_server.Client
+module Wire = Dkindex_server.Wire
 
 let scale = ref 40
-let out_file = ref "BENCH_PR2.json"
+let out_file = ref "BENCH_PR3.json"
 let baseline_file = ref ""
 let smoke = ref false
 let no_out = ref false
@@ -31,7 +34,7 @@ let no_out = ref false
 let spec =
   [
     ("--scale", Arg.Set_int scale, "N  XMark scale for the macro pass (default 40)");
-    ("--out", Arg.Set_string out_file, "FILE  output JSON (default BENCH_PR2.json)");
+    ("--out", Arg.Set_string out_file, "FILE  output JSON (default BENCH_PR3.json)");
     ( "--baseline",
       Arg.Set_string baseline_file,
       "FILE  merge a previous run as baseline_ns/after_ns pairs" );
@@ -388,6 +391,106 @@ let () =
     ~runs:n_updates
     (fun h -> List.iter (fun (u, v) -> Data_graph.add_edge h u v) edges);
   bench "extB:demote-rebuild" (fun () -> ignore (Dk_index.rebuild dk ~reqs));
+  (* Socket serving: an in-process dkserve instance on an ephemeral
+     port (2 query workers + 1 mutator, the default deployment shape),
+     driven by C concurrent client connections issuing synchronous
+     query-path requests from the pinned workload.  ns/op is wall
+     clock over the whole request volume — wire codec, loopback TCP,
+     queueing and evaluation included.  Latency entry is the p99 of
+     per-request round-trip times on one connection. *)
+  (let port_box = Atomic.make 0 in
+   let srv =
+     Domain.spawn (fun () ->
+         Server.run ~handle_signals:false
+           ~on_ready:(fun p -> Atomic.set port_box p)
+           {
+             Server.default_config with
+             port = 0;
+             workers = 2;
+             queue_depth = 1024;
+             deadline_s = 0.0;
+             idle_timeout_s = 0.0;
+           }
+           dk)
+   in
+   while Atomic.get port_box = 0 do
+     Unix.sleepf 0.002
+   done;
+   let port = Atomic.get port_box in
+   let qstrings = Array.of_list query_paths in
+   let request i =
+     Wire.Query_path
+       { flags = { no_cache = false }; labels = qstrings.(i mod Array.length qstrings) }
+   in
+   let expect_result i = function
+     | Wire.Result _ -> ()
+     | Wire.Error_reply { message; _ } ->
+       failwith (Printf.sprintf "serve bench request %d: %s" i message)
+     | _ -> failwith (Printf.sprintf "serve bench request %d: unexpected reply" i)
+   in
+   (* One timed pass: connect first, then a barrier, then the clock. *)
+   let socket_pass ~conns ~requests =
+     let ready = Atomic.make 0 and go = Atomic.make false in
+     let doms =
+       List.init conns (fun d ->
+           Domain.spawn (fun () ->
+               let c = Client.connect ~port () in
+               Atomic.incr ready;
+               while not (Atomic.get go) do
+                 Domain.cpu_relax ()
+               done;
+               let i = ref d in
+               while !i < requests do
+                 expect_result !i (Client.call c (request !i));
+                 i := !i + conns
+               done;
+               Client.close c))
+     in
+     while Atomic.get ready < conns do
+       Unix.sleepf 0.001
+     done;
+     let t0 = now_ns () in
+     Atomic.set go true;
+     List.iter Domain.join doms;
+     (now_ns () -. t0) /. float_of_int requests
+   in
+   let reps = if !smoke then 2 else 5 in
+   let requests = if !smoke then 60 else 600 in
+   List.iter
+     (fun conns ->
+       let name = Printf.sprintf "serve:socket-throughput-c%d" conns in
+       let samples = Array.init reps (fun _ -> socket_pass ~conns ~requests) in
+       Array.sort compare samples;
+       let ns = samples.(0) in
+       Printf.printf "  %-44s %12.0f ns/req\n%!" name ns;
+       entries := { name; after_ns = ns; baseline_ns = None } :: !entries)
+     [ 1; 2; 4 ];
+   (let requests = if !smoke then 60 else 1000 in
+    let lat = Array.make requests 0.0 in
+    let p99 () =
+      let c = Client.connect ~port () in
+      for i = 0 to requests - 1 do
+        let t0 = now_ns () in
+        expect_result i (Client.call c (request i));
+        lat.(i) <- now_ns () -. t0
+      done;
+      Client.close c;
+      Array.sort compare lat;
+      lat.(requests * 99 / 100)
+    in
+    let samples = Array.init (if !smoke then 1 else 3) (fun _ -> p99 ()) in
+    Array.sort compare samples;
+    let ns = samples.(0) in
+    Printf.printf "  %-44s %12.0f ns\n%!" "serve:socket-p99-latency" ns;
+    entries :=
+      { name = "serve:socket-p99-latency"; after_ns = ns; baseline_ns = None } :: !entries);
+   (* Stop the server over its own wire and reclaim the domain. *)
+   let c = Client.connect ~port () in
+   (match Client.call c Wire.Shutdown with
+   | Wire.Ok_reply _ -> ()
+   | _ -> failwith "serve bench: shutdown not acknowledged");
+   Client.close c;
+   Domain.join srv);
   let entries = List.rev !entries in
   (* Macro pass facts. *)
   let query_cost =

@@ -1,0 +1,184 @@
+(* dkindex-loadgen: drive a dkindex-server with N concurrent
+   connections.
+
+   Throughput mode (default) reports wall-clock request rate and
+   latency percentiles over the pinned query workload.
+
+   Check mode (--check) is the end-to-end correctness harness: it
+   rebuilds the server's dataset locally (same --xmark/--seed recipe),
+   then runs a query phase, an update phase (replayed locally through
+   Dk_update), and a second query phase — requiring every server
+   response to be bit-for-bit identical to the in-process
+   Query_eval.eval_batch answer, validation costs included (queries go
+   out with no_cache so cache warm-up cannot perturb costs). *)
+
+open Cmdliner
+open Dkindex_graph
+open Dkindex_core
+module Client = Dkindex_server.Client
+module Wire = Dkindex_server.Wire
+module Dataset = Dkindex_server.Dataset
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Server address")
+
+let port_arg = Arg.(value & opt int 7411 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port")
+
+let conns_arg =
+  Arg.(value & opt int 4 & info [ "c"; "connections" ] ~docv:"N" ~doc:"Concurrent connections")
+
+let requests_arg =
+  Arg.(
+    value & opt int 2000
+    & info [ "n"; "requests" ] ~docv:"N" ~doc:"Total requests (throughput mode)")
+
+let xmark_arg =
+  Arg.(
+    value & opt int 40
+    & info [ "xmark" ] ~docv:"SCALE" ~doc:"Dataset scale (must match the server)")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Dataset seed")
+
+let updates_arg =
+  Arg.(
+    value & opt int 50 & info [ "updates" ] ~docv:"N" ~doc:"Edge additions in check mode")
+
+let check_arg =
+  Arg.(value & flag & info [ "check" ] ~doc:"Verify responses against an in-process index")
+
+let no_cache_arg =
+  Arg.(value & flag & info [ "no-cache" ] ~doc:"Send queries with the no_cache flag")
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+(* Fan [f i] over [count] tasks on [conns] driver domains (task i on
+   domain i mod conns), each with its own connection. *)
+let fan_out ~host ~port ~conns ~count f =
+  let doms =
+    List.init conns (fun d ->
+        Domain.spawn (fun () ->
+            let c = Client.connect ~host ~port () in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                let i = ref d in
+                while !i < count do
+                  f c !i;
+                  i := !i + conns
+                done)))
+  in
+  List.iter Domain.join doms
+
+let query_of_labels ~no_cache labels =
+  Wire.Query_path { flags = { no_cache }; labels }
+
+let throughput ~host ~port ~conns ~requests ~no_cache (ds : Dataset.t) =
+  let queries = Array.of_list ds.queries in
+  let nq = Array.length queries in
+  let lat = Array.make requests 0.0 in
+  let t0 = Unix.gettimeofday () in
+  fan_out ~host ~port ~conns ~count:requests (fun c i ->
+      let q = query_of_labels ~no_cache queries.(i mod nq) in
+      let s = Unix.gettimeofday () in
+      (match Client.call c q with
+      | Wire.Result _ | Wire.Overloaded -> ()
+      | Wire.Error_reply { message; _ } ->
+        failwith (Printf.sprintf "request %d: server error: %s" i message)
+      | _ -> failwith (Printf.sprintf "request %d: unexpected response kind" i));
+      lat.(i) <- (Unix.gettimeofday () -. s) *. 1e6);
+  let wall = Unix.gettimeofday () -. t0 in
+  Array.sort compare lat;
+  Printf.printf "%d requests over %d connections in %.3f s: %.0f req/s\n" requests conns wall
+    (float_of_int requests /. wall);
+  Printf.printf "latency us: p50 %.0f  p95 %.0f  p99 %.0f  max %.0f\n" (percentile lat 0.50)
+    (percentile lat 0.95) (percentile lat 0.99)
+    lat.(Array.length lat - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Check mode *)
+
+let expect_result what = function
+  | Wire.Result r -> r
+  | Wire.Error_reply { message; _ } -> failwith (what ^ ": server error: " ^ message)
+  | Wire.Overloaded -> failwith (what ^ ": shed under a check workload")
+  | _ -> failwith (what ^ ": unexpected response kind")
+
+let compare_result ~what (got : Wire.query_result) (want : Query_eval.result) =
+  let fail fmt = Printf.ksprintf failwith ("%s: " ^^ fmt) what in
+  if Array.to_list got.nodes <> want.nodes then
+    fail "nodes differ (%d vs %d)" (Array.length got.nodes) (List.length want.nodes);
+  if got.index_visits <> want.cost.Dkindex_pathexpr.Cost.index_visits then
+    fail "index_visits %d <> %d" got.index_visits want.cost.index_visits;
+  if got.data_visits <> want.cost.Dkindex_pathexpr.Cost.data_visits then
+    fail "data_visits %d <> %d" got.data_visits want.cost.data_visits;
+  if got.n_candidates <> want.n_candidates then
+    fail "n_candidates %d <> %d" got.n_candidates want.n_candidates;
+  if got.n_certain <> want.n_certain then fail "n_certain %d <> %d" got.n_certain want.n_certain
+
+let intern_queries (ds : Dataset.t) =
+  let pool = Data_graph.pool ds.graph in
+  List.map
+    (fun labels -> Array.of_list (List.map (Label.Pool.intern pool) labels))
+    ds.queries
+
+let query_phase ~host ~port ~conns ~phase (ds : Dataset.t) =
+  let queries = Array.of_list ds.queries in
+  let nq = Array.length queries in
+  let got = Array.make nq None in
+  fan_out ~host ~port ~conns ~count:nq (fun c i ->
+      let r = Client.call c (query_of_labels ~no_cache:true queries.(i)) in
+      got.(i) <- Some (expect_result (Printf.sprintf "%s query %d" phase i) r));
+  let want =
+    Query_eval.eval_batch ~domains:1 ~strategy:`Forward ~cache:false ds.index
+      (intern_queries ds)
+  in
+  Array.iteri
+    (fun i w ->
+      match got.(i) with
+      | None -> failwith (Printf.sprintf "%s query %d: no response" phase i)
+      | Some g -> compare_result ~what:(Printf.sprintf "%s query %d" phase i) g w)
+    want;
+  nq
+
+let check ~host ~port ~conns ~updates (ds : Dataset.t) =
+  let n1 = query_phase ~host ~port ~conns ~phase:"phase-1" ds in
+  Printf.printf "phase 1: %d queries over %d connections match bit-for-bit\n%!" n1 conns;
+  let edges =
+    List.filteri (fun i _ -> i < updates) ds.update_edges
+    |> List.filter (fun (u, v) -> not (Data_graph.has_edge ds.graph u v))
+  in
+  let c = Client.connect ~host ~port () in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      List.iter
+        (fun (u, v) ->
+          (match Client.call c (Wire.Add_edge { u; v }) with
+          | Wire.Ok_reply _ -> ()
+          | Wire.Error_reply { message; _ } ->
+            failwith (Printf.sprintf "add_edge %d->%d: %s" u v message)
+          | _ -> failwith "add_edge: unexpected response");
+          Dk_update.add_edge ds.index u v)
+        edges);
+  Index_graph.prepare_serving ds.index;
+  Printf.printf "phase 2: %d edge additions applied on both sides\n%!" (List.length edges);
+  let n3 = query_phase ~host ~port ~conns ~phase:"phase-3" ds in
+  Printf.printf "phase 3: %d post-update queries match bit-for-bit\n%!" n3;
+  Printf.printf "check OK\n%!"
+
+let main host port conns requests xmark seed updates do_check no_cache =
+  let ds = Dataset.make ~seed ~scale:xmark () in
+  if do_check then check ~host ~port ~conns ~updates ds
+  else throughput ~host ~port ~conns ~requests ~no_cache ds
+
+let cmd =
+  let doc = "load-generate against dkindex-server; --check verifies bit-for-bit answers" in
+  Cmd.v
+    (Cmd.info "dkindex-loadgen" ~doc)
+    Term.(
+      const main $ host_arg $ port_arg $ conns_arg $ requests_arg $ xmark_arg $ seed_arg
+      $ updates_arg $ check_arg $ no_cache_arg)
+
+let () = exit (Cmd.eval cmd)

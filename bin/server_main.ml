@@ -1,0 +1,91 @@
+(* dkindex-server: serve a D(k)-index over TCP (the dkserve wire
+   protocol).  The index comes from a saved snapshot (--load) or is
+   built from the pinned deterministic XMark dataset (--xmark SCALE),
+   which is what dkindex-loadgen's check mode reconstructs locally. *)
+
+open Cmdliner
+module Server = Dkindex_server.Server
+module Index_serial = Dkindex_core.Index_serial
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Listen address (numeric)")
+
+let port_arg =
+  Arg.(value & opt int 7411 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Port (0 = ephemeral)")
+
+let xmark_arg =
+  Arg.(
+    value & opt int 40
+    & info [ "xmark" ] ~docv:"SCALE" ~doc:"Serve the pinned XMark dataset at this scale")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Dataset seed")
+
+let load_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "load" ] ~docv:"FILE" ~doc:"Serve a saved index snapshot instead of --xmark")
+
+let workers_arg =
+  Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc:"Query worker domains")
+
+let queue_arg =
+  Arg.(value & opt int 256 & info [ "queue-depth" ] ~docv:"N" ~doc:"Bound before shedding")
+
+let deadline_arg =
+  Arg.(
+    value & opt float 10.0
+    & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Per-request deadline (<= 0 disables)")
+
+let idle_arg =
+  Arg.(
+    value & opt float 60.0
+    & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc:"Close idle connections (<= 0 disables)")
+
+let snapshot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot" ] ~docv:"FILE"
+        ~doc:"Snapshot target (Snapshot requests and the final drain write here)")
+
+let serve host port xmark seed load workers queue_depth deadline idle snapshot =
+  let index =
+    match load with
+    | Some file ->
+      Printf.printf "dkindex-server: loading %s\n%!" file;
+      Index_serial.load file
+    | None ->
+      Printf.printf "dkindex-server: building pinned XMark dataset (scale %d, seed %d)\n%!"
+        xmark seed;
+      (Dkindex_server.Dataset.make ~seed ~scale:xmark ()).index
+  in
+  let cfg =
+    {
+      Server.host;
+      port;
+      workers;
+      queue_depth;
+      deadline_s = deadline;
+      idle_timeout_s = idle;
+      max_frame = Dkindex_server.Wire.max_frame_default;
+      snapshot_path = snapshot;
+    }
+  in
+  Server.run
+    ~on_ready:(fun port ->
+      Printf.printf "dkindex-server: listening on %s:%d (pid %d)\n%!" host port (Unix.getpid ()))
+    cfg index;
+  Printf.printf "dkindex-server: drained, bye\n%!"
+
+let cmd =
+  let doc = "serve a D(k)-index over TCP (dkserve protocol)" in
+  Cmd.v
+    (Cmd.info "dkindex-server" ~doc)
+    Term.(
+      const serve $ host_arg $ port_arg $ xmark_arg $ seed_arg $ load_arg $ workers_arg
+      $ queue_arg $ deadline_arg $ idle_arg $ snapshot_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -43,8 +43,15 @@ let to_string g =
       Buffer.add_string buf (Data_graph.label_name g u);
       Buffer.add_char buf '\n');
   Buffer.add_string buf (Printf.sprintf "edges %d\n" (Data_graph.n_edges g));
+  (* Canonical (u, v) order: a graph mutated through the overflow
+     layer and its reloaded copy serialize byte-identically. *)
+  let edges = Array.make (Data_graph.n_edges g) (0, 0) in
+  let i = ref 0 in
   Data_graph.iter_edges g (fun u v ->
-      Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
+      edges.(!i) <- (u, v);
+      incr i);
+  Array.sort compare edges;
+  Array.iter (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v)) edges;
   let values = ref [] in
   Data_graph.iter_nodes g (fun u ->
       match Data_graph.value g u with

@@ -48,6 +48,9 @@ type t = {
   forwards : (int, int list) Hashtbl.t;  (* dead id -> ids that replaced it *)
   mutable generation : int;
       (* bumped on every mutation; validation caches snapshot it *)
+  mutable stamp_arr : int array;  (* scratch for [attach_edges] dedup *)
+  mutable stamp : int;
+  mutable scratch : int array;
 }
 
 let k_infinite = max_int / 4
@@ -204,8 +207,12 @@ let has_index_edge t a b =
    update cascade rebuild the CSR several times over, while letting the
    overflow grow to m leaves enough edges outside the flat arrays to
    slow query traversal measurably.  (Serving paths sidestep the
-   tradeoff entirely via [prepare_serving].) *)
-let rebuild_threshold m = max 64 (m / 2)
+   tradeoff entirely via [prepare_serving].)  The threshold also charges
+   for the id space: [rebuild_csr] scans every id ever allocated, and
+   split cascades grow [next_id] well past the live edge count, so a
+   threshold in edges alone made cascades rebuild ever more expensively
+   at the same frequency. *)
+let rebuild_threshold ~next_id m = max 64 ((m + next_id) / 2)
 
 (* Fold the overflow layer back into flat arrays covering every id
    allocated so far.  Amortized: runs after O(n_iedges) overflow
@@ -259,7 +266,7 @@ let rebuild_csr t =
   t.del_in <- Array.make cap 0;
   t.n_extra <- 0;
   t.n_deleted <- 0;
-  t.rebuild_at <- rebuild_threshold t.n_iedges
+  t.rebuild_at <- rebuild_threshold ~next_id:t.next_id t.n_iedges
 
 let maybe_rebuild t = if t.n_extra + t.n_deleted > t.rebuild_at then rebuild_csr t
 
@@ -366,11 +373,104 @@ let kill t id =
     t.live_count.(code) <- t.live_count.(code) - 1
   | None -> ()
 
-(* Drop every edge incident to [id] (both directions; a self-loop is
-   removed once, the second removal being a no-op). *)
+(* Drop every edge incident to [id] (both directions).  Only called on
+   a node about to be retired by [split], so this is a bulk path: the
+   generic [remove_edge_raw] pays a [remove_once] list scan per edge,
+   which goes quadratic when the node's adjacency sits entirely in the
+   overflow layer (the common case for a freshly-split node that splits
+   again during an update cascade).  Here the CSR runs are tombstoned
+   wholesale — skipping the tombstone table entirely when the node has
+   no tombstones yet — and the node's own overflow lists are cleared in
+   one sweep, leaving only the unavoidable neighbor-side removals. *)
 let detach_all t id =
-  List.iter (fun c -> remove_edge_raw t id c) (children_list t id);
-  List.iter (fun p -> remove_edge_raw t p id) (parents_list t id)
+  (* CSR-resident out-edges. *)
+  if id < t.children.csr_n then begin
+    let off = t.children.off and arr = t.children.arr in
+    let lo = off.(id) and hi = off.(id + 1) in
+    if t.del_out.(id) = 0 then begin
+      (* No tombstone can name this node as source: every slot is live. *)
+      for i = lo to hi - 1 do
+        let c = arr.(i) in
+        Hashtbl.replace t.deleted (edge_key id c) ();
+        t.del_in.(c) <- t.del_in.(c) + 1;
+        t.n_deleted <- t.n_deleted + 1;
+        t.n_iedges <- t.n_iedges - 1
+      done;
+      t.del_out.(id) <- t.del_out.(id) + (hi - lo)
+    end
+    else
+      for i = lo to hi - 1 do
+        let c = arr.(i) in
+        if not (Hashtbl.mem t.deleted (edge_key id c)) then begin
+          Hashtbl.replace t.deleted (edge_key id c) ();
+          t.del_out.(id) <- t.del_out.(id) + 1;
+          t.del_in.(c) <- t.del_in.(c) + 1;
+          t.n_deleted <- t.n_deleted + 1;
+          t.n_iedges <- t.n_iedges - 1
+        end
+      done
+  end;
+  (* CSR-resident in-edges.  A self-loop tombstoned above left
+     [del_in id > 0], routing this loop through the probing branch. *)
+  if id < t.parents.csr_n then begin
+    let off = t.parents.off and arr = t.parents.arr in
+    let lo = off.(id) and hi = off.(id + 1) in
+    if t.del_in.(id) = 0 then begin
+      for i = lo to hi - 1 do
+        let p = arr.(i) in
+        Hashtbl.replace t.deleted (edge_key p id) ();
+        t.del_out.(p) <- t.del_out.(p) + 1;
+        t.n_deleted <- t.n_deleted + 1;
+        t.n_iedges <- t.n_iedges - 1
+      done;
+      t.del_in.(id) <- t.del_in.(id) + (hi - lo)
+    end
+    else
+      for i = lo to hi - 1 do
+        let p = arr.(i) in
+        if not (Hashtbl.mem t.deleted (edge_key p id)) then begin
+          Hashtbl.replace t.deleted (edge_key p id) ();
+          t.del_out.(p) <- t.del_out.(p) + 1;
+          t.del_in.(id) <- t.del_in.(id) + 1;
+          t.n_deleted <- t.n_deleted + 1;
+          t.n_iedges <- t.n_iedges - 1
+        end
+      done
+  end;
+  (* Overflow edges: clear this node's lists wholesale; only the
+     neighbor-side lists need a scan.  A self-loop appears in both of
+     the node's own lists but is one edge — count it once. *)
+  let removed = ref 0 in
+  (match t.extra_children.(id) with
+  | [] -> ()
+  | mine ->
+    List.iter
+      (fun c ->
+        incr removed;
+        if c <> id then
+          match remove_once id t.extra_parents.(c) with
+          | Some rest -> t.extra_parents.(c) <- rest
+          | None -> assert false)
+      mine;
+    t.extra_children.(id) <- []);
+  (match t.extra_parents.(id) with
+  | [] -> ()
+  | mine ->
+    List.iter
+      (fun p ->
+        if p <> id then begin
+          incr removed;
+          match remove_once id t.extra_children.(p) with
+          | Some rest -> t.extra_children.(p) <- rest
+          | None -> assert false
+        end)
+      mine;
+    t.extra_parents.(id) <- []);
+  if !removed > 0 then begin
+    t.n_extra <- t.n_extra - !removed;
+    t.n_iedges <- t.n_iedges - !removed
+  end;
+  maybe_rebuild t
 
 let nodes_with_label t l =
   let code = Label.to_int l in
@@ -391,14 +491,54 @@ let max_k t =
   fold_alive t ~init:0 ~f:(fun acc nd ->
       if nd.k < k_infinite && nd.k > acc then nd.k else acc)
 
+let ensure_scratch t =
+  if Array.length t.stamp_arr < t.next_id then begin
+    let cap = max 64 (2 * t.next_id) in
+    t.stamp_arr <- Array.make cap 0;
+    t.scratch <- Array.make cap 0;
+    t.stamp <- 0
+  end
+
 (* Recompute [nd]'s adjacency from the data graph and patch neighbors'
-   runs to point back.  [t.cls] must already map nd's extent to nd.id. *)
+   runs to point back.  [t.cls] must already map nd's extent to nd.id.
+   The distinct neighbor classes are collected first with a stamp-array
+   dedup so [add_edge_raw] (tombstone probe, binary search, overflow
+   scan) runs once per distinct index edge, not once per data edge. *)
 let attach_edges t nd =
+  ensure_scratch t;
+  let stamp_arr = t.stamp_arr and scratch = t.scratch in
+  t.stamp <- t.stamp + 1;
+  let s = t.stamp in
+  let n = ref 0 in
   Array.iter
     (fun u ->
-      Data_graph.iter_parents t.data u (fun p -> add_edge_raw t t.cls.(p) nd.id);
-      Data_graph.iter_children t.data u (fun c -> add_edge_raw t nd.id t.cls.(c)))
-    nd.extent
+      Data_graph.iter_parents t.data u (fun p ->
+          let ip = t.cls.(p) in
+          if stamp_arr.(ip) <> s then begin
+            stamp_arr.(ip) <- s;
+            scratch.(!n) <- ip;
+            incr n
+          end))
+    nd.extent;
+  for i = 0 to !n - 1 do
+    add_edge_raw t scratch.(i) nd.id
+  done;
+  t.stamp <- t.stamp + 1;
+  let s = t.stamp in
+  n := 0;
+  Array.iter
+    (fun u ->
+      Data_graph.iter_children t.data u (fun c ->
+          let ic = t.cls.(c) in
+          if stamp_arr.(ic) <> s then begin
+            stamp_arr.(ic) <- s;
+            scratch.(!n) <- ic;
+            incr n
+          end))
+    nd.extent;
+  for i = 0 to !n - 1 do
+    add_edge_raw t nd.id scratch.(i)
+  done
 
 let of_partition g ~cls ~n_classes ~k_of_class ~req_of_class =
   let n = Data_graph.n_nodes g in
@@ -447,6 +587,9 @@ let of_partition g ~cls ~n_classes ~k_of_class ~req_of_class =
       live_count = Array.make (Label.Pool.count (Data_graph.pool g)) 0;
       forwards = Hashtbl.create 64;
       generation = 0;
+      stamp_arr = [||];
+      stamp = 0;
+      scratch = [||];
     }
   in
   for c = 0 to n_classes - 1 do
@@ -531,7 +674,7 @@ let of_partition g ~cls ~n_classes ~k_of_class ~req_of_class =
   t.parents.arr <- parr;
   t.parents.csr_n <- n_classes;
   t.n_iedges <- !m;
-  t.rebuild_at <- rebuild_threshold !m;
+  t.rebuild_at <- rebuild_threshold ~next_id:t.next_id !m;
   t
 
 let split t id groups =

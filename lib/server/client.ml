@@ -1,0 +1,53 @@
+type t = { fd : Unix.file_descr; buf : Buffer.t; mutable next_id : int }
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  (try Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
+  { fd; buf = Buffer.create 256; next_id = 1 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let rec write_all fd b off len =
+  if len > 0 then
+    match Unix.write fd b off len with
+    | n -> write_all fd b (off + n) (len - n)
+    | exception Unix.Unix_error (EINTR, _, _) -> write_all fd b off len
+
+let send t req =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Buffer.clear t.buf;
+  Wire.encode_request t.buf ~id req;
+  let b = Buffer.to_bytes t.buf in
+  write_all t.fd b 0 (Bytes.length b);
+  id
+
+let send_raw_frame t payload =
+  let b = Bytes.of_string (Wire.frame_of_payload payload) in
+  write_all t.fd b 0 (Bytes.length b)
+
+let rec read_retry t b off len =
+  match Unix.read t.fd b off len with
+  | n -> n
+  | exception Unix.Unix_error (EINTR, _, _) -> read_retry t b off len
+
+let recv t =
+  match Wire.read_frame ~read:(read_retry t) () with
+  | `Eof -> failwith "Client.recv: connection closed"
+  | `Oversized n -> failwith (Printf.sprintf "Client.recv: oversized frame (%d bytes)" n)
+  | `Frame payload -> (
+    match Wire.decode_response payload with
+    | Ok d -> d
+    | Error msg -> failwith ("Client.recv: bad response: " ^ msg))
+
+let call t req =
+  let id = send t req in
+  let rec wait () =
+    let d = recv t in
+    if d.Wire.id = id then d.Wire.msg else wait ()
+  in
+  wait ()

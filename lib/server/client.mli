@@ -1,0 +1,29 @@
+(** Blocking dkserve client (used by the load generator, the smoke
+    test and the serving benchmarks).
+
+    One [t] is one TCP connection; it is not domain-safe — give each
+    concurrent driver its own connection. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> t
+(** Default host 127.0.0.1.  @raise Unix.Unix_error on refusal. *)
+
+val close : t -> unit
+
+val send : t -> Wire.request -> int
+(** Write one request frame; returns the request id (monotonically
+    increasing per connection) for matching against {!recv}. *)
+
+val recv : t -> Wire.response Wire.decoded
+(** Read one response frame.
+    @raise Failure on EOF, an oversized frame, or an undecodable
+    response. *)
+
+val call : t -> Wire.request -> Wire.response
+(** [send] then [recv] until the matching id comes back (out-of-order
+    responses to earlier pipelined requests are discarded). *)
+
+val send_raw_frame : t -> string -> unit
+(** Frame an arbitrary payload and write it verbatim — for protocol
+    fuzzing; a normal client never needs this. *)

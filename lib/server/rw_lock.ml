@@ -1,0 +1,47 @@
+type t = {
+  mu : Mutex.t;
+  can_read : Condition.t;
+  can_write : Condition.t;
+  mutable readers : int;  (* active readers *)
+  mutable writer : bool;  (* a writer holds the lock *)
+  mutable writers_waiting : int;
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    can_read = Condition.create ();
+    can_write = Condition.create ();
+    readers = 0;
+    writer = false;
+    writers_waiting = 0;
+  }
+
+let read t f =
+  Mutex.lock t.mu;
+  while t.writer || t.writers_waiting > 0 do
+    Condition.wait t.can_read t.mu
+  done;
+  t.readers <- t.readers + 1;
+  Mutex.unlock t.mu;
+  Fun.protect f ~finally:(fun () ->
+      Mutex.lock t.mu;
+      t.readers <- t.readers - 1;
+      if t.readers = 0 then Condition.signal t.can_write;
+      Mutex.unlock t.mu)
+
+let write t f =
+  Mutex.lock t.mu;
+  t.writers_waiting <- t.writers_waiting + 1;
+  while t.writer || t.readers > 0 do
+    Condition.wait t.can_write t.mu
+  done;
+  t.writers_waiting <- t.writers_waiting - 1;
+  t.writer <- true;
+  Mutex.unlock t.mu;
+  Fun.protect f ~finally:(fun () ->
+      Mutex.lock t.mu;
+      t.writer <- false;
+      if t.writers_waiting > 0 then Condition.signal t.can_write
+      else Condition.broadcast t.can_read;
+      Mutex.unlock t.mu)

@@ -1,0 +1,14 @@
+(** Writer-priority readers/writer lock over [Mutex]/[Condition]
+    (domain-safe in OCaml 5).
+
+    Query workers hold the read side while traversing the frozen index
+    ({!Dkindex_core.Index_graph.prepare_serving}); the single mutator
+    domain takes the write side for each update.  Writer priority —
+    new readers queue behind a waiting writer — keeps update latency
+    bounded under a saturating read load. *)
+
+type t
+
+val create : unit -> t
+val read : t -> (unit -> 'a) -> 'a
+val write : t -> (unit -> 'a) -> 'a

@@ -1,0 +1,505 @@
+open Dkindex_graph
+open Dkindex_core
+module Cost = Dkindex_pathexpr.Cost
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  queue_depth : int;
+  deadline_s : float;
+  idle_timeout_s : float;
+  max_frame : int;
+  snapshot_path : string option;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7411;
+    workers = 2;
+    queue_depth = 256;
+    deadline_s = 10.0;
+    idle_timeout_s = 60.0;
+    max_frame = Wire.max_frame_default;
+    snapshot_path = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Bounded multi-producer/multi-consumer queue.  [try_push] sheds when
+   full (the admission-control point); [pop] blocks and returns [None]
+   once the queue is closed and drained. *)
+
+module Bqueue = struct
+  type 'a t = {
+    mu : Mutex.t;
+    nonempty : Condition.t;
+    q : 'a Queue.t;
+    cap : int;
+    mutable closed : bool;
+  }
+
+  let create cap =
+    { mu = Mutex.create (); nonempty = Condition.create (); q = Queue.create (); cap; closed = false }
+
+  let try_push t x =
+    Mutex.lock t.mu;
+    let ok = (not t.closed) && Queue.length t.q < t.cap in
+    if ok then begin
+      Queue.push x t.q;
+      Condition.signal t.nonempty
+    end;
+    Mutex.unlock t.mu;
+    ok
+
+  let pop t =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.q && not t.closed do
+      Condition.wait t.nonempty t.mu
+    done;
+    let r = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+    Mutex.unlock t.mu;
+    r
+
+  let close t =
+    Mutex.lock t.mu;
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mu
+
+  let is_empty t =
+    Mutex.lock t.mu;
+    let r = Queue.is_empty t.q in
+    Mutex.unlock t.mu;
+    r
+end
+
+(* ------------------------------------------------------------------ *)
+(* Connections.  The main domain owns the read side (buffer, frame
+   extraction) and is the only closer of the file descriptor; any
+   domain may write a response under [wmu].  [closed] is flipped under
+   [wmu] before the descriptor is closed, so a writer holding [wmu]
+   can never race a close into a reused descriptor. *)
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable rbuf : Bytes.t;
+  mutable rlen : int;
+  wmu : Mutex.t;
+  mutable closed : bool;
+  mutable last_active : float;
+}
+
+type pending = { conn : conn; id : int; req : Wire.request; arrival : float }
+
+type state = {
+  cfg : config;
+  lock : Rw_lock.t;
+  mutable index : Index_graph.t;
+  readq : pending Bqueue.t;
+  writeq : pending Bqueue.t;
+  in_flight : int Atomic.t;
+  stop : bool Atomic.t;
+  served : int Atomic.t;
+  shed : int Atomic.t;
+  proto_errors : int Atomic.t;
+}
+
+(* Write every byte to a non-blocking socket, waiting for writability
+   between partial writes.  A peer that stops reading for ~30 s is
+   treated as dead (EPIPE) rather than wedging the writing domain. *)
+let write_all fd b off len =
+  let stalls = ref 0 in
+  let off = ref off and len = ref len in
+  while !len > 0 do
+    match Unix.write fd b !off !len with
+    | n ->
+      off := !off + n;
+      len := !len - n;
+      stalls := 0
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+      incr stalls;
+      if !stalls > 30 then raise (Unix.Unix_error (EPIPE, "write", "stalled peer"));
+      ignore (Unix.select [] [ fd ] [] 1.0)
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+  done
+
+let send_response conn ~id resp =
+  let buf = Buffer.create 256 in
+  Wire.encode_response buf ~id resp;
+  let b = Buffer.to_bytes buf in
+  Mutex.lock conn.wmu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock conn.wmu) @@ fun () ->
+  if not conn.closed then
+    try write_all conn.fd b 0 (Bytes.length b)
+    with Unix.Unix_error _ -> conn.closed <- true
+
+(* ------------------------------------------------------------------ *)
+(* Query workers *)
+
+let empty_result =
+  { Query_eval.nodes = []; cost = { Cost.index_visits = 0; data_visits = 0 }; n_candidates = 0; n_certain = 0 }
+
+let wire_result (r : Query_eval.result) : Wire.query_result =
+  {
+    nodes = Array.of_list r.nodes;
+    index_visits = r.cost.Cost.index_visits;
+    data_visits = r.cost.Cost.data_visits;
+    n_candidates = r.n_candidates;
+    n_certain = r.n_certain;
+  }
+
+(* Per-worker validation cache, re-created whenever the served index
+   is replaced wholesale (add_subgraph, demote). *)
+let worker_cache cache_ref idx =
+  match !cache_ref with
+  | Some c when Validation_cache.index c == idx -> c
+  | _ ->
+    let c = Validation_cache.create idx in
+    cache_ref := Some c;
+    c
+
+let eval_labels ?cache idx labels =
+  let pool = Data_graph.pool (Index_graph.data idx) in
+  let codes = List.map (Label.Pool.find_opt pool) labels in
+  if labels = [] || List.exists Option.is_none codes then empty_result
+  else Query_eval.eval_path ?cache idx (Array.of_list (List.map Option.get codes))
+
+let stats_kvs state idx =
+  let st = Index_stats.compute idx in
+  [
+    ("n_index_nodes", string_of_int st.Index_stats.n_nodes);
+    ("n_index_edges", string_of_int st.n_edges);
+    ("n_data_nodes", string_of_int st.n_data_nodes);
+    ("compression", Printf.sprintf "%.3f" st.compression);
+    ("largest_extent", string_of_int st.largest_extent);
+    ("generation", string_of_int (Index_graph.generation idx));
+    ("served", string_of_int (Atomic.get state.served));
+    ("shed", string_of_int (Atomic.get state.shed));
+    ("protocol_errors", string_of_int (Atomic.get state.proto_errors));
+    ("workers", string_of_int state.cfg.workers);
+  ]
+
+let handle_read state cache_ref req : Wire.response =
+  let idx = state.index in
+  let cache flags = if flags.Wire.no_cache then None else Some (worker_cache cache_ref idx) in
+  match req with
+  | Wire.Ping -> Wire.Pong
+  | Wire.Stats -> Wire.Stats_reply (stats_kvs state idx)
+  | Wire.Query { flags; expr } ->
+    Wire.Result (wire_result (Query_eval.eval_expr ?cache:(cache flags) idx expr))
+  | Wire.Query_path { flags; labels } ->
+    Wire.Result (wire_result (eval_labels ?cache:(cache flags) idx labels))
+  | Wire.Batch_query { flags; paths } ->
+    let cache = cache flags in
+    Wire.Batch_result
+      (Array.of_list (List.map (fun p -> wire_result (eval_labels ?cache idx p)) paths))
+  | _ -> Wire.Error_reply { code = `Protocol; message = "write request on read path" }
+
+let expired state p =
+  state.cfg.deadline_s > 0.0 && Unix.gettimeofday () -. p.arrival > state.cfg.deadline_s
+
+let deadline_reply = Wire.Error_reply { code = `Deadline; message = "deadline exceeded" }
+
+let worker_loop state () =
+  let cache_ref = ref None in
+  let rec go () =
+    match Bqueue.pop state.readq with
+    | None -> ()
+    | Some p ->
+      (if not p.conn.closed then
+         let resp =
+           if expired state p then deadline_reply
+           else
+             try Rw_lock.read state.lock (fun () -> handle_read state cache_ref p.req)
+             with e -> Wire.Error_reply { code = `App; message = Printexc.to_string e }
+         in
+         send_response p.conn ~id:p.id resp;
+         Atomic.incr state.served);
+      Atomic.decr state.in_flight;
+      go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* The mutator: all updates, applied in FIFO order under the write
+   lock.  [prepare_serving] runs before the lock is released so query
+   workers never materialize lazy index state concurrently. *)
+
+let apply_write state (p : pending) : Wire.response =
+  let ok () = Wire.Ok_reply { generation = Index_graph.generation state.index } in
+  let app msg : Wire.response = Error_reply { code = `App; message = msg } in
+  let check_node g id what =
+    if id < 0 || id >= Data_graph.n_nodes g then
+      failwith (Printf.sprintf "%s node %d out of range" what id)
+  in
+  try
+    match p.req with
+    | Wire.Add_edge { u; v } ->
+      let g = Index_graph.data state.index in
+      check_node g u "source";
+      check_node g v "target";
+      Dk_update.add_edge state.index u v;
+      Index_graph.prepare_serving state.index;
+      ok ()
+    | Wire.Remove_edge { u; v } ->
+      let g = Index_graph.data state.index in
+      check_node g u "source";
+      check_node g v "target";
+      Dk_update.remove_edge state.index u v;
+      Index_graph.prepare_serving state.index;
+      ok ()
+    | Wire.Add_subgraph { graph; reqs } ->
+      let h = Serial.of_string graph in
+      let _g', idx' = Dk_update.add_subgraph state.index h ~reqs in
+      Index_graph.prepare_serving idx';
+      state.index <- idx';
+      ok ()
+    | Wire.Promote [] ->
+      Dk_tune.promote_to_requirements state.index;
+      Index_graph.prepare_serving state.index;
+      ok ()
+    | Wire.Promote pairs ->
+      Dk_tune.promote_labels state.index pairs;
+      Index_graph.prepare_serving state.index;
+      ok ()
+    | Wire.Demote reqs ->
+      let idx' = Dk_tune.demote state.index ~reqs in
+      Index_graph.prepare_serving idx';
+      state.index <- idx';
+      ok ()
+    | Wire.Snapshot -> (
+      match state.cfg.snapshot_path with
+      | None -> app "no snapshot path configured"
+      | Some path ->
+        Index_serial.save path state.index;
+        ok ())
+    | Wire.Shutdown ->
+      let r = ok () in
+      Atomic.set state.stop true;
+      r
+    | _ -> app "read request on write path"
+  with
+  | Failure msg | Invalid_argument msg -> app msg
+  | e -> app (Printexc.to_string e)
+
+let mutator_loop state () =
+  let rec go () =
+    match Bqueue.pop state.writeq with
+    | None -> ()
+    | Some p ->
+      (if not p.conn.closed then
+         let resp =
+           if expired state p then deadline_reply
+           else Rw_lock.write state.lock (fun () -> apply_write state p)
+         in
+         send_response p.conn ~id:p.id resp;
+         Atomic.incr state.served);
+      Atomic.decr state.in_flight;
+      go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Main loop: accept, buffered reads, frame extraction, routing. *)
+
+let be32 b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+let dispatch state conn payload =
+  match Wire.decode_request payload with
+  | Error msg ->
+    Atomic.incr state.proto_errors;
+    send_response conn ~id:0 (Wire.Error_reply { code = `Protocol; message = msg })
+  | Ok { id; msg = req } ->
+    if Atomic.get state.stop then
+      send_response conn ~id
+        (Wire.Error_reply { code = `Shutting_down; message = "server shutting down" })
+    else begin
+      let p = { conn; id; req; arrival = Unix.gettimeofday () } in
+      let q =
+        match req with
+        | Wire.Ping | Wire.Query _ | Wire.Query_path _ | Wire.Batch_query _ | Wire.Stats ->
+          state.readq
+        | _ -> state.writeq
+      in
+      Atomic.incr state.in_flight;
+      if not (Bqueue.try_push q p) then begin
+        Atomic.decr state.in_flight;
+        Atomic.incr state.shed;
+        send_response conn ~id Wire.Overloaded
+      end
+    end
+
+let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) cfg index =
+  Index_graph.prepare_serving index;
+  let state =
+    {
+      cfg;
+      lock = Rw_lock.create ();
+      index;
+      readq = Bqueue.create cfg.queue_depth;
+      writeq = Bqueue.create cfg.queue_depth;
+      in_flight = Atomic.make 0;
+      stop = Atomic.make false;
+      served = Atomic.make 0;
+      shed = Atomic.make 0;
+      proto_errors = Atomic.make 0;
+    }
+  in
+  if Sys.os_type = "Unix" then ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  if handle_signals then
+    List.iter
+      (fun s -> Sys.set_signal s (Sys.Signal_handle (fun _ -> Atomic.set state.stop true)))
+    [ Sys.sigterm; Sys.sigint ];
+  let listen_fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd SO_REUSEADDR true;
+  Unix.bind listen_fd (ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+  Unix.listen listen_fd 64;
+  let port =
+    match Unix.getsockname listen_fd with
+    | ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let workers =
+    Array.init (max 1 cfg.workers) (fun _ -> Domain.spawn (worker_loop state))
+  in
+  let mutator = Domain.spawn (mutator_loop state) in
+  on_ready port;
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let close_conn conn =
+    Mutex.lock conn.wmu;
+    conn.closed <- true;
+    Mutex.unlock conn.wmu;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    Hashtbl.remove conns conn.fd
+  in
+  let accept_new () =
+    match Unix.accept listen_fd with
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR | ECONNABORTED), _, _) -> ()
+    | fd, _addr ->
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
+      Hashtbl.replace conns fd
+        {
+          fd;
+          rbuf = Bytes.create 4096;
+          rlen = 0;
+          wmu = Mutex.create ();
+          closed = false;
+          last_active = Unix.gettimeofday ();
+        }
+  in
+  (* Extract every complete frame from the connection buffer, then
+     compact what remains to the front. *)
+  let process_frames conn =
+    let rec go off =
+      if conn.closed || conn.rlen - off < 4 then off
+      else begin
+        let len = be32 conn.rbuf off in
+        if len > cfg.max_frame then begin
+          send_response conn ~id:0
+            (Wire.Error_reply
+               {
+                 code = `Protocol;
+                 message = Printf.sprintf "frame of %d bytes exceeds limit %d" len cfg.max_frame;
+               });
+          Atomic.incr state.proto_errors;
+          close_conn conn;
+          off
+        end
+        else if conn.rlen - off >= 4 + len then begin
+          dispatch state conn (Bytes.sub_string conn.rbuf (off + 4) len);
+          go (off + 4 + len)
+        end
+        else off
+      end
+    in
+    let consumed = go 0 in
+    if consumed > 0 && not conn.closed then begin
+      Bytes.blit conn.rbuf consumed conn.rbuf 0 (conn.rlen - consumed);
+      conn.rlen <- conn.rlen - consumed
+    end
+  in
+  let chunk = Bytes.create 65536 in
+  let service_read conn =
+    match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> close_conn conn
+    | 0 -> close_conn conn
+    | n ->
+      conn.last_active <- Unix.gettimeofday ();
+      let need = conn.rlen + n in
+      if Bytes.length conn.rbuf < need then begin
+        let bigger = Bytes.create (max need (2 * Bytes.length conn.rbuf)) in
+        Bytes.blit conn.rbuf 0 bigger 0 conn.rlen;
+        conn.rbuf <- bigger
+      end;
+      Bytes.blit chunk 0 conn.rbuf conn.rlen n;
+      conn.rlen <- need;
+      process_frames conn
+  in
+  let sweep_idle () =
+    if cfg.idle_timeout_s > 0.0 then begin
+      let now = Unix.gettimeofday () in
+      let stale =
+        Hashtbl.fold
+          (fun _ c acc -> if now -. c.last_active > cfg.idle_timeout_s then c :: acc else acc)
+          conns []
+      in
+      List.iter close_conn stale
+    end
+  in
+  let accepting = ref true in
+  let rec loop () =
+    if Atomic.get state.stop then begin
+      if !accepting then begin
+        accepting := false;
+        try Unix.close listen_fd with Unix.Unix_error _ -> ()
+      end;
+      (* Drain: everything already admitted gets its answer. *)
+      if
+        not
+          (Bqueue.is_empty state.readq && Bqueue.is_empty state.writeq
+          && Atomic.get state.in_flight = 0)
+      then begin
+        Unix.sleepf 0.005;
+        loop ()
+      end
+    end
+    else begin
+      let fds =
+        (if !accepting then [ listen_fd ] else [])
+        @ Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
+      in
+      (match Unix.select fds [] [] 0.5 with
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = listen_fd && !accepting then accept_new ()
+            else
+              match Hashtbl.find_opt conns fd with
+              | Some conn -> service_read conn
+              | None -> ())
+          ready;
+        sweep_idle ());
+      loop ()
+    end
+  in
+  loop ();
+  Bqueue.close state.readq;
+  Bqueue.close state.writeq;
+  Array.iter Domain.join workers;
+  Domain.join mutator;
+  Option.iter (fun path -> Index_serial.save path state.index) cfg.snapshot_path;
+  Hashtbl.iter
+    (fun _ c ->
+      Mutex.lock c.wmu;
+      c.closed <- true;
+      Mutex.unlock c.wmu;
+      try Unix.close c.fd with Unix.Unix_error _ -> ())
+    conns

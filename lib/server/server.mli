@@ -1,0 +1,58 @@
+(** dkserve: the concurrent D(k)-index query/update server.
+
+    Threading model ("one mutator, N workers"):
+    - the {e main} domain owns the listening socket and every
+      connection's read side: it accepts, accumulates bytes, extracts
+      and decodes frames, and routes requests to two bounded queues;
+    - [workers] query domains drain the read queue; each evaluates
+      against the shared index under the read side of a {!Rw_lock},
+      with a per-domain {!Dkindex_core.Validation_cache};
+    - one {e mutator} domain drains the write queue in FIFO order and
+      applies each update under the write side of the lock, calling
+      {!Dkindex_core.Index_graph.prepare_serving} before releasing it
+      so query workers never materialize lazy state concurrently.
+
+    Responses are written by whichever domain handled the request,
+    under a per-connection mutex, and carry the request id — so a
+    pipelining client may see responses out of order across the
+    read/write queues but can always match them up.
+
+    Overload and failure semantics:
+    - a full queue sheds the request with {!Wire.Overloaded};
+    - a request older than [deadline_s] at dequeue time is answered
+      with [`Deadline] instead of being evaluated;
+    - a malformed payload in a well-formed frame gets [`Protocol] and
+      the connection survives; an oversized frame closes it;
+    - connections idle longer than [idle_timeout_s] are closed;
+    - SIGTERM/SIGINT (or a {!Wire.Shutdown} request) starts a graceful
+      drain: stop accepting, answer in-flight requests, write a final
+      snapshot to [snapshot_path], then exit. *)
+
+open Dkindex_core
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port (reported via [on_ready]) *)
+  workers : int;  (** query worker domains, >= 1 *)
+  queue_depth : int;  (** per-queue bound before shedding *)
+  deadline_s : float;  (** per-request deadline; <= 0 disables *)
+  idle_timeout_s : float;  (** idle-connection close; <= 0 disables *)
+  max_frame : int;
+  snapshot_path : string option;  (** for {!Wire.Snapshot} and the final drain *)
+}
+
+val default_config : config
+(** 127.0.0.1:7411, 2 workers, depth 256, 10 s deadline, 60 s idle,
+    {!Wire.max_frame_default}, no snapshot path. *)
+
+val run :
+  ?on_ready:(int -> unit) ->
+  ?handle_signals:bool ->
+  config ->
+  Index_graph.t ->
+  unit
+(** Serve [index] until shutdown; blocks.  [on_ready port] fires once
+    the socket is bound and listening.  [handle_signals] (default
+    [true]) installs SIGTERM/SIGINT handlers that trigger the graceful
+    drain — pass [false] when embedding the server in a test or
+    benchmark domain and stopping it with {!Wire.Shutdown}. *)

@@ -1,0 +1,399 @@
+open Dkindex_pathexpr
+
+let version = 1
+let max_frame_default = 16 * 1024 * 1024
+
+type query_flags = { no_cache : bool }
+
+type request =
+  | Ping
+  | Query of { flags : query_flags; expr : Path_ast.t }
+  | Query_path of { flags : query_flags; labels : string list }
+  | Batch_query of { flags : query_flags; paths : string list list }
+  | Add_edge of { u : int; v : int }
+  | Remove_edge of { u : int; v : int }
+  | Add_subgraph of { graph : string; reqs : (string * int) list }
+  | Promote of (string * int) list
+  | Demote of (string * int) list
+  | Stats
+  | Snapshot
+  | Shutdown
+
+type query_result = {
+  nodes : int array;
+  index_visits : int;
+  data_visits : int;
+  n_candidates : int;
+  n_certain : int;
+}
+
+type error_code = [ `Protocol | `App | `Deadline | `Shutting_down ]
+
+type response =
+  | Pong
+  | Result of query_result
+  | Batch_result of query_result array
+  | Ok_reply of { generation : int }
+  | Stats_reply of (string * string) list
+  | Error_reply of { code : error_code; message : string }
+  | Overloaded
+
+(* ------------------------------------------------------------------ *)
+(* Primitive encoders *)
+
+let add_u8 buf n = Buffer.add_char buf (Char.chr (n land 0xff))
+
+let add_u16 buf n =
+  add_u8 buf (n lsr 8);
+  add_u8 buf n
+
+let add_u32 buf n =
+  add_u8 buf (n lsr 24);
+  add_u8 buf (n lsr 16);
+  add_u8 buf (n lsr 8);
+  add_u8 buf n
+
+let add_str16 buf s =
+  if String.length s > 0xffff then invalid_arg "Wire: string too long";
+  add_u16 buf (String.length s);
+  Buffer.add_string buf s
+
+let add_str32 buf s =
+  add_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let add_pairs16 buf pairs =
+  if List.length pairs > 0xffff then invalid_arg "Wire: too many pairs";
+  add_u16 buf (List.length pairs);
+  List.iter
+    (fun (l, k) ->
+      add_str16 buf l;
+      add_u32 buf k)
+    pairs
+
+let add_labels16 buf labels =
+  if List.length labels > 0xffff then invalid_arg "Wire: too many labels";
+  add_u16 buf (List.length labels);
+  List.iter (add_str16 buf) labels
+
+let flags_byte { no_cache } = if no_cache then 1 else 0
+let flags_of_byte b = { no_cache = b land 1 <> 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Primitive decoders: a cursor over an immutable string.  [Bad] is
+   caught at the public entry points, which return [result]. *)
+
+exception Bad of string
+
+type cursor = { s : string; mutable pos : int }
+
+let need c n = if c.pos + n > String.length c.s then raise (Bad "truncated")
+
+let u8 c =
+  need c 1;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let u16 c =
+  let hi = u8 c in
+  let lo = u8 c in
+  (hi lsl 8) lor lo
+
+let u32 c =
+  let a = u16 c in
+  let b = u16 c in
+  (a lsl 16) lor b
+
+let str16 c =
+  let n = u16 c in
+  need c n;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let str32 c =
+  let n = u32 c in
+  need c n;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+(* Guard list/array reads: a declared count beyond what the remaining
+   bytes could possibly hold is malformed, not a 4 GiB allocation. *)
+let check_count c count ~min_item_bytes =
+  if count < 0 || count * min_item_bytes > String.length c.s - c.pos then
+    raise (Bad "count exceeds frame")
+
+let pairs16 c =
+  let n = u16 c in
+  check_count c n ~min_item_bytes:6;
+  List.init n (fun _ ->
+      let l = str16 c in
+      let k = u32 c in
+      (l, k))
+
+let labels16 c =
+  let n = u16 c in
+  check_count c n ~min_item_bytes:2;
+  List.init n (fun _ -> str16 c)
+
+let expect_end c what =
+  if c.pos <> String.length c.s then raise (Bad (what ^ ": trailing bytes"))
+
+(* ------------------------------------------------------------------ *)
+(* Frames *)
+
+let frame_of_payload payload =
+  let buf = Buffer.create (String.length payload + 4) in
+  add_u32 buf (String.length payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+(* Reserve the length slot, write the payload, patch the length in. *)
+let with_frame buf f =
+  let start = Buffer.length buf in
+  add_u32 buf 0;
+  f ();
+  let payload_len = Buffer.length buf - start - 4 in
+  let bytes = Buffer.to_bytes buf in
+  Bytes.set bytes start (Char.chr ((payload_len lsr 24) land 0xff));
+  Bytes.set bytes (start + 1) (Char.chr ((payload_len lsr 16) land 0xff));
+  Bytes.set bytes (start + 2) (Char.chr ((payload_len lsr 8) land 0xff));
+  Bytes.set bytes (start + 3) (Char.chr (payload_len land 0xff));
+  Buffer.clear buf;
+  Buffer.add_bytes buf bytes
+
+(* ------------------------------------------------------------------ *)
+(* Requests *)
+
+let request_kind = function
+  | Ping -> 0x01
+  | Query _ -> 0x02
+  | Query_path _ -> 0x03
+  | Batch_query _ -> 0x04
+  | Add_edge _ -> 0x05
+  | Remove_edge _ -> 0x06
+  | Add_subgraph _ -> 0x07
+  | Promote _ -> 0x08
+  | Demote _ -> 0x09
+  | Stats -> 0x0a
+  | Snapshot -> 0x0b
+  | Shutdown -> 0x0c
+
+let encode_request buf ~id req =
+  with_frame buf (fun () ->
+      add_u8 buf version;
+      add_u8 buf (request_kind req);
+      add_u32 buf id;
+      match req with
+      | Ping | Stats | Snapshot | Shutdown -> ()
+      | Query { flags; expr } ->
+        add_u8 buf (flags_byte flags);
+        Path_ast.encode buf expr
+      | Query_path { flags; labels } ->
+        add_u8 buf (flags_byte flags);
+        add_labels16 buf labels
+      | Batch_query { flags; paths } ->
+        add_u8 buf (flags_byte flags);
+        add_u32 buf (List.length paths);
+        List.iter (add_labels16 buf) paths
+      | Add_edge { u; v } | Remove_edge { u; v } ->
+        add_u32 buf u;
+        add_u32 buf v
+      | Add_subgraph { graph; reqs } ->
+        add_str32 buf graph;
+        add_pairs16 buf reqs
+      | Promote pairs | Demote pairs -> add_pairs16 buf pairs)
+
+type 'a decoded = { id : int; msg : 'a }
+
+let decode_header c =
+  let v = u8 c in
+  if v <> version then raise (Bad (Printf.sprintf "unsupported version %d" v));
+  let kind = u8 c in
+  let id = u32 c in
+  (kind, id)
+
+let decode_request payload =
+  let c = { s = payload; pos = 0 } in
+  match
+    let kind, id = decode_header c in
+    let msg =
+      match kind with
+      | 0x01 -> Ping
+      | 0x02 ->
+        let flags = flags_of_byte (u8 c) in
+        let expr =
+          match Path_ast.decode payload ~pos:c.pos with
+          | Ok (expr, pos) ->
+            c.pos <- pos;
+            expr
+          | Error msg -> raise (Bad msg)
+        in
+        Query { flags; expr }
+      | 0x03 ->
+        let flags = flags_of_byte (u8 c) in
+        Query_path { flags; labels = labels16 c }
+      | 0x04 ->
+        let flags = flags_of_byte (u8 c) in
+        let n = u32 c in
+        check_count c n ~min_item_bytes:2;
+        Batch_query { flags; paths = List.init n (fun _ -> labels16 c) }
+      | 0x05 ->
+        let u = u32 c in
+        let v = u32 c in
+        Add_edge { u; v }
+      | 0x06 ->
+        let u = u32 c in
+        let v = u32 c in
+        Remove_edge { u; v }
+      | 0x07 ->
+        let graph = str32 c in
+        Add_subgraph { graph; reqs = pairs16 c }
+      | 0x08 -> Promote (pairs16 c)
+      | 0x09 -> Demote (pairs16 c)
+      | 0x0a -> Stats
+      | 0x0b -> Snapshot
+      | 0x0c -> Shutdown
+      | k -> raise (Bad (Printf.sprintf "unknown request kind 0x%02x" k))
+    in
+    expect_end c "request";
+    { id; msg }
+  with
+  | decoded -> Ok decoded
+  | exception Bad msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Responses *)
+
+let encode_result buf (r : query_result) =
+  add_u32 buf r.index_visits;
+  add_u32 buf r.data_visits;
+  add_u32 buf r.n_candidates;
+  add_u32 buf r.n_certain;
+  add_u32 buf (Array.length r.nodes);
+  Array.iter (add_u32 buf) r.nodes
+
+let decode_result c =
+  let index_visits = u32 c in
+  let data_visits = u32 c in
+  let n_candidates = u32 c in
+  let n_certain = u32 c in
+  let n = u32 c in
+  check_count c n ~min_item_bytes:4;
+  let nodes = Array.init n (fun _ -> u32 c) in
+  { nodes; index_visits; data_visits; n_candidates; n_certain }
+
+let error_code_byte = function
+  | `Protocol -> 0
+  | `App -> 1
+  | `Deadline -> 2
+  | `Shutting_down -> 3
+
+let error_code_of_byte = function
+  | 0 -> `Protocol
+  | 1 -> `App
+  | 2 -> `Deadline
+  | 3 -> `Shutting_down
+  | b -> raise (Bad (Printf.sprintf "unknown error code %d" b))
+
+let response_kind = function
+  | Pong -> 0x81
+  | Result _ -> 0x82
+  | Batch_result _ -> 0x83
+  | Ok_reply _ -> 0x84
+  | Stats_reply _ -> 0x85
+  | Error_reply _ -> 0x86
+  | Overloaded -> 0x87
+
+let encode_response buf ~id resp =
+  with_frame buf (fun () ->
+      add_u8 buf version;
+      add_u8 buf (response_kind resp);
+      add_u32 buf id;
+      match resp with
+      | Pong | Overloaded -> ()
+      | Result r -> encode_result buf r
+      | Batch_result rs ->
+        add_u32 buf (Array.length rs);
+        Array.iter (encode_result buf) rs
+      | Ok_reply { generation } -> add_u32 buf generation
+      | Stats_reply kvs ->
+        if List.length kvs > 0xffff then invalid_arg "Wire: too many stats";
+        add_u16 buf (List.length kvs);
+        List.iter
+          (fun (k, v) ->
+            add_str16 buf k;
+            add_str16 buf v)
+          kvs
+      | Error_reply { code; message } ->
+        add_u8 buf (error_code_byte code);
+        add_str16 buf message)
+
+let decode_response payload =
+  let c = { s = payload; pos = 0 } in
+  match
+    let kind, id = decode_header c in
+    let msg =
+      match kind with
+      | 0x81 -> Pong
+      | 0x82 -> Result (decode_result c)
+      | 0x83 ->
+        let n = u32 c in
+        check_count c n ~min_item_bytes:20;
+        Batch_result (Array.init n (fun _ -> decode_result c))
+      | 0x84 -> Ok_reply { generation = u32 c }
+      | 0x85 ->
+        let n = u16 c in
+        check_count c n ~min_item_bytes:4;
+        Stats_reply
+          (List.init n (fun _ ->
+               let k = str16 c in
+               let v = str16 c in
+               (k, v)))
+      | 0x86 ->
+        let code = error_code_of_byte (u8 c) in
+        let message = str16 c in
+        Error_reply { code; message }
+      | 0x87 -> Overloaded
+      | k -> raise (Bad (Printf.sprintf "unknown response kind 0x%02x" k))
+    in
+    expect_end c "response";
+    { id; msg }
+  with
+  | decoded -> Ok decoded
+  | exception Bad msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Blocking frame reader *)
+
+let read_exact read buf off len =
+  let got = ref 0 in
+  (try
+     while !got < len do
+       let n = read buf (off + !got) (len - !got) in
+       if n = 0 then raise Exit;
+       got := !got + n
+     done
+   with Exit -> ());
+  !got
+
+let read_frame ?(max_frame = max_frame_default) ~read () =
+  let hdr = Bytes.create 4 in
+  match read_exact read hdr 0 4 with
+  | 0 -> `Eof
+  | 4 ->
+    let len =
+      (Char.code (Bytes.get hdr 0) lsl 24)
+      lor (Char.code (Bytes.get hdr 1) lsl 16)
+      lor (Char.code (Bytes.get hdr 2) lsl 8)
+      lor Char.code (Bytes.get hdr 3)
+    in
+    if len > max_frame then `Oversized len
+    else begin
+      let body = Bytes.create len in
+      if read_exact read body 0 len < len then failwith "Wire.read_frame: truncated frame";
+      `Frame (Bytes.unsafe_to_string body)
+    end
+  | _ -> failwith "Wire.read_frame: truncated header"

@@ -1,0 +1,92 @@
+(** dkserve wire protocol: length-prefixed binary frames.
+
+    {v
+    frame   := u32_be payload_length, payload
+    payload := u8 version (= 1), u8 kind, u32_be request id, body
+    v}
+
+    The payload length is bounded ({!max_frame_default}, configurable
+    server-side); a frame whose declared length exceeds the bound is a
+    protocol error and the connection is closed (the stream cannot be
+    resynchronized against a hostile peer).  A well-framed payload that
+    fails to parse is answered with {!Error_reply} [`Protocol] and the
+    connection stays usable.
+
+    All decoders are total on arbitrary bytes: malformed input yields
+    [Error _], never an exception, a crash, or unbounded work.  Every
+    value round-trips: [decode (encode x) = x]. *)
+
+open Dkindex_pathexpr
+
+val version : int
+val max_frame_default : int
+(** 16 MiB. *)
+
+(** {1 Messages} *)
+
+type query_flags = { no_cache : bool }
+(** [no_cache] asks the server to bypass its cross-query validation
+    cache, making the returned [cost] bit-for-bit reproducible. *)
+
+type request =
+  | Ping
+  | Query of { flags : query_flags; expr : Path_ast.t }
+  | Query_path of { flags : query_flags; labels : string list }
+  | Batch_query of { flags : query_flags; paths : string list list }
+  | Add_edge of { u : int; v : int }
+  | Remove_edge of { u : int; v : int }
+  | Add_subgraph of { graph : string; reqs : (string * int) list }
+      (** [graph] is a {!Dkindex_graph.Serial} document. *)
+  | Promote of (string * int) list
+      (** Empty list: promote every node back to its recorded
+          requirement (the periodic maintenance pass). *)
+  | Demote of (string * int) list
+  | Stats
+  | Snapshot
+  | Shutdown
+
+type query_result = {
+  nodes : int array;  (** matching data nodes, sorted *)
+  index_visits : int;
+  data_visits : int;
+  n_candidates : int;
+  n_certain : int;
+}
+
+type error_code = [ `Protocol | `App | `Deadline | `Shutting_down ]
+
+type response =
+  | Pong
+  | Result of query_result
+  | Batch_result of query_result array
+  | Ok_reply of { generation : int }
+  | Stats_reply of (string * string) list
+  | Error_reply of { code : error_code; message : string }
+  | Overloaded
+
+(** {1 Codecs} *)
+
+val encode_request : Buffer.t -> id:int -> request -> unit
+(** Append a full frame (length prefix included). *)
+
+val encode_response : Buffer.t -> id:int -> response -> unit
+
+type 'a decoded = { id : int; msg : 'a }
+
+val decode_request : string -> (request decoded, string) result
+(** Decode one frame {e payload} (the length prefix already consumed). *)
+
+val decode_response : string -> (response decoded, string) result
+
+(** {1 Framing} *)
+
+val read_frame :
+  ?max_frame:int -> read:(bytes -> int -> int -> int) -> unit ->
+  [ `Frame of string | `Eof | `Oversized of int ]
+(** Blocking frame reader over a [read] function with [Unix.read]
+    semantics.  [`Oversized n] reports a declared length beyond
+    [max_frame] without consuming the body.
+    @raise Failure on a stream that ends mid-frame. *)
+
+val frame_of_payload : string -> string
+(** Prepend the length prefix (for tests and hand-rolled clients). *)

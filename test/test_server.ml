@@ -1,0 +1,503 @@
+(* dkserve tests.
+
+   - Wire codec: encode/decode round-trips for every request/response
+     kind; total decoding on random, truncated and mutated bytes
+     (fuzz); framing (chunked reads, EOF, oversized frames).
+   - Index_serial fidelity: after a random churn of edge additions,
+     removals and promotions, a save/load round-trip answers every
+     query exactly like the live index.
+   - Smoke: a real forked server process on an ephemeral port serving
+     mixed query/update traffic from concurrent clients, fuzzed with
+     malformed frames, then drained with SIGTERM into a loadable
+     snapshot. *)
+
+open Dkindex_core
+module Data_graph = Dkindex_graph.Data_graph
+module Label = Dkindex_graph.Label
+module Path_ast = Dkindex_pathexpr.Path_ast
+module Wire = Dkindex_server.Wire
+module Server = Dkindex_server.Server
+module Client = Dkindex_server.Client
+module Prng = Dkindex_datagen.Prng
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* --------------------------------------------------------------- *)
+(* Generators                                                        *)
+
+let label_gen = QCheck.Gen.(map (Printf.sprintf "l%d") (int_bound 5))
+
+let expr_gen =
+  let open QCheck.Gen in
+  let label = map (fun l -> Path_ast.Label l) label_gen in
+  sized_size (int_bound 6) (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then oneof [ label; return Path_ast.Any ]
+          else
+            frequency
+              [
+                (2, label);
+                (1, return Path_ast.Any);
+                (3, map2 (fun a b -> Path_ast.Seq (a, b)) (self (n / 2)) (self (n / 2)));
+                (2, map2 (fun a b -> Path_ast.Alt (a, b)) (self (n / 2)) (self (n / 2)));
+                (1, map (fun a -> Path_ast.Opt a) (self (n - 1)));
+                (1, map (fun a -> Path_ast.Star a) (self (n - 1)));
+              ])
+        n)
+
+let flags_gen = QCheck.Gen.(map (fun no_cache -> { Wire.no_cache }) bool)
+let labels_gen = QCheck.Gen.(list_size (int_range 1 5) label_gen)
+let pairs_gen = QCheck.Gen.(list_size (int_bound 4) (pair label_gen (int_bound 6)))
+
+let request_gen : Wire.request QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [
+      return Wire.Ping;
+      map2 (fun flags expr -> Wire.Query { flags; expr }) flags_gen expr_gen;
+      map2 (fun flags labels -> Wire.Query_path { flags; labels }) flags_gen labels_gen;
+      map2
+        (fun flags paths -> Wire.Batch_query { flags; paths })
+        flags_gen
+        (list_size (int_bound 5) labels_gen);
+      map2 (fun u v -> Wire.Add_edge { u; v }) (int_bound 100000) (int_bound 100000);
+      map2 (fun u v -> Wire.Remove_edge { u; v }) (int_bound 100000) (int_bound 100000);
+      map2
+        (fun graph reqs -> Wire.Add_subgraph { graph; reqs })
+        (string_size (int_bound 60))
+        pairs_gen;
+      map (fun p -> Wire.Promote p) pairs_gen;
+      map (fun p -> Wire.Demote p) pairs_gen;
+      return Wire.Stats;
+      return Wire.Snapshot;
+      return Wire.Shutdown;
+    ]
+
+let result_gen =
+  let open QCheck.Gen in
+  map2
+    (fun nodes (iv, dv, nc, ns) ->
+      {
+        Wire.nodes = Array.of_list nodes;
+        index_visits = iv;
+        data_visits = dv;
+        n_candidates = nc;
+        n_certain = ns;
+      })
+    (list_size (int_bound 20) (int_bound 1_000_000))
+    (quad (int_bound 1000) (int_bound 1000) (int_bound 1000) (int_bound 1000))
+
+let response_gen : Wire.response QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [
+      return Wire.Pong;
+      map (fun r -> Wire.Result r) result_gen;
+      map (fun rs -> Wire.Batch_result (Array.of_list rs)) (list_size (int_bound 4) result_gen);
+      map (fun generation -> Wire.Ok_reply { generation }) (int_bound 1_000_000);
+      map
+        (fun kvs -> Wire.Stats_reply kvs)
+        (list_size (int_bound 5) (pair (string_size (int_bound 10)) (string_size (int_bound 10))));
+      map2
+        (fun code message -> Wire.Error_reply { code; message })
+        (oneofl [ `Protocol; `App; `Deadline; `Shutting_down ])
+        (string_size (int_bound 40));
+      return Wire.Overloaded;
+    ]
+
+let request_arb = QCheck.make request_gen
+let response_arb = QCheck.make response_gen
+
+let payload_of_frame frame = String.sub frame 4 (String.length frame - 4)
+
+let encode_request_payload ~id req =
+  let buf = Buffer.create 64 in
+  Wire.encode_request buf ~id req;
+  payload_of_frame (Buffer.contents buf)
+
+let encode_response_payload ~id resp =
+  let buf = Buffer.create 64 in
+  Wire.encode_response buf ~id resp;
+  payload_of_frame (Buffer.contents buf)
+
+(* --------------------------------------------------------------- *)
+(* Codec round-trips                                                 *)
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"wire: request round-trip" request_arb (fun req ->
+      match Wire.decode_request (encode_request_payload ~id:7 req) with
+      | Ok { id; msg } -> id = 7 && msg = req
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"wire: response round-trip" response_arb (fun resp ->
+      match Wire.decode_response (encode_response_payload ~id:123456 resp) with
+      | Ok { id; msg } -> id = 123456 && msg = resp
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+let prop_expr_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"wire: path expression round-trip"
+    (QCheck.make ~print:Path_ast.to_string expr_gen) (fun expr ->
+      let buf = Buffer.create 32 in
+      Path_ast.encode buf expr;
+      let s = Buffer.contents buf in
+      match Path_ast.decode s ~pos:0 with
+      | Ok (expr', pos) -> Path_ast.equal expr expr' && pos = String.length s
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+(* --------------------------------------------------------------- *)
+(* Fuzz: decoders are total                                          *)
+
+let no_exn f =
+  match f () with
+  | (_ : (_, string) result) -> true
+  | exception e -> QCheck.Test.fail_reportf "decoder raised %s" (Printexc.to_string e)
+
+let prop_fuzz_random_bytes =
+  QCheck.Test.make ~count:2000 ~name:"wire: random bytes never crash decoders"
+    QCheck.(make Gen.(string_size (int_bound 200)))
+    (fun s ->
+      no_exn (fun () -> Wire.decode_request s)
+      && no_exn (fun () -> Wire.decode_response s)
+      && no_exn (fun () ->
+             match Path_ast.decode s ~pos:0 with
+             | Ok _ -> Ok ()
+             | Error e -> Error e))
+
+let prop_fuzz_truncated =
+  QCheck.Test.make ~count:500 ~name:"wire: strict prefixes are rejected, not crashed"
+    QCheck.(pair request_arb (make Gen.(int_bound 1000)))
+    (fun (req, cut) ->
+      let payload = encode_request_payload ~id:1 req in
+      let cut = cut mod max 1 (String.length payload) in
+      if cut = String.length payload then true
+      else
+        match Wire.decode_request (String.sub payload 0 cut) with
+        | Ok _ -> QCheck.Test.fail_reportf "strict prefix decoded successfully"
+        | Error _ -> true
+        | exception e -> QCheck.Test.fail_reportf "raised %s" (Printexc.to_string e))
+
+let prop_fuzz_mutated =
+  QCheck.Test.make ~count:1000 ~name:"wire: byte flips never crash the request decoder"
+    QCheck.(triple request_arb (make Gen.(int_bound 10_000)) (make Gen.(int_bound 255)))
+    (fun (req, pos, byte) ->
+      let payload = Bytes.of_string (encode_request_payload ~id:1 req) in
+      Bytes.set payload (pos mod Bytes.length payload) (Char.chr byte);
+      no_exn (fun () -> Wire.decode_request (Bytes.to_string payload)))
+
+(* --------------------------------------------------------------- *)
+(* Framing                                                           *)
+
+let string_reader ?(chunk = max_int) s =
+  let pos = ref 0 in
+  fun buf off len ->
+    let n = min (min len chunk) (String.length s - !pos) in
+    Bytes.blit_string s !pos buf off n;
+    pos := !pos + n;
+    n
+
+let test_read_frame_chunked () =
+  let payloads = [ "alpha"; ""; String.make 1000 'x' ] in
+  let stream =
+    String.concat "" (List.map Wire.frame_of_payload payloads)
+  in
+  List.iter
+    (fun chunk ->
+      let read = string_reader ~chunk stream in
+      List.iter
+        (fun expect ->
+          match Wire.read_frame ~read () with
+          | `Frame got -> Alcotest.(check string) "frame" expect got
+          | _ -> Alcotest.fail "expected a frame")
+        payloads;
+      match Wire.read_frame ~read () with
+      | `Eof -> ()
+      | _ -> Alcotest.fail "expected EOF")
+    [ 1; 3; max_int ]
+
+let test_read_frame_oversized () =
+  let stream = Wire.frame_of_payload (String.make 100 'y') in
+  match Wire.read_frame ~max_frame:50 ~read:(string_reader stream) () with
+  | `Oversized 100 -> ()
+  | _ -> Alcotest.fail "expected `Oversized 100"
+
+let test_read_frame_torn () =
+  let stream = Wire.frame_of_payload "hello" in
+  let torn = String.sub stream 0 (String.length stream - 2) in
+  match Wire.read_frame ~read:(string_reader torn) () with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure on a torn frame"
+
+(* --------------------------------------------------------------- *)
+(* Index_serial round-trip fidelity under churn                      *)
+
+let churn_queries =
+  [ [ "l0" ]; [ "l1"; "l2" ]; [ "l0"; "l1" ]; [ "l2"; "l3"; "l0" ]; [ "l3"; "l3" ] ]
+
+let check_same_answers ~what idx idx' =
+  List.iter
+    (fun q ->
+      let a = Query_eval.eval_path_strings idx q in
+      let b = Query_eval.eval_path_strings idx' q in
+      let name = what ^ " " ^ String.concat "." q in
+      Alcotest.(check (list int)) (name ^ ": nodes") a.Query_eval.nodes b.Query_eval.nodes;
+      Alcotest.(check int) (name ^ ": n_candidates") a.n_candidates b.n_candidates;
+      Alcotest.(check int) (name ^ ": n_certain") a.n_certain b.n_certain)
+    churn_queries
+
+let prop_serial_roundtrip_after_churn =
+  QCheck.Test.make ~count:60 ~name:"index_serial: save/load after churn answers identically"
+    QCheck.(
+      make
+        ~print:(fun (seed, nodes, ops) ->
+          Printf.sprintf "seed=%d nodes=%d ops=%d" seed nodes ops)
+        Gen.(triple (int_bound 10_000) (int_range 3 60) (int_bound 30)))
+    (fun (seed, nodes, ops) ->
+      let g =
+        Dkindex_datagen.Random_graph.graph ~seed ~nodes ~n_labels:4
+          ~extra_edges:(nodes / 3) ()
+      in
+      let idx = Dk_index.build g ~reqs:[ ("l0", 2); ("l1", 3) ] in
+      let rng = Prng.create ~seed:(seed + 1) in
+      let added = ref [] in
+      for i = 1 to ops do
+        match Prng.int rng 4 with
+        | 0 | 1 ->
+          let u = Prng.int rng nodes and v = Prng.int rng nodes in
+          if u <> v && not (Data_graph.has_edge (Index_graph.data idx) u v) then begin
+            Dk_update.add_edge idx u v;
+            added := (u, v) :: !added
+          end
+        | 2 -> (
+          match !added with
+          | [] -> ()
+          | (u, v) :: rest ->
+            added := rest;
+            Dk_update.remove_edge idx u v)
+        | _ -> Dk_tune.promote_labels idx [ (Printf.sprintf "l%d" (i mod 4), 1 + (i mod 3)) ]
+      done;
+      let s = Index_serial.to_string idx in
+      let idx' = Index_serial.of_string s in
+      Index_graph.check_invariants idx';
+      check_same_answers ~what:"churned" idx idx';
+      (* A second trip is bit-stable: of_string normalizes to the
+         canonical dense form that to_string emits. *)
+      String.equal (Index_serial.to_string idx') s
+      || QCheck.Test.fail_reportf "to_string/of_string not stable")
+
+(* --------------------------------------------------------------- *)
+(* Smoke: a real server process, real sockets                        *)
+
+let build_smoke_dataset () =
+  let g = Dkindex_datagen.Random_graph.graph ~seed:11 ~nodes:400 ~n_labels:5 ~extra_edges:160 () in
+  let idx = Dk_index.build g ~reqs:[ ("l0", 2); ("l1", 3); ("l2", 2) ] in
+  (g, idx)
+
+let read_port_line fd =
+  let buf = Buffer.create 16 in
+  let b = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd b 0 1 with
+    | 0 -> failwith "server died before reporting its port"
+    | _ -> if Bytes.get b 0 = '\n' then Buffer.contents buf else (Buffer.add_char buf (Bytes.get b 0); go ())
+  in
+  int_of_string (go ())
+
+let expect_result = function
+  | Wire.Result r -> r
+  | Wire.Error_reply { message; _ } -> Alcotest.fail ("server error: " ^ message)
+  | _ -> Alcotest.fail "expected Result"
+
+let check_against_local idx client labels =
+  let want = Query_eval.eval_path_strings idx labels in
+  let got =
+    expect_result (Client.call client (Wire.Query_path { flags = { no_cache = true }; labels }))
+  in
+  Alcotest.(check (list int)) ("query " ^ String.concat "." labels ^ ": nodes")
+    want.Query_eval.nodes (Array.to_list got.Wire.nodes);
+  Alcotest.(check int) "index_visits" want.cost.Dkindex_pathexpr.Cost.index_visits got.index_visits;
+  Alcotest.(check int) "data_visits" want.cost.data_visits got.data_visits
+
+let smoke_queries = [ [ "l0" ]; [ "l1"; "l2" ]; [ "l0"; "l1"; "l3" ]; [ "l4"; "l0" ] ]
+
+let test_smoke () =
+  let g, idx = build_smoke_dataset () in
+  let snapshot = Filename.temp_file "dkserve_smoke" ".index" in
+  let r, w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    (* Child: the server process.  [_exit] so the forked alcotest
+       runner never runs its own reporting. *)
+    Unix.close r;
+    let status =
+      try
+        Server.run
+          ~on_ready:(fun port ->
+            let line = string_of_int port ^ "\n" in
+            ignore (Unix.write_substring w line 0 (String.length line));
+            Unix.close w)
+          {
+            Server.default_config with
+            port = 0;
+            workers = 2;
+            queue_depth = 64;
+            idle_timeout_s = 30.0;
+            snapshot_path = Some snapshot;
+          }
+          idx;
+        0
+      with _ -> 1
+    in
+    Unix._exit status
+  | pid ->
+    Unix.close w;
+    let port = read_port_line r in
+    Unix.close r;
+    let c1 = Client.connect ~port () in
+    let c2 = Client.connect ~port () in
+    (* Basic liveness and read traffic on two concurrent connections. *)
+    (match Client.call c1 Wire.Ping with
+    | Wire.Pong -> ()
+    | _ -> Alcotest.fail "expected Pong");
+    List.iter (check_against_local idx c1) smoke_queries;
+    List.iter (check_against_local idx c2) smoke_queries;
+    (* A general path expression through the same socket. *)
+    let expr = Path_ast.(Seq (Label "l1", Star (Label "l2"))) in
+    let got = expect_result (Client.call c2 (Wire.Query { flags = { no_cache = true }; expr })) in
+    let want = Query_eval.eval_expr idx expr in
+    Alcotest.(check (list int)) "expr nodes" want.Query_eval.nodes (Array.to_list got.Wire.nodes);
+    (* Updates through the write path, replayed locally. *)
+    let n = Data_graph.n_nodes g in
+    let rng = Prng.create ~seed:99 in
+    let applied = ref 0 in
+    while !applied < 12 do
+      let u = Prng.int rng n and v = Prng.int rng n in
+      if u <> v && not (Data_graph.has_edge g u v) then begin
+        (match Client.call c1 (Wire.Add_edge { u; v }) with
+        | Wire.Ok_reply _ -> ()
+        | _ -> Alcotest.fail "expected Ok_reply");
+        Dk_update.add_edge idx u v;
+        incr applied
+      end
+    done;
+    Index_graph.prepare_serving idx;
+    List.iter (check_against_local idx c1) smoke_queries;
+    List.iter (check_against_local idx c2) smoke_queries;
+    (* An app-level error: out-of-range node. *)
+    (match Client.call c2 (Wire.Add_edge { u = n + 50; v = 0 }) with
+    | Wire.Error_reply { code = `App; _ } -> ()
+    | _ -> Alcotest.fail "expected `App error");
+    (* Stats. *)
+    (match Client.call c1 Wire.Stats with
+    | Wire.Stats_reply kvs ->
+      Alcotest.(check bool) "stats has generation" true (List.mem_assoc "generation" kvs)
+    | _ -> Alcotest.fail "expected Stats_reply");
+    Client.close c2;
+    (* SIGTERM: graceful drain, final snapshot, clean exit. *)
+    Unix.kill pid Sys.sigterm;
+    let _, status = Unix.waitpid [] pid in
+    Alcotest.(check bool) "server exited cleanly" true (status = Unix.WEXITED 0);
+    Client.close c1;
+    let reloaded = Index_serial.load snapshot in
+    Index_graph.check_invariants reloaded;
+    List.iter
+      (fun q ->
+        let a = Query_eval.eval_path_strings idx q in
+        let b = Query_eval.eval_path_strings reloaded q in
+        Alcotest.(check (list int)) ("snapshot query " ^ String.concat "." q) a.Query_eval.nodes
+          b.Query_eval.nodes)
+      smoke_queries;
+    Sys.remove snapshot
+
+(* Malformed frames against a live server: every payload is answered
+   with a protocol error (or the oversized frame closes the
+   connection); the server stays alive throughout. *)
+let test_smoke_protocol_errors () =
+  let _g, idx = build_smoke_dataset () in
+  let r, w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close r;
+    let status =
+      try
+        Server.run
+          ~on_ready:(fun port ->
+            let line = string_of_int port ^ "\n" in
+            ignore (Unix.write_substring w line 0 (String.length line));
+            Unix.close w)
+          { Server.default_config with port = 0; workers = 1; max_frame = 4096 }
+          idx;
+        0
+      with _ -> 1
+    in
+    Unix._exit status
+  | pid ->
+    Unix.close w;
+    let port = read_port_line r in
+    Unix.close r;
+    (* Well-framed junk payloads: Error_reply `Protocol, connection
+       stays usable. *)
+    let c = Client.connect ~port () in
+    let junk_conn = Client.connect ~port () in
+    let rng = Prng.create ~seed:5 in
+    for _ = 1 to 50 do
+      let len = Prng.int rng 64 in
+      let payload = String.init len (fun _ -> Char.chr (Prng.int rng 256)) in
+      match Wire.decode_request payload with
+      | Ok _ -> () (* a miracle frame; the server would serve it *)
+      | Error _ -> (
+        Client.send_raw_frame junk_conn payload;
+        match Client.recv junk_conn with
+        | { msg = Wire.Error_reply { code = `Protocol; _ }; _ } -> ()
+        | _ -> Alcotest.fail "expected a protocol error")
+    done;
+    Client.close junk_conn;
+    (* The server is still healthy. *)
+    (match Client.call c Wire.Ping with
+    | Wire.Pong -> ()
+    | _ -> Alcotest.fail "expected Pong after junk barrage");
+    (* An oversized frame closes that connection but not the server. *)
+    let big = Client.connect ~port () in
+    Client.send_raw_frame big (String.make 10_000 'z');
+    (match Client.recv big with
+    | { msg = Wire.Error_reply { code = `Protocol; _ }; _ } -> ()
+    | _ -> Alcotest.fail "expected protocol error for oversized frame"
+    | exception Failure _ -> ());
+    (match Client.recv big with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail "expected the oversized connection to be closed");
+    Client.close big;
+    (match Client.call c Wire.Ping with
+    | Wire.Pong -> ()
+    | _ -> Alcotest.fail "expected Pong after oversized frame");
+    (* Shutdown over the wire this time. *)
+    (match Client.call c Wire.Shutdown with
+    | Wire.Ok_reply _ -> ()
+    | _ -> Alcotest.fail "expected Ok_reply for Shutdown");
+    let _, status = Unix.waitpid [] pid in
+    Alcotest.(check bool) "server exited cleanly" true (status = Unix.WEXITED 0);
+    Client.close c
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "wire",
+        [
+          to_alcotest prop_request_roundtrip;
+          to_alcotest prop_response_roundtrip;
+          to_alcotest prop_expr_roundtrip;
+          to_alcotest prop_fuzz_random_bytes;
+          to_alcotest prop_fuzz_truncated;
+          to_alcotest prop_fuzz_mutated;
+          Alcotest.test_case "read_frame: chunked reads" `Quick test_read_frame_chunked;
+          Alcotest.test_case "read_frame: oversized" `Quick test_read_frame_oversized;
+          Alcotest.test_case "read_frame: torn stream" `Quick test_read_frame_torn;
+        ] );
+      ("index_serial", [ to_alcotest prop_serial_roundtrip_after_churn ]);
+      ( "smoke",
+        [
+          Alcotest.test_case "mixed traffic, SIGTERM drain, snapshot" `Quick test_smoke;
+          Alcotest.test_case "malformed frames, wire shutdown" `Quick test_smoke_protocol_errors;
+        ] );
+    ]
