@@ -5,7 +5,7 @@
    samples — timing noise on a shared machine is strictly additive, so
    the minimum is the robust estimator) plus a construction / query /
    update macro pass on XMark, and writes the results as JSON (default
-   BENCH_PR3.json).  An optional [--baseline prev.json] merges a
+   BENCH_PR4.json).  An optional [--baseline prev.json] merges a
    previous run into the output as per-benchmark {"baseline_ns",
    "after_ns"} pairs so a PR records its own before/after evidence.
 
@@ -24,9 +24,11 @@ module Cost = Dkindex_pathexpr.Cost
 module Server = Dkindex_server.Server
 module Client = Dkindex_server.Client
 module Wire = Dkindex_server.Wire
+module Wal = Dkindex_server.Wal
+module Checkpoint = Dkindex_server.Checkpoint
 
 let scale = ref 40
-let out_file = ref "BENCH_PR3.json"
+let out_file = ref "BENCH_PR4.json"
 let baseline_file = ref ""
 let smoke = ref false
 let no_out = ref false
@@ -34,7 +36,7 @@ let no_out = ref false
 let spec =
   [
     ("--scale", Arg.Set_int scale, "N  XMark scale for the macro pass (default 40)");
-    ("--out", Arg.Set_string out_file, "FILE  output JSON (default BENCH_PR3.json)");
+    ("--out", Arg.Set_string out_file, "FILE  output JSON (default BENCH_PR4.json)");
     ( "--baseline",
       Arg.Set_string baseline_file,
       "FILE  merge a previous run as baseline_ns/after_ns pairs" );
@@ -411,7 +413,8 @@ let () =
              deadline_s = 0.0;
              idle_timeout_s = 0.0;
            }
-           dk)
+           dk
+         |> Result.get_ok)
    in
    while Atomic.get port_box = 0 do
      Unix.sleepf 0.002
@@ -491,6 +494,120 @@ let () =
    | _ -> failwith "serve bench: shutdown not acknowledged");
    Client.close c;
    Domain.join srv);
+  (* WAL overhead: acknowledged-write throughput through the whole
+     server (socket, mutator, apply, WAL append + sync) under each
+     sync policy, against a no-WAL baseline.  Each variant serves a
+     fresh index (writes mutate it) and alternates add/remove of one
+     absent ID/IDREF edge, so every request is an acknowledged
+     mutation and the state returns to its start after every
+     even-length pass.  All variants are live at once (so the
+     process-wide domain count — which sets the stop-the-world
+     minor-GC sync cost — is identical during every pass) and the
+     timed passes are interleaved with the starting variant rotated
+     each rep, so ambient-load drift and deferred page writeback hit
+     every policy alike instead of biasing a fixed position in the
+     cycle; checkpoint triggers are disabled so the number isolates
+     the WAL cost (checkpoint I/O is on a background domain and off
+     the ack path by construction). *)
+  (let wal_requests = if !smoke then 40 else 500 in
+   let wal_reps = if !smoke then 1 else 16 in
+   let eu, ev =
+     match List.filter (fun (u, v) -> not (Data_graph.has_edge g u v)) edges with
+     | e :: _ -> e
+     | [] -> failwith "wal bench: no absent update edge"
+   in
+   let rm_rf dir =
+     if Sys.file_exists dir then begin
+       Array.iter
+         (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+         (Sys.readdir dir);
+       try Unix.rmdir dir with Unix.Unix_error _ -> ()
+     end
+   in
+   let mk_variant name sync =
+     let idx = Dk_index.build (Data_graph.copy g) ~reqs in
+     let dir = Filename.temp_file "dkwal" "" in
+     Sys.remove dir;
+     Unix.mkdir dir 0o755;
+     let durability =
+       Option.map
+         (fun sync ->
+           Checkpoint.start
+             {
+               (Checkpoint.default_config ~dir) with
+               sync;
+               checkpoint_records = 0;
+               checkpoint_bytes = 0;
+               checkpoint_interval_s = 0.0;
+             }
+             idx)
+         sync
+     in
+     let port_box = Atomic.make 0 in
+     let srv =
+       Domain.spawn (fun () ->
+           Server.run ~handle_signals:false ?durability
+             ~on_ready:(fun p -> Atomic.set port_box p)
+             {
+               Server.default_config with
+               port = 0;
+               workers = 1;
+               queue_depth = 1024;
+               deadline_s = 0.0;
+               idle_timeout_s = 0.0;
+             }
+             idx
+           |> Result.get_ok)
+     in
+     while Atomic.get port_box = 0 do
+       Unix.sleepf 0.002
+     done;
+     let c = Client.connect ~port:(Atomic.get port_box) () in
+     (name, dir, c, srv, ref infinity)
+   in
+   let pass c =
+     let t0 = now_ns () in
+     for i = 0 to wal_requests - 1 do
+       let req =
+         if i land 1 = 0 then Wire.Add_edge { u = eu; v = ev }
+         else Wire.Remove_edge { u = eu; v = ev }
+       in
+       match Client.call c req with
+       | Wire.Ok_reply _ -> ()
+       | Wire.Error_reply { message; _ } -> failwith ("wal bench: " ^ message)
+       | _ -> failwith "wal bench: unexpected reply"
+     done;
+     (now_ns () -. t0) /. float_of_int wal_requests
+   in
+   let variants =
+     [
+       mk_variant "serve:wal-overhead-nowal" None;
+       mk_variant "serve:wal-overhead-sync-never" (Some Wal.Never);
+       mk_variant "serve:wal-overhead-sync-interval" (Some (Wal.Interval 64));
+       mk_variant "serve:wal-overhead-sync-always" (Some Wal.Always);
+     ]
+   in
+   let variants_arr = Array.of_list variants in
+   let nv = Array.length variants_arr in
+   List.iter (fun (_, _, c, _, _) -> ignore (pass c)) variants;
+   for rep = 0 to wal_reps - 1 do
+     for k = 0 to nv - 1 do
+       let _, _, c, _, best = variants_arr.((rep + k) mod nv) in
+       let ns = pass c in
+       if ns < !best then best := ns
+     done
+   done;
+   List.iter
+     (fun (name, dir, c, srv, best) ->
+       (match Client.call c Wire.Shutdown with
+       | Wire.Ok_reply _ -> ()
+       | _ -> failwith "wal bench: shutdown not acknowledged");
+       Client.close c;
+       Domain.join srv;
+       rm_rf dir;
+       Printf.printf "  %-44s %12.0f ns/write\n%!" name !best;
+       entries := { name; after_ns = !best; baseline_ns = None } :: !entries)
+     variants);
   let entries = List.rev !entries in
   (* Macro pass facts. *)
   let query_cost =

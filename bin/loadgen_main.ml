@@ -46,6 +46,23 @@ let updates_arg =
 let check_arg =
   Arg.(value & flag & info [ "check" ] ~doc:"Verify responses against an in-process index")
 
+let recovered_arg =
+  Arg.(
+    value & flag
+    & info [ "recovered" ]
+        ~doc:
+          "With --check: the server under test was restarted from its checkpoint + WAL after \
+           a previous --check run acknowledged the updates.  Apply the update phase locally \
+           only, then require the recovered server's answers to match bit-for-bit.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Self-healing reads: reconnect (exponential backoff) and transparently re-issue \
+           idempotent queries up to N times, e.g. across a server restart.")
+
 let no_cache_arg =
   Arg.(value & flag & info [ "no-cache" ] ~doc:"Send queries with the no_cache flag")
 
@@ -53,13 +70,23 @@ let percentile sorted p =
   let n = Array.length sorted in
   if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
 
+(* Self-healing knobs, set from --retries: every connection the
+   loadgen opens reconnects with backoff and retries idempotent reads
+   this many times. *)
+let retries = ref 0
+
+let connect ~host ~port ?(seed = 0) () =
+  Client.connect ~host ~port ~attempts:(!retries + 1) ~retries:!retries
+    ~timeout_s:(if !retries > 0 then 30.0 else 0.0)
+    ~seed ()
+
 (* Fan [f i] over [count] tasks on [conns] driver domains (task i on
    domain i mod conns), each with its own connection. *)
 let fan_out ~host ~port ~conns ~count f =
   let doms =
     List.init conns (fun d ->
         Domain.spawn (fun () ->
-            let c = Client.connect ~host ~port () in
+            let c = connect ~host ~port ~seed:d () in
             Fun.protect
               ~finally:(fun () -> Client.close c)
               (fun () ->
@@ -142,14 +169,15 @@ let query_phase ~host ~port ~conns ~phase (ds : Dataset.t) =
     want;
   nq
 
+let check_edges ~updates (ds : Dataset.t) =
+  List.filteri (fun i _ -> i < updates) ds.update_edges
+  |> List.filter (fun (u, v) -> not (Data_graph.has_edge ds.graph u v))
+
 let check ~host ~port ~conns ~updates (ds : Dataset.t) =
   let n1 = query_phase ~host ~port ~conns ~phase:"phase-1" ds in
   Printf.printf "phase 1: %d queries over %d connections match bit-for-bit\n%!" n1 conns;
-  let edges =
-    List.filteri (fun i _ -> i < updates) ds.update_edges
-    |> List.filter (fun (u, v) -> not (Data_graph.has_edge ds.graph u v))
-  in
-  let c = Client.connect ~host ~port () in
+  let edges = check_edges ~updates ds in
+  let c = connect ~host ~port () in
   Fun.protect
     ~finally:(fun () -> Client.close c)
     (fun () ->
@@ -168,9 +196,24 @@ let check ~host ~port ~conns ~updates (ds : Dataset.t) =
   Printf.printf "phase 3: %d post-update queries match bit-for-bit\n%!" n3;
   Printf.printf "check OK\n%!"
 
-let main host port conns requests xmark seed updates do_check no_cache =
+(* Recovery check: a previous --check run pushed the updates and got
+   them acknowledged; the server has since been killed and restarted
+   from its checkpoint + WAL.  Replay the same updates locally only
+   and require the recovered server to answer from the same state. *)
+let check_recovered ~host ~port ~conns ~updates (ds : Dataset.t) =
+  let edges = check_edges ~updates ds in
+  List.iter (fun (u, v) -> Dk_update.add_edge ds.index u v) edges;
+  Index_graph.prepare_serving ds.index;
+  Printf.printf "recovered: %d acknowledged updates replayed locally\n%!" (List.length edges);
+  let n = query_phase ~host ~port ~conns ~phase:"recovered" ds in
+  Printf.printf "recovered: %d queries against the restarted server match bit-for-bit\n%!" n;
+  Printf.printf "recovered check OK\n%!"
+
+let main host port conns requests xmark seed updates do_check recovered n_retries no_cache =
+  retries := max 0 n_retries;
   let ds = Dataset.make ~seed ~scale:xmark () in
-  if do_check then check ~host ~port ~conns ~updates ds
+  if do_check && recovered then check_recovered ~host ~port ~conns ~updates ds
+  else if do_check then check ~host ~port ~conns ~updates ds
   else throughput ~host ~port ~conns ~requests ~no_cache ds
 
 let cmd =
@@ -179,6 +222,6 @@ let cmd =
     (Cmd.info "dkindex-loadgen" ~doc)
     Term.(
       const main $ host_arg $ port_arg $ conns_arg $ requests_arg $ xmark_arg $ seed_arg
-      $ updates_arg $ check_arg $ no_cache_arg)
+      $ updates_arg $ check_arg $ recovered_arg $ retries_arg $ no_cache_arg)
 
 let () = exit (Cmd.eval cmd)

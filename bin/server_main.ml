@@ -5,6 +5,8 @@
 
 open Cmdliner
 module Server = Dkindex_server.Server
+module Checkpoint = Dkindex_server.Checkpoint
+module Wal = Dkindex_server.Wal
 module Index_serial = Dkindex_core.Index_serial
 
 let host_arg =
@@ -51,8 +53,36 @@ let snapshot_arg =
     & info [ "snapshot" ] ~docv:"FILE"
         ~doc:"Snapshot target (Snapshot requests and the final drain write here)")
 
-let serve host port xmark seed load workers queue_depth deadline idle snapshot =
-  let index =
+let data_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "data-dir" ] ~docv:"DIR"
+        ~doc:
+          "Durability directory: write-ahead log + periodic checkpoints.  On startup the \
+           newest valid checkpoint is loaded and the log replayed, so a killed server \
+           restarts from its acknowledged state; --load/--xmark then only seed an empty \
+           directory.")
+
+let sync_arg =
+  Arg.(
+    value & opt string "interval:64"
+    & info [ "sync" ] ~docv:"POLICY"
+        ~doc:"WAL fsync policy: always, never, or interval[:N] (fsync every N records)")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Checkpoint and truncate the WAL after N logged records (or 8 MiB of log)")
+
+let serve host port xmark seed load workers queue_depth deadline idle snapshot data_dir sync
+    checkpoint_every =
+  let fatal fmt = Printf.ksprintf (fun m -> prerr_endline ("dkindex-server: " ^ m); exit 1) fmt in
+  let sync =
+    match Wal.sync_policy_of_string sync with Ok s -> s | Error msg -> fatal "%s" msg
+  in
+  let build () =
     match load with
     | Some file ->
       Printf.printf "dkindex-server: loading %s\n%!" file;
@@ -61,6 +91,32 @@ let serve host port xmark seed load workers queue_depth deadline idle snapshot =
       Printf.printf "dkindex-server: building pinned XMark dataset (scale %d, seed %d)\n%!"
         xmark seed;
       (Dkindex_server.Dataset.make ~seed ~scale:xmark ()).index
+  in
+  let index, durability =
+    match data_dir with
+    | None -> (build (), None)
+    | Some dir ->
+      let recovery = Checkpoint.recover ~dir in
+      let index =
+        match recovery.Checkpoint.index with
+        | Some idx ->
+          Printf.printf
+            "dkindex-server: recovered from %s (checkpoint %d, %d WAL records replayed%s)\n%!"
+            dir recovery.checkpoint_seq recovery.replayed_records
+            (if recovery.torn_bytes > 0 then
+               Printf.sprintf ", %d torn bytes truncated" recovery.torn_bytes
+             else "");
+          idx
+        | None -> build ()
+      in
+      let cfg =
+        {
+          (Checkpoint.default_config ~dir) with
+          sync;
+          checkpoint_records = checkpoint_every;
+        }
+      in
+      (index, Some (Checkpoint.start ~recovery cfg index))
   in
   let cfg =
     {
@@ -74,11 +130,15 @@ let serve host port xmark seed load workers queue_depth deadline idle snapshot =
       snapshot_path = snapshot;
     }
   in
-  Server.run
-    ~on_ready:(fun port ->
-      Printf.printf "dkindex-server: listening on %s:%d (pid %d)\n%!" host port (Unix.getpid ()))
-    cfg index;
-  Printf.printf "dkindex-server: drained, bye\n%!"
+  match
+    Server.run
+      ~on_ready:(fun port ->
+        Printf.printf "dkindex-server: listening on %s:%d (pid %d)\n%!" host port
+          (Unix.getpid ()))
+      ?durability cfg index
+  with
+  | Ok () -> Printf.printf "dkindex-server: drained, bye\n%!"
+  | Error msg -> fatal "shutdown failed: %s" msg
 
 let cmd =
   let doc = "serve a D(k)-index over TCP (dkserve protocol)" in
@@ -86,6 +146,7 @@ let cmd =
     (Cmd.info "dkindex-server" ~doc)
     Term.(
       const serve $ host_arg $ port_arg $ xmark_arg $ seed_arg $ load_arg $ workers_arg
-      $ queue_arg $ deadline_arg $ idle_arg $ snapshot_arg)
+      $ queue_arg $ deadline_arg $ idle_arg $ snapshot_arg $ data_dir_arg $ sync_arg
+      $ checkpoint_every_arg)
 
 let () = exit (Cmd.eval cmd)

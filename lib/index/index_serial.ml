@@ -1,20 +1,16 @@
 open Dkindex_graph
 
-let magic = "dkindex-index 1"
+let magic_v1 = "dkindex-index 1"
+let magic = "dkindex-index 2"
 
 let to_string t =
   let data = Index_graph.data t in
   let n = Data_graph.n_nodes data in
-  let buf = Buffer.create (n * 8) in
-  Buffer.add_string buf magic;
-  Buffer.add_char buf '\n';
-  let graph_text = Serial.to_string data in
-  Buffer.add_string buf (Printf.sprintf "graph %d\n" (String.length graph_text));
-  Buffer.add_string buf graph_text;
   (* Dense class ids in first-touch order over data nodes. *)
   let dense = Hashtbl.create 256 in
   let order = ref [] and count = ref 0 in
-  Buffer.add_string buf "cls\n";
+  let tail = Buffer.create (n * 4) in
+  Buffer.add_string tail "cls\n";
   for u = 0 to n - 1 do
     let id = Index_graph.cls t u in
     let c =
@@ -27,17 +23,26 @@ let to_string t =
         order := id :: !order;
         c
     in
-    Buffer.add_string buf (string_of_int c);
-    Buffer.add_char buf '\n'
+    Buffer.add_string tail (string_of_int c);
+    Buffer.add_char tail '\n'
   done;
-  Buffer.add_string buf (Printf.sprintf "classes %d\n" !count);
+  Buffer.add_string tail (Printf.sprintf "classes %d\n" !count);
   List.iter
     (fun id ->
       let nd = Index_graph.node t id in
       let enc k = if k >= Index_graph.k_infinite then -1 else k in
-      Buffer.add_string buf
+      Buffer.add_string tail
         (Printf.sprintf "%d %d\n" (enc nd.Index_graph.k) (enc nd.Index_graph.req)))
     (List.rev !order);
+  let buf = Buffer.create (n * 8) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "counts %d %d %d\n" n (Data_graph.n_edges data) !count);
+  let graph_text = Serial.to_string data in
+  Buffer.add_string buf (Printf.sprintf "graph %d\n" (String.length graph_text));
+  Buffer.add_string buf graph_text;
+  Buffer.add_buffer buf tail;
   Buffer.contents buf
 
 let of_string s =
@@ -52,7 +57,26 @@ let of_string s =
     (String.sub s pos (e - pos), e + 1)
   in
   let header, pos = read_line 0 in
-  if not (String.equal header magic) then fail "Index_serial.of_string: bad magic";
+  let version =
+    if String.equal header magic then 2
+    else if String.equal header magic_v1 then 1
+    else fail "Index_serial.of_string: bad magic"
+  in
+  (* v2 declares the shape up front; the declaration is checked against
+     what the body actually decodes to, so a snapshot whose graph or
+     partition was truncated or spliced is rejected even when each part
+     parses on its own. *)
+  let declared, pos =
+    if version = 1 then (None, pos)
+    else
+      let counts_line, pos = read_line pos in
+      match String.split_on_char ' ' counts_line with
+      | [ "counts"; a; b; c ] -> (
+        match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+        | Some a, Some b, Some c when a >= 0 && b >= 0 && c >= 0 -> (Some (a, b, c), pos)
+        | _ -> fail "Index_serial.of_string: bad counts line")
+      | _ -> fail "Index_serial.of_string: expected 'counts <nodes> <edges> <classes>'"
+  in
   let graph_line, pos = read_line pos in
   let graph_len =
     match String.split_on_char ' ' graph_line with
@@ -87,6 +111,15 @@ let of_string s =
     | _ -> fail "Index_serial.of_string: expected 'classes <m>'"
   in
   Array.iter (fun c -> if c >= m then fail "Index_serial.of_string: class out of range") cls;
+  (match declared with
+  | None -> ()
+  | Some (dn, de, dm) ->
+    if dn <> n then
+      fail "Index_serial.of_string: declared %d nodes, graph has %d" dn n;
+    if de <> Data_graph.n_edges data then
+      fail "Index_serial.of_string: declared %d edges, graph has %d" de
+        (Data_graph.n_edges data);
+    if dm <> m then fail "Index_serial.of_string: declared %d classes, body has %d" dm m);
   let ks = Array.make m 0 and reqs = Array.make m 0 in
   for c = 0 to m - 1 do
     let line, next = read_line !pos in
@@ -104,9 +137,17 @@ let of_string s =
     ~k_of_class:(fun c -> ks.(c))
     ~req_of_class:(fun c -> reqs.(c))
 
+(* Write-to-temp + rename: a crash mid-save leaves the previous
+   snapshot intact, never a torn file under the final name. *)
 let save path t =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
 
 let load path =
   let ic = open_in path in

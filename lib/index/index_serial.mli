@@ -5,9 +5,10 @@
     similarity and requirement, so a loaded index is immediately
     queryable and updatable.
 
-    Format (version 1):
+    Format (version 2):
     {v
-    dkindex-index 1
+    dkindex-index 2
+    counts <n_nodes> <n_edges> <n_classes>
     graph <byte length of the embedded Serial graph text>
     <embedded graph>
     cls
@@ -16,11 +17,18 @@
     classes <m>
     <k or -1 for infinite> <req or -1>
     ...
-    v} *)
+    v}
+
+    The [counts] line is validated against the decoded body: a
+    snapshot whose declared node/edge/class counts disagree with what
+    its graph and partition actually contain is rejected.  Version-1
+    documents (no [counts] line) are still read. *)
 
 val to_string : Index_graph.t -> string
 val of_string : string -> Index_graph.t
 (** @raise Failure on malformed input. *)
 
 val save : string -> Index_graph.t -> unit
+(** Atomic: writes [path ^ ".tmp"], then renames over [path]. *)
+
 val load : string -> Index_graph.t

@@ -1,0 +1,102 @@
+(** Checkpoint + WAL durability for a served D(k)-index.
+
+    A data directory holds numbered generations:
+    {v
+    checkpoint-<seq>.index   Index_serial snapshot (atomic tmp+rename)
+    wal-<seq>.log            mutations applied after that snapshot
+    v}
+
+    The single mutator domain owns the log: it applies a mutation in
+    memory, {!log_mutation}s it, and only then acknowledges.  When the
+    log grows past the configured record/byte thresholds (or the timer
+    fires), {!maybe_checkpoint} serializes the index, rotates to
+    generation [seq+1], and hands the snapshot bytes to a background
+    writer domain — the mutator never blocks on checkpoint I/O.  The
+    two newest checkpoint generations are kept; older files are
+    pruned only after a newer snapshot is durably renamed, so
+    {!recover} can always fall back one generation: newest valid
+    checkpoint ⊕ replay of every following WAL, with a torn or
+    corrupt tail treated as a clean truncation, never a crash.
+
+    {!start} begins by writing a fresh synchronous checkpoint of the
+    index it is given, so a recovered state is made durable (and old
+    generations prunable) before the server accepts traffic. *)
+
+open Dkindex_core
+
+type config = {
+  dir : string;
+  sync : Wal.sync_policy;
+  checkpoint_records : int;  (** rotate when the WAL holds this many records; <= 0 disables *)
+  checkpoint_bytes : int;  (** ... or this many bytes; <= 0 disables *)
+  checkpoint_interval_s : float;
+      (** ... or this much time since the last rotation (checked when
+          mutations arrive — an idle server has nothing to flush);
+          <= 0 disables *)
+}
+
+val default_config : dir:string -> config
+(** sync [Interval 64], 4096 records, 8 MiB, 60 s. *)
+
+(** {1 Recovery} *)
+
+type recovery = {
+  index : Index_graph.t option;  (** [None]: no loadable checkpoint in [dir] *)
+  checkpoint_seq : int;  (** generation of the loaded checkpoint; -1 if none *)
+  replayed_records : int;  (** WAL records applied on top of it *)
+  torn_bytes : int;  (** trailing bytes discarded from torn WAL tails *)
+  fallback_checkpoints : int;  (** newer checkpoints skipped as corrupt *)
+  replay_errors : int;  (** records that failed to re-apply (always 0 unless files were tampered mid-log) *)
+}
+
+val recover : dir:string -> recovery
+(** Never raises on corrupt or torn files: it loads the newest
+    checkpoint that parses, replays the longest valid prefix of each
+    following WAL, and reports what it skipped.  A missing or empty
+    directory yields [{ index = None; _ }]. *)
+
+val apply_mutation : Index_graph.t -> Wal.mutation -> Index_graph.t
+(** Apply one logged mutation (the same code path replay uses, shared
+    with the server so live application and recovery cannot diverge).
+    Returns the index to use afterwards — subgraph addition and
+    demotion replace it wholesale.
+    @raise Failure on a semantically invalid mutation. *)
+
+(** {1 Live manager} *)
+
+type t
+
+val start :
+  ?wal_faults:Faults.t -> ?checkpoint_faults:Faults.t -> ?recovery:recovery ->
+  config -> Index_graph.t -> t
+(** Write a fresh synchronous checkpoint of [index] at the next
+    generation, open its WAL, and spawn the background checkpoint
+    writer.  [recovery] is carried into {!stats}.
+    @raise Unix.Unix_error if the initial checkpoint cannot be
+    written (a server that cannot persist at startup must not
+    pretend it can). *)
+
+val log_mutation : t -> Wal.mutation -> unit
+(** Append to the WAL and apply the sync policy.
+    @raise Unix.Unix_error on disk failure — the caller must then
+    {!note_wal_failure} and degrade to read-only. *)
+
+val maybe_checkpoint : t -> Index_graph.t -> unit
+(** Rotate + snapshot in the background if a trigger fired.  No-op in
+    read-only mode.  Never raises: a rotation failure degrades to
+    read-only instead. *)
+
+val checkpoint_now : t -> Index_graph.t -> (unit, string) result
+(** Synchronous rotate + snapshot (the [Snapshot] request). *)
+
+val read_only : t -> bool
+val note_wal_failure : t -> string -> unit
+(** Flip to read-only and record the error for {!stats}. *)
+
+val stats : t -> (string * string) list
+(** WAL/checkpoint/recovery counters, domain-safe. *)
+
+val close : t -> Index_graph.t -> (unit, string) result
+(** Final synchronous checkpoint (if the WAL holds records), stop and
+    join the background writer, close the WAL.  [Error] carries the
+    reason the final snapshot could not be written. *)

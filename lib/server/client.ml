@@ -1,53 +1,204 @@
-type t = { fd : Unix.file_descr; buf : Buffer.t; mutable next_id : int }
+module Prng = Dkindex_datagen.Prng
 
-let connect ?(host = "127.0.0.1") ~port () =
+type error = Retryable of string | Fatal of string
+
+exception Error of error
+
+let error_to_string = function
+  | Retryable msg -> "retryable: " ^ msg
+  | Fatal msg -> "fatal: " ^ msg
+
+type t = {
+  host : string;
+  port : int;
+  attempts : int;
+  retries : int;
+  timeout_s : float;
+  backoff_base_s : float;
+  backoff_max_s : float;
+  rng : Prng.t;
+  buf : Buffer.t;
+  mutable fd : Unix.file_descr option;
+  mutable next_id : int;
+  mutable n_reconnects : int;
+}
+
+(* Internal failure classification; converted to [Error] at the
+   [call] boundary. *)
+exception Conn_failure of string
+exception Proto_failure of string
+
+let dial t =
   let fd = Unix.socket PF_INET SOCK_STREAM 0 in
-  (try Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string host, port))
+  (try Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string t.host, t.port))
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
   (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
-  { fd; buf = Buffer.create 256; next_id = 1 }
+  fd
 
-let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+(* Exponential backoff with full jitter: sleep uniform in
+   (0, min(max, base * 2^(attempt-1))]. *)
+let backoff_sleep t attempt =
+  let cap = min t.backoff_max_s (t.backoff_base_s *. (2.0 ** float_of_int (attempt - 1))) in
+  Unix.sleepf (cap *. (0.1 +. Prng.float t.rng 0.9))
 
-let rec write_all fd b off len =
-  if len > 0 then
-    match Unix.write fd b off len with
-    | n -> write_all fd b (off + n) (len - n)
-    | exception Unix.Unix_error (EINTR, _, _) -> write_all fd b off len
+let drop t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+    t.fd <- None;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
 
-let send t req =
+(* Connect if not connected, redialing with backoff up to
+   [t.attempts] times. *)
+let ensure t =
+  match t.fd with
+  | Some fd -> fd
+  | None ->
+    let rec go attempt =
+      match dial t with
+      | fd ->
+        t.fd <- Some fd;
+        fd
+      | exception Unix.Unix_error (e, _, _) ->
+        if attempt >= t.attempts then
+          raise (Conn_failure (Printf.sprintf "connect %s:%d: %s" t.host t.port (Unix.error_message e)))
+        else begin
+          backoff_sleep t attempt;
+          go (attempt + 1)
+        end
+    in
+    let fd = go 1 in
+    t.n_reconnects <- t.n_reconnects + 1;
+    fd
+
+let connect ?(host = "127.0.0.1") ?(attempts = 1) ?(retries = 0) ?(timeout_s = 0.0)
+    ?(backoff_base_s = 0.05) ?(backoff_max_s = 2.0) ?(seed = 0) ~port () =
+  let t =
+    {
+      host;
+      port;
+      attempts = max 1 attempts;
+      retries = max 0 retries;
+      timeout_s;
+      backoff_base_s;
+      backoff_max_s;
+      rng = Prng.create ~seed;
+      buf = Buffer.create 256;
+      fd = None;
+      next_id = 1;
+      n_reconnects = 0;
+    }
+  in
+  (try ignore (ensure t) with Conn_failure msg -> raise (Error (Retryable msg)));
+  t.n_reconnects <- 0;
+  t
+
+let close = drop
+let reconnects t = t.n_reconnects
+
+let write_all fd b off len =
+  let off = ref off and len = ref len in
+  while !len > 0 do
+    match Unix.write fd b !off !len with
+    | n ->
+      off := !off + n;
+      len := !len - n
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+  done
+
+let send_on t fd req =
   let id = t.next_id in
   t.next_id <- id + 1;
   Buffer.clear t.buf;
   Wire.encode_request t.buf ~id req;
   let b = Buffer.to_bytes t.buf in
-  write_all t.fd b 0 (Bytes.length b);
+  write_all fd b 0 (Bytes.length b);
   id
 
-let send_raw_frame t payload =
-  let b = Bytes.of_string (Wire.frame_of_payload payload) in
-  write_all t.fd b 0 (Bytes.length b)
+(* A read function with [Unix.read] semantics that enforces the
+   per-request deadline via select. *)
+let timed_read fd deadline b off len =
+  let rec wait_readable dl =
+    let rem = dl -. Unix.gettimeofday () in
+    if rem <= 0.0 then raise (Conn_failure "response timed out");
+    match Unix.select [ fd ] [] [] rem with
+    | [], _, _ -> raise (Conn_failure "response timed out")
+    | _ -> ()
+    | exception Unix.Unix_error (EINTR, _, _) -> wait_readable dl
+  in
+  let rec go () =
+    Option.iter wait_readable deadline;
+    match Unix.read fd b off len with
+    | n -> n
+    | exception Unix.Unix_error (EINTR, _, _) -> go ()
+  in
+  go ()
 
-let rec read_retry t b off len =
-  match Unix.read t.fd b off len with
-  | n -> n
-  | exception Unix.Unix_error (EINTR, _, _) -> read_retry t b off len
+let deadline_of t = if t.timeout_s > 0.0 then Some (Unix.gettimeofday () +. t.timeout_s) else None
 
-let recv t =
-  match Wire.read_frame ~read:(read_retry t) () with
-  | `Eof -> failwith "Client.recv: connection closed"
-  | `Oversized n -> failwith (Printf.sprintf "Client.recv: oversized frame (%d bytes)" n)
+let recv_on fd deadline =
+  match Wire.read_frame ~read:(timed_read fd deadline) () with
+  | `Eof -> raise (Conn_failure "connection closed")
+  | `Oversized n -> raise (Proto_failure (Printf.sprintf "oversized response frame (%d bytes)" n))
+  | exception Failure msg -> raise (Conn_failure msg) (* stream ended mid-frame *)
+  | exception Unix.Unix_error (e, _, _) -> raise (Conn_failure (Unix.error_message e))
   | `Frame payload -> (
     match Wire.decode_response payload with
     | Ok d -> d
-    | Error msg -> failwith ("Client.recv: bad response: " ^ msg))
+    | Error msg -> raise (Proto_failure ("bad response: " ^ msg)))
 
-let call t req =
-  let id = send t req in
+let idempotent = function
+  | Wire.Ping | Wire.Query _ | Wire.Query_path _ | Wire.Batch_query _ | Wire.Stats -> true
+  | _ -> false
+
+let call_once t req =
+  let fd = ensure t in
+  let id =
+    try send_on t fd req with Unix.Unix_error (e, _, _) -> raise (Conn_failure (Unix.error_message e))
+  in
+  let deadline = deadline_of t in
   let rec wait () =
-    let d = recv t in
+    let d = recv_on fd deadline in
     if d.Wire.id = id then d.Wire.msg else wait ()
   in
   wait ()
+
+let call t req =
+  let budget = if idempotent req then t.retries + 1 else 1 in
+  let rec go attempt =
+    match call_once t req with
+    | resp -> resp
+    | exception Conn_failure msg ->
+      drop t;
+      if attempt < budget then begin
+        backoff_sleep t attempt;
+        go (attempt + 1)
+      end
+      else raise (Error (Retryable msg))
+    | exception Proto_failure msg ->
+      drop t;
+      raise (Error (Fatal msg))
+  in
+  go 1
+
+(* ------------------------------------------------------------------ *)
+(* Pipelining primitives: no healing, errors surface raw. *)
+
+let current_fd t =
+  match t.fd with
+  | Some fd -> fd
+  | None -> ( try ensure t with Conn_failure msg -> failwith ("Client: " ^ msg))
+
+let send t req = send_on t (current_fd t) req
+
+let send_raw_frame t payload =
+  let b = Bytes.of_string (Wire.frame_of_payload payload) in
+  write_all (current_fd t) b 0 (Bytes.length b)
+
+let recv t =
+  match recv_on (current_fd t) (deadline_of t) with
+  | d -> d
+  | exception Conn_failure msg -> failwith ("Client.recv: " ^ msg)
+  | exception Proto_failure msg -> failwith ("Client.recv: " ^ msg)

@@ -1,28 +1,78 @@
-(** Blocking dkserve client (used by the load generator, the smoke
-    test and the serving benchmarks).
+(** Self-healing blocking dkserve client (used by the load generator,
+    the smoke tests and the serving benchmarks).
 
-    One [t] is one TCP connection; it is not domain-safe — give each
-    concurrent driver its own connection. *)
+    One [t] is one logical connection; it is not domain-safe — give
+    each concurrent driver its own.  The client owns reconnection:
+    when the TCP connection drops (server restart, timeout, refused
+    connect) it redials with exponential backoff and full jitter, up
+    to [attempts] tries per operation.
+
+    Retry semantics follow idempotence.  Reads (Ping, Query,
+    Query_path, Batch_query, Stats) are retried transparently up to
+    [retries] times across reconnects.  Writes are {e never} retried
+    automatically — a write that dies mid-flight may or may not have
+    been applied and acknowledged, so the failure surfaces as a typed
+    {!error} and the caller decides (e.g. re-issue an idempotent
+    add-edge, or give up). *)
+
+type error =
+  | Retryable of string
+      (** connection-level: refused, reset, timed out.  Safe to retry
+          reads; writes may have been applied — re-issue only if the
+          mutation is idempotent. *)
+  | Fatal of string
+      (** protocol-level: oversized or undecodable response.  Retrying
+          will not help. *)
+
+exception Error of error
+
+val error_to_string : error -> string
 
 type t
 
-val connect : ?host:string -> port:int -> unit -> t
-(** Default host 127.0.0.1.  @raise Unix.Unix_error on refusal. *)
+val connect :
+  ?host:string ->
+  ?attempts:int ->
+  ?retries:int ->
+  ?timeout_s:float ->
+  ?backoff_base_s:float ->
+  ?backoff_max_s:float ->
+  ?seed:int ->
+  port:int ->
+  unit ->
+  t
+(** Default host 127.0.0.1.  [attempts] (default 1) bounds connect
+    tries per operation; [retries] (default 0) bounds transparent
+    re-issues of idempotent reads after a connection failure;
+    [timeout_s] (default 0 = none) bounds each response wait;
+    [backoff_base_s]/[backoff_max_s] (defaults 0.05/2.0) shape the
+    exponential backoff, jittered by [seed].  Dials eagerly.
+    @raise Error when the initial connect exhausts [attempts]. *)
 
 val close : t -> unit
+val reconnects : t -> int
+(** Successful re-dials performed after the initial connect. *)
+
+val call : t -> Wire.request -> Wire.response
+(** Send, then receive until the matching id comes back (out-of-order
+    responses to earlier pipelined requests are discarded).  Heals per
+    the policy above.  @raise Error when healing is exhausted (reads)
+    or not permitted (writes, protocol errors). *)
+
+(** {1 Pipelining primitives}
+
+    No healing: these operate on the current connection and raise
+    [Failure]/[Unix.Unix_error] directly, for tests that need precise
+    control of the byte stream. *)
 
 val send : t -> Wire.request -> int
 (** Write one request frame; returns the request id (monotonically
     increasing per connection) for matching against {!recv}. *)
 
 val recv : t -> Wire.response Wire.decoded
-(** Read one response frame.
-    @raise Failure on EOF, an oversized frame, or an undecodable
-    response. *)
-
-val call : t -> Wire.request -> Wire.response
-(** [send] then [recv] until the matching id comes back (out-of-order
-    responses to earlier pipelined requests are discarded). *)
+(** Read one response frame (honoring [timeout_s] if set).
+    @raise Failure on EOF, timeout, an oversized frame, or an
+    undecodable response. *)
 
 val send_raw_frame : t -> string -> unit
 (** Frame an arbitrary payload and write it verbatim — for protocol

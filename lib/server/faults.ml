@@ -1,0 +1,42 @@
+type spec =
+  | Fail_nth_write of int
+  | Short_write of int
+  | Crash_after_bytes of int
+  | Enospc_after_bytes of int
+
+type t = { spec : spec; mutable writes : int; mutable bytes : int; mutable tripped : bool }
+
+let create spec = { spec; writes = 0; bytes = 0; tripped = false }
+let exit_code = 70
+let enospc name = raise (Unix.Unix_error (Unix.ENOSPC, name, "injected fault"))
+
+let write faults fd b off len =
+  match faults with
+  | None -> Unix.write fd b off len
+  | Some t -> (
+    t.writes <- t.writes + 1;
+    match t.spec with
+    | Fail_nth_write n when t.writes = n -> enospc "write"
+    | Short_write n when t.writes = n ->
+      let half = len / 2 in
+      if half > 0 then ignore (Unix.write fd b off half);
+      raise (Unix.Unix_error (Unix.EIO, "write", "injected short write"))
+    | (Crash_after_bytes n | Enospc_after_bytes n) when t.tripped || t.bytes + len > n ->
+      let room = if t.tripped then 0 else max 0 (n - t.bytes) in
+      if room > 0 then begin
+        ignore (Unix.write fd b off room);
+        t.bytes <- t.bytes + room
+      end;
+      t.tripped <- true;
+      (match t.spec with
+      | Crash_after_bytes _ -> Unix._exit exit_code
+      | _ -> enospc "write")
+    | _ ->
+      let n = Unix.write fd b off len in
+      t.bytes <- t.bytes + n;
+      n)
+
+let fsync faults fd =
+  match faults with
+  | Some { spec = Enospc_after_bytes _; tripped = true; _ } -> enospc "fsync"
+  | _ -> Unix.fsync fd

@@ -1,0 +1,40 @@
+(** Fault injection for the durability layer's file I/O.
+
+    A [t] is threaded through {!Wal} and {!Checkpoint} writes so the
+    recovery tests can make the disk misbehave on demand: a clean
+    write failure, a short write that tears a record, an abrupt
+    process death mid-write (the closest a test can get to a power
+    cut), or a disk that fills up and stays full.
+
+    Production code passes no [t]; every primitive then degrades to
+    the plain [Unix] call. *)
+
+type spec =
+  | Fail_nth_write of int
+      (** the [n]th write call (1-based) raises [ENOSPC] without
+          writing anything; later writes succeed *)
+  | Short_write of int
+      (** the [n]th write call writes only half its bytes, then
+          raises [EIO] — leaves a torn record on disk *)
+  | Crash_after_bytes of int
+      (** once [n] cumulative bytes have been written, write the
+          prefix up to the threshold and [Unix._exit 70] — simulates
+          a crash with a partially written record *)
+  | Enospc_after_bytes of int
+      (** once [n] cumulative bytes have been written, write the
+          prefix and raise [ENOSPC]; every later write and fsync
+          raises [ENOSPC] too — a full disk that stays full *)
+
+type t
+
+val create : spec -> t
+
+val exit_code : int
+(** The status [Crash_after_bytes] exits with (70). *)
+
+val write : t option -> Unix.file_descr -> bytes -> int -> int -> int
+(** [write faults fd b off len] has [Unix.write] semantics, filtered
+    through the fault spec.  [None] is a plain [Unix.write]. *)
+
+val fsync : t option -> Unix.file_descr -> unit
+(** [Unix.fsync], except a tripped [Enospc_after_bytes] raises. *)

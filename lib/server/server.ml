@@ -96,6 +96,7 @@ type state = {
   cfg : config;
   lock : Rw_lock.t;
   mutable index : Index_graph.t;
+  durability : Checkpoint.t option;
   readq : pending Bqueue.t;
   writeq : pending Bqueue.t;
   in_flight : int Atomic.t;
@@ -178,7 +179,9 @@ let stats_kvs state idx =
     ("shed", string_of_int (Atomic.get state.shed));
     ("protocol_errors", string_of_int (Atomic.get state.proto_errors));
     ("workers", string_of_int state.cfg.workers);
+    ("durability", match state.durability with Some _ -> "wal+checkpoint" | None -> "none");
   ]
+  @ (match state.durability with Some d -> Checkpoint.stats d | None -> [])
 
 let handle_read state cache_ref req : Wire.response =
   let idx = state.index in
@@ -226,59 +229,67 @@ let worker_loop state () =
    lock.  [prepare_serving] runs before the lock is released so query
    workers never materialize lazy index state concurrently. *)
 
+(* The loggable mutations.  Everything the WAL replays goes through
+   {!Checkpoint.apply_mutation}, the same code path recovery uses, so
+   live application and replay cannot diverge. *)
+let mutation_of_req : Wire.request -> Wal.mutation option = function
+  | Wire.Add_edge { u; v } -> Some (Wal.Add_edge { u; v })
+  | Wire.Remove_edge { u; v } -> Some (Wal.Remove_edge { u; v })
+  | Wire.Add_subgraph { graph; reqs } -> Some (Wal.Add_subgraph { graph; reqs })
+  | Wire.Promote pairs -> Some (Wal.Promote pairs)
+  | Wire.Demote reqs -> Some (Wal.Demote reqs)
+  | _ -> None
+
+let publish state idx' =
+  Index_graph.prepare_serving idx';
+  state.index <- idx'
+
 let apply_write state (p : pending) : Wire.response =
   let ok () = Wire.Ok_reply { generation = Index_graph.generation state.index } in
   let app msg : Wire.response = Error_reply { code = `App; message = msg } in
-  let check_node g id what =
-    if id < 0 || id >= Data_graph.n_nodes g then
-      failwith (Printf.sprintf "%s node %d out of range" what id)
-  in
   try
-    match p.req with
-    | Wire.Add_edge { u; v } ->
-      let g = Index_graph.data state.index in
-      check_node g u "source";
-      check_node g v "target";
-      Dk_update.add_edge state.index u v;
-      Index_graph.prepare_serving state.index;
-      ok ()
-    | Wire.Remove_edge { u; v } ->
-      let g = Index_graph.data state.index in
-      check_node g u "source";
-      check_node g v "target";
-      Dk_update.remove_edge state.index u v;
-      Index_graph.prepare_serving state.index;
-      ok ()
-    | Wire.Add_subgraph { graph; reqs } ->
-      let h = Serial.of_string graph in
-      let _g', idx' = Dk_update.add_subgraph state.index h ~reqs in
-      Index_graph.prepare_serving idx';
-      state.index <- idx';
-      ok ()
-    | Wire.Promote [] ->
-      Dk_tune.promote_to_requirements state.index;
-      Index_graph.prepare_serving state.index;
-      ok ()
-    | Wire.Promote pairs ->
-      Dk_tune.promote_labels state.index pairs;
-      Index_graph.prepare_serving state.index;
-      ok ()
-    | Wire.Demote reqs ->
-      let idx' = Dk_tune.demote state.index ~reqs in
-      Index_graph.prepare_serving idx';
-      state.index <- idx';
-      ok ()
-    | Wire.Snapshot -> (
-      match state.cfg.snapshot_path with
-      | None -> app "no snapshot path configured"
-      | Some path ->
-        Index_serial.save path state.index;
-        ok ())
-    | Wire.Shutdown ->
-      let r = ok () in
-      Atomic.set state.stop true;
-      r
-    | _ -> app "read request on write path"
+    match mutation_of_req p.req with
+    | Some m -> (
+      match state.durability with
+      | Some d when Checkpoint.read_only d -> Wire.Read_only
+      | durability -> (
+        let idx' = Checkpoint.apply_mutation state.index m in
+        (* Log after applying, before acknowledging: the WAL holds
+           only mutations that succeeded, and nothing is acknowledged
+           until it is logged.  A WAL failure degrades the server to
+           read-only — the in-memory application stands (it can be at
+           most this one unacknowledged mutation ahead of the durable
+           state) and no further writes are accepted. *)
+        match durability with
+        | None ->
+          publish state idx';
+          ok ()
+        | Some d -> (
+          match Checkpoint.log_mutation d m with
+          | () ->
+            publish state idx';
+            ok ()
+          | exception e ->
+            Checkpoint.note_wal_failure d (Printexc.to_string e);
+            publish state idx';
+            Wire.Read_only)))
+    | None -> (
+      match p.req with
+      | Wire.Snapshot -> (
+        match (state.durability, state.cfg.snapshot_path) with
+        | Some d, _ -> (
+          match Checkpoint.checkpoint_now d state.index with
+          | Ok () -> ok ()
+          | Error msg -> app ("checkpoint failed: " ^ msg))
+        | None, Some path ->
+          Index_serial.save path state.index;
+          ok ()
+        | None, None -> app "no snapshot path configured")
+      | Wire.Shutdown ->
+        let r = ok () in
+        Atomic.set state.stop true;
+        r
+      | _ -> app "read request on write path")
   with
   | Failure msg | Invalid_argument msg -> app msg
   | e -> app (Printexc.to_string e)
@@ -296,6 +307,7 @@ let mutator_loop state () =
          send_response p.conn ~id:p.id resp;
          Atomic.incr state.served);
       Atomic.decr state.in_flight;
+      Option.iter (fun d -> Checkpoint.maybe_checkpoint d state.index) state.durability;
       go ()
   in
   go ()
@@ -334,13 +346,14 @@ let dispatch state conn payload =
       end
     end
 
-let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) cfg index =
+let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability cfg index =
   Index_graph.prepare_serving index;
   let state =
     {
       cfg;
       lock = Rw_lock.create ();
       index;
+      durability;
       readq = Bqueue.create cfg.queue_depth;
       writeq = Bqueue.create cfg.queue_depth;
       in_flight = Atomic.make 0;
@@ -495,11 +508,31 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) cfg index =
   Bqueue.close state.writeq;
   Array.iter Domain.join workers;
   Domain.join mutator;
-  Option.iter (fun path -> Index_serial.save path state.index) cfg.snapshot_path;
+  (* Sockets go first: a failing final snapshot (disk full, say) must
+     not leave descriptors open or the drain half-finished — it turns
+     into an [Error _] the caller can exit nonzero on. *)
   Hashtbl.iter
     (fun _ c ->
       Mutex.lock c.wmu;
       c.closed <- true;
       Mutex.unlock c.wmu;
       try Unix.close c.fd with Unix.Unix_error _ -> ())
-    conns
+    conns;
+  let final_durability =
+    match state.durability with
+    | None -> Ok ()
+    | Some d -> Checkpoint.close d state.index
+  in
+  let final_snapshot =
+    match cfg.snapshot_path with
+    | None -> Ok ()
+    | Some path -> (
+      try
+        Index_serial.save path state.index;
+        Ok ()
+      with e -> Error (Printf.sprintf "final snapshot %s: %s" path (Printexc.to_string e)))
+  in
+  match (final_durability, final_snapshot) with
+  | Ok (), Ok () -> Ok ()
+  | Error a, Error b -> Error (a ^ "; " ^ b)
+  | Error e, _ | _, Error e -> Error e

@@ -25,8 +25,17 @@
       the connection survives; an oversized frame closes it;
     - connections idle longer than [idle_timeout_s] are closed;
     - SIGTERM/SIGINT (or a {!Wire.Shutdown} request) starts a graceful
-      drain: stop accepting, answer in-flight requests, write a final
-      snapshot to [snapshot_path], then exit. *)
+      drain: stop accepting, answer in-flight requests, close every
+      connection, then write a final snapshot/checkpoint — a failure
+      there (disk full, say) is reported as [Error _], never raised
+      through the drain.
+
+    Durability: pass [?durability] (a running {!Checkpoint.t}) and the
+    mutator logs every applied mutation to the write-ahead log before
+    acknowledging it, takes periodic checkpoints, and — should the WAL
+    become unwritable — degrades to read-only: mutations are refused
+    with {!Wire.Read_only} while queries keep working.  Shutdown then
+    writes a final checkpoint and closes the log. *)
 
 open Dkindex_core
 
@@ -48,11 +57,18 @@ val default_config : config
 val run :
   ?on_ready:(int -> unit) ->
   ?handle_signals:bool ->
+  ?durability:Checkpoint.t ->
   config ->
   Index_graph.t ->
-  unit
+  (unit, string) result
 (** Serve [index] until shutdown; blocks.  [on_ready port] fires once
     the socket is bound and listening.  [handle_signals] (default
     [true]) installs SIGTERM/SIGINT handlers that trigger the graceful
     drain — pass [false] when embedding the server in a test or
-    benchmark domain and stopping it with {!Wire.Shutdown}. *)
+    benchmark domain and stopping it with {!Wire.Shutdown}.
+    [durability] enables WAL + checkpoint logging (see above); the
+    caller builds it with {!Checkpoint.start}, typically from a
+    {!Checkpoint.recover}ed state.  Returns [Error _] if the final
+    snapshot or checkpoint could not be written — connections are
+    already cleaned up by then, so callers should log it and exit
+    nonzero. *)

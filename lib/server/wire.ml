@@ -37,6 +37,7 @@ type response =
   | Stats_reply of (string * string) list
   | Error_reply of { code : error_code; message : string }
   | Overloaded
+  | Read_only
 
 (* ------------------------------------------------------------------ *)
 (* Primitive encoders *)
@@ -306,6 +307,7 @@ let response_kind = function
   | Stats_reply _ -> 0x85
   | Error_reply _ -> 0x86
   | Overloaded -> 0x87
+  | Read_only -> 0x88
 
 let encode_response buf ~id resp =
   with_frame buf (fun () ->
@@ -313,7 +315,7 @@ let encode_response buf ~id resp =
       add_u8 buf (response_kind resp);
       add_u32 buf id;
       match resp with
-      | Pong | Overloaded -> ()
+      | Pong | Overloaded | Read_only -> ()
       | Result r -> encode_result buf r
       | Batch_result rs ->
         add_u32 buf (Array.length rs);
@@ -357,6 +359,7 @@ let decode_response payload =
         let message = str16 c in
         Error_reply { code; message }
       | 0x87 -> Overloaded
+      | 0x88 -> Read_only
       | k -> raise (Bad (Printf.sprintf "unknown response kind 0x%02x" k))
     in
     expect_end c "response";

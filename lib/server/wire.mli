@@ -63,6 +63,9 @@ type response =
   | Stats_reply of (string * string) list
   | Error_reply of { code : error_code; message : string }
   | Overloaded
+  | Read_only
+      (** the durability layer can no longer log mutations (WAL
+          unwritable); writes are refused, reads keep working *)
 
 (** {1 Codecs} *)
 

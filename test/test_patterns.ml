@@ -336,6 +336,47 @@ let serial_error_tests =
         let cut = String.sub text 0 (String.length text - 5) in
         check_bool "raises" true
           (match Index_serial.of_string cut with _ -> false | exception Failure _ -> true));
+    test "declared counts disagreeing with the body are rejected" (fun () ->
+        let g = chain_graph [ "a"; "b"; "c" ] in
+        let idx = Label_split.build g in
+        let text = Index_serial.to_string idx in
+        let lines = String.split_on_char '\n' text in
+        (* Line 1 is "counts <nodes> <edges> <classes>"; perturb each
+           field in turn and expect rejection. *)
+        let counts =
+          match List.nth lines 1 |> String.split_on_char ' ' with
+          | [ "counts"; n; e; m ] -> (int_of_string n, int_of_string e, int_of_string m)
+          | _ -> Alcotest.fail "expected a counts line"
+        in
+        let with_counts (n, e, m) =
+          List.mapi
+            (fun i l -> if i = 1 then Printf.sprintf "counts %d %d %d" n e m else l)
+            lines
+          |> String.concat "\n"
+        in
+        let n, e, m = counts in
+        List.iter
+          (fun tampered ->
+            check_bool "raises" true
+              (match Index_serial.of_string (with_counts tampered) with
+              | _ -> false
+              | exception Failure _ -> true))
+          [ (n + 1, e, m); (n, e + 1, m); (n, e, m + 1) ];
+        (* Sanity: the untampered document still loads. *)
+        check_int "size" (Index_graph.n_nodes idx)
+          (Index_graph.n_nodes (Index_serial.of_string (with_counts counts))));
+    test "version-1 documents (no counts line) still load" (fun () ->
+        let g = chain_graph [ "a"; "b" ] in
+        let idx = Label_split.build g in
+        let v2 = Index_serial.to_string idx in
+        let v1 =
+          String.split_on_char '\n' v2
+          |> List.filteri (fun i _ -> i <> 1)
+          |> List.map (fun l -> if l = "dkindex-index 2" then "dkindex-index 1" else l)
+          |> String.concat "\n"
+        in
+        check_int "size" (Index_graph.n_nodes idx)
+          (Index_graph.n_nodes (Index_serial.of_string v1)));
   ]
 
 let () =

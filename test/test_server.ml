@@ -104,6 +104,7 @@ let response_gen : Wire.response QCheck.Gen.t =
         (oneofl [ `Protocol; `App; `Deadline; `Shutting_down ])
         (string_size (int_bound 40));
       return Wire.Overloaded;
+      return Wire.Read_only;
     ]
 
 let request_arb = QCheck.make request_gen
@@ -230,6 +231,104 @@ let test_read_frame_torn () =
   | _ -> Alcotest.fail "expected Failure on a torn frame"
 
 (* --------------------------------------------------------------- *)
+(* WAL: replay recovers exactly the longest valid record prefix      *)
+
+module Wal = Dkindex_server.Wal
+
+let mutation_gen : Wal.mutation QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [
+      map2 (fun u v -> Wal.Add_edge { u; v }) (int_bound 100000) (int_bound 100000);
+      map2 (fun u v -> Wal.Remove_edge { u; v }) (int_bound 100000) (int_bound 100000);
+      map2
+        (fun graph reqs -> Wal.Add_subgraph { graph; reqs })
+        (string_size (int_bound 60))
+        pairs_gen;
+      map (fun p -> Wal.Promote p) pairs_gen;
+      map (fun p -> Wal.Demote p) pairs_gen;
+    ]
+
+let encode_stream muts =
+  let buf = Buffer.create 256 in
+  (* [ends.(i)] is the byte offset one past record i. *)
+  let ends =
+    List.map
+      (fun m ->
+        Wal.encode_mutation buf m;
+        Buffer.length buf)
+      muts
+  in
+  (Buffer.contents buf, ends)
+
+(* The records wholly contained in the first [cut] bytes. *)
+let expect_prefix muts ends cut =
+  List.combine muts ends |> List.filter (fun (_, e) -> e <= cut) |> List.map fst
+
+let stream_arb =
+  QCheck.make
+    ~print:(fun muts -> Printf.sprintf "<%d mutations>" (List.length muts))
+    QCheck.Gen.(list_size (int_bound 20) mutation_gen)
+
+let prop_wal_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"wal: encode/replay round-trip" stream_arb (fun muts ->
+      let s, _ = encode_stream muts in
+      let r = Wal.replay_string s in
+      r.Wal.mutations = muts
+      && r.valid_bytes = String.length s
+      && r.torn_bytes = 0)
+
+let prop_wal_truncation =
+  QCheck.Test.make ~count:500
+    ~name:"wal: any byte-level truncation recovers the longest valid prefix"
+    QCheck.(pair stream_arb (make Gen.(int_bound 100_000)))
+    (fun (muts, cut) ->
+      let s, ends = encode_stream muts in
+      let cut = if String.length s = 0 then 0 else cut mod (String.length s + 1) in
+      let expected = expect_prefix muts ends cut in
+      let r = Wal.replay_string (String.sub s 0 cut) in
+      let valid_end = List.fold_left (fun acc e -> if e <= cut then e else acc) 0 ends in
+      r.Wal.mutations = expected
+      && r.valid_bytes = valid_end
+      && r.torn_bytes = cut - valid_end)
+
+let prop_wal_bitflip =
+  QCheck.Test.make ~count:500
+    ~name:"wal: a bit flip invalidates its record, keeps the prefix before it"
+    QCheck.(
+      triple
+        (QCheck.make
+           ~print:(fun muts -> Printf.sprintf "<%d mutations>" (List.length muts))
+           Gen.(list_size (int_range 1 20) mutation_gen))
+        (make Gen.(int_bound 100_000))
+        (make Gen.(int_bound 7)))
+    (fun (muts, pos, bit) ->
+      let s, ends = encode_stream muts in
+      let pos = pos mod String.length s in
+      let b = Bytes.of_string s in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+      (* Everything strictly before the record containing [pos] must
+         survive; the flipped record and everything after it is gone
+         (replay cannot resynchronize past a bad record). *)
+      let expected = expect_prefix muts ends pos in
+      let r = Wal.replay_string (Bytes.to_string b) in
+      r.Wal.mutations = expected)
+
+let prop_wal_fuzz =
+  QCheck.Test.make ~count:1000 ~name:"wal: replay of random bytes is total and canonical"
+    QCheck.(make Gen.(string_size (int_bound 300)))
+    (fun s ->
+      match Wal.replay_string s with
+      | r ->
+        (* Whatever replay accepted must re-encode to exactly the
+           bytes it consumed: the valid prefix is canonical. *)
+        let buf = Buffer.create 64 in
+        List.iter (Wal.encode_mutation buf) r.Wal.mutations;
+        r.valid_bytes + r.torn_bytes = String.length s
+        && Buffer.contents buf = String.sub s 0 r.valid_bytes
+      | exception e -> QCheck.Test.fail_reportf "replay raised %s" (Printexc.to_string e))
+
+(* --------------------------------------------------------------- *)
 (* Index_serial round-trip fidelity under churn                      *)
 
 let churn_queries =
@@ -332,21 +431,24 @@ let test_smoke () =
     Unix.close r;
     let status =
       try
-        Server.run
-          ~on_ready:(fun port ->
-            let line = string_of_int port ^ "\n" in
-            ignore (Unix.write_substring w line 0 (String.length line));
-            Unix.close w)
-          {
-            Server.default_config with
-            port = 0;
-            workers = 2;
-            queue_depth = 64;
-            idle_timeout_s = 30.0;
-            snapshot_path = Some snapshot;
-          }
-          idx;
-        0
+        match
+          Server.run
+            ~on_ready:(fun port ->
+              let line = string_of_int port ^ "\n" in
+              ignore (Unix.write_substring w line 0 (String.length line));
+              Unix.close w)
+            {
+              Server.default_config with
+              port = 0;
+              workers = 2;
+              queue_depth = 64;
+              idle_timeout_s = 30.0;
+              snapshot_path = Some snapshot;
+            }
+            idx
+        with
+        | Ok () -> 0
+        | Error _ -> 1
       with _ -> 1
     in
     Unix._exit status
@@ -421,14 +523,17 @@ let test_smoke_protocol_errors () =
     Unix.close r;
     let status =
       try
-        Server.run
-          ~on_ready:(fun port ->
-            let line = string_of_int port ^ "\n" in
-            ignore (Unix.write_substring w line 0 (String.length line));
-            Unix.close w)
-          { Server.default_config with port = 0; workers = 1; max_frame = 4096 }
-          idx;
-        0
+        match
+          Server.run
+            ~on_ready:(fun port ->
+              let line = string_of_int port ^ "\n" in
+              ignore (Unix.write_substring w line 0 (String.length line));
+              Unix.close w)
+            { Server.default_config with port = 0; workers = 1; max_frame = 4096 }
+            idx
+        with
+        | Ok () -> 0
+        | Error _ -> 1
       with _ -> 1
     in
     Unix._exit status
@@ -493,6 +598,13 @@ let () =
           Alcotest.test_case "read_frame: chunked reads" `Quick test_read_frame_chunked;
           Alcotest.test_case "read_frame: oversized" `Quick test_read_frame_oversized;
           Alcotest.test_case "read_frame: torn stream" `Quick test_read_frame_torn;
+        ] );
+      ( "wal",
+        [
+          to_alcotest prop_wal_roundtrip;
+          to_alcotest prop_wal_truncation;
+          to_alcotest prop_wal_bitflip;
+          to_alcotest prop_wal_fuzz;
         ] );
       ("index_serial", [ to_alcotest prop_serial_roundtrip_after_churn ]);
       ( "smoke",
