@@ -20,10 +20,10 @@ bench-quick:
 bench-smoke:
 	dune exec bench/trajectory.exe -- --smoke
 
-# Full trajectory pass: refreshes BENCH_PR4.json (current numbers),
+# Full trajectory pass: refreshes BENCH_PR5.json (current numbers),
 # keeping the recorded baselines for comparison.
 bench-trajectory:
-	dune exec bench/trajectory.exe -- --scale 40 --baseline BENCH_PR4.json --out BENCH_PR4.json
+	dune exec bench/trajectory.exe -- --scale 40 --baseline BENCH_PR5.json --out BENCH_PR5.json
 
 # Serve the pinned XMark dataset over TCP (dkserve protocol, DESIGN.md 9).
 serve:

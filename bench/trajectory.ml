@@ -5,7 +5,7 @@
    samples — timing noise on a shared machine is strictly additive, so
    the minimum is the robust estimator) plus a construction / query /
    update macro pass on XMark, and writes the results as JSON (default
-   BENCH_PR4.json).  An optional [--baseline prev.json] merges a
+   BENCH_PR5.json).  An optional [--baseline prev.json] merges a
    previous run into the output as per-benchmark {"baseline_ns",
    "after_ns"} pairs so a PR records its own before/after evidence.
 
@@ -28,7 +28,7 @@ module Wal = Dkindex_server.Wal
 module Checkpoint = Dkindex_server.Checkpoint
 
 let scale = ref 40
-let out_file = ref "BENCH_PR4.json"
+let out_file = ref "BENCH_PR5.json"
 let baseline_file = ref ""
 let smoke = ref false
 let no_out = ref false
@@ -36,7 +36,7 @@ let no_out = ref false
 let spec =
   [
     ("--scale", Arg.Set_int scale, "N  XMark scale for the macro pass (default 40)");
-    ("--out", Arg.Set_string out_file, "FILE  output JSON (default BENCH_PR4.json)");
+    ("--out", Arg.Set_string out_file, "FILE  output JSON (default BENCH_PR5.json)");
     ( "--baseline",
       Arg.Set_string baseline_file,
       "FILE  merge a previous run as baseline_ns/after_ns pairs" );
@@ -92,6 +92,14 @@ let best_ns_with_resource ?(reps = 21) ?(batch = 32) ~allocate ~runs f =
 let allocated_words () =
   let s = Gc.quick_stat () in
   Gc.minor_words () +. s.Gc.major_words -. s.Gc.promoted_words
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Pinned workload *)
@@ -516,14 +524,6 @@ let () =
      | e :: _ -> e
      | [] -> failwith "wal bench: no absent update edge"
    in
-   let rm_rf dir =
-     if Sys.file_exists dir then begin
-       Array.iter
-         (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
-         (Sys.readdir dir);
-       try Unix.rmdir dir with Unix.Unix_error _ -> ()
-     end
-   in
    let mk_variant name sync =
      let idx = Dk_index.build (Data_graph.copy g) ~reqs in
      let dir = Filename.temp_file "dkwal" "" in
@@ -608,6 +608,188 @@ let () =
        Printf.printf "  %-44s %12.0f ns/write\n%!" name !best;
        entries := { name; after_ns = !best; baseline_ns = None } :: !entries)
      variants);
+  (* Replication: aggregate read throughput against a primary plus 0/1/2
+     caught-up replicas (driver domains round-robin their connections
+     over the endpoints), and p99 replication lag in bytes-behind
+     sampled on the replica after every acknowledged write.  All
+     servers are in-process; on a host with fewer cores than domains
+     the scaling entries measure scheduling overhead rather than
+     speedup — same caveat as the batch-throughput family, and the
+     macro section records the core count. *)
+  (let mk_dir () =
+     let dir = Filename.temp_file "dkrepl" "" in
+     Sys.remove dir;
+     Unix.mkdir dir 0o755;
+     dir
+   in
+   let empty_index () =
+     let pool = Label.Pool.create () in
+     let root = Label.Pool.intern pool Label.root_name in
+     let eg = Data_graph.make ~pool ~labels:[| root |] ~edges:[] () in
+     Dk_index.build eg ~reqs:[]
+   in
+   let start_server ?replica_of index =
+     let dir = mk_dir () in
+     let durability =
+       Checkpoint.start { (Checkpoint.default_config ~dir) with sync = Wal.Never } index
+     in
+     let port_box = Atomic.make 0 in
+     let srv =
+       Domain.spawn (fun () ->
+           Server.run ~handle_signals:false ~durability ?replica_of ~hub_heartbeat_s:0.05
+             ~on_ready:(fun p -> Atomic.set port_box p)
+             {
+               Server.default_config with
+               port = 0;
+               workers = 1;
+               queue_depth = 1024;
+               deadline_s = 0.0;
+               idle_timeout_s = 0.0;
+             }
+             index
+           |> Result.get_ok)
+     in
+     while Atomic.get port_box = 0 do
+       Unix.sleepf 0.002
+     done;
+     (dir, Atomic.get port_box, srv)
+   in
+   let pdir, pport, psrv = start_server (Dk_index.build (Data_graph.copy g) ~reqs) in
+   let replica i =
+     start_server
+       ~replica_of:
+         (Dkindex_server.Replication.default_rconfig ~host:"127.0.0.1" ~port:pport
+            ~replica_id:i)
+       (empty_index ())
+   in
+   let r1dir, r1port, r1srv = replica 1 in
+   let r2dir, r2port, r2srv = replica 2 in
+   let wait_caught_up port =
+     let c = Client.connect ~port () in
+     let deadline = Unix.gettimeofday () +. 120.0 in
+     let rec go () =
+       let kvs =
+         match Client.call c Wire.Stats with
+         | Wire.Stats_reply kvs -> kvs
+         | _ -> failwith "replication bench: Stats failed"
+       in
+       let v k = Option.value (List.assoc_opt k kvs) ~default:"" in
+       if
+         v "replication_connected" = "true"
+         && v "replication_bytes_behind" = "0"
+         && v "replication_applied_seq" <> "-1"
+       then Client.close c
+       else if Unix.gettimeofday () > deadline then
+         failwith "replication bench: replica catch-up timed out"
+       else begin
+         Unix.sleepf 0.02;
+         go ()
+       end
+     in
+     go ()
+   in
+   wait_caught_up r1port;
+   wait_caught_up r2port;
+   let qstrings = Array.of_list query_paths in
+   let request i =
+     Wire.Query_path
+       { flags = { no_cache = false }; labels = qstrings.(i mod Array.length qstrings) }
+   in
+   let expect_result i = function
+     | Wire.Result _ -> ()
+     | Wire.Error_reply { message; _ } ->
+       failwith (Printf.sprintf "replication bench request %d: %s" i message)
+     | _ -> failwith (Printf.sprintf "replication bench request %d: unexpected reply" i)
+   in
+   let read_pass ~ports ~requests =
+     let conns = 4 in
+     let n = Array.length ports in
+     let ready = Atomic.make 0 and go = Atomic.make false in
+     let doms =
+       List.init conns (fun d ->
+           Domain.spawn (fun () ->
+               let c = Client.connect ~port:ports.(d mod n) () in
+               Atomic.incr ready;
+               while not (Atomic.get go) do
+                 Domain.cpu_relax ()
+               done;
+               let i = ref d in
+               while !i < requests do
+                 expect_result !i (Client.call c (request !i));
+                 i := !i + conns
+               done;
+               Client.close c))
+     in
+     while Atomic.get ready < conns do
+       Unix.sleepf 0.001
+     done;
+     let t0 = now_ns () in
+     Atomic.set go true;
+     List.iter Domain.join doms;
+     (now_ns () -. t0) /. float_of_int requests
+   in
+   let reps = if !smoke then 2 else 5 in
+   let requests = if !smoke then 60 else 600 in
+   let all_ports = [| pport; r1port; r2port |] in
+   for nendp = 1 to 3 do
+     let name = Printf.sprintf "serve:replica-read-scaling-%d" nendp in
+     let ports = Array.sub all_ports 0 nendp in
+     let samples = Array.init reps (fun _ -> read_pass ~ports ~requests) in
+     Array.sort compare samples;
+     let ns = samples.(0) in
+     Printf.printf "  %-44s %12.0f ns/req\n%!" name ns;
+     entries := { name; after_ns = ns; baseline_ns = None } :: !entries
+   done;
+   (* Lag: alternate add/remove of one absent ID/IDREF edge (every
+      request is an acknowledged mutation, state returns to its start),
+      sampling the replica's bytes-behind right after each ack. *)
+   (let n_writes = if !smoke then 30 else 300 in
+    let eu, ev =
+      match List.filter (fun (u, v) -> not (Data_graph.has_edge g u v)) edges with
+      | e :: _ -> e
+      | [] -> failwith "replication bench: no absent update edge"
+    in
+    let wc = Client.connect ~port:pport () in
+    let sc = Client.connect ~port:r1port () in
+    let lags = Array.make n_writes 0.0 in
+    for i = 0 to n_writes - 1 do
+      let req =
+        if i land 1 = 0 then Wire.Add_edge { u = eu; v = ev }
+        else Wire.Remove_edge { u = eu; v = ev }
+      in
+      (match Client.call wc req with
+      | Wire.Ok_reply _ -> ()
+      | Wire.Error_reply { message; _ } -> failwith ("replication bench write: " ^ message)
+      | _ -> failwith "replication bench write: unexpected reply");
+      let kvs =
+        match Client.call sc Wire.Stats with
+        | Wire.Stats_reply kvs -> kvs
+        | _ -> failwith "replication bench: Stats failed"
+      in
+      lags.(i) <-
+        float_of_string
+          (Option.value (List.assoc_opt "replication_bytes_behind" kvs) ~default:"0")
+    done;
+    Client.close wc;
+    Client.close sc;
+    Array.sort compare lags;
+    let p99 = lags.(n_writes * 99 / 100) in
+    Printf.printf "  %-44s %12.0f bytes behind (p99)\n%!" "serve:replication-lag" p99;
+    entries := { name = "serve:replication-lag"; after_ns = p99; baseline_ns = None } :: !entries);
+   let stop port srv dir =
+     let c = Client.connect ~port () in
+     (match Client.call c Wire.Shutdown with
+     | Wire.Ok_reply _ -> ()
+     | _ -> failwith "replication bench: shutdown not acknowledged");
+     Client.close c;
+     Domain.join srv;
+     rm_rf dir
+   in
+   (* Replicas first: stopping the primary first would put their
+      tailers into reconnect loops for no reason. *)
+   stop r2port r2srv r2dir;
+   stop r1port r1srv r1dir;
+   stop pport psrv pdir);
   let entries = List.rev !entries in
   (* Macro pass facts. *)
   let query_cost =

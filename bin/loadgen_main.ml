@@ -66,6 +66,22 @@ let retries_arg =
 let no_cache_arg =
   Arg.(value & flag & info [ "no-cache" ] ~doc:"Send queries with the no_cache flag")
 
+let promote_arg =
+  Arg.(
+    value & flag
+    & info [ "promote" ]
+        ~doc:"Send Promote_primary to the server (failover: flip a replica into a primary) and exit")
+
+let wait_replication_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "wait-replication" ] ~docv:"SECONDS"
+        ~doc:
+          "Poll the server's stats until every connected replica reports zero bytes behind (or \
+           the timeout expires — nonzero exit); run after a write workload to bound failover \
+           data loss")
+
 let percentile sorted p =
   let n = Array.length sorted in
   if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
@@ -101,6 +117,45 @@ let fan_out ~host ~port ~conns ~count f =
 let query_of_labels ~no_cache labels =
   Wire.Query_path { flags = { no_cache }; labels }
 
+let server_stats ~host ~port () =
+  let c = connect ~host ~port () in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      match Client.call c Wire.Stats with
+      | Wire.Stats_reply kvs -> kvs
+      | _ -> failwith "stats: unexpected response kind")
+
+(* The post-run health summary: load shedding, queue pressure, and —
+   when the server is part of a replica set — how far behind each
+   replica is. *)
+let print_stats_summary kvs =
+  let get k = List.assoc_opt k kvs in
+  let getd k = Option.value (get k) ~default:"0" in
+  Printf.printf "server: shed %s  deadline_expired %s  queue r/w %s/%s (cap %s)  in_flight %s\n"
+    (getd "shed") (getd "deadline_expired") (getd "read_queue_depth") (getd "write_queue_depth")
+    (getd "queue_capacity") (getd "in_flight");
+  (match (get "role", get "epoch") with
+  | Some role, Some epoch ->
+    Printf.printf "server: role %s  epoch %s  fenced %s\n" role epoch (getd "fenced")
+  | _ -> ());
+  (match get "replicas_connected" with
+  | Some n when n <> "0" ->
+    Printf.printf "replication: %s replica(s) connected\n" n;
+    List.iter
+      (fun (k, v) ->
+        if String.length k > 8 && String.sub k 0 8 = "replica." then
+          Printf.printf "  %s = %s\n" k v)
+      kvs
+  | _ -> ());
+  match get "replication_connected" with
+  | Some _ ->
+    Printf.printf "replication: connected %s  applied %s/%s  behind %s bytes  stale %s\n"
+      (getd "replication_connected") (getd "replication_applied_seq")
+      (getd "replication_applied_offset") (getd "replication_bytes_behind")
+      (getd "replication_stale")
+  | None -> ()
+
 let throughput ~host ~port ~conns ~requests ~no_cache (ds : Dataset.t) =
   let queries = Array.of_list ds.queries in
   let nq = Array.length queries in
@@ -121,7 +176,10 @@ let throughput ~host ~port ~conns ~requests ~no_cache (ds : Dataset.t) =
     (float_of_int requests /. wall);
   Printf.printf "latency us: p50 %.0f  p95 %.0f  p99 %.0f  max %.0f\n" (percentile lat 0.50)
     (percentile lat 0.95) (percentile lat 0.99)
-    lat.(Array.length lat - 1)
+    lat.(Array.length lat - 1);
+  match server_stats ~host ~port () with
+  | kvs -> print_stats_summary kvs
+  | exception _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Check mode *)
@@ -209,12 +267,85 @@ let check_recovered ~host ~port ~conns ~updates (ds : Dataset.t) =
   Printf.printf "recovered: %d queries against the restarted server match bit-for-bit\n%!" n;
   Printf.printf "recovered check OK\n%!"
 
-let main host port conns requests xmark seed updates do_check recovered n_retries no_cache =
+(* Failover helper: flip a replica into a primary. *)
+let promote ~host ~port () =
+  let c = connect ~host ~port () in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      match Client.call c Wire.Promote_primary with
+      | Wire.Ok_reply { epoch; _ } -> Printf.printf "promoted: %s:%d now primary, epoch %d\n%!" host port epoch
+      | Wire.Error_reply { message; _ } -> failwith ("promote: " ^ message)
+      | _ -> failwith "promote: unexpected response kind")
+
+(* Wait until every replica connected to HOST:PORT (a primary) reports
+   zero bytes behind — run after a write workload to bound how much an
+   immediate failover could lose. *)
+(* Works against either side: on a primary, waits for every connected
+   replica to report zero bytes behind; on a replica, waits for that
+   replica itself to be connected and fully caught up. *)
+let wait_replication ~host ~port ~timeout_s () =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let kvs = server_stats ~host ~port () in
+    let v k = Option.value (List.assoc_opt k kvs) ~default:"" in
+    let done_msg =
+      if v "role" = "replica" then
+        if
+          v "replication_connected" = "true"
+          && v "replication_bytes_behind" = "0"
+          && v "replication_applied_seq" <> "-1"
+        then Some "replication: replica caught up"
+        else None
+      else begin
+        let connected =
+          int_of_string (Option.value (List.assoc_opt "replicas_connected" kvs) ~default:"0")
+        in
+        let behind =
+          List.exists
+            (fun (k, v) ->
+              String.length k > 8
+              && String.sub k 0 8 = "replica."
+              && (let n = String.length k in
+                  n > 13 && String.sub k (n - 13) 13 = ".bytes_behind")
+              && v <> "0")
+            kvs
+        in
+        if connected > 0 && not behind then
+          Some (Printf.sprintf "replication: %d replica(s) caught up" connected)
+        else None
+      end
+    in
+    match done_msg with
+    | Some msg -> Printf.printf "%s\n%!" msg
+    | None ->
+      if Unix.gettimeofday () > deadline then begin
+        Printf.eprintf "dkindex-loadgen: replication still behind after %.1f s\n%!" timeout_s;
+        exit 3
+      end
+      else begin
+        Unix.sleepf 0.05;
+        go ()
+      end
+  in
+  go ()
+
+let main host port conns requests xmark seed updates do_check recovered n_retries no_cache
+    do_promote wait_repl =
   retries := max 0 n_retries;
-  let ds = Dataset.make ~seed ~scale:xmark () in
-  if do_check && recovered then check_recovered ~host ~port ~conns ~updates ds
-  else if do_check then check ~host ~port ~conns ~updates ds
-  else throughput ~host ~port ~conns ~requests ~no_cache ds
+  if do_promote then promote ~host ~port ()
+  else if do_check then begin
+    let ds = Dataset.make ~seed ~scale:xmark () in
+    if recovered then check_recovered ~host ~port ~conns ~updates ds
+    else check ~host ~port ~conns ~updates ds;
+    Option.iter (fun timeout_s -> wait_replication ~host ~port ~timeout_s ()) wait_repl
+  end
+  else
+    match wait_repl with
+    | Some timeout_s -> wait_replication ~host ~port ~timeout_s ()
+    | None ->
+      let ds = Dataset.make ~seed ~scale:xmark () in
+      throughput ~host ~port ~conns ~requests ~no_cache ds
 
 let cmd =
   let doc = "load-generate against dkindex-server; --check verifies bit-for-bit answers" in
@@ -222,6 +353,7 @@ let cmd =
     (Cmd.info "dkindex-loadgen" ~doc)
     Term.(
       const main $ host_arg $ port_arg $ conns_arg $ requests_arg $ xmark_arg $ seed_arg
-      $ updates_arg $ check_arg $ recovered_arg $ retries_arg $ no_cache_arg)
+      $ updates_arg $ check_arg $ recovered_arg $ retries_arg $ no_cache_arg $ promote_arg
+      $ wait_replication_arg)
 
 let () = exit (Cmd.eval cmd)

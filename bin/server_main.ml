@@ -6,6 +6,7 @@
 open Cmdliner
 module Server = Dkindex_server.Server
 module Checkpoint = Dkindex_server.Checkpoint
+module Replication = Dkindex_server.Replication
 module Wal = Dkindex_server.Wal
 module Index_serial = Dkindex_core.Index_serial
 
@@ -76,18 +77,92 @@ let checkpoint_every_arg =
     & info [ "checkpoint-every" ] ~docv:"N"
         ~doc:"Checkpoint and truncate the WAL after N logged records (or 8 MiB of log)")
 
+let replicate_from_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replicate-from" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Run as a replica of this primary: tail its write-ahead log (bootstrapping from a \
+           snapshot when needed), refuse writes with not-primary, and serve reads within the \
+           staleness bound.  A replica starts empty unless its own --data-dir has state.")
+
+let replica_id_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "replica-id" ] ~docv:"N" ~doc:"Replica identity reported to the primary")
+
+let auto_promote_arg =
+  Arg.(
+    value & flag
+    & info [ "auto-promote" ]
+        ~doc:
+          "Promote this replica to primary automatically when the primary has been silent past \
+           the failover timeout (requires at least one successful contact first)")
+
+let failover_arg =
+  Arg.(
+    value & opt float 3.0
+    & info [ "failover-timeout" ] ~docv:"SECONDS"
+        ~doc:"No contact for this long = primary presumed dead (<= 0 disables the watchdog)")
+
+let staleness_arg =
+  Arg.(
+    value & opt float 10.0
+    & info [ "staleness-bound" ] ~docv:"SECONDS"
+        ~doc:"Refuse reads once the primary has been silent this long (<= 0 disables)")
+
+let heartbeat_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "heartbeat" ] ~docv:"SECONDS" ~doc:"Replication heartbeat interval (primary side)")
+
+(* A replica that has no local state serves this until its first
+   snapshot bootstrap replaces it: a one-node ROOT-only index. *)
+let empty_index () =
+  let pool = Dkindex_graph.Label.Pool.create () in
+  let root = Dkindex_graph.Label.Pool.intern pool Dkindex_graph.Label.root_name in
+  let g = Dkindex_graph.Data_graph.make ~pool ~labels:[| root |] ~edges:[] () in
+  Dkindex_core.Dk_index.build g ~reqs:[]
+
 let serve host port xmark seed load workers queue_depth deadline idle snapshot data_dir sync
-    checkpoint_every =
+    checkpoint_every replicate_from replica_id auto_promote failover_timeout staleness_bound
+    heartbeat =
   let fatal fmt = Printf.ksprintf (fun m -> prerr_endline ("dkindex-server: " ^ m); exit 1) fmt in
   let sync =
     match Wal.sync_policy_of_string sync with Ok s -> s | Error msg -> fatal "%s" msg
   in
+  let replica_of =
+    match replicate_from with
+    | None -> None
+    | Some spec -> (
+      match String.rindex_opt spec ':' with
+      | None -> fatal "--replicate-from wants HOST:PORT, got %s" spec
+      | Some i -> (
+        let h = String.sub spec 0 i
+        and p = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match int_of_string_opt p with
+        | None -> fatal "--replicate-from: bad port %s" p
+        | Some p ->
+          Some
+            {
+              (Replication.default_rconfig ~host:h ~port:p ~replica_id) with
+              auto_promote;
+              failover_timeout_s = failover_timeout;
+              staleness_bound_s = staleness_bound;
+            }))
+  in
   let build () =
-    match load with
-    | Some file ->
+    match (load, replica_of) with
+    | Some file, _ ->
       Printf.printf "dkindex-server: loading %s\n%!" file;
       Index_serial.load file
-    | None ->
+    | None, Some _ ->
+      (* A replica bootstraps over the wire; don't build a dataset it
+         will immediately throw away. *)
+      Printf.printf "dkindex-server: starting empty, awaiting replication bootstrap\n%!";
+      empty_index ()
+    | None, None ->
       Printf.printf "dkindex-server: building pinned XMark dataset (scale %d, seed %d)\n%!"
         xmark seed;
       (Dkindex_server.Dataset.make ~seed ~scale:xmark ()).index
@@ -130,12 +205,19 @@ let serve host port xmark seed load workers queue_depth deadline idle snapshot d
       snapshot_path = snapshot;
     }
   in
+  (match data_dir with
+  | Some dir ->
+    Printf.printf "dkindex-server: role %s, epoch %d\n%!"
+      (if replica_of = None then "primary" else "replica")
+      (Replication.load_epoch ~dir)
+  | None ->
+    if replica_of <> None then Printf.printf "dkindex-server: role replica (no data dir)\n%!");
   match
     Server.run
       ~on_ready:(fun port ->
         Printf.printf "dkindex-server: listening on %s:%d (pid %d)\n%!" host port
           (Unix.getpid ()))
-      ?durability cfg index
+      ?durability ?replica_of ~hub_heartbeat_s:heartbeat cfg index
   with
   | Ok () -> Printf.printf "dkindex-server: drained, bye\n%!"
   | Error msg -> fatal "shutdown failed: %s" msg
@@ -147,6 +229,7 @@ let cmd =
     Term.(
       const serve $ host_arg $ port_arg $ xmark_arg $ seed_arg $ load_arg $ workers_arg
       $ queue_arg $ deadline_arg $ idle_arg $ snapshot_arg $ data_dir_arg $ sync_arg
-      $ checkpoint_every_arg)
+      $ checkpoint_every_arg $ replicate_from_arg $ replica_id_arg $ auto_promote_arg
+      $ failover_arg $ staleness_arg $ heartbeat_arg)
 
 let () = exit (Cmd.eval cmd)

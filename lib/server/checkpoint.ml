@@ -212,6 +212,11 @@ type t = {
   recovery : recovery;
   mutable wal : Wal.t;
   mutable seq : int;
+  (* Mirror of [seq] readable from other domains (the replication hub
+     tails the WAL files from its own senders).  Updated last on
+     rotation, so (read seq_a, then wal_bytes_a) never claims bytes
+     beyond the complete records of the generation it names. *)
+  seq_a : int Atomic.t;
   mutable last_rotate : float;
   (* background writer *)
   jobs : job Queue.t;
@@ -285,6 +290,7 @@ let start ?wal_faults ?checkpoint_faults ?recovery cfg index =
       recovery = (match recovery with Some r -> r | None -> empty_recovery);
       wal = Wal.create ?faults:wal_faults ~sync:cfg.sync (Filename.concat cfg.dir (wal_name seq));
       seq;
+      seq_a = Atomic.make seq;
       last_rotate = Unix.gettimeofday ();
       jobs = Queue.create ();
       mu = Mutex.create ();
@@ -330,6 +336,7 @@ let rotate t index =
     t.last_rotate <- Unix.gettimeofday ();
     Atomic.set t.wal_records_a 0;
     Atomic.set t.wal_bytes_a 0;
+    Atomic.set t.seq_a seq';
     Some (seq', s)
 
 let triggered t =
@@ -357,6 +364,39 @@ let checkpoint_now t index =
       | exception e ->
         Atomic.incr t.checkpoint_failures;
         Error (Printexc.to_string e))
+
+let dir t = t.cfg.dir
+let wal_file ~dir ~seq = Filename.concat dir (wal_name seq)
+
+(* Domain-safe current WAL position.  Only complete records are ever
+   claimed: wal_bytes_a is bumped after the append returns, and seq_a
+   flips to a new generation only after its byte counter was reset. *)
+let wal_position t =
+  let seq = Atomic.get t.seq_a in
+  let bytes = Atomic.get t.wal_bytes_a in
+  (seq, bytes)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Newest checkpoint that actually parses, as raw snapshot bytes (for
+   replica bootstrap).  Racing the pruner just skips to an older one. *)
+let newest_checkpoint ~dir =
+  let rec go = function
+    | [] -> None
+    | seq :: older -> (
+      match
+        let s = read_file (Filename.concat dir (cp_name seq)) in
+        ignore (Index_serial.of_string s);
+        s
+      with
+      | s -> Some (seq, s)
+      | exception _ -> go older)
+  in
+  go (List.rev (checkpoint_seqs dir))
 
 let stats t =
   let b v = if v then "true" else "false" in

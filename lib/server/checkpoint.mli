@@ -96,6 +96,24 @@ val note_wal_failure : t -> string -> unit
 val stats : t -> (string * string) list
 (** WAL/checkpoint/recovery counters, domain-safe. *)
 
+(** {1 Replication hooks} *)
+
+val dir : t -> string
+
+val wal_position : t -> int * int
+(** Current [(generation, byte offset)] of the live WAL, readable from
+    any domain.  The offset only ever covers complete records, so a
+    tailer reading up to it never ships a torn record of its own
+    making. *)
+
+val wal_file : dir:string -> seq:int -> string
+(** Path of generation [seq]'s WAL file. *)
+
+val newest_checkpoint : dir:string -> (int * string) option
+(** Newest checkpoint generation whose snapshot loads, as raw
+    [Index_serial] bytes (what a bootstrap ships to a replica).
+    [None] if no checkpoint parses. *)
+
 val close : t -> Index_graph.t -> (unit, string) result
 (** Final synchronous checkpoint (if the WAL holds records), stop and
     join the background writer, close the WAL.  [Error] carries the

@@ -21,6 +21,12 @@ type t = {
   mutable fd : Unix.file_descr option;
   mutable next_id : int;
   mutable n_reconnects : int;
+  (* Version/epoch negotiation: every new connection starts with a
+     Hello carrying the highest epoch this client has observed. *)
+  mutable hello_epoch : int;  (* what we will claim on the next dial *)
+  mutable helloed_epoch : int;  (* what the current connection's server has seen *)
+  mutable server_epoch : int;  (* epoch the server last reported *)
+  mutable server_role : Wire.role option;
 }
 
 (* Internal failure classification; converted to [Error] at the
@@ -49,54 +55,6 @@ let drop t =
   | Some fd ->
     t.fd <- None;
     (try Unix.close fd with Unix.Unix_error _ -> ())
-
-(* Connect if not connected, redialing with backoff up to
-   [t.attempts] times. *)
-let ensure t =
-  match t.fd with
-  | Some fd -> fd
-  | None ->
-    let rec go attempt =
-      match dial t with
-      | fd ->
-        t.fd <- Some fd;
-        fd
-      | exception Unix.Unix_error (e, _, _) ->
-        if attempt >= t.attempts then
-          raise (Conn_failure (Printf.sprintf "connect %s:%d: %s" t.host t.port (Unix.error_message e)))
-        else begin
-          backoff_sleep t attempt;
-          go (attempt + 1)
-        end
-    in
-    let fd = go 1 in
-    t.n_reconnects <- t.n_reconnects + 1;
-    fd
-
-let connect ?(host = "127.0.0.1") ?(attempts = 1) ?(retries = 0) ?(timeout_s = 0.0)
-    ?(backoff_base_s = 0.05) ?(backoff_max_s = 2.0) ?(seed = 0) ~port () =
-  let t =
-    {
-      host;
-      port;
-      attempts = max 1 attempts;
-      retries = max 0 retries;
-      timeout_s;
-      backoff_base_s;
-      backoff_max_s;
-      rng = Prng.create ~seed;
-      buf = Buffer.create 256;
-      fd = None;
-      next_id = 1;
-      n_reconnects = 0;
-    }
-  in
-  (try ignore (ensure t) with Conn_failure msg -> raise (Error (Retryable msg)));
-  t.n_reconnects <- 0;
-  t
-
-let close = drop
-let reconnects t = t.n_reconnects
 
 let write_all fd b off len =
   let off = ref off and len = ref len in
@@ -148,6 +106,101 @@ let recv_on fd deadline =
     match Wire.decode_response payload with
     | Ok d -> d
     | Error msg -> raise (Proto_failure ("bad response: " ^ msg)))
+
+(* Version/epoch handshake on a freshly dialed connection.  A
+   [`Version] refusal is a protocol failure (redialing cannot help);
+   anything connection-shaped heals like a failed dial. *)
+let hello_on t fd =
+  let sent = t.hello_epoch in
+  let id =
+    try send_on t fd (Wire.Hello { version = Wire.version; epoch = sent })
+    with Unix.Unix_error (e, _, _) -> raise (Conn_failure (Unix.error_message e))
+  in
+  let deadline = deadline_of t in
+  let rec wait () =
+    let d = recv_on fd deadline in
+    if d.Wire.id = id then d.Wire.msg else wait ()
+  in
+  match wait () with
+  | Wire.Hello_reply { version = _; epoch; role } ->
+    if epoch > t.hello_epoch then t.hello_epoch <- epoch;
+    t.helloed_epoch <- max sent epoch;
+    t.server_epoch <- epoch;
+    t.server_role <- Some role
+  | Wire.Error_reply { code = `Version; message } -> raise (Proto_failure message)
+  | _ -> raise (Proto_failure "unexpected reply to hello")
+
+(* Connect if not connected, redialing with backoff up to
+   [t.attempts] times.  Every new connection is helloed before use so
+   the server always knows the highest epoch we have seen. *)
+let ensure t =
+  match t.fd with
+  | Some fd -> fd
+  | None ->
+    let rec go attempt =
+      let retry_or e =
+        if attempt >= t.attempts then raise (Conn_failure e)
+        else begin
+          backoff_sleep t attempt;
+          go (attempt + 1)
+        end
+      in
+      match dial t with
+      | fd -> (
+        match hello_on t fd with
+        | () ->
+          t.fd <- Some fd;
+          fd
+        | exception e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          (match e with Conn_failure msg -> retry_or msg | e -> raise e))
+      | exception Unix.Unix_error (e, _, _) ->
+        retry_or (Printf.sprintf "connect %s:%d: %s" t.host t.port (Unix.error_message e))
+    in
+    let fd = go 1 in
+    t.n_reconnects <- t.n_reconnects + 1;
+    fd
+
+let set_epoch t e =
+  if e > t.hello_epoch then t.hello_epoch <- e;
+  (* The current connection's server has only seen [helloed_epoch];
+     drop it so the next use re-hellos with the newer epoch (this is
+     what fences a deposed primary before we write to it). *)
+  if t.fd <> None && t.helloed_epoch < t.hello_epoch then drop t
+
+let server_epoch t = t.server_epoch
+let server_role t = t.server_role
+
+let connect ?(host = "127.0.0.1") ?(attempts = 1) ?(retries = 0) ?(timeout_s = 0.0)
+    ?(backoff_base_s = 0.05) ?(backoff_max_s = 2.0) ?(seed = 0) ?(epoch = 0) ~port () =
+  let t =
+    {
+      host;
+      port;
+      attempts = max 1 attempts;
+      retries = max 0 retries;
+      timeout_s;
+      backoff_base_s;
+      backoff_max_s;
+      rng = Prng.create ~seed;
+      buf = Buffer.create 256;
+      fd = None;
+      next_id = 1;
+      n_reconnects = 0;
+      hello_epoch = max 0 epoch;
+      helloed_epoch = -1;
+      server_epoch = 0;
+      server_role = None;
+    }
+  in
+  (try ignore (ensure t) with
+  | Conn_failure msg -> raise (Error (Retryable msg))
+  | Proto_failure msg -> raise (Error (Fatal msg)));
+  t.n_reconnects <- 0;
+  t
+
+let close = drop
+let reconnects t = t.n_reconnects
 
 let idempotent = function
   | Wire.Ping | Wire.Query _ | Wire.Query_path _ | Wire.Batch_query _ | Wire.Stats -> true
@@ -202,3 +255,158 @@ let recv t =
   | d -> d
   | exception Conn_failure msg -> failwith ("Client.recv: " ^ msg)
   | exception Proto_failure msg -> failwith ("Client.recv: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Partition-tolerant cluster client. *)
+
+type cluster = {
+  cendpoints : (string * int) array;
+  cmembers : t option array;
+  mutable crr : int;  (* round-robin read cursor *)
+  mutable cprimary : int option;
+  mutable cepoch : int;  (* highest epoch observed anywhere *)
+  cattempts : int;
+  cretries : int;
+  ctimeout_s : float;
+  cseed : int;
+}
+
+let cluster_epoch cl = cl.cepoch
+let cluster_primary cl = Option.map (fun i -> cl.cendpoints.(i)) cl.cprimary
+
+(* Raise the cluster epoch and make sure every live member re-hellos
+   with it before its next request. *)
+let bump_epoch cl e =
+  if e > cl.cepoch then begin
+    cl.cepoch <- e;
+    Array.iter (function Some c -> set_epoch c e | None -> ()) cl.cmembers
+  end
+
+let drop_member cl i =
+  (match cl.cmembers.(i) with Some c -> close c | None -> ());
+  cl.cmembers.(i) <- None;
+  if cl.cprimary = Some i then cl.cprimary <- None
+
+(* Connect (or return) member [i]; [None] if it is unreachable right
+   now.  A fresh connection's Hello teaches us the member's epoch and
+   role — a primary at the newest epoch is adopted as write target. *)
+let member cl i =
+  match cl.cmembers.(i) with
+  | Some _ as s -> s
+  | None -> (
+    let host, port = cl.cendpoints.(i) in
+    match
+      connect ~host ~attempts:1 ~retries:0 ~timeout_s:cl.ctimeout_s ~seed:(cl.cseed + (31 * i))
+        ~epoch:cl.cepoch ~port ()
+    with
+    | c ->
+      cl.cmembers.(i) <- Some c;
+      bump_epoch cl (server_epoch c);
+      if server_role c = Some Wire.Primary && server_epoch c >= cl.cepoch then cl.cprimary <- Some i;
+      Some c
+    | exception Error _ -> None)
+
+let cluster_connect ?(attempts = 1) ?(retries = 0) ?(timeout_s = 0.0) ?(seed = 0) ~endpoints () =
+  if endpoints = [] then invalid_arg "Client.cluster_connect: no endpoints";
+  let cl =
+    {
+      cendpoints = Array.of_list endpoints;
+      cmembers = Array.make (List.length endpoints) None;
+      crr = 0;
+      cprimary = None;
+      cepoch = 0;
+      cattempts = max 1 attempts;
+      cretries = max 0 retries;
+      ctimeout_s = timeout_s;
+      cseed = seed;
+    }
+  in
+  (* Eager sweep: learn epochs and find the primary; unreachable
+     members stay lazily retried. *)
+  Array.iteri (fun i _ -> ignore (member cl i)) cl.cendpoints;
+  cl
+
+let cluster_close cl =
+  Array.iteri (fun i _ -> drop_member cl i) cl.cmembers;
+  cl.cprimary <- None
+
+(* Reads: round-robin over members, failing over to the next on a
+   connection failure or a [`Stale] refusal. *)
+let cluster_read cl req =
+  let n = Array.length cl.cendpoints in
+  let budget = n * (cl.cretries + 1) in
+  let rec go tries i last =
+    if tries >= budget then raise (Error last)
+    else begin
+      let next = (i + 1) mod n in
+      match member cl i with
+      | None -> go (tries + 1) next (Retryable "no cluster member reachable")
+      | Some c -> (
+        set_epoch c cl.cepoch;
+        match call c req with
+        | Wire.Error_reply { code = `Stale; message } ->
+          go (tries + 1) next (Retryable ("stale replica: " ^ message))
+        | resp ->
+          cl.crr <- next;
+          resp
+        | exception Error ((Retryable _ | Fatal _) as e) ->
+          drop_member cl i;
+          go (tries + 1) next e)
+    end
+  in
+  go 0 cl.crr (Retryable "no cluster member reachable")
+
+(* Writes: go to the known primary, discovering it when unknown by
+   sweeping members — [Not_primary] hints redirect, [Fenced] raises
+   the epoch and keeps looking.  An [Ok_reply] from an older epoch is
+   a deposed primary's ack racing its own fencing: refused.  Note a
+   write that dies mid-flight may still have been applied on a member
+   we then abandon — same caveat as single-connection retries. *)
+let cluster_write cl req =
+  let n = Array.length cl.cendpoints in
+  let index_of host port =
+    let found = ref None in
+    Array.iteri (fun i (h, p) -> if !found = None && h = host && p = port then found := Some i) cl.cendpoints;
+    !found
+  in
+  let budget = (n + 1) * (cl.cretries + 1) in
+  let rec go tries i last =
+    if tries >= budget then raise (Error last)
+    else begin
+      let next = (i + 1) mod n in
+      match member cl i with
+      | None -> go (tries + 1) next (Retryable "no primary reachable")
+      | Some c -> (
+        set_epoch c cl.cepoch;
+        match call c req with
+        | Wire.Ok_reply { epoch; _ } when epoch < cl.cepoch ->
+          drop_member cl i;
+          go (tries + 1) next (Retryable "stale ack from deposed primary")
+        | Wire.Ok_reply { epoch; _ } as resp ->
+          bump_epoch cl epoch;
+          cl.cprimary <- Some i;
+          resp
+        | Wire.Fenced { epoch } ->
+          (* [epoch] is the highest the fenced primary has observed,
+             i.e. the current leader's lineage. *)
+          bump_epoch cl epoch;
+          if cl.cprimary = Some i then cl.cprimary <- None;
+          go (tries + 1) next (Retryable "primary fenced")
+        | Wire.Not_primary { host; port } -> (
+          if cl.cprimary = Some i then cl.cprimary <- None;
+          match index_of host port with
+          | Some j when j <> i -> go (tries + 1) j (Retryable "redirected")
+          | _ -> go (tries + 1) next (Retryable "not primary"))
+        | resp ->
+          (* Shutting_down, Read_only, app errors ... the caller's
+             problem, not a routing problem. *)
+          resp
+        | exception Error ((Retryable _ | Fatal _) as e) ->
+          drop_member cl i;
+          go (tries + 1) next e)
+    end
+  in
+  let start = match cl.cprimary with Some i -> i | None -> cl.crr in
+  go 0 start (Retryable "no primary reachable")
+
+let cluster_call cl req = if idempotent req then cluster_read cl req else cluster_write cl req

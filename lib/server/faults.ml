@@ -3,6 +3,8 @@ type spec =
   | Short_write of int
   | Crash_after_bytes of int
   | Enospc_after_bytes of int
+  | Drop_after_bytes of int
+  | Slow_write of float
 
 type t = { spec : spec; mutable writes : int; mutable bytes : int; mutable tripped : bool }
 
@@ -21,6 +23,19 @@ let write faults fd b off len =
       let half = len / 2 in
       if half > 0 then ignore (Unix.write fd b off half);
       raise (Unix.Unix_error (Unix.EIO, "write", "injected short write"))
+    | Slow_write s ->
+      Unix.sleepf s;
+      let n = Unix.write fd b off len in
+      t.bytes <- t.bytes + n;
+      n
+    | Drop_after_bytes n when t.tripped || t.bytes + len > n ->
+      let room = if t.tripped then 0 else max 0 (n - t.bytes) in
+      if room > 0 then begin
+        ignore (Unix.write fd b off room);
+        t.bytes <- t.bytes + room
+      end;
+      t.tripped <- true;
+      raise (Unix.Unix_error (Unix.EPIPE, "write", "injected partition"))
     | (Crash_after_bytes n | Enospc_after_bytes n) when t.tripped || t.bytes + len > n ->
       let room = if t.tripped then 0 else max 0 (n - t.bytes) in
       if room > 0 then begin

@@ -24,6 +24,14 @@ type spec =
       (** once [n] cumulative bytes have been written, write the
           prefix and raise [ENOSPC]; every later write and fsync
           raises [ENOSPC] too — a full disk that stays full *)
+  | Drop_after_bytes of int
+      (** once [n] cumulative bytes have been written, write the
+          prefix and raise [EPIPE] forever after — a network
+          partition that tears the stream mid-frame (for the
+          replication socket) *)
+  | Slow_write of float
+      (** sleep [s] seconds before every write — a slow replica or a
+          congested link *)
 
 type t
 

@@ -1,0 +1,129 @@
+(** Primary/replica replication for dkserve: asynchronous WAL
+    shipping, snapshot catch-up, heartbeats, and failover.
+
+    {b Model.}  The primary acknowledges a write after applying it in
+    memory and appending it to its local WAL (exactly as in single-node
+    operation); replication is asynchronous — shipping happens after
+    the ack, so a primary lost between ack and ship can lose the tail
+    of acknowledged writes unless the operator waits for replicas to
+    catch up (see [dkindex-loadgen --wait-replication]).  Each primary
+    incarnation is identified by an {e epoch}; promotion bumps the
+    epoch and persists it, and every client/replica carries the
+    highest epoch it has observed in its {!Wire.Hello}, which is how a
+    deposed primary learns of its demotion and fences itself.
+
+    WAL positions are [(generation, byte offset)] pairs in the
+    {e primary's} data directory and are only meaningful within one
+    primary lineage (tracked as the [synced_epoch]); a replica whose
+    position belongs to another lineage — or that asks for a
+    generation the primary has pruned — is bootstrapped with a full
+    {!Index_serial} snapshot. *)
+
+(** {1 Epoch persistence} *)
+
+val load_epoch : dir:string -> int
+(** Epoch stored in [dir]'s [epoch] file; 0 when absent/unreadable. *)
+
+val store_epoch : dir:string -> int -> unit
+(** Atomic (tmp + fsync + rename) write of the epoch file. *)
+
+(** {1 Hub: the primary side} *)
+
+type hub
+
+val create_hub :
+  ?faults_for:(int -> Faults.t option) ->
+  ?heartbeat_s:float ->
+  epoch:int Atomic.t ->
+  Checkpoint.t ->
+  hub
+(** [epoch] is shared with the server (heartbeats and chunks carry the
+    value current at send time).  [faults_for replica_id] lets tests
+    inject partitions / torn streams / slow links per subscriber.
+    Creating a hub spawns nothing; each {!attach} spawns one sender
+    domain. *)
+
+val attach : hub -> fd:Unix.file_descr -> replica_id:int -> seq:int -> offset:int -> unit
+(** Take ownership of [fd] (a connection the server has detached after
+    a [Rep_subscribe]) and stream the WAL to it from [(seq, offset)],
+    bootstrapping with a snapshot when the position is unknown
+    ([seq = -1]), implausible, or pruned.  The sender dies silently
+    when the socket does; a reconnecting replica re-subscribes. *)
+
+val hub_stats : hub -> (string * string) list
+(** [replicas_connected] plus, per live replica,
+    [replica.<id>.{epoch,wal_seq,wal_offset,bytes_behind,bootstraps}]. *)
+
+val hub_lag_bytes : hub -> int
+(** Max [bytes_behind] across live subscribers (0 when none). *)
+
+val stop_hub : hub -> unit
+(** Shut every subscriber socket and join the sender domains. *)
+
+(** {1 Replica: the tailer side} *)
+
+type rconfig = {
+  primary_host : string;
+  primary_port : int;
+  replica_id : int;
+  auto_promote : bool;
+      (** push {!Ev_promote} when the failover timeout expires (only
+          after at least one successful contact — a replica that never
+          reached its primary refuses to promote an empty index) *)
+  failover_timeout_s : float;  (** no contact for this long = primary presumed dead; <= 0 disables *)
+  staleness_bound_s : float;
+      (** reads are refused ([`Stale]) once the primary has been
+          silent this long; <= 0 disables *)
+}
+
+val default_rconfig : host:string -> port:int -> replica_id:int -> rconfig
+(** auto_promote false, failover 3 s, staleness bound 10 s. *)
+
+(** Events handed to the server's mutator domain, in stream order. *)
+type event =
+  | Ev_snapshot of { index : string; epoch : int; seq : int }
+      (** install this {!Index_serial} document; the stream continues
+          from [(seq, 0)] *)
+  | Ev_mutations of { muts : Wal.mutation list; epoch : int; seq : int; base : int; offset : int }
+      (** complete WAL records decoded from bytes [[base, offset)] of
+          generation [seq]; after a reconnect the same bytes can be
+          delivered twice — the applier skips records at or below its
+          applied position (the WAL encoding is canonical, so record
+          boundaries re-derive exactly) *)
+  | Ev_promote  (** the failover watchdog fired (auto-promotion) *)
+
+type replica
+
+val create_replica : rconfig -> epoch:int Atomic.t -> max_seen:int Atomic.t -> replica
+(** [epoch]/[max_seen] are shared with the server. *)
+
+val start_replica : replica -> push:(event -> unit) -> unit
+(** Spawn the tailer domain.  [push] must block, never shed (it feeds
+    the mutator queue). *)
+
+val stop_replica : replica -> unit
+val mark_promoted : replica -> unit
+(** Called by the mutator once promotion completes; the tailer domain
+    exits and reads stop being staleness-checked. *)
+
+val is_promoted : replica -> bool
+
+val note_applied : replica -> seq:int -> offset:int -> n:int -> unit
+(** Mutator bookkeeping: [n] records applied up to [(seq, offset)]. *)
+
+val applied_position : replica -> int * int
+(** Last applied [(generation, offset)]; [(-1, 0)] before any sync. *)
+
+val note_installed : replica -> epoch:int -> seq:int -> unit
+(** Mutator bookkeeping: a snapshot of lineage [epoch] installed; the
+    applied position resets to [(seq, 0)]. *)
+
+val stale : replica -> bool
+(** True when reads must be refused ([`Stale]): never synced, or the
+    primary has been silent past the staleness bound.  Always false
+    once promoted. *)
+
+val rconfig_of : replica -> rconfig
+val replica_stats : replica -> (string * string) list
+(** [replication_*] keys: connection, positions, bytes behind, records
+    applied, snapshots installed, reconnects, contact age, staleness. *)

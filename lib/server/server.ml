@@ -34,13 +34,21 @@ module Bqueue = struct
   type 'a t = {
     mu : Mutex.t;
     nonempty : Condition.t;
+    notfull : Condition.t;
     q : 'a Queue.t;
     cap : int;
     mutable closed : bool;
   }
 
   let create cap =
-    { mu = Mutex.create (); nonempty = Condition.create (); q = Queue.create (); cap; closed = false }
+    {
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      notfull = Condition.create ();
+      q = Queue.create ();
+      cap;
+      closed = false;
+    }
 
   let try_push t x =
     Mutex.lock t.mu;
@@ -52,12 +60,27 @@ module Bqueue = struct
     Mutex.unlock t.mu;
     ok
 
+  (* Blocking push for producers that must never shed (the replication
+     tailer feeding the mutator).  Silently drops once closed — by
+     then the consumer is gone and the producer is shutting down. *)
+  let push t x =
+    Mutex.lock t.mu;
+    while (not t.closed) && Queue.length t.q >= t.cap do
+      Condition.wait t.notfull t.mu
+    done;
+    if not t.closed then begin
+      Queue.push x t.q;
+      Condition.signal t.nonempty
+    end;
+    Mutex.unlock t.mu
+
   let pop t =
     Mutex.lock t.mu;
     while Queue.is_empty t.q && not t.closed do
       Condition.wait t.nonempty t.mu
     done;
     let r = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+    Condition.signal t.notfull;
     Mutex.unlock t.mu;
     r
 
@@ -65,11 +88,18 @@ module Bqueue = struct
     Mutex.lock t.mu;
     t.closed <- true;
     Condition.broadcast t.nonempty;
+    Condition.broadcast t.notfull;
     Mutex.unlock t.mu
 
   let is_empty t =
     Mutex.lock t.mu;
     let r = Queue.is_empty t.q in
+    Mutex.unlock t.mu;
+    r
+
+  let length t =
+    Mutex.lock t.mu;
+    let r = Queue.length t.q in
     Mutex.unlock t.mu;
     r
 end
@@ -87,10 +117,18 @@ type conn = {
   mutable rlen : int;
   wmu : Mutex.t;
   mutable closed : bool;
+  mutable detached : bool;
+      (* handed to the replication hub: the main loop stops reading,
+         never closes the fd, and drops the conn from its table *)
   mutable last_active : float;
 }
 
 type pending = { conn : conn; id : int; req : Wire.request; arrival : float }
+
+(* The write queue carries client requests and replication-stream
+   events; both are applied by the single mutator domain in FIFO
+   order, so replica reads observe mutations in primary order. *)
+type wjob = Wreq of pending | Wrepl of Replication.event
 
 type state = {
   cfg : config;
@@ -98,12 +136,22 @@ type state = {
   mutable index : Index_graph.t;
   durability : Checkpoint.t option;
   readq : pending Bqueue.t;
-  writeq : pending Bqueue.t;
+  writeq : wjob Bqueue.t;
   in_flight : int Atomic.t;
   stop : bool Atomic.t;
   served : int Atomic.t;
   shed : int Atomic.t;
   proto_errors : int Atomic.t;
+  deadline_expired : int Atomic.t;
+  (* replication / failover *)
+  epoch : int Atomic.t;  (* our primary epoch (a replica carries its lineage's) *)
+  max_seen : int Atomic.t;  (* highest epoch observed from any peer *)
+  is_primary : bool Atomic.t;
+  fenced : bool Atomic.t;  (* a peer proved a newer primary exists *)
+  hub : Replication.hub option Atomic.t;
+  mk_hub : Checkpoint.t -> Replication.hub;  (* for promotion *)
+  replica : Replication.replica option;
+  repl_apply_errors : int Atomic.t;
 }
 
 (* Write every byte to a non-blocking socket, waiting for writability
@@ -168,6 +216,7 @@ let eval_labels ?cache idx labels =
 
 let stats_kvs state idx =
   let st = Index_stats.compute idx in
+  let b v = if v then "true" else "false" in
   [
     ("n_index_nodes", string_of_int st.Index_stats.n_nodes);
     ("n_index_edges", string_of_int st.n_edges);
@@ -178,10 +227,22 @@ let stats_kvs state idx =
     ("served", string_of_int (Atomic.get state.served));
     ("shed", string_of_int (Atomic.get state.shed));
     ("protocol_errors", string_of_int (Atomic.get state.proto_errors));
+    ("deadline_expired", string_of_int (Atomic.get state.deadline_expired));
+    ("read_queue_depth", string_of_int (Bqueue.length state.readq));
+    ("write_queue_depth", string_of_int (Bqueue.length state.writeq));
+    ("queue_capacity", string_of_int state.cfg.queue_depth);
+    ("in_flight", string_of_int (Atomic.get state.in_flight));
     ("workers", string_of_int state.cfg.workers);
+    ("role", if Atomic.get state.is_primary then "primary" else "replica");
+    ("epoch", string_of_int (Atomic.get state.epoch));
+    ("max_seen_epoch", string_of_int (Atomic.get state.max_seen));
+    ("fenced", b (Atomic.get state.fenced));
+    ("repl_apply_errors", string_of_int (Atomic.get state.repl_apply_errors));
     ("durability", match state.durability with Some _ -> "wal+checkpoint" | None -> "none");
   ]
   @ (match state.durability with Some d -> Checkpoint.stats d | None -> [])
+  @ (match Atomic.get state.hub with Some h -> Replication.hub_stats h | None -> [])
+  @ (match state.replica with Some r -> Replication.replica_stats r | None -> [])
 
 let handle_read state cache_ref req : Wire.response =
   let idx = state.index in
@@ -202,7 +263,19 @@ let handle_read state cache_ref req : Wire.response =
 let expired state p =
   state.cfg.deadline_s > 0.0 && Unix.gettimeofday () -. p.arrival > state.cfg.deadline_s
 
-let deadline_reply = Wire.Error_reply { code = `Deadline; message = "deadline exceeded" }
+let deadline_reply state =
+  Atomic.incr state.deadline_expired;
+  Wire.Error_reply { code = `Deadline; message = "deadline exceeded" }
+
+(* Ping and Stats stay answerable on a stale replica (they are how an
+   operator finds out it is stale); queries are refused. *)
+let stale_read state req =
+  match state.replica with
+  | Some r -> (
+    match req with
+    | Wire.Ping | Wire.Stats -> false
+    | _ -> Replication.stale r)
+  | None -> false
 
 let worker_loop state () =
   let cache_ref = ref None in
@@ -212,7 +285,9 @@ let worker_loop state () =
     | Some p ->
       (if not p.conn.closed then
          let resp =
-           if expired state p then deadline_reply
+           if expired state p then deadline_reply state
+           else if stale_read state p.req then
+             Wire.Error_reply { code = `Stale; message = "replica outside staleness bound" }
            else
              try Rw_lock.read state.lock (fun () -> handle_read state cache_ref p.req)
              with e -> Wire.Error_reply { code = `App; message = Printexc.to_string e }
@@ -244,35 +319,79 @@ let publish state idx' =
   Index_graph.prepare_serving idx';
   state.index <- idx'
 
+let not_primary_reply state : Wire.response =
+  match state.replica with
+  | Some r ->
+    let rc = Replication.rconfig_of r in
+    Wire.Not_primary { host = rc.Replication.primary_host; port = rc.Replication.primary_port }
+  | None -> Wire.Not_primary { host = state.cfg.host; port = state.cfg.port }
+
+(* Promotion (operator request or failover watchdog), run by the
+   mutator under the write lock.  Epoch = 1 + the highest epoch
+   observed anywhere, persisted before the role flips so a restart
+   cannot resurrect the old epoch; then the replica tailer is retired
+   and (with a data directory) a hub is opened for new subscribers. *)
+let do_promote state : Wire.response =
+  if Atomic.get state.is_primary then
+    Wire.Error_reply { code = `App; message = "already primary" }
+  else begin
+    let e = max (Atomic.get state.epoch) (Atomic.get state.max_seen) + 1 in
+    (match state.durability with
+    | Some d -> (
+      (try Replication.store_epoch ~dir:(Checkpoint.dir d) e
+       with _ -> ());
+      (* Start the new reign on a clean generation: subscribers to the
+         new primary bootstrap from a checkpoint that includes
+         everything replicated so far. *)
+      match Checkpoint.checkpoint_now d state.index with
+      | Ok () | Error _ -> ())
+    | None -> ());
+    Atomic.set state.epoch e;
+    Atomic.set state.max_seen e;
+    Option.iter Replication.mark_promoted state.replica;
+    (match (state.durability, Atomic.get state.hub) with
+    | Some d, None -> Atomic.set state.hub (Some (state.mk_hub d))
+    | _ -> ());
+    Atomic.set state.fenced false;
+    Atomic.set state.is_primary true;
+    Wire.Ok_reply { generation = Index_graph.generation state.index; epoch = e }
+  end
+
 let apply_write state (p : pending) : Wire.response =
-  let ok () = Wire.Ok_reply { generation = Index_graph.generation state.index } in
+  let ok () =
+    Wire.Ok_reply
+      { generation = Index_graph.generation state.index; epoch = Atomic.get state.epoch }
+  in
   let app msg : Wire.response = Error_reply { code = `App; message = msg } in
   try
     match mutation_of_req p.req with
     | Some m -> (
-      match state.durability with
-      | Some d when Checkpoint.read_only d -> Wire.Read_only
-      | durability -> (
-        let idx' = Checkpoint.apply_mutation state.index m in
-        (* Log after applying, before acknowledging: the WAL holds
-           only mutations that succeeded, and nothing is acknowledged
-           until it is logged.  A WAL failure degrades the server to
-           read-only — the in-memory application stands (it can be at
-           most this one unacknowledged mutation ahead of the durable
-           state) and no further writes are accepted. *)
-        match durability with
-        | None ->
-          publish state idx';
-          ok ()
-        | Some d -> (
-          match Checkpoint.log_mutation d m with
-          | () ->
+      if not (Atomic.get state.is_primary) then not_primary_reply state
+      else if Atomic.get state.fenced then Wire.Fenced { epoch = Atomic.get state.max_seen }
+      else
+        match state.durability with
+        | Some d when Checkpoint.read_only d -> Wire.Read_only
+        | durability -> (
+          let idx' = Checkpoint.apply_mutation state.index m in
+          (* Log after applying, before acknowledging: the WAL holds
+             only mutations that succeeded, and nothing is acknowledged
+             until it is logged.  A WAL failure degrades the server to
+             read-only — the in-memory application stands (it can be at
+             most this one unacknowledged mutation ahead of the durable
+             state) and no further writes are accepted. *)
+          match durability with
+          | None ->
             publish state idx';
             ok ()
-          | exception e ->
-            Checkpoint.note_wal_failure d (Printexc.to_string e);
-            publish state idx';
-            Wire.Read_only)))
+          | Some d -> (
+            match Checkpoint.log_mutation d m with
+            | () ->
+              publish state idx';
+              ok ()
+            | exception e ->
+              Checkpoint.note_wal_failure d (Printexc.to_string e);
+              publish state idx';
+              Wire.Read_only)))
     | None -> (
       match p.req with
       | Wire.Snapshot -> (
@@ -285,6 +404,7 @@ let apply_write state (p : pending) : Wire.response =
           Index_serial.save path state.index;
           ok ()
         | None, None -> app "no snapshot path configured")
+      | Wire.Promote_primary -> do_promote state
       | Wire.Shutdown ->
         let r = ok () in
         Atomic.set state.stop true;
@@ -294,14 +414,86 @@ let apply_write state (p : pending) : Wire.response =
   | Failure msg | Invalid_argument msg -> app msg
   | e -> app (Printexc.to_string e)
 
+(* ------------------------------------------------------------------ *)
+(* Applying the replication stream.  Mutations ride the same
+   [Checkpoint.apply_mutation] path as client writes and WAL replay,
+   and are logged to the replica's own WAL so a promoted replica is a
+   fully durable primary.  After a reconnect the stream can replay
+   bytes already applied; the WAL encoding is canonical, so each
+   record's byte extent re-derives exactly and anything at or below
+   the applied position is skipped. *)
+
+let apply_repl state scratch (ev : Replication.event) =
+  match ev with
+  | Replication.Ev_promote -> (
+    match state.replica with
+    | Some r when not (Replication.is_promoted r) ->
+      ignore (Rw_lock.write state.lock (fun () -> do_promote state))
+    | _ -> ())
+  | Replication.Ev_snapshot { index; epoch; seq } -> (
+    match state.replica with
+    | Some r when not (Replication.is_promoted r) -> (
+      match Index_serial.of_string index with
+      | idx' ->
+        Rw_lock.write state.lock (fun () -> publish state idx');
+        (match state.durability with
+        | Some d -> ( match Checkpoint.checkpoint_now d state.index with Ok () | Error _ -> ())
+        | None -> ());
+        Replication.note_installed r ~epoch ~seq
+      | exception _ ->
+        (* A snapshot that does not parse leaves us behind; the next
+           reconnect bootstraps again. *)
+        Atomic.incr state.repl_apply_errors)
+    | _ -> ())
+  | Replication.Ev_mutations { muts; epoch = _; seq; base; offset } -> (
+    match state.replica with
+    | Some r when not (Replication.is_promoted r) ->
+      let aseq, aoff = Replication.applied_position r in
+      if seq < aseq || (seq = aseq && offset <= aoff) then ()
+      else begin
+        let applied = ref 0 in
+        Rw_lock.write state.lock (fun () ->
+            let pos = ref base in
+            List.iter
+              (fun m ->
+                Buffer.clear scratch;
+                Wal.encode_mutation scratch m;
+                let rec_end = !pos + Buffer.length scratch in
+                (if seq > aseq || rec_end > aoff then
+                   match Checkpoint.apply_mutation state.index m with
+                   | idx' ->
+                     state.index <- idx';
+                     incr applied;
+                     (match state.durability with
+                     | Some d when not (Checkpoint.read_only d) -> (
+                       try Checkpoint.log_mutation d m
+                       with e -> Checkpoint.note_wal_failure d (Printexc.to_string e))
+                     | _ -> ())
+                   | exception _ ->
+                     (* The primary applied this successfully; failing
+                        here means divergence.  Count it and keep the
+                        stream moving. *)
+                     Atomic.incr state.repl_apply_errors);
+                pos := rec_end)
+              muts;
+            Index_graph.prepare_serving state.index);
+        Replication.note_applied r ~seq ~offset ~n:!applied;
+        Option.iter (fun d -> Checkpoint.maybe_checkpoint d state.index) state.durability
+      end
+    | _ -> ())
+
 let mutator_loop state () =
+  let scratch = Buffer.create 256 in
   let rec go () =
     match Bqueue.pop state.writeq with
     | None -> ()
-    | Some p ->
+    | Some (Wrepl ev) ->
+      apply_repl state scratch ev;
+      go ()
+    | Some (Wreq p) ->
       (if not p.conn.closed then
          let resp =
-           if expired state p then deadline_reply
+           if expired state p then deadline_reply state
            else Rw_lock.write state.lock (fun () -> apply_write state p)
          in
          send_response p.conn ~id:p.id resp;
@@ -321,6 +513,14 @@ let be32 b off =
   lor (Char.code (Bytes.get b (off + 2)) lsl 8)
   lor Char.code (Bytes.get b (off + 3))
 
+(* A peer (client or replica) presenting a higher epoch is proof that
+   a newer primary was elected: remember it, and if we believed we
+   were primary, fence ourselves. *)
+let observe_epoch state e =
+  if e > Atomic.get state.max_seen then Atomic.set state.max_seen e;
+  if e > Atomic.get state.epoch && Atomic.get state.is_primary then
+    Atomic.set state.fenced true
+
 let dispatch state conn payload =
   match Wire.decode_request payload with
   | Error msg ->
@@ -331,23 +531,72 @@ let dispatch state conn payload =
       send_response conn ~id
         (Wire.Error_reply { code = `Shutting_down; message = "server shutting down" })
     else begin
-      let p = { conn; id; req; arrival = Unix.gettimeofday () } in
-      let q =
-        match req with
-        | Wire.Ping | Wire.Query _ | Wire.Query_path _ | Wire.Batch_query _ | Wire.Stats ->
-          state.readq
-        | _ -> state.writeq
-      in
-      Atomic.incr state.in_flight;
-      if not (Bqueue.try_push q p) then begin
-        Atomic.decr state.in_flight;
-        Atomic.incr state.shed;
-        send_response conn ~id Wire.Overloaded
-      end
+      match req with
+      (* Answered inline by the main domain: version negotiation must
+         precede everything and never queue, and a subscribe converts
+         the connection into a replication stream. *)
+      | Wire.Hello { version = v; epoch = e } ->
+        observe_epoch state e;
+        if v <> Wire.version then
+          send_response conn ~id
+            (Wire.Error_reply
+               {
+                 code = `Version;
+                 message = Printf.sprintf "server speaks protocol version %d, client sent %d" Wire.version v;
+               })
+        else
+          send_response conn ~id
+            (Wire.Hello_reply
+               {
+                 version = Wire.version;
+                 epoch = Atomic.get state.epoch;
+                 role = (if Atomic.get state.is_primary then Wire.Primary else Wire.Replica);
+               })
+      | Wire.Rep_subscribe { replica_id; epoch = e; seq; offset } ->
+        observe_epoch state e;
+        if e > Atomic.get state.epoch then
+          (* The subscriber outranks us: refuse — following a deposed
+             primary would fork its lineage. *)
+          send_response conn ~id (Wire.Fenced { epoch = Atomic.get state.max_seen })
+        else if not (Atomic.get state.is_primary) then
+          send_response conn ~id (not_primary_reply state)
+        else (
+          match Atomic.get state.hub with
+          | None ->
+            send_response conn ~id
+              (Wire.Error_reply
+                 { code = `App; message = "replication requires a data directory on the primary" })
+          | Some hub ->
+            conn.detached <- true;
+            Replication.attach hub ~fd:conn.fd ~replica_id ~seq ~offset)
+      | _ ->
+        let p = { conn; id; req; arrival = Unix.gettimeofday () } in
+        Atomic.incr state.in_flight;
+        let pushed =
+          match req with
+          | Wire.Ping | Wire.Query _ | Wire.Query_path _ | Wire.Batch_query _ | Wire.Stats ->
+            Bqueue.try_push state.readq p
+          | _ -> Bqueue.try_push state.writeq (Wreq p)
+        in
+        if not pushed then begin
+          Atomic.decr state.in_flight;
+          Atomic.incr state.shed;
+          send_response conn ~id Wire.Overloaded
+        end
     end
 
-let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability cfg index =
+let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?replica_of
+    ?hub_faults ?hub_heartbeat_s cfg index =
   Index_graph.prepare_serving index;
+  let epoch0 =
+    match durability with
+    | Some d -> Replication.load_epoch ~dir:(Checkpoint.dir d)
+    | None -> 0
+  in
+  let epoch = Atomic.make epoch0 in
+  let max_seen = Atomic.make epoch0 in
+  let mk_hub d = Replication.create_hub ?faults_for:hub_faults ?heartbeat_s:hub_heartbeat_s ~epoch d in
+  let replica = Option.map (fun rc -> Replication.create_replica rc ~epoch ~max_seen) replica_of in
   let state =
     {
       cfg;
@@ -361,6 +610,17 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability c
       served = Atomic.make 0;
       shed = Atomic.make 0;
       proto_errors = Atomic.make 0;
+      deadline_expired = Atomic.make 0;
+      epoch;
+      max_seen;
+      is_primary = Atomic.make (replica = None);
+      fenced = Atomic.make false;
+      hub =
+        Atomic.make
+          (match (durability, replica) with Some d, None -> Some (mk_hub d) | _ -> None);
+      mk_hub;
+      replica;
+      repl_apply_errors = Atomic.make 0;
     }
   in
   if Sys.os_type = "Unix" then ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
@@ -381,6 +641,11 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability c
     Array.init (max 1 cfg.workers) (fun _ -> Domain.spawn (worker_loop state))
   in
   let mutator = Domain.spawn (mutator_loop state) in
+  (* The tailer feeds the mutator through a blocking push: replication
+     events are never shed, they apply FIFO with client writes. *)
+  Option.iter
+    (fun r -> Replication.start_replica r ~push:(fun ev -> Bqueue.push state.writeq (Wrepl ev)))
+    replica;
   on_ready port;
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
   let close_conn conn =
@@ -403,6 +668,7 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability c
           rlen = 0;
           wmu = Mutex.create ();
           closed = false;
+          detached = false;
           last_active = Unix.gettimeofday ();
         }
   in
@@ -410,7 +676,7 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability c
      compact what remains to the front. *)
   let process_frames conn =
     let rec go off =
-      if conn.closed || conn.rlen - off < 4 then off
+      if conn.closed || conn.detached || conn.rlen - off < 4 then off
       else begin
         let len = be32 conn.rbuf off in
         if len > cfg.max_frame then begin
@@ -432,7 +698,7 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability c
       end
     in
     let consumed = go 0 in
-    if consumed > 0 && not conn.closed then begin
+    if consumed > 0 && (not conn.closed) && not conn.detached then begin
       Bytes.blit conn.rbuf consumed conn.rbuf 0 (conn.rlen - consumed);
       conn.rlen <- conn.rlen - consumed
     end
@@ -453,7 +719,10 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability c
       end;
       Bytes.blit chunk 0 conn.rbuf conn.rlen n;
       conn.rlen <- need;
-      process_frames conn
+      process_frames conn;
+      (* A subscribe detached this connection: the hub's sender owns
+         the fd now; forget it without closing. *)
+      if conn.detached then Hashtbl.remove conns conn.fd
   in
   let sweep_idle () =
     if cfg.idle_timeout_s > 0.0 then begin
@@ -471,7 +740,10 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability c
     if Atomic.get state.stop then begin
       if !accepting then begin
         accepting := false;
-        try Unix.close listen_fd with Unix.Unix_error _ -> ()
+        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+        (* Stop the tailer before draining so no new replication
+           events land in the write queue mid-shutdown. *)
+        Option.iter Replication.stop_replica state.replica
       end;
       (* Drain: everything already admitted gets its answer. *)
       if
@@ -508,6 +780,7 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability c
   Bqueue.close state.writeq;
   Array.iter Domain.join workers;
   Domain.join mutator;
+  Option.iter Replication.stop_hub (Atomic.get state.hub);
   (* Sockets go first: a failing final snapshot (disk full, say) must
      not leave descriptors open or the drain half-finished — it turns
      into an [Error _] the caller can exit nonzero on. *)

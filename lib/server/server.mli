@@ -35,7 +35,23 @@
     acknowledging it, takes periodic checkpoints, and — should the WAL
     become unwritable — degrades to read-only: mutations are refused
     with {!Wire.Read_only} while queries keep working.  Shutdown then
-    writes a final checkpoint and closes the log. *)
+    writes a final checkpoint and closes the log.
+
+    Replication: a durable primary automatically runs a
+    {!Replication.hub}; replicas subscribe with {!Wire.Rep_subscribe}
+    (the connection is detached and handed to a dedicated sender
+    domain) and receive snapshot bootstraps, WAL chunks, and
+    heartbeats.  Pass [?replica_of] and the server starts as a
+    {e replica} instead: a tailer domain streams from the primary and
+    feeds decoded mutations through the same mutator path client
+    writes use; writes are refused with {!Wire.Not_primary}, and reads
+    are refused with [`Stale] once the primary has been silent past
+    the configured staleness bound.  {!Wire.Promote_primary} (or the
+    failover watchdog, when [auto_promote] is set) bumps the persisted
+    epoch and flips the replica into a primary in place.  A primary
+    that observes a higher epoch in any {!Wire.Hello} or subscription
+    fences itself: subsequent writes get {!Wire.Fenced} so a deposed
+    primary cannot acknowledge into a lineage it no longer leads. *)
 
 open Dkindex_core
 
@@ -58,6 +74,9 @@ val run :
   ?on_ready:(int -> unit) ->
   ?handle_signals:bool ->
   ?durability:Checkpoint.t ->
+  ?replica_of:Replication.rconfig ->
+  ?hub_faults:(int -> Faults.t option) ->
+  ?hub_heartbeat_s:float ->
   config ->
   Index_graph.t ->
   (unit, string) result
@@ -68,7 +87,29 @@ val run :
     benchmark domain and stopping it with {!Wire.Shutdown}.
     [durability] enables WAL + checkpoint logging (see above); the
     caller builds it with {!Checkpoint.start}, typically from a
-    {!Checkpoint.recover}ed state.  Returns [Error _] if the final
-    snapshot or checkpoint could not be written — connections are
-    already cleaned up by then, so callers should log it and exit
-    nonzero. *)
+    {!Checkpoint.recover}ed state.  [replica_of] starts the server as
+    a replica of the given primary (see above); [durability] is then
+    the replica's own local log, used to survive its own restarts and
+    to serve as a primary after promotion.  [hub_faults] injects
+    {!Faults} into the replication sender for a given replica id
+    (tests: partitions, torn streams, slow links); [hub_heartbeat_s]
+    overrides the replication heartbeat interval.  Returns [Error _]
+    if the final snapshot or checkpoint could not be written —
+    connections are already cleaned up by then, so callers should log
+    it and exit nonzero. *)
+
+(** Bounded MPMC queue used for the server's read/write queues,
+    exposed for property tests.  [try_push] sheds when full (returns
+    [false]); [push] blocks until there is room; [pop] blocks until an
+    element or [close] arrives ([None] only after [close] and drain). *)
+module Bqueue : sig
+  type 'a t
+
+  val create : int -> 'a t
+  val try_push : 'a t -> 'a -> bool
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a option
+  val close : 'a t -> unit
+  val is_empty : 'a t -> bool
+  val length : 'a t -> int
+end

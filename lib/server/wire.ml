@@ -4,6 +4,7 @@ let version = 1
 let max_frame_default = 16 * 1024 * 1024
 
 type query_flags = { no_cache : bool }
+type role = Primary | Replica
 
 type request =
   | Ping
@@ -18,6 +19,9 @@ type request =
   | Stats
   | Snapshot
   | Shutdown
+  | Hello of { version : int; epoch : int }
+  | Rep_subscribe of { replica_id : int; epoch : int; seq : int; offset : int }
+  | Promote_primary
 
 type query_result = {
   nodes : int array;
@@ -27,17 +31,23 @@ type query_result = {
   n_certain : int;
 }
 
-type error_code = [ `Protocol | `App | `Deadline | `Shutting_down ]
+type error_code = [ `Protocol | `App | `Deadline | `Shutting_down | `Version | `Stale ]
 
 type response =
   | Pong
   | Result of query_result
   | Batch_result of query_result array
-  | Ok_reply of { generation : int }
+  | Ok_reply of { generation : int; epoch : int }
   | Stats_reply of (string * string) list
   | Error_reply of { code : error_code; message : string }
   | Overloaded
   | Read_only
+  | Hello_reply of { version : int; epoch : int; role : role }
+  | Rep_records of { epoch : int; seq : int; offset : int; data : string }
+  | Rep_snapshot of { epoch : int; seq : int; index : string }
+  | Rep_heartbeat of { epoch : int; seq : int; offset : int }
+  | Not_primary of { host : string; port : int }
+  | Fenced of { epoch : int }
 
 (* ------------------------------------------------------------------ *)
 (* Primitive encoders *)
@@ -53,6 +63,16 @@ let add_u32 buf n =
   add_u8 buf (n lsr 16);
   add_u8 buf (n lsr 8);
   add_u8 buf n
+
+(* WAL byte offsets can exceed 32 bits; 48 is plenty and keeps frames
+   compact.  Generation numbers use u32 with 0xffffffff as a -1
+   sentinel (subscribe-from-scratch). *)
+let add_u48 buf n =
+  add_u16 buf (n lsr 32);
+  add_u32 buf n
+
+let add_seq buf n =
+  if n < 0 then add_u32 buf 0xffffffff else add_u32 buf n
 
 let add_str16 buf s =
   if String.length s > 0xffff then invalid_arg "Wire: string too long";
@@ -105,6 +125,15 @@ let u32 c =
   let a = u16 c in
   let b = u16 c in
   (a lsl 16) lor b
+
+let u48 c =
+  let a = u16 c in
+  let b = u32 c in
+  (a lsl 32) lor b
+
+let seq32 c =
+  let n = u32 c in
+  if n = 0xffffffff then -1 else n
 
 let str16 c =
   let n = u16 c in
@@ -181,14 +210,28 @@ let request_kind = function
   | Stats -> 0x0a
   | Snapshot -> 0x0b
   | Shutdown -> 0x0c
+  | Hello _ -> 0x0d
+  | Rep_subscribe _ -> 0x0e
+  | Promote_primary -> 0x0f
 
+(* Hello carries its sender's protocol version in the header version
+   byte itself, so a server can answer a mismatched peer with a typed
+   error instead of failing to decode. *)
 let encode_request buf ~id req =
   with_frame buf (fun () ->
-      add_u8 buf version;
+      (match req with
+      | Hello { version = v; _ } -> add_u8 buf v
+      | _ -> add_u8 buf version);
       add_u8 buf (request_kind req);
       add_u32 buf id;
       match req with
-      | Ping | Stats | Snapshot | Shutdown -> ()
+      | Ping | Stats | Snapshot | Shutdown | Promote_primary -> ()
+      | Hello { version = _; epoch } -> add_u32 buf epoch
+      | Rep_subscribe { replica_id; epoch; seq; offset } ->
+        add_u32 buf replica_id;
+        add_u32 buf epoch;
+        add_seq buf seq;
+        add_u48 buf offset
       | Query { flags; expr } ->
         add_u8 buf (flags_byte flags);
         Path_ast.encode buf expr
@@ -209,19 +252,33 @@ let encode_request buf ~id req =
 
 type 'a decoded = { id : int; msg : 'a }
 
+(* Header version is NOT checked here: Hello frames (kind 0x0d request,
+   0x89 response) are decodable at any version so that negotiation can
+   reject a mismatched peer with a typed error.  Everything else
+   requires an exact version match. *)
 let decode_header c =
   let v = u8 c in
-  if v <> version then raise (Bad (Printf.sprintf "unsupported version %d" v));
   let kind = u8 c in
   let id = u32 c in
-  (kind, id)
+  (v, kind, id)
+
+let check_version v kind =
+  if v <> version then
+    raise (Bad (Printf.sprintf "unsupported version %d for kind 0x%02x" v kind))
 
 let decode_request payload =
   let c = { s = payload; pos = 0 } in
   match
-    let kind, id = decode_header c in
+    let v, kind, id = decode_header c in
+    if kind <> 0x0d then check_version v kind;
     let msg =
       match kind with
+      | 0x0d ->
+        let epoch = u32 c in
+        (* A future version may append fields: tolerate trailing bytes
+           so the server still sees a Hello it can refuse politely. *)
+        if v = version then expect_end c "hello" else c.pos <- String.length c.s;
+        Hello { version = v; epoch }
       | 0x01 -> Ping
       | 0x02 ->
         let flags = flags_of_byte (u8 c) in
@@ -257,6 +314,13 @@ let decode_request payload =
       | 0x0a -> Stats
       | 0x0b -> Snapshot
       | 0x0c -> Shutdown
+      | 0x0e ->
+        let replica_id = u32 c in
+        let epoch = u32 c in
+        let seq = seq32 c in
+        let offset = u48 c in
+        Rep_subscribe { replica_id; epoch; seq; offset }
+      | 0x0f -> Promote_primary
       | k -> raise (Bad (Printf.sprintf "unknown request kind 0x%02x" k))
     in
     expect_end c "request";
@@ -291,13 +355,24 @@ let error_code_byte = function
   | `App -> 1
   | `Deadline -> 2
   | `Shutting_down -> 3
+  | `Version -> 4
+  | `Stale -> 5
 
 let error_code_of_byte = function
   | 0 -> `Protocol
   | 1 -> `App
   | 2 -> `Deadline
   | 3 -> `Shutting_down
+  | 4 -> `Version
+  | 5 -> `Stale
   | b -> raise (Bad (Printf.sprintf "unknown error code %d" b))
+
+let role_byte = function Primary -> 0 | Replica -> 1
+
+let role_of_byte = function
+  | 0 -> Primary
+  | 1 -> Replica
+  | b -> raise (Bad (Printf.sprintf "unknown role %d" b))
 
 let response_kind = function
   | Pong -> 0x81
@@ -308,10 +383,18 @@ let response_kind = function
   | Error_reply _ -> 0x86
   | Overloaded -> 0x87
   | Read_only -> 0x88
+  | Hello_reply _ -> 0x89
+  | Rep_records _ -> 0x8a
+  | Rep_snapshot _ -> 0x8b
+  | Rep_heartbeat _ -> 0x8c
+  | Not_primary _ -> 0x8d
+  | Fenced _ -> 0x8e
 
 let encode_response buf ~id resp =
   with_frame buf (fun () ->
-      add_u8 buf version;
+      (match resp with
+      | Hello_reply { version = v; _ } -> add_u8 buf v
+      | _ -> add_u8 buf version);
       add_u8 buf (response_kind resp);
       add_u32 buf id;
       match resp with
@@ -320,7 +403,29 @@ let encode_response buf ~id resp =
       | Batch_result rs ->
         add_u32 buf (Array.length rs);
         Array.iter (encode_result buf) rs
-      | Ok_reply { generation } -> add_u32 buf generation
+      | Ok_reply { generation; epoch } ->
+        add_u32 buf generation;
+        add_u32 buf epoch
+      | Hello_reply { version = _; epoch; role } ->
+        add_u32 buf epoch;
+        add_u8 buf (role_byte role)
+      | Rep_records { epoch; seq; offset; data } ->
+        add_u32 buf epoch;
+        add_seq buf seq;
+        add_u48 buf offset;
+        add_str32 buf data
+      | Rep_snapshot { epoch; seq; index } ->
+        add_u32 buf epoch;
+        add_seq buf seq;
+        add_str32 buf index
+      | Rep_heartbeat { epoch; seq; offset } ->
+        add_u32 buf epoch;
+        add_seq buf seq;
+        add_u48 buf offset
+      | Not_primary { host; port } ->
+        add_str16 buf host;
+        add_u16 buf port
+      | Fenced { epoch } -> add_u32 buf epoch
       | Stats_reply kvs ->
         if List.length kvs > 0xffff then invalid_arg "Wire: too many stats";
         add_u16 buf (List.length kvs);
@@ -336,7 +441,8 @@ let encode_response buf ~id resp =
 let decode_response payload =
   let c = { s = payload; pos = 0 } in
   match
-    let kind, id = decode_header c in
+    let v, kind, id = decode_header c in
+    if kind <> 0x89 then check_version v kind;
     let msg =
       match kind with
       | 0x81 -> Pong
@@ -345,7 +451,36 @@ let decode_response payload =
         let n = u32 c in
         check_count c n ~min_item_bytes:20;
         Batch_result (Array.init n (fun _ -> decode_result c))
-      | 0x84 -> Ok_reply { generation = u32 c }
+      | 0x84 ->
+        let generation = u32 c in
+        let epoch = u32 c in
+        Ok_reply { generation; epoch }
+      | 0x89 ->
+        let epoch = u32 c in
+        let role = role_of_byte (u8 c) in
+        if v = version then expect_end c "hello_reply" else c.pos <- String.length c.s;
+        Hello_reply { version = v; epoch; role }
+      | 0x8a ->
+        let epoch = u32 c in
+        let seq = seq32 c in
+        let offset = u48 c in
+        let data = str32 c in
+        Rep_records { epoch; seq; offset; data }
+      | 0x8b ->
+        let epoch = u32 c in
+        let seq = seq32 c in
+        let index = str32 c in
+        Rep_snapshot { epoch; seq; index }
+      | 0x8c ->
+        let epoch = u32 c in
+        let seq = seq32 c in
+        let offset = u48 c in
+        Rep_heartbeat { epoch; seq; offset }
+      | 0x8d ->
+        let host = str16 c in
+        let port = u16 c in
+        Not_primary { host; port }
+      | 0x8e -> Fenced { epoch = u32 c }
       | 0x85 ->
         let n = u16 c in
         check_count c n ~min_item_bytes:4;

@@ -28,6 +28,8 @@ type query_flags = { no_cache : bool }
 (** [no_cache] asks the server to bypass its cross-query validation
     cache, making the returned [cost] bit-for-bit reproducible. *)
 
+type role = Primary | Replica
+
 type request =
   | Ping
   | Query of { flags : query_flags; expr : Path_ast.t }
@@ -44,6 +46,22 @@ type request =
   | Stats
   | Snapshot
   | Shutdown
+  | Hello of { version : int; epoch : int }
+      (** Version negotiation, sent first on every connection.  The
+          header version byte carries [version] itself, so a server
+          can decode a Hello from {e any} protocol version and refuse
+          a mismatch with [Error_reply `Version] instead of a decode
+          failure mid-stream.  [epoch] is the highest primary epoch
+          the client has observed (0 when unknown); a primary that
+          sees a higher epoch than its own knows it was deposed. *)
+  | Rep_subscribe of { replica_id : int; epoch : int; seq : int; offset : int }
+      (** Subscribe to the WAL stream from generation [seq] at byte
+          [offset].  [seq = -1] requests a snapshot bootstrap.  The
+          connection is detached from the request/response loop and
+          becomes a one-way replication stream. *)
+  | Promote_primary
+      (** Operator-triggered failover: the replica bumps its epoch,
+          persists it, stops following, and starts serving writes. *)
 
 type query_result = {
   nodes : int array;  (** matching data nodes, sorted *)
@@ -53,19 +71,44 @@ type query_result = {
   n_certain : int;
 }
 
-type error_code = [ `Protocol | `App | `Deadline | `Shutting_down ]
+type error_code = [ `Protocol | `App | `Deadline | `Shutting_down | `Version | `Stale ]
+(** [`Version]: protocol version mismatch reported against a Hello.
+    [`Stale]: a replica outside its staleness bound refusing reads. *)
 
 type response =
   | Pong
   | Result of query_result
   | Batch_result of query_result array
-  | Ok_reply of { generation : int }
+  | Ok_reply of { generation : int; epoch : int }
+      (** [epoch] is the acking server's primary epoch; a client that
+          has observed a higher epoch must treat the ack as coming
+          from a deposed primary and reject it. *)
   | Stats_reply of (string * string) list
   | Error_reply of { code : error_code; message : string }
   | Overloaded
   | Read_only
       (** the durability layer can no longer log mutations (WAL
           unwritable); writes are refused, reads keep working *)
+  | Hello_reply of { version : int; epoch : int; role : role }
+      (** Decodable at any header version (see {!Hello}). *)
+  | Rep_records of { epoch : int; seq : int; offset : int; data : string }
+      (** A chunk of raw WAL bytes from generation [seq]; [offset] is
+          the in-generation byte offset {e after} [data].  Records may
+          span chunks; the replica reassembles with {!Wal.replay_string}
+          semantics. *)
+  | Rep_snapshot of { epoch : int; seq : int; index : string }
+      (** Snapshot bootstrap: a full {!Dkindex_index.Index_serial}
+          document; the stream continues from generation [seq],
+          offset 0. *)
+  | Rep_heartbeat of { epoch : int; seq : int; offset : int }
+      (** Primary liveness + current WAL position (lag measurement,
+          failover-timeout reset). *)
+  | Not_primary of { host : string; port : int }
+      (** Write refused by a replica; [host:port] is its current
+          upstream primary (a routing hint, not a guarantee). *)
+  | Fenced of { epoch : int }
+      (** Write refused by a deposed primary: a peer presented epoch
+          [epoch] > ours, so a newer primary exists. *)
 
 (** {1 Codecs} *)
 

@@ -1,0 +1,551 @@
+(* Replication tests for dkserve: WAL shipping, snapshot catch-up,
+   failover, and epoch fencing.
+
+   Every server in these tests runs in a forked child process (OCaml 5
+   forbids Unix.fork once a domain exists, so the parent stays
+   single-threaded and all domain-spawning happens in children).  The
+   parent drives real TCP clients and compares answers against an
+   in-process oracle built from the same deterministic seeds — as in
+   test_recovery, equality of answers *including validation costs*
+   means equality of index state.
+
+   - convergence: a replica tails the primary's WAL and answers every
+     query bit-for-bit; writes to it are refused with Not_primary.
+   - failover: SIGKILL the primary after the replica caught up; an
+     operator Promote_primary turns the replica into a primary (epoch
+     1) that remembers every acknowledged write and accepts new ones.
+   - fencing: promoting a replica while the old primary still lives
+     (split-brain) fences the deposed primary — its writes are refused
+     with Fenced, and a cluster client routes around it.
+   - bootstrap: a replica joining after the primary pruned its early
+     WAL generations catches up via snapshot transfer.
+   - torn streams: a replication link that tears mid-frame makes the
+     replica reconnect and still converge.
+   - auto-promotion: with --auto-promote, a replica whose primary goes
+     silent past the failover timeout promotes itself. *)
+
+open Dkindex_core
+module Data_graph = Dkindex_graph.Data_graph
+module Label = Dkindex_graph.Label
+module Wire = Dkindex_server.Wire
+module Server = Dkindex_server.Server
+module Client = Dkindex_server.Client
+module Wal = Dkindex_server.Wal
+module Checkpoint = Dkindex_server.Checkpoint
+module Replication = Dkindex_server.Replication
+module Faults = Dkindex_server.Faults
+module Prng = Dkindex_datagen.Prng
+
+(* ----------------------------------------------------------------- *)
+(* Scratch directories *)
+
+let temp_dir () =
+  let path = Filename.temp_file "dkrepl" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+(* ----------------------------------------------------------------- *)
+(* Deterministic base index, mutation stream, oracle (as in
+   test_recovery: same seeds on both sides). *)
+
+let build_base () =
+  let g = Dkindex_datagen.Random_graph.graph ~seed:23 ~nodes:300 ~n_labels:5 ~extra_edges:120 () in
+  Dk_index.build g ~reqs:[ ("l0", 2); ("l1", 3); ("l2", 2) ]
+
+let empty_index () =
+  let pool = Label.Pool.create () in
+  let root = Label.Pool.intern pool Label.root_name in
+  let g = Data_graph.make ~pool ~labels:[| root |] ~edges:[] () in
+  Dk_index.build g ~reqs:[]
+
+let queries =
+  [ [ "l0" ]; [ "l1"; "l2" ]; [ "l0"; "l1" ]; [ "l2"; "l3"; "l0" ]; [ "l3"; "l3" ]; [ "l4" ] ]
+
+let make_stream ~seed ~count =
+  let idx = build_base () in
+  let g = Index_graph.data idx in
+  let n = Data_graph.n_nodes g in
+  let rng = Prng.create ~seed in
+  let present = Hashtbl.create 64 in
+  let added = ref [] in
+  let has (u, v) = Data_graph.has_edge g u v || Hashtbl.mem present (u, v) in
+  let rec fresh_edge tries =
+    let e = (Prng.int rng n, Prng.int rng n) in
+    if has e && tries < 50 then fresh_edge (tries + 1) else e
+  in
+  List.init count (fun _ ->
+      match !added with
+      | e :: rest when Prng.bool rng 0.25 ->
+        added := rest;
+        Hashtbl.remove present e;
+        Wal.Remove_edge { u = fst e; v = snd e }
+      | _ when Prng.bool rng 0.06 -> Wal.Promote []
+      | _ ->
+        let e = fresh_edge 0 in
+        Hashtbl.replace present e ();
+        added := e :: !added;
+        Wal.Add_edge { u = fst e; v = snd e })
+
+let request_of_mutation : Wal.mutation -> Wire.request = function
+  | Wal.Add_edge { u; v } -> Wire.Add_edge { u; v }
+  | Wal.Remove_edge { u; v } -> Wire.Remove_edge { u; v }
+  | Wal.Add_subgraph { graph; reqs } -> Wire.Add_subgraph { graph; reqs }
+  | Wal.Promote pairs -> Wire.Promote pairs
+  | Wal.Demote reqs -> Wire.Demote reqs
+
+let oracle_after stream =
+  List.fold_left (fun idx m -> Checkpoint.apply_mutation idx m) (build_base ()) stream
+
+let eval_all idx =
+  Index_graph.prepare_serving idx;
+  let pool = Data_graph.pool (Index_graph.data idx) in
+  let interned =
+    List.map (fun labels -> Array.of_list (List.map (Label.Pool.intern pool) labels)) queries
+  in
+  Query_eval.eval_batch ~domains:1 ~strategy:`Forward ~cache:false idx interned
+
+(* Every query answered by [c] must match the oracle bit-for-bit,
+   validation costs included. *)
+let check_serves_oracle ~what c oracle_idx =
+  let want = eval_all oracle_idx in
+  List.iteri
+    (fun i labels ->
+      match Client.call c (Wire.Query_path { flags = { no_cache = true }; labels }) with
+      | Wire.Result r ->
+        let w = want.(i) in
+        let name = Printf.sprintf "%s: query %d" what i in
+        Alcotest.(check (list int)) (name ^ " nodes") w.Query_eval.nodes (Array.to_list r.Wire.nodes);
+        Alcotest.(check int)
+          (name ^ " index_visits") w.cost.Dkindex_pathexpr.Cost.index_visits r.Wire.index_visits;
+        Alcotest.(check int)
+          (name ^ " data_visits") w.cost.Dkindex_pathexpr.Cost.data_visits r.Wire.data_visits;
+        Alcotest.(check int) (name ^ " n_candidates") w.n_candidates r.Wire.n_candidates;
+        Alcotest.(check int) (name ^ " n_certain") w.n_certain r.Wire.n_certain
+      | Wire.Error_reply { message; _ } -> Alcotest.fail (what ^ ": server error: " ^ message)
+      | _ -> Alcotest.fail (what ^ ": expected Result"))
+    queries
+
+(* ----------------------------------------------------------------- *)
+(* Forked servers *)
+
+let read_port_line fd =
+  let buf = Buffer.create 16 in
+  let b = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd b 0 1 with
+    | 0 -> failwith "server died before reporting its port"
+    | _ ->
+      if Bytes.get b 0 = '\n' then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Bytes.get b 0);
+        go ()
+      end
+  in
+  int_of_string (go ())
+
+(* Fork a durable server over [dir].  [replica_of] makes it a replica;
+   [empty] starts it from a one-node index (what a fresh replica does)
+   instead of the deterministic base.  [hub_faults] builds the fault
+   injector inside the child (closures survive fork). *)
+let fork_server ?(sync = Wal.Always) ?(checkpoint_records = 1000) ?replica_of ?(empty = false)
+    ?hub_faults ?hub_heartbeat_s ~dir () =
+  let r, w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close r;
+    let status =
+      try
+        let base = if empty then empty_index () else build_base () in
+        let recovery = Checkpoint.recover ~dir in
+        let index = match recovery.Checkpoint.index with Some i -> i | None -> base in
+        let cfg = { (Checkpoint.default_config ~dir) with sync; checkpoint_records } in
+        let d = Checkpoint.start ~recovery cfg index in
+        match
+          Server.run ~handle_signals:false ~durability:d ?replica_of ?hub_faults
+            ?hub_heartbeat_s
+            ~on_ready:(fun port ->
+              let line = string_of_int port ^ "\n" in
+              ignore (Unix.write_substring w line 0 (String.length line));
+              Unix.close w)
+            { Server.default_config with port = 0; workers = 1; deadline_s = 0.0 }
+            index
+        with
+        | Ok () -> 0
+        | Error _ -> 1
+      with _ -> 2
+    in
+    Unix._exit status
+  | pid ->
+    Unix.close w;
+    let port = read_port_line r in
+    Unix.close r;
+    (pid, port)
+
+let rconfig ?(replica_id = 1) ?(auto_promote = false) ?(failover_timeout_s = 3600.0)
+    ?(staleness_bound_s = 3600.0) ~port () =
+  {
+    (Replication.default_rconfig ~host:"127.0.0.1" ~port ~replica_id) with
+    auto_promote;
+    failover_timeout_s;
+    staleness_bound_s;
+  }
+
+let kill_quiet pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let shutdown c pid =
+  (match Client.call c Wire.Shutdown with
+  | Wire.Ok_reply _ -> ()
+  | _ -> Alcotest.fail "expected Ok_reply for Shutdown");
+  let _, status = Unix.waitpid [] pid in
+  Alcotest.(check bool) "clean exit" true (status = Unix.WEXITED 0)
+
+let stats c =
+  match Client.call c Wire.Stats with
+  | Wire.Stats_reply kvs -> kvs
+  | _ -> Alcotest.fail "expected Stats_reply"
+
+let stat kvs key = Option.value (List.assoc_opt key kvs) ~default:""
+
+(* Poll [pred (stats c)] until true or [timeout_s] elapses. *)
+let wait_for ?(timeout_s = 60.0) ~what c pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let kvs = stats c in
+    if pred kvs then kvs
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail (Printf.sprintf "timed out waiting for %s" what)
+    else begin
+      Unix.sleepf 0.05;
+      go ()
+    end
+  in
+  go ()
+
+(* Caught up = connected to the current lineage with zero bytes of WAL
+   left to apply (heartbeats keep the primary position fresh). *)
+let replica_caught_up kvs =
+  stat kvs "replication_connected" = "true"
+  && stat kvs "replication_bytes_behind" = "0"
+  && int_of_string_opt (stat kvs "replication_applied_seq") <> Some (-1)
+
+let send_stream c stream =
+  List.iter
+    (fun m ->
+      match Client.call c (request_of_mutation m) with
+      | Wire.Ok_reply _ -> ()
+      | Wire.Error_reply { message; _ } -> Alcotest.fail ("mutation rejected: " ^ message)
+      | _ -> Alcotest.fail "unexpected response to mutation")
+    stream
+
+(* ----------------------------------------------------------------- *)
+(* Convergence: replica answers bit-for-bit, refuses writes *)
+
+let test_convergence () =
+  let dir_p = temp_dir () and dir_r = temp_dir () in
+  let pids = ref [] in
+  Fun.protect ~finally:(fun () ->
+      List.iter kill_quiet !pids;
+      rm_rf dir_p;
+      rm_rf dir_r)
+  @@ fun () ->
+  let ppid, pport = fork_server ~dir:dir_p ~hub_heartbeat_s:0.05 () in
+  pids := [ ppid ];
+  let rpid, rport =
+    fork_server ~dir:dir_r ~empty:true ~replica_of:(rconfig ~port:pport ()) ()
+  in
+  pids := [ ppid; rpid ];
+  let stream = make_stream ~seed:31 ~count:25 in
+  let cp = Client.connect ~port:pport () in
+  send_stream cp stream;
+  let cr = Client.connect ~port:rport () in
+  let kvs = wait_for ~what:"replica catch-up" cr replica_caught_up in
+  Alcotest.(check string) "replica role" "replica" (stat kvs "role");
+  Alcotest.(check bool) "snapshot bootstrap happened" true
+    (int_of_string (stat kvs "replication_snapshots_installed") >= 1);
+  (* Bit-for-bit equality with the oracle, costs included. *)
+  check_serves_oracle ~what:"replica after catch-up" cr (oracle_after stream);
+  (* Writes are refused with a redirect to the primary. *)
+  (match Client.call cr (Wire.Add_edge { u = 0; v = 1 }) with
+  | Wire.Not_primary { host; port } ->
+    Alcotest.(check string) "redirect host" "127.0.0.1" host;
+    Alcotest.(check int) "redirect port" pport port
+  | _ -> Alcotest.fail "expected Not_primary from the replica");
+  (* The primary sees its subscriber. *)
+  let pkvs = stats cp in
+  Alcotest.(check string) "primary sees one replica" "1" (stat pkvs "replicas_connected");
+  Alcotest.(check string) "primary role" "primary" (stat pkvs "role");
+  (* Incremental shipping: more writes arrive without a new snapshot. *)
+  let more = make_stream ~seed:32 ~count:40 in
+  send_stream cp more;
+  let kvs = wait_for ~what:"incremental catch-up" cr replica_caught_up in
+  Alcotest.(check bool) "no extra snapshot for incremental records" true
+    (int_of_string (stat kvs "replication_records_applied") > 0);
+  check_serves_oracle ~what:"replica after more writes" cr
+    (oracle_after (stream @ more));
+  shutdown cr rpid;
+  pids := [ ppid ];
+  shutdown cp ppid;
+  pids := []
+
+(* ----------------------------------------------------------------- *)
+(* Failover: SIGKILL the primary, promote the replica *)
+
+let test_failover_promote () =
+  let dir_p = temp_dir () and dir_r = temp_dir () in
+  let pids = ref [] in
+  Fun.protect ~finally:(fun () ->
+      List.iter kill_quiet !pids;
+      rm_rf dir_p;
+      rm_rf dir_r)
+  @@ fun () ->
+  let ppid, pport = fork_server ~dir:dir_p ~hub_heartbeat_s:0.05 () in
+  pids := [ ppid ];
+  let rpid, rport =
+    fork_server ~dir:dir_r ~empty:true ~replica_of:(rconfig ~port:pport ()) ()
+  in
+  pids := [ ppid; rpid ];
+  let stream = make_stream ~seed:41 ~count:30 in
+  let cp = Client.connect ~port:pport () in
+  send_stream cp stream;
+  (* Replication is asynchronous: an acknowledged write is only
+     failover-durable once the replica caught up, so wait before the
+     kill — this is exactly what dkindex-loadgen --wait-replication
+     does in CI. *)
+  let cr = Client.connect ~port:rport () in
+  ignore (wait_for ~what:"replica catch-up before kill" cr replica_caught_up);
+  Unix.kill ppid Sys.sigkill;
+  ignore (Unix.waitpid [] ppid);
+  pids := [ rpid ];
+  (* Operator failover. *)
+  (match Client.call cr Wire.Promote_primary with
+  | Wire.Ok_reply { epoch; _ } -> Alcotest.(check int) "promotion bumps the epoch" 1 epoch
+  | Wire.Error_reply { message; _ } -> Alcotest.fail ("promote failed: " ^ message)
+  | _ -> Alcotest.fail "expected Ok_reply for Promote_primary");
+  let kvs = stats cr in
+  Alcotest.(check string) "promoted role" "primary" (stat kvs "role");
+  Alcotest.(check string) "promoted epoch" "1" (stat kvs "epoch");
+  (* Every acknowledged write survived the failover. *)
+  check_serves_oracle ~what:"promoted replica" cr (oracle_after stream);
+  (* And it accepts new writes, stamped with the new epoch. *)
+  let more = make_stream ~seed:42 ~count:8 in
+  List.iter
+    (fun m ->
+      match Client.call cr (request_of_mutation m) with
+      | Wire.Ok_reply { epoch; _ } -> Alcotest.(check int) "acks carry epoch 1" 1 epoch
+      | _ -> Alcotest.fail "promoted replica refused a write")
+    more;
+  check_serves_oracle ~what:"promoted replica after new writes" cr
+    (oracle_after (stream @ more));
+  shutdown cr rpid;
+  pids := []
+
+(* ----------------------------------------------------------------- *)
+(* Fencing: a deposed primary cannot acknowledge into a stale lineage *)
+
+let test_fencing_deposed_primary () =
+  let dir_p = temp_dir () and dir_r = temp_dir () in
+  let pids = ref [] in
+  Fun.protect ~finally:(fun () ->
+      List.iter kill_quiet !pids;
+      rm_rf dir_p;
+      rm_rf dir_r)
+  @@ fun () ->
+  let ppid, pport = fork_server ~dir:dir_p ~hub_heartbeat_s:0.05 () in
+  pids := [ ppid ];
+  let rpid, rport =
+    fork_server ~dir:dir_r ~empty:true ~replica_of:(rconfig ~port:pport ()) ()
+  in
+  pids := [ ppid; rpid ];
+  let stream = make_stream ~seed:51 ~count:10 in
+  let cp = Client.connect ~port:pport () in
+  send_stream cp stream;
+  let cr = Client.connect ~port:rport () in
+  ignore (wait_for ~what:"replica catch-up" cr replica_caught_up);
+  (* Split-brain: promote the replica while the old primary still
+     lives and still believes it leads. *)
+  (match Client.call cr Wire.Promote_primary with
+  | Wire.Ok_reply { epoch = 1; _ } -> ()
+  | _ -> Alcotest.fail "expected promotion to epoch 1");
+  (* A cluster client that has seen epoch 1 fences the deposed primary
+     before writing to it: its Hello carries the newer epoch, so the
+     write lands on the real primary. *)
+  let cl =
+    Client.cluster_connect ~retries:2
+      ~endpoints:[ ("127.0.0.1", pport); ("127.0.0.1", rport) ]
+      ()
+  in
+  Alcotest.(check int) "cluster learned the new epoch" 1 (Client.cluster_epoch cl);
+  let m = Wire.Add_edge { u = 2; v = 3 } in
+  (match Client.cluster_call cl m with
+  | Wire.Ok_reply { epoch; _ } -> Alcotest.(check int) "write acked in epoch 1" 1 epoch
+  | Wire.Error_reply { message; _ } -> Alcotest.fail ("cluster write failed: " ^ message)
+  | _ -> Alcotest.fail "expected Ok_reply via the cluster");
+  Alcotest.(check (option (pair string int))) "cluster routed to the promoted replica"
+    (Some ("127.0.0.1", rport)) (Client.cluster_primary cl);
+  (* The deposed primary is now fenced: direct writes are refused. *)
+  let cp2 = Client.connect ~port:pport ~epoch:1 () in
+  (match Client.call cp2 (Wire.Add_edge { u = 4; v = 5 }) with
+  | Wire.Fenced { epoch } -> Alcotest.(check int) "fenced against epoch 1" 1 epoch
+  | _ -> Alcotest.fail "expected Fenced from the deposed primary");
+  let pkvs = stats cp in
+  Alcotest.(check string) "deposed primary reports fenced" "true" (stat pkvs "fenced");
+  (* Reads on the fenced primary still work (it can serve its own
+     lineage's data); cluster reads round-robin over both. *)
+  (match Client.call cp2 Wire.Ping with
+  | Wire.Pong -> ()
+  | _ -> Alcotest.fail "fenced primary must still answer reads");
+  (match Client.cluster_call cl Wire.Ping with
+  | Wire.Pong -> ()
+  | _ -> Alcotest.fail "cluster read failed");
+  Client.cluster_close cl;
+  Client.close cp2;
+  shutdown cr rpid;
+  pids := [ ppid ];
+  shutdown cp ppid;
+  pids := []
+
+(* ----------------------------------------------------------------- *)
+(* Snapshot bootstrap when the WAL history is gone *)
+
+let test_bootstrap_after_prune () =
+  let dir_p = temp_dir () and dir_r = temp_dir () in
+  let pids = ref [] in
+  Fun.protect ~finally:(fun () ->
+      List.iter kill_quiet !pids;
+      rm_rf dir_p;
+      rm_rf dir_r)
+  @@ fun () ->
+  (* Tiny rotation threshold: 20 mutations force several checkpoint
+     rotations, and the pruner deletes all but the newest generations
+     — a late-joining replica cannot tail from generation 0. *)
+  let ppid, pport = fork_server ~dir:dir_p ~checkpoint_records:4 ~hub_heartbeat_s:0.05 () in
+  pids := [ ppid ];
+  let stream = make_stream ~seed:61 ~count:20 in
+  let cp = Client.connect ~port:pport () in
+  send_stream cp stream;
+  let rpid, rport =
+    fork_server ~dir:dir_r ~empty:true ~replica_of:(rconfig ~port:pport ()) ()
+  in
+  pids := [ ppid; rpid ];
+  let cr = Client.connect ~port:rport () in
+  let kvs = wait_for ~what:"bootstrap catch-up" cr replica_caught_up in
+  Alcotest.(check bool) "caught up via snapshot transfer" true
+    (int_of_string (stat kvs "replication_snapshots_installed") >= 1);
+  check_serves_oracle ~what:"replica after pruned-WAL bootstrap" cr (oracle_after stream);
+  shutdown cr rpid;
+  pids := [ ppid ];
+  shutdown cp ppid;
+  pids := []
+
+(* ----------------------------------------------------------------- *)
+(* Torn replication streams: reconnect and converge *)
+
+let test_torn_stream_reconnects () =
+  let dir_p = temp_dir () and dir_r = temp_dir () in
+  let pids = ref [] in
+  Fun.protect ~finally:(fun () ->
+      List.iter kill_quiet !pids;
+      rm_rf dir_p;
+      rm_rf dir_r)
+  @@ fun () ->
+  (* The first two replication connections tear mid-frame after ~1500
+     bytes (the snapshot is bigger than that, so the bootstrap itself
+     is torn); the third connection is clean.  The closure runs inside
+     the forked primary. *)
+  let hub_faults =
+    let attaches = Atomic.make 0 in
+    fun (_ : int) ->
+      if Atomic.fetch_and_add attaches 1 < 2 then
+        Some (Faults.create (Faults.Drop_after_bytes 1500))
+      else None
+  in
+  let ppid, pport = fork_server ~dir:dir_p ~hub_faults ~hub_heartbeat_s:0.05 () in
+  pids := [ ppid ];
+  let stream = make_stream ~seed:71 ~count:15 in
+  let cp = Client.connect ~port:pport () in
+  send_stream cp stream;
+  let rpid, rport =
+    fork_server ~dir:dir_r ~empty:true ~replica_of:(rconfig ~port:pport ()) ()
+  in
+  pids := [ ppid; rpid ];
+  let cr = Client.connect ~port:rport () in
+  let kvs = wait_for ~what:"catch-up through torn streams" cr replica_caught_up in
+  Alcotest.(check bool) "replica reconnected at least twice" true
+    (int_of_string (stat kvs "replication_reconnects") >= 2);
+  check_serves_oracle ~what:"replica after torn streams" cr (oracle_after stream);
+  shutdown cr rpid;
+  pids := [ ppid ];
+  shutdown cp ppid;
+  pids := []
+
+(* ----------------------------------------------------------------- *)
+(* Auto-promotion on heartbeat timeout *)
+
+let test_auto_promotion () =
+  let dir_p = temp_dir () and dir_r = temp_dir () in
+  let pids = ref [] in
+  Fun.protect ~finally:(fun () ->
+      List.iter kill_quiet !pids;
+      rm_rf dir_p;
+      rm_rf dir_r)
+  @@ fun () ->
+  let ppid, pport = fork_server ~dir:dir_p ~hub_heartbeat_s:0.05 () in
+  pids := [ ppid ];
+  let rpid, rport =
+    fork_server ~dir:dir_r ~empty:true
+      ~replica_of:(rconfig ~auto_promote:true ~failover_timeout_s:1.0 ~port:pport ())
+      ()
+  in
+  pids := [ ppid; rpid ];
+  let stream = make_stream ~seed:81 ~count:12 in
+  let cp = Client.connect ~port:pport () in
+  send_stream cp stream;
+  let cr = Client.connect ~port:rport () in
+  ignore (wait_for ~what:"catch-up before primary death" cr replica_caught_up);
+  Unix.kill ppid Sys.sigkill;
+  ignore (Unix.waitpid [] ppid);
+  pids := [ rpid ];
+  (* The watchdog fires after ~1 s of silence and the replica promotes
+     itself. *)
+  let kvs =
+    wait_for ~what:"auto-promotion" cr (fun kvs ->
+        stat kvs "role" = "primary")
+  in
+  Alcotest.(check string) "auto-promoted epoch" "1" (stat kvs "epoch");
+  check_serves_oracle ~what:"auto-promoted replica" cr (oracle_after stream);
+  (match Client.call cr (Wire.Add_edge { u = 1; v = 2 }) with
+  | Wire.Ok_reply { epoch = 1; _ } -> ()
+  | _ -> Alcotest.fail "auto-promoted replica must accept writes");
+  shutdown cr rpid;
+  pids := []
+
+let () =
+  Alcotest.run "replication"
+    [
+      ( "replication",
+        [
+          Alcotest.test_case "replica converges bit-for-bit, redirects writes" `Quick
+            test_convergence;
+          Alcotest.test_case "SIGKILL primary; promoted replica keeps every ack" `Quick
+            test_failover_promote;
+          Alcotest.test_case "deposed primary is fenced; cluster routes around it" `Quick
+            test_fencing_deposed_primary;
+          Alcotest.test_case "late replica bootstraps over a pruned WAL" `Quick
+            test_bootstrap_after_prune;
+          Alcotest.test_case "torn streams reconnect and still converge" `Quick
+            test_torn_stream_reconnects;
+          Alcotest.test_case "auto-promotion after heartbeat silence" `Quick
+            test_auto_promotion;
+        ] );
+    ]

@@ -50,6 +50,15 @@ let flags_gen = QCheck.Gen.(map (fun no_cache -> { Wire.no_cache }) bool)
 let labels_gen = QCheck.Gen.(list_size (int_range 1 5) label_gen)
 let pairs_gen = QCheck.Gen.(list_size (int_bound 4) (pair label_gen (int_bound 6)))
 
+(* WAL generation numbers: -1 (subscribe-from-scratch sentinel) or a
+   plausible generation.  Offsets exercise the full u48 range. *)
+let seq_gen = QCheck.Gen.(oneof [ return (-1); int_bound 1_000_000 ])
+
+let offset48_gen =
+  QCheck.Gen.(map2 (fun hi lo -> (hi lsl 32) lor lo) (int_bound 0xffff) (int_bound 0xfffffff))
+
+let role_gen = QCheck.Gen.oneofl [ Wire.Primary; Wire.Replica ]
+
 let request_gen : Wire.request QCheck.Gen.t =
   let open QCheck.Gen in
   oneof
@@ -72,6 +81,16 @@ let request_gen : Wire.request QCheck.Gen.t =
       return Wire.Stats;
       return Wire.Snapshot;
       return Wire.Shutdown;
+      (* The version byte is a u8; the codec must round-trip a Hello
+         from any version, current or not. *)
+      map2 (fun version epoch -> Wire.Hello { version; epoch }) (int_bound 255)
+        (int_bound 1_000_000);
+      map2
+        (fun (replica_id, epoch) (seq, offset) ->
+          Wire.Rep_subscribe { replica_id; epoch; seq; offset })
+        (pair (int_bound 1000) (int_bound 1_000_000))
+        (pair seq_gen offset48_gen);
+      return Wire.Promote_primary;
     ]
 
 let result_gen =
@@ -95,16 +114,36 @@ let response_gen : Wire.response QCheck.Gen.t =
       return Wire.Pong;
       map (fun r -> Wire.Result r) result_gen;
       map (fun rs -> Wire.Batch_result (Array.of_list rs)) (list_size (int_bound 4) result_gen);
-      map (fun generation -> Wire.Ok_reply { generation }) (int_bound 1_000_000);
+      map2
+        (fun generation epoch -> Wire.Ok_reply { generation; epoch })
+        (int_bound 1_000_000) (int_bound 1_000_000);
       map
         (fun kvs -> Wire.Stats_reply kvs)
         (list_size (int_bound 5) (pair (string_size (int_bound 10)) (string_size (int_bound 10))));
       map2
         (fun code message -> Wire.Error_reply { code; message })
-        (oneofl [ `Protocol; `App; `Deadline; `Shutting_down ])
+        (oneofl [ `Protocol; `App; `Deadline; `Shutting_down; `Version; `Stale ])
         (string_size (int_bound 40));
       return Wire.Overloaded;
       return Wire.Read_only;
+      map3
+        (fun version epoch role -> Wire.Hello_reply { version; epoch; role })
+        (int_bound 255) (int_bound 1_000_000) role_gen;
+      map3
+        (fun epoch (seq, offset) data -> Wire.Rep_records { epoch; seq; offset; data })
+        (int_bound 1_000_000)
+        (pair seq_gen offset48_gen)
+        (string_size (int_bound 80));
+      map3
+        (fun epoch seq index -> Wire.Rep_snapshot { epoch; seq; index })
+        (int_bound 1_000_000) seq_gen
+        (string_size (int_bound 80));
+      map3
+        (fun epoch seq offset -> Wire.Rep_heartbeat { epoch; seq; offset })
+        (int_bound 1_000_000) seq_gen offset48_gen;
+      map2 (fun host port -> Wire.Not_primary { host; port }) (string_size (int_bound 20))
+        (int_bound 0xffff);
+      map (fun epoch -> Wire.Fenced { epoch }) (int_bound 1_000_000);
     ]
 
 let request_arb = QCheck.make request_gen
@@ -562,6 +601,19 @@ let test_smoke_protocol_errors () =
     (match Client.call c Wire.Ping with
     | Wire.Pong -> ()
     | _ -> Alcotest.fail "expected Pong after junk barrage");
+    (* Version negotiation: a Hello from another protocol version is
+       refused with a typed error, not a decode failure, and the
+       connection survives. *)
+    let hello_v9 = encode_request_payload ~id:7777 (Wire.Hello { version = 9; epoch = 0 }) in
+    Client.send_raw_frame c hello_v9;
+    (match Client.recv c with
+    | { Wire.id = 7777; msg = Wire.Error_reply { code = `Version; _ } } -> ()
+    | _ -> Alcotest.fail "expected a `Version error for a mismatched Hello");
+    (* A current-version Hello gets epoch and role back. *)
+    (match Client.call c (Wire.Hello { version = Wire.version; epoch = 0 }) with
+    | Wire.Hello_reply { version; epoch = 0; role = Wire.Primary } ->
+      Alcotest.(check int) "hello echoes our version" Wire.version version
+    | _ -> Alcotest.fail "expected Hello_reply");
     (* An oversized frame closes that connection but not the server. *)
     let big = Client.connect ~port () in
     Client.send_raw_frame big (String.make 10_000 'z');
@@ -583,6 +635,171 @@ let test_smoke_protocol_errors () =
     let _, status = Unix.waitpid [] pid in
     Alcotest.(check bool) "server exited cleanly" true (status = Unix.WEXITED 0);
     Client.close c
+
+(* --------------------------------------------------------------- *)
+(* Bqueue: the server's bounded MPMC queue                           *)
+
+module Bqueue = Server.Bqueue
+
+let prop_bqueue_no_loss_no_dup =
+  QCheck.Test.make ~count:15
+    ~name:"bqueue: concurrent push/pop neither loses nor duplicates"
+    QCheck.(
+      make
+        ~print:(fun (p, n) -> Printf.sprintf "producers=%d per_producer=%d" p n)
+        Gen.(pair (int_range 1 3) (int_range 1 150)))
+    (fun (nprod, per_prod) ->
+      let q = Bqueue.create 8 in
+      let total = nprod * per_prod in
+      let popped = Array.make total (-1) in
+      let pop_count = Atomic.make 0 in
+      let consumers =
+        Array.init 2 (fun _ ->
+            Domain.spawn (fun () ->
+                let rec go () =
+                  match Bqueue.pop q with
+                  | Some v ->
+                    popped.(Atomic.fetch_and_add pop_count 1) <- v;
+                    go ()
+                  | None -> ()
+                in
+                go ()))
+      in
+      let producers =
+        Array.init nprod (fun p ->
+            Domain.spawn (fun () ->
+                for i = 0 to per_prod - 1 do
+                  Bqueue.push q ((p * per_prod) + i)
+                done))
+      in
+      Array.iter Domain.join producers;
+      Bqueue.close q;
+      Array.iter Domain.join consumers;
+      (* Multiset equality with what was pushed: 0 .. total-1, each
+         exactly once. *)
+      if Atomic.get pop_count <> total then
+        QCheck.Test.fail_reportf "popped %d of %d" (Atomic.get pop_count) total
+      else begin
+        let seen = Array.make total false in
+        Array.for_all
+          (fun v -> v >= 0 && v < total && not seen.(v) && (seen.(v) <- true; true))
+          popped
+      end)
+
+let test_bqueue_sheds_at_capacity () =
+  let q = Bqueue.create 2 in
+  Alcotest.(check bool) "push 1" true (Bqueue.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Bqueue.try_push q 2);
+  Alcotest.(check bool) "full: shed" false (Bqueue.try_push q 3);
+  Alcotest.(check int) "length" 2 (Bqueue.length q);
+  (match Bqueue.pop q with Some 1 -> () | _ -> Alcotest.fail "expected FIFO head 1");
+  Alcotest.(check bool) "room again" true (Bqueue.try_push q 3);
+  Bqueue.close q;
+  (match Bqueue.pop q with Some 2 -> () | _ -> Alcotest.fail "drain 2");
+  (match Bqueue.pop q with Some 3 -> () | _ -> Alcotest.fail "drain 3");
+  match Bqueue.pop q with
+  | None -> ()
+  | Some _ -> Alcotest.fail "closed+empty must pop None"
+
+(* Deadline expiry: with one worker, a long batch plugs the read
+   queue; a Ping pipelined behind it is older than the deadline by
+   the time the worker dequeues it and must be answered `Deadline
+   (never silently dropped).  If scheduling is so slow that the plug
+   itself expires, the Ping — enqueued in the same burst — has aged
+   just as much, so the assertion holds on either path. *)
+let test_deadline_expiry () =
+  let _g, idx = build_smoke_dataset () in
+  let r, w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close r;
+    let status =
+      try
+        match
+          Server.run
+            ~on_ready:(fun port ->
+              let line = string_of_int port ^ "\n" in
+              ignore (Unix.write_substring w line 0 (String.length line));
+              Unix.close w)
+            { Server.default_config with port = 0; workers = 1; deadline_s = 0.02 }
+            idx
+        with
+        | Ok () -> 0
+        | Error _ -> 1
+      with _ -> 1
+    in
+    Unix._exit status
+  | pid ->
+    Unix.close w;
+    let port = read_port_line r in
+    Unix.close r;
+    let c = Client.connect ~port () in
+    let plug_path = [ "l1"; "l2"; "l3"; "l4" ] in
+    let plug =
+      Wire.Batch_query
+        { flags = { no_cache = true }; paths = List.init 8000 (fun _ -> plug_path) }
+    in
+    let plug_id = Client.send c plug in
+    let ping_id = Client.send c Wire.Ping in
+    let deadline_hits = ref 0 in
+    let handle = function
+      | Wire.Error_reply { code = `Deadline; _ } -> incr deadline_hits
+      | Wire.Batch_result _ | Wire.Pong -> ()
+      | _ -> Alcotest.fail "unexpected response kind"
+    in
+    let r1 = Client.recv c in
+    let r2 = Client.recv c in
+    Alcotest.(check (list int)) "both pipelined responses arrive, in order" [ plug_id; ping_id ]
+      [ r1.Wire.id; r2.Wire.id ];
+    handle r1.Wire.msg;
+    handle r2.Wire.msg;
+    (match r2.Wire.msg with
+    | Wire.Error_reply { code = `Deadline; _ } -> ()
+    | _ -> Alcotest.fail "the queued Ping must expire");
+    (match Client.call c Wire.Stats with
+    | Wire.Stats_reply kvs ->
+      let expired =
+        int_of_string (Option.value (List.assoc_opt "deadline_expired" kvs) ~default:"0")
+      in
+      Alcotest.(check bool) "stats count the expiries" true (expired >= !deadline_hits)
+    | _ -> Alcotest.fail "expected Stats_reply");
+    (match Client.call c Wire.Shutdown with
+    | Wire.Ok_reply _ -> ()
+    | _ -> Alcotest.fail "expected Ok_reply for Shutdown");
+    let _, status = Unix.waitpid [] pid in
+    Client.close c;
+    Alcotest.(check bool) "clean exit" true (status = Unix.WEXITED 0)
+
+(* --------------------------------------------------------------- *)
+(* Rw_lock: a continuous read load cannot starve a writer            *)
+
+module Rw_lock = Dkindex_server.Rw_lock
+
+let test_rw_lock_writer_not_starved () =
+  let l = Rw_lock.create () in
+  let grants = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let readers =
+    Array.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              Rw_lock.read l (fun () -> Atomic.incr grants)
+            done))
+  in
+  (* Let the read load reach a steady state before the writer asks. *)
+  while Atomic.get grants < 200 do
+    Unix.sleepf 0.001
+  done;
+  let before = Atomic.get grants in
+  (* Reads granted between the writer's request and its acquisition:
+     with writer priority this is bounded by the readers already in
+     flight (plus a few preemption windows), never thousands. *)
+  let during = Rw_lock.write l (fun () -> Atomic.get grants - before) in
+  Atomic.set stop true;
+  Array.iter Domain.join readers;
+  if during > 100 then
+    Alcotest.fail
+      (Printf.sprintf "writer waited through %d read grants: readers starve writers" during)
 
 let () =
   Alcotest.run "server"
@@ -607,9 +824,24 @@ let () =
           to_alcotest prop_wal_fuzz;
         ] );
       ("index_serial", [ to_alcotest prop_serial_roundtrip_after_churn ]);
+      (* Forking tests must run before anything that spawns a domain:
+         OCaml 5's Unix.fork refuses once other domains exist. *)
       ( "smoke",
         [
           Alcotest.test_case "mixed traffic, SIGTERM drain, snapshot" `Quick test_smoke;
           Alcotest.test_case "malformed frames, wire shutdown" `Quick test_smoke_protocol_errors;
+          Alcotest.test_case "queued requests expire against the deadline" `Quick
+            test_deadline_expiry;
+        ] );
+      ( "queue",
+        [
+          to_alcotest prop_bqueue_no_loss_no_dup;
+          Alcotest.test_case "try_push sheds at capacity; close drains" `Quick
+            test_bqueue_sheds_at_capacity;
+        ] );
+      ( "rw_lock",
+        [
+          Alcotest.test_case "writer acquires under continuous read load" `Quick
+            test_rw_lock_writer_not_starved;
         ] );
     ]
