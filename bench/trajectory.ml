@@ -5,7 +5,7 @@
    samples — timing noise on a shared machine is strictly additive, so
    the minimum is the robust estimator) plus a construction / query /
    update macro pass on XMark, and writes the results as JSON (default
-   BENCH_PR5.json).  An optional [--baseline prev.json] merges a
+   BENCH_PR6.json).  An optional [--baseline prev.json] merges a
    previous run into the output as per-benchmark {"baseline_ns",
    "after_ns"} pairs so a PR records its own before/after evidence.
 
@@ -16,7 +16,8 @@
 
    [--smoke] runs a tiny scale (< 30 s) suitable for `dune runtest` /
    `make bench-smoke`, skips the JSON file, and additionally asserts
-   the allocation discipline of the Kbisim signature pass. *)
+   the allocation discipline of the Kbisim signature pass and of the
+   zero-copy wire framing (in-place decode, reused reply buffer). *)
 
 open Dkindex_graph
 open Dkindex_core
@@ -24,11 +25,12 @@ module Cost = Dkindex_pathexpr.Cost
 module Server = Dkindex_server.Server
 module Client = Dkindex_server.Client
 module Wire = Dkindex_server.Wire
+module Obuf = Dkindex_server.Obuf
 module Wal = Dkindex_server.Wal
 module Checkpoint = Dkindex_server.Checkpoint
 
 let scale = ref 40
-let out_file = ref "BENCH_PR5.json"
+let out_file = ref "BENCH_PR6.json"
 let baseline_file = ref ""
 let smoke = ref false
 let no_out = ref false
@@ -36,7 +38,7 @@ let no_out = ref false
 let spec =
   [
     ("--scale", Arg.Set_int scale, "N  XMark scale for the macro pass (default 40)");
-    ("--out", Arg.Set_string out_file, "FILE  output JSON (default BENCH_PR5.json)");
+    ("--out", Arg.Set_string out_file, "FILE  output JSON (default BENCH_PR6.json)");
     ( "--baseline",
       Arg.Set_string baseline_file,
       "FILE  merge a previous run as baseline_ns/after_ns pairs" );
@@ -305,6 +307,57 @@ let assert_refine_allocation () =
           allocation crept back into the signature pass"
          words m)
 
+(* Zero-copy framing assertions (smoke mode): decoding a frame sitting
+   inside a large connection buffer must allocate a small constant —
+   independent of where it sits and of the buffer's size (no
+   per-frame [Bytes.sub] of the payload, let alone the buffer) — and
+   steady-state reply encoding into a reused [Obuf] must not allocate
+   fresh buffers per frame. *)
+let assert_framing_allocation () =
+  let ob = Obuf.create 64 in
+  Wire.encode_request ob ~id:7 Wire.Ping;
+  let frame = Obuf.contents ob in
+  let payload_len = String.length frame - 4 in
+  let big = Bytes.make (1 lsl 20) '\xAA' in
+  let pos = 123_457 in
+  Bytes.blit_string frame 4 big pos payload_len;
+  let big = Bytes.unsafe_to_string big in
+  let decode_once () =
+    match Wire.decode_request_at big ~pos ~len:payload_len with
+    | Ok { Wire.id = 7; msg = Wire.Ping } -> ()
+    | Ok _ -> failwith "framing smoke: in-place decode returned the wrong frame"
+    | Error e -> failwith ("framing smoke: in-place decode failed: " ^ e)
+  in
+  decode_once ();
+  let n = 10_000 in
+  let before = allocated_words () in
+  for _ = 1 to n do
+    decode_once ()
+  done;
+  let per_decode = (allocated_words () -. before) /. float_of_int n in
+  let reply_buf = Obuf.create 256 in
+  Wire.encode_response reply_buf ~id:0 Wire.Pong;
+  let before = allocated_words () in
+  for i = 1 to n do
+    Obuf.clear reply_buf;
+    Wire.encode_response reply_buf ~id:i Wire.Pong
+  done;
+  let per_encode = (allocated_words () -. before) /. float_of_int n in
+  Printf.printf "  framing allocation: %.1f words/decode, %.1f words/encode\n%!" per_decode
+    per_encode;
+  if per_decode > 64.0 then
+    failwith
+      (Printf.sprintf
+         "decode_request_at allocated %.1f words per frame — a payload or buffer copy crept \
+          back into the in-place decode path"
+         per_decode);
+  if per_encode > 16.0 then
+    failwith
+      (Printf.sprintf
+         "encode_response allocated %.1f words per frame into a reused Obuf — per-frame \
+          buffer churn crept back into the reply path"
+         per_encode)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -495,6 +548,41 @@ let () =
     Printf.printf "  %-44s %12.0f ns\n%!" "serve:socket-p99-latency" ns;
     entries :=
       { name = "serve:socket-p99-latency"; after_ns = ns; baseline_ns = None } :: !entries);
+   (* Pipelined throughput: one connection keeping [depth] requests in
+      flight, replies matched by id (the inline fast path may reorder
+      them).  The contrast with socket-throughput-c1 is the headroom
+      the serving path has beyond one-request-per-RTT clients. *)
+   (let depth = 8 in
+    let pipelined_pass ~requests =
+      let c = Client.connect ~port () in
+      let inflight = Hashtbl.create (2 * depth) in
+      let sent = ref 0 and completed = ref 0 in
+      let t0 = now_ns () in
+      while !completed < requests do
+        while !sent < requests && Hashtbl.length inflight < depth do
+          Hashtbl.replace inflight (Client.send c (request !sent)) !sent;
+          incr sent
+        done;
+        let r = Client.recv c in
+        (match Hashtbl.find_opt inflight r.Wire.id with
+        | Some i ->
+          Hashtbl.remove inflight r.Wire.id;
+          expect_result i r.Wire.msg
+        | None -> failwith "pipelined bench: reply with unknown id");
+        incr completed
+      done;
+      let ns = (now_ns () -. t0) /. float_of_int requests in
+      Client.close c;
+      ns
+    in
+    let reps = if !smoke then 2 else 5 in
+    let requests = if !smoke then 60 else 600 in
+    let samples = Array.init reps (fun _ -> pipelined_pass ~requests) in
+    Array.sort compare samples;
+    let ns = samples.(0) in
+    let name = Printf.sprintf "serve:pipelined-throughput-k%d" depth in
+    Printf.printf "  %-44s %12.0f ns/req\n%!" name ns;
+    entries := { name; after_ns = ns; baseline_ns = None } :: !entries);
    (* Stop the server over its own wire and reclaim the domain. *)
    let c = Client.connect ~port () in
    (match Client.call c Wire.Shutdown with
@@ -817,6 +905,7 @@ let () =
     (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) macro));
   if !smoke then begin
     assert_refine_allocation ();
+    assert_framing_allocation ();
     (* Exercise the update path end to end so harness bitrot (not just
        compile rot) fails the smoke run. *)
     let idx = Dk_index.build (Data_graph.copy g) ~reqs in

@@ -66,6 +66,15 @@ let retries_arg =
 let no_cache_arg =
   Arg.(value & flag & info [ "no-cache" ] ~doc:"Send queries with the no_cache flag")
 
+let pipeline_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "pipeline" ] ~docv:"K"
+        ~doc:
+          "Keep up to K requests in flight per connection instead of strict \
+           request/response lockstep.  Replies are matched to requests by frame id, so \
+           --check remains bit-for-bit under pipelining.")
+
 let promote_arg =
   Arg.(
     value & flag
@@ -114,6 +123,45 @@ let fan_out ~host ~port ~conns ~count f =
   in
   List.iter Domain.join doms
 
+(* Pipelined fan-out: like [fan_out], but each connection keeps up to
+   [depth] requests in flight, sending the next as soon as a slot
+   frees.  Replies are matched to their request by frame id, so
+   server-side reordering cannot misattribute an answer.  [on_reply i
+   t0 msg] runs on the driver domain that sent request [i] at [t0]. *)
+let fan_out_pipelined ~host ~port ~conns ~depth ~count ~mk ~on_reply =
+  let depth = max 1 depth in
+  let doms =
+    List.init conns (fun d ->
+        Domain.spawn (fun () ->
+            let c = connect ~host ~port ~seed:d () in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                let inflight = Hashtbl.create (2 * depth) in
+                let next = ref d in
+                let drain_one () =
+                  let r = Client.recv c in
+                  match Hashtbl.find_opt inflight r.Wire.id with
+                  | None -> failwith "pipelined reply with unknown frame id"
+                  | Some (i, t0) ->
+                    Hashtbl.remove inflight r.Wire.id;
+                    on_reply i t0 r.Wire.msg
+                in
+                while !next < count do
+                  if Hashtbl.length inflight >= depth then drain_one ()
+                  else begin
+                    let i = !next in
+                    let id = Client.send c (mk i) in
+                    Hashtbl.replace inflight id (i, Unix.gettimeofday ());
+                    next := !next + conns
+                  end
+                done;
+                while Hashtbl.length inflight > 0 do
+                  drain_one ()
+                done)))
+  in
+  List.iter Domain.join doms
+
 let query_of_labels ~no_cache labels =
   Wire.Query_path { flags = { no_cache }; labels }
 
@@ -156,23 +204,33 @@ let print_stats_summary kvs =
       (getd "replication_stale")
   | None -> ()
 
-let throughput ~host ~port ~conns ~requests ~no_cache (ds : Dataset.t) =
+let throughput ~host ~port ~conns ~requests ~no_cache ~pipeline (ds : Dataset.t) =
   let queries = Array.of_list ds.queries in
   let nq = Array.length queries in
   let lat = Array.make requests 0.0 in
+  let check_reply i = function
+    | Wire.Result _ | Wire.Overloaded -> ()
+    | Wire.Error_reply { message; _ } ->
+      failwith (Printf.sprintf "request %d: server error: %s" i message)
+    | _ -> failwith (Printf.sprintf "request %d: unexpected response kind" i)
+  in
   let t0 = Unix.gettimeofday () in
-  fan_out ~host ~port ~conns ~count:requests (fun c i ->
-      let q = query_of_labels ~no_cache queries.(i mod nq) in
-      let s = Unix.gettimeofday () in
-      (match Client.call c q with
-      | Wire.Result _ | Wire.Overloaded -> ()
-      | Wire.Error_reply { message; _ } ->
-        failwith (Printf.sprintf "request %d: server error: %s" i message)
-      | _ -> failwith (Printf.sprintf "request %d: unexpected response kind" i));
-      lat.(i) <- (Unix.gettimeofday () -. s) *. 1e6);
+  if pipeline > 1 then
+    fan_out_pipelined ~host ~port ~conns ~depth:pipeline ~count:requests
+      ~mk:(fun i -> query_of_labels ~no_cache queries.(i mod nq))
+      ~on_reply:(fun i t0 msg ->
+        check_reply i msg;
+        lat.(i) <- (Unix.gettimeofday () -. t0) *. 1e6)
+  else
+    fan_out ~host ~port ~conns ~count:requests (fun c i ->
+        let q = query_of_labels ~no_cache queries.(i mod nq) in
+        let s = Unix.gettimeofday () in
+        check_reply i (Client.call c q);
+        lat.(i) <- (Unix.gettimeofday () -. s) *. 1e6);
   let wall = Unix.gettimeofday () -. t0 in
   Array.sort compare lat;
-  Printf.printf "%d requests over %d connections in %.3f s: %.0f req/s\n" requests conns wall
+  Printf.printf "%d requests over %d connections (pipeline %d) in %.3f s: %.0f req/s\n" requests
+    conns (max 1 pipeline) wall
     (float_of_int requests /. wall);
   Printf.printf "latency us: p50 %.0f  p95 %.0f  p99 %.0f  max %.0f\n" (percentile lat 0.50)
     (percentile lat 0.95) (percentile lat 0.99)
@@ -208,13 +266,19 @@ let intern_queries (ds : Dataset.t) =
     (fun labels -> Array.of_list (List.map (Label.Pool.intern pool) labels))
     ds.queries
 
-let query_phase ~host ~port ~conns ~phase (ds : Dataset.t) =
+let query_phase ~host ~port ~conns ~phase ~pipeline (ds : Dataset.t) =
   let queries = Array.of_list ds.queries in
   let nq = Array.length queries in
   let got = Array.make nq None in
-  fan_out ~host ~port ~conns ~count:nq (fun c i ->
-      let r = Client.call c (query_of_labels ~no_cache:true queries.(i)) in
-      got.(i) <- Some (expect_result (Printf.sprintf "%s query %d" phase i) r));
+  (if pipeline > 1 then
+     fan_out_pipelined ~host ~port ~conns ~depth:pipeline ~count:nq
+       ~mk:(fun i -> query_of_labels ~no_cache:true queries.(i))
+       ~on_reply:(fun i _t0 msg ->
+         got.(i) <- Some (expect_result (Printf.sprintf "%s query %d" phase i) msg))
+   else
+     fan_out ~host ~port ~conns ~count:nq (fun c i ->
+         let r = Client.call c (query_of_labels ~no_cache:true queries.(i)) in
+         got.(i) <- Some (expect_result (Printf.sprintf "%s query %d" phase i) r)));
   let want =
     Query_eval.eval_batch ~domains:1 ~strategy:`Forward ~cache:false ds.index
       (intern_queries ds)
@@ -231,8 +295,8 @@ let check_edges ~updates (ds : Dataset.t) =
   List.filteri (fun i _ -> i < updates) ds.update_edges
   |> List.filter (fun (u, v) -> not (Data_graph.has_edge ds.graph u v))
 
-let check ~host ~port ~conns ~updates (ds : Dataset.t) =
-  let n1 = query_phase ~host ~port ~conns ~phase:"phase-1" ds in
+let check ~host ~port ~conns ~updates ~pipeline (ds : Dataset.t) =
+  let n1 = query_phase ~host ~port ~conns ~phase:"phase-1" ~pipeline ds in
   Printf.printf "phase 1: %d queries over %d connections match bit-for-bit\n%!" n1 conns;
   let edges = check_edges ~updates ds in
   let c = connect ~host ~port () in
@@ -250,7 +314,7 @@ let check ~host ~port ~conns ~updates (ds : Dataset.t) =
         edges);
   Index_graph.prepare_serving ds.index;
   Printf.printf "phase 2: %d edge additions applied on both sides\n%!" (List.length edges);
-  let n3 = query_phase ~host ~port ~conns ~phase:"phase-3" ds in
+  let n3 = query_phase ~host ~port ~conns ~phase:"phase-3" ~pipeline ds in
   Printf.printf "phase 3: %d post-update queries match bit-for-bit\n%!" n3;
   Printf.printf "check OK\n%!"
 
@@ -258,12 +322,12 @@ let check ~host ~port ~conns ~updates (ds : Dataset.t) =
    them acknowledged; the server has since been killed and restarted
    from its checkpoint + WAL.  Replay the same updates locally only
    and require the recovered server to answer from the same state. *)
-let check_recovered ~host ~port ~conns ~updates (ds : Dataset.t) =
+let check_recovered ~host ~port ~conns ~updates ~pipeline (ds : Dataset.t) =
   let edges = check_edges ~updates ds in
   List.iter (fun (u, v) -> Dk_update.add_edge ds.index u v) edges;
   Index_graph.prepare_serving ds.index;
   Printf.printf "recovered: %d acknowledged updates replayed locally\n%!" (List.length edges);
-  let n = query_phase ~host ~port ~conns ~phase:"recovered" ds in
+  let n = query_phase ~host ~port ~conns ~phase:"recovered" ~pipeline ds in
   Printf.printf "recovered: %d queries against the restarted server match bit-for-bit\n%!" n;
   Printf.printf "recovered check OK\n%!"
 
@@ -331,13 +395,14 @@ let wait_replication ~host ~port ~timeout_s () =
   go ()
 
 let main host port conns requests xmark seed updates do_check recovered n_retries no_cache
-    do_promote wait_repl =
+    do_promote wait_repl pipeline =
+  let pipeline = max 1 pipeline in
   retries := max 0 n_retries;
   if do_promote then promote ~host ~port ()
   else if do_check then begin
     let ds = Dataset.make ~seed ~scale:xmark () in
-    if recovered then check_recovered ~host ~port ~conns ~updates ds
-    else check ~host ~port ~conns ~updates ds;
+    if recovered then check_recovered ~host ~port ~conns ~updates ~pipeline ds
+    else check ~host ~port ~conns ~updates ~pipeline ds;
     Option.iter (fun timeout_s -> wait_replication ~host ~port ~timeout_s ()) wait_repl
   end
   else
@@ -345,7 +410,7 @@ let main host port conns requests xmark seed updates do_check recovered n_retrie
     | Some timeout_s -> wait_replication ~host ~port ~timeout_s ()
     | None ->
       let ds = Dataset.make ~seed ~scale:xmark () in
-      throughput ~host ~port ~conns ~requests ~no_cache ds
+      throughput ~host ~port ~conns ~requests ~no_cache ~pipeline ds
 
 let cmd =
   let doc = "load-generate against dkindex-server; --check verifies bit-for-bit answers" in
@@ -354,6 +419,6 @@ let cmd =
     Term.(
       const main $ host_arg $ port_arg $ conns_arg $ requests_arg $ xmark_arg $ seed_arg
       $ updates_arg $ check_arg $ recovered_arg $ retries_arg $ no_cache_arg $ promote_arg
-      $ wait_replication_arg)
+      $ wait_replication_arg $ pipeline_arg)
 
 let () = exit (Cmd.eval cmd)

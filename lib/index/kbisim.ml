@@ -274,17 +274,70 @@ let refine_by_children ?domains g p =
   let off, arr = Data_graph.csr_children g in
   refine_gen ?domains g p ~eligible:(fun _ -> true) ~off ~arr
 
-let k_partition ?domains g ~k =
-  let p = ref (label_partition g) in
-  for _ = 1 to k do
-    let p', _ = refine ?domains g !p ~eligible:(fun _ -> true) in
-    p := p'
+(* Round-to-round eligibility.  When a round is over, a class of the
+   new partition can only split in the next round if some node in it
+   has a parent whose class just split: classes formed by earlier
+   rounds hold nodes with equal parent-class sets, and an unsplit
+   parent class changes those sets only by the uniform old->new
+   renaming, which preserves their equality.  Driving [refine] with
+   that eligible set turns late rounds (where almost nothing moves)
+   into O(n) pass-throughs instead of full re-hashing passes, and an
+   empty set proves stability without a confirming round.  Because
+   pass-through and no-split classes land on the same first-occurrence
+   ids either way, partitions and numbering stay bit-for-bit identical
+   to always-eligible refinement. *)
+let next_eligible ~off ~arr n p p' =
+  let kids = Array.make p.n_classes 0 in
+  Array.iter (fun oc -> kids.(oc) <- kids.(oc) + 1) p'.parent_class;
+  (* new class -> did its source class split this round *)
+  let moved = Array.map (fun oc -> kids.(oc) >= 2) p'.parent_class in
+  let e = Array.make p'.n_classes false in
+  for u = 0 to n - 1 do
+    let hot = ref false in
+    for i = off.(u) to off.(u + 1) - 1 do
+      if moved.(p'.cls.(arr.(i))) then hot := true
+    done;
+    if !hot then e.(p'.cls.(u)) <- true
   done;
+  e
+
+let all_false e = not (Array.exists Fun.id e)
+
+let k_partition ?domains g ~k =
+  let off, arr = Data_graph.csr_parents g in
+  let n = Data_graph.n_nodes g in
+  let p = ref (label_partition g) in
+  let elig = ref None in
+  (try
+     for _ = 1 to k do
+       let eligible =
+         match !elig with
+         | None -> fun _ -> true
+         | Some e -> if all_false e then raise Exit else fun c -> e.(c)
+       in
+       let p', changed = refine_gen ?domains g !p ~eligible ~off ~arr in
+       if not changed then begin
+         p := p';
+         raise Exit
+       end;
+       elig := Some (next_eligible ~off ~arr n !p p');
+       p := p'
+     done
+   with Exit -> ());
   !p
 
 let stable_partition ?domains g =
-  let rec go p rounds =
-    let p', changed = refine ?domains g p ~eligible:(fun _ -> true) in
-    if changed then go p' (rounds + 1) else (p, rounds)
+  let off, arr = Data_graph.csr_parents g in
+  let n = Data_graph.n_nodes g in
+  let rec go p rounds elig =
+    match elig with
+    | Some e when all_false e -> (p, rounds)
+    | _ ->
+      let eligible =
+        match elig with None -> fun _ -> true | Some e -> fun c -> e.(c)
+      in
+      let p', changed = refine_gen ?domains g p ~eligible ~off ~arr in
+      if not changed then (p, rounds)
+      else go p' (rounds + 1) (Some (next_eligible ~off ~arr n p p'))
   in
-  go (label_partition g) 0
+  go (label_partition g) 0 None

@@ -28,10 +28,23 @@ type state = {
   xmembers : int list array;  (* X-block -> its P-blocks *)
   xcount : int array;  (* X-block -> number of P-blocks *)
   mutable n_xblocks : int;
-  counts : (int * int, int) Hashtbl.t;  (* (node, X-block) -> parents inside *)
+  counts : (int, int) Hashtbl.t;
+      (* node * max_blocks + X-block -> parents inside.  The packed
+         immediate-int key avoids allocating a tuple per lookup and the
+         tuple traversal inside the generic hash. *)
+  stride : int;  (* = max_blocks, the packing factor *)
   mutable worklist : int list;  (* compound X-blocks *)
   queued : bool array;  (* X-block -> already on the worklist *)
 }
+
+let count_get st x xb =
+  match Hashtbl.find st.counts ((x * st.stride) + xb) with
+  | c -> c
+  | exception Not_found -> 0
+
+let count_set st x xb v =
+  let key = (x * st.stride) + xb in
+  if v > 0 then Hashtbl.replace st.counts key v else Hashtbl.remove st.counts key
 
 let detach st x =
   let b = st.pblock_of.(x) in
@@ -124,10 +137,16 @@ let stable_partition g =
       xcount = Array.make max_blocks 0;
       n_xblocks = 0;
       counts = Hashtbl.create (4 * n);
+      stride = max_blocks;
       worklist = [];
       queued = Array.make max_blocks false;
     }
   in
+  (* Splitter scratch, reused across iterations: parents-in-B counts as
+     a flat array plus an explicit stack of touched nodes to reset. *)
+  let count_b = Array.make n 0 in
+  let touched = Array.make n 0 in
+  let n_touched = ref 0 in
   (* X-block 0 holds everything. *)
   st.n_xblocks <- 1;
   (* Initial P: the label partition. *)
@@ -147,7 +166,7 @@ let stable_partition g =
   (* counts w.r.t. the universe = in-degree *)
   for x = 0 to n - 1 do
     let d = Data_graph.in_degree g x in
-    if d > 0 then Hashtbl.replace st.counts (x, 0) d
+    if d > 0 then count_set st x 0 d
   done;
   (* Make P stable w.r.t. the universe: a block mixing parentless and
      parented nodes must separate them. *)
@@ -191,34 +210,36 @@ let stable_partition g =
       st.xcount.(xb) <- 1;
       st.xblock_of.(b) <- xb;
       if st.xcount.(s) >= 2 then enqueue_if_compound st s;
-      (* count_b x = parents of x inside B *)
-      let count_b : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      (* count_b.(x) = parents of x inside B, with [touched] recording
+         which entries are live so the reset is O(|touched|). *)
+      n_touched := 0;
       iter_pblock st b (fun p ->
           Data_graph.iter_children g p (fun c ->
-              Hashtbl.replace count_b c (1 + Option.value (Hashtbl.find_opt count_b c) ~default:0)));
-      let touched = Hashtbl.fold (fun x _ acc -> x :: acc) count_b [] in
+              if count_b.(c) = 0 then begin
+                touched.(!n_touched) <- c;
+                incr n_touched
+              end;
+              count_b.(c) <- count_b.(c) + 1));
+      let marked = ref [] in
+      for i = !n_touched - 1 downto 0 do
+        marked := touched.(i) :: !marked
+      done;
       (* (1) split by E^{-1}(B): nodes with some parent in B move out *)
-      split_marked st touched ~on_new:(fun _ _ -> ());
+      split_marked st !marked ~on_new:(fun _ _ -> ());
       (* (2) split by E^{-1}(B) \ E^{-1}(S-B): among the touched, nodes
          whose every S-parent lies in B move out of their block. *)
       let only_b =
-        List.filter
-          (fun x ->
-            let total = Option.value (Hashtbl.find_opt st.counts (x, s)) ~default:0 in
-            total = Hashtbl.find count_b x)
-          touched
+        List.filter (fun x -> count_get st x s = count_b.(x)) !marked
       in
       split_marked st only_b ~on_new:(fun _ _ -> ());
       (* (3) update counts: move B's share from S to XB. *)
-      List.iter
-        (fun x ->
-          let cb = Hashtbl.find count_b x in
-          Hashtbl.replace st.counts (x, xb) cb;
-          let total = Option.value (Hashtbl.find_opt st.counts (x, s)) ~default:0 in
-          let remaining = total - cb in
-          if remaining > 0 then Hashtbl.replace st.counts (x, s) remaining
-          else Hashtbl.remove st.counts (x, s))
-        touched;
+      for i = 0 to !n_touched - 1 do
+        let x = touched.(i) in
+        let cb = count_b.(x) in
+        count_set st x xb cb;
+        count_set st x s (count_get st x s - cb);
+        count_b.(x) <- 0
+      done;
       enqueue_if_compound st xb
     end
   done;

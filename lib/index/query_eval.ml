@@ -367,6 +367,12 @@ let merge_costs results =
   Array.iter (fun r -> Cost.add acc r.cost) results;
   acc
 
+(* Below this many queries a batch runs its slices sequentially:
+   Domain.spawn + join overhead dominates evaluation time for small
+   batches (the "d2" serving benchmark regressed 1.5x when every
+   64-query batch paid two spawns). *)
+let batch_parallel_threshold = 128
+
 let eval_batch ?(domains = 1) ?(strategy = `Forward) ?(cache = true) t queries =
   if domains < 1 then invalid_arg "Query_eval.eval_batch: domains must be >= 1";
   let queries = Array.of_list queries in
@@ -385,6 +391,15 @@ let eval_batch ?(domains = 1) ?(strategy = `Forward) ?(cache = true) t queries =
     done
   in
   if domains = 1 then run_slice 0 1
+  else if nq < batch_parallel_threshold then
+    (* Sequential fast path: spawning domains costs more than it saves
+       on small batches.  Running the same round-robin slices one after
+       another — each with its own validation cache, exactly as the
+       spawned domains would — keeps every per-query result and cost
+       bit-for-bit identical to the parallel schedule. *)
+    for d = 0 to domains - 1 do
+      run_slice d domains
+    done
   else begin
     (* Freeze all lazily-materialized state so worker domains only ever
        read: label buckets compacted, index and data adjacency in pure

@@ -17,7 +17,7 @@ type t = {
   backoff_base_s : float;
   backoff_max_s : float;
   rng : Prng.t;
-  buf : Buffer.t;
+  buf : Obuf.t;
   mutable fd : Unix.file_descr option;
   mutable next_id : int;
   mutable n_reconnects : int;
@@ -69,10 +69,9 @@ let write_all fd b off len =
 let send_on t fd req =
   let id = t.next_id in
   t.next_id <- id + 1;
-  Buffer.clear t.buf;
+  Obuf.clear t.buf;
   Wire.encode_request t.buf ~id req;
-  let b = Buffer.to_bytes t.buf in
-  write_all fd b 0 (Bytes.length b);
+  write_all fd (Obuf.base t.buf) 0 (Obuf.length t.buf);
   id
 
 (* A read function with [Unix.read] semantics that enforces the
@@ -183,7 +182,7 @@ let connect ?(host = "127.0.0.1") ?(attempts = 1) ?(retries = 0) ?(timeout_s = 0
       backoff_base_s;
       backoff_max_s;
       rng = Prng.create ~seed;
-      buf = Buffer.create 256;
+      buf = Obuf.create 256;
       fd = None;
       next_id = 1;
       n_reconnects = 0;

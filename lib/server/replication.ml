@@ -102,11 +102,34 @@ let create_hub ?(faults_for = fun _ -> None) ?(heartbeat_s = 0.25) ~epoch dur =
     hstop = Atomic.make false;
   }
 
+(* Gathered write of a frame header plus a large blob (WAL chunk,
+   snapshot): the blob goes out from its own string via writev, never
+   copied through the frame buffer.  Injected faults need byte-level
+   control of each write, so a faulted subscriber keeps the
+   single-buffer path. *)
+let writev_all fd head hlen tail =
+  let t = String.length tail in
+  let w = ref 0 in
+  while !w < hlen + t do
+    let hoff = min !w hlen in
+    let toff = max 0 (!w - hlen) in
+    match Evloop.writev fd head hoff (hlen - hoff) tail toff (t - toff) with
+    | n -> w := !w + n
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+      ignore (Unix.select [] [ fd ] [] 1.0)
+  done
+
 let send_frame sub resp =
-  let buf = Buffer.create 512 in
-  Wire.encode_response buf ~id:0 resp;
-  let b = Buffer.to_bytes buf in
-  write_all ?faults:sub.sfaults sub.sfd b 0 (Bytes.length b)
+  let buf = Obuf.create 512 in
+  match (Wire.encode_response_gather buf ~id:0 resp, sub.sfaults) with
+  | None, _ -> write_all ?faults:sub.sfaults sub.sfd (Obuf.base buf) 0 (Obuf.length buf)
+  | Some tail, Some _ ->
+    (* The gathered header already accounts for the tail's length;
+       appending the tail reconstitutes the exact single-buffer frame. *)
+    Obuf.add_string buf tail;
+    write_all ?faults:sub.sfaults sub.sfd (Obuf.base buf) 0 (Obuf.length buf)
+  | Some tail, None -> writev_all sub.sfd (Obuf.base buf) (Obuf.length buf) tail
 
 (* Stream one subscriber.  Returns when the hub stops or the socket
    (or an injected fault) kills the connection. *)
@@ -142,11 +165,17 @@ let sender_loop hub sub start_seq start_off () =
   in
   let chunk = Bytes.create chunk_bytes in
   let last_hb = ref 0.0 in
+  (* Heartbeats advertise the position this sender has *shipped
+     through* — never the live [Checkpoint.wal_position], which may be
+     ahead of records still unsent.  Frames are delivered in order, so
+     by the time a replica hears of a position, every record before it
+     has already arrived: a heartbeat is a stream barrier, and the
+     replica's bytes_behind can trust it. *)
   let heartbeat ~force =
     let t = now () in
     if force || t -. !last_hb >= hub.heartbeat_s then begin
       last_hb := t;
-      let seq, off = Checkpoint.wal_position hub.dur in
+      let seq = Atomic.get sub.pos_seq and off = Atomic.get sub.pos_off in
       send_frame sub (Wire.Rep_heartbeat { epoch = epoch (); seq; offset = off })
     end
   in
@@ -325,6 +354,10 @@ type replica = {
   primary_off : int Atomic.t;
   applied_seq : int Atomic.t;
   applied_off : int Atomic.t;
+  (* Last position the tailer pushed to the apply queue: everything up
+     to here was *received*; anything past [applied_*] is queued. *)
+  recv_seq : int Atomic.t;
+  recv_off : int Atomic.t;
   synced_epoch : int Atomic.t;  (* epoch lineage [applied_*] belongs to; -1 = none *)
   connected : bool Atomic.t;
   promoted : bool Atomic.t;
@@ -345,6 +378,8 @@ let create_replica rcfg ~epoch ~max_seen =
     primary_off = Atomic.make 0;
     applied_seq = Atomic.make (-1);
     applied_off = Atomic.make 0;
+    recv_seq = Atomic.make (-1);
+    recv_off = Atomic.make 0;
     synced_epoch = Atomic.make (-1);
     connected = Atomic.make false;
     promoted = Atomic.make false;
@@ -422,10 +457,9 @@ let read_response r fd =
     | Error msg -> raise (Disconnected ("bad frame: " ^ msg)))
 
 let send_request fd req =
-  let buf = Buffer.create 64 in
+  let buf = Obuf.create 64 in
   Wire.encode_request buf ~id:0 req;
-  let b = Buffer.to_bytes buf in
-  write_all fd b 0 (Bytes.length b)
+  write_all fd (Obuf.base buf) 0 (Obuf.length buf)
 
 (* One session against the primary: Hello, subscribe, stream. *)
 let session r push fd =
@@ -475,9 +509,22 @@ let session r push fd =
     | Wire.Rep_snapshot { epoch; seq; index } ->
       if epoch > Atomic.get r.rmax_seen then Atomic.set r.rmax_seen epoch;
       reset_at seq 0;
+      Atomic.set r.recv_seq seq;
+      Atomic.set r.recv_off 0;
       push (Ev_snapshot { index; epoch; seq })
     | Wire.Rep_records { epoch; seq; offset; data } ->
       if epoch > Atomic.get r.rmax_seen then Atomic.set r.rmax_seen epoch;
+      (* Advance the known primary position from record frames too, not
+         just heartbeats: [bytes_behind] must count received-but-unapplied
+         bytes, else a stale heartbeat position that matches the applied
+         position reports "caught up" while records are still in flight. *)
+      if
+        seq > Atomic.get r.primary_seq
+        || (seq = Atomic.get r.primary_seq && offset > Atomic.get r.primary_off)
+      then begin
+        Atomic.set r.primary_seq seq;
+        Atomic.set r.primary_off offset
+      end;
       let start = offset - String.length data in
       if seq <> !cur_gen || start <> !base + String.length !pending then reset_at seq start;
       pending := !pending ^ data;
@@ -493,7 +540,14 @@ let session r push fd =
                offset = !base + rp.Wal.valid_bytes;
              });
         pending := String.sub !pending rp.Wal.valid_bytes (String.length !pending - rp.Wal.valid_bytes);
-        base := !base + rp.Wal.valid_bytes
+        base := !base + rp.Wal.valid_bytes;
+        if
+          seq > Atomic.get r.recv_seq
+          || (seq = Atomic.get r.recv_seq && !base > Atomic.get r.recv_off)
+        then begin
+          Atomic.set r.recv_seq seq;
+          Atomic.set r.recv_off !base
+        end
       end
     | Wire.Fenced { epoch } ->
       if epoch > Atomic.get r.rmax_seen then Atomic.set r.rmax_seen epoch;
@@ -551,6 +605,35 @@ let stop_replica r =
     r.rdomain <- None
   | None -> ())
 
+(* How far behind this replica believes it is, in WAL bytes.  Two
+   lower bounds, take the larger:
+
+   - the heartbeat-known primary position vs the applied position —
+     cross-generation gaps degrade to the current generation's bytes
+     (old generations' lengths are unknown here), so a primary that
+     merely rotated to an empty new generation reads as caught up;
+   - the tailer's received position vs the applied position — bytes
+     the tailer already pushed to the apply queue are *definitely*
+     pending, whatever the (possibly stale) heartbeats say.  This is
+     what makes "bytes_behind = 0" safe to use as a caught-up signal:
+     a fast stats path cannot observe 0 while received records sit
+     unapplied. *)
+let bytes_behind r =
+  let aseq = Atomic.get r.applied_seq and aoff = Atomic.get r.applied_off in
+  let known =
+    let pseq = Atomic.get r.primary_seq and poff = Atomic.get r.primary_off in
+    if pseq < 0 || aseq > pseq then 0
+    else if aseq = pseq then max 0 (poff - aoff)
+    else max 0 poff
+  in
+  let received =
+    let rseq = Atomic.get r.recv_seq and roff = Atomic.get r.recv_off in
+    if rseq < 0 || aseq > rseq then 0
+    else if aseq = rseq then max 0 (roff - aoff)
+    else max 1 roff
+  in
+  max known received
+
 let replica_stats r =
   let b v = if v then "true" else "false" in
   let lc = Atomic.get r.last_contact in
@@ -561,14 +644,7 @@ let replica_stats r =
     ("replication_applied_offset", string_of_int (Atomic.get r.applied_off));
     ("replication_primary_seq", string_of_int (Atomic.get r.primary_seq));
     ("replication_primary_offset", string_of_int (Atomic.get r.primary_off));
-    ( "replication_bytes_behind",
-      string_of_int
-        (if
-           Atomic.get r.applied_seq = Atomic.get r.primary_seq
-           && Atomic.get r.primary_seq >= 0
-         then max 0 (Atomic.get r.primary_off - Atomic.get r.applied_off)
-         else if Atomic.get r.primary_seq < 0 then 0
-         else max 0 (Atomic.get r.primary_off)) );
+    ("replication_bytes_behind", string_of_int (bytes_behind r));
     ("replication_records_applied", string_of_int (Atomic.get r.records_applied));
     ("replication_snapshots_installed", string_of_int (Atomic.get r.snapshots_installed));
     ("replication_reconnects", string_of_int (Atomic.get r.reconnects));

@@ -1,10 +1,12 @@
 (** Writer-priority readers/writer lock over [Mutex]/[Condition]
     (domain-safe in OCaml 5).
 
-    Query workers hold the read side while traversing the frozen index
-    ({!Dkindex_core.Index_graph.prepare_serving}); the single mutator
-    domain takes the write side for each update.  Writer priority —
-    new readers queue behind a waiting writer — keeps update latency
+    Since the serving hot path went lock-free (readers pin an
+    immutable snapshot via an atomic generation slot — see
+    {!Server}), this lock is off the per-request path.  It remains
+    the right tool for coarse mutator/shutdown coordination and for
+    embedders that want plain exclusion; writer priority — new
+    readers queue behind a waiting writer — keeps the writer's wait
     bounded under a saturating read load. *)
 
 type t

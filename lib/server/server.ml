@@ -109,13 +109,17 @@ end
    extraction) and is the only closer of the file descriptor; any
    domain may write a response under [wmu].  [closed] is flipped under
    [wmu] before the descriptor is closed, so a writer holding [wmu]
-   can never race a close into a reused descriptor. *)
+   can never race a close into a reused descriptor.  [wbuf] is the
+   shared frame-encoding buffer, also guarded by [wmu]: responses are
+   encoded straight into it (no per-reply [Buffer.to_bytes]) and the
+   main domain batches several inline replies into one write. *)
 
 type conn = {
   fd : Unix.file_descr;
   mutable rbuf : Bytes.t;
   mutable rlen : int;
   wmu : Mutex.t;
+  wbuf : Obuf.t;
   mutable closed : bool;
   mutable detached : bool;
       (* handed to the replication hub: the main loop stops reading,
@@ -130,16 +134,42 @@ type pending = { conn : conn; id : int; req : Wire.request; arrival : float }
    order, so replica reads observe mutations in primary order. *)
 type wjob = Wreq of pending | Wrepl of Replication.event
 
+(* The serving snapshot: a frozen index plus its swap generation.
+   Readers load it through one [Atomic.t]; the mutator maintains two
+   physical copies of the index ("left-right"): it mutates the spare
+   copy, publishes it with a single atomic swap, and catches the
+   retired copy up before the next write — after waiting for every
+   reader slot to have moved past the retired generation.  Readers
+   therefore never take a lock and never observe a half-applied
+   mutation. *)
+type snap = { idx : Index_graph.t; gen : int }
+
 type state = {
   cfg : config;
   lock : Rw_lock.t;
-  mutable index : Index_graph.t;
+      (* mutator/shutdown coordination only — never touched by the
+         per-request read path *)
+  serving : snap Atomic.t;
+  slots : int Atomic.t array;
+      (* one per reader domain (slot 0 = the event-loop domain's
+         inline reader): -1 when idle, else the generation being
+         read *)
+  mutable spare : Index_graph.t;  (* mutator-owned back copy *)
+  mutable lag : Wal.mutation list;
+      (* mutations in serving but not yet in spare, newest first *)
+  mutable spare_dirty : bool;
+      (* a failed application left the spare suspect: rebuild it from
+         the serving side before the next mutation *)
+  swaps : int Atomic.t;
+  mutable wake : unit -> unit;  (* nudges the event loop (self-pipe) *)
+  mutable evloop_backend : string;
   durability : Checkpoint.t option;
   readq : pending Bqueue.t;
   writeq : wjob Bqueue.t;
   in_flight : int Atomic.t;
   stop : bool Atomic.t;
   served : int Atomic.t;
+  served_inline : int Atomic.t;
   shed : int Atomic.t;
   proto_errors : int Atomic.t;
   deadline_expired : int Atomic.t;
@@ -154,9 +184,111 @@ type state = {
   repl_apply_errors : int Atomic.t;
 }
 
-(* Write every byte to a non-blocking socket, waiting for writability
-   between partial writes.  A peer that stops reading for ~30 s is
-   treated as dead (EPIPE) rather than wedging the writing domain. *)
+(* ------------------------------------------------------------------ *)
+(* Snapshot acquisition (readers) and the swap/grace protocol
+   (mutator).  A reader publishes the generation it is about to read,
+   then re-checks the serving pointer: if a swap raced in between it
+   retries, so once the loop exits the mutator is guaranteed to see
+   either the published (current) generation or a later one in the
+   slot.  The mutator's grace wait only blocks on slots still
+   publishing a generation {e older} than the current one — i.e. on
+   requests that were already in flight on the retired copy. *)
+
+let snap_acquire state slot =
+  let rec go () =
+    let s = Atomic.get state.serving in
+    Atomic.set slot s.gen;
+    if (Atomic.get state.serving).gen = s.gen then s
+    else begin
+      Atomic.set slot (-1);
+      go ()
+    end
+  in
+  go ()
+
+let snap_release slot = Atomic.set slot (-1)
+
+let with_snapshot state slot f =
+  let s = snap_acquire state slot in
+  Fun.protect ~finally:(fun () -> snap_release slot) (fun () -> f s.idx)
+
+(* Mutator-side: wait until no reader is still on a generation older
+   than [gen].  Bounded by the duration of the in-flight requests that
+   acquired before the last swap (the same wait a writer-priority
+   rw-lock would impose), but paid before the {e next} mutation
+   rather than on the acknowledgement path. *)
+let wait_readers state gen =
+  Array.iter
+    (fun slot ->
+      let spins = ref 0 in
+      let busy () =
+        let v = Atomic.get slot in
+        v >= 0 && v < gen
+      in
+      while busy () do
+        incr spins;
+        if !spins < 200 then Domain.cpu_relax () else Unix.sleepf 0.0002
+      done)
+    state.slots
+
+let clone_of_serving state =
+  Index_serial.of_string (Index_serial.to_string (Atomic.get state.serving).idx)
+
+(* Bring the spare copy up to date with the serving content.  Called
+   by the mutator before touching the spare; the grace wait happens
+   here, off the acknowledgement path of the previous write. *)
+let catch_up state =
+  if state.spare_dirty then begin
+    wait_readers state (Atomic.get state.serving).gen;
+    state.spare <- clone_of_serving state;
+    state.spare_dirty <- false;
+    state.lag <- []
+  end
+  else if state.lag <> [] then begin
+    wait_readers state (Atomic.get state.serving).gen;
+    (try
+       List.iter
+         (fun m -> state.spare <- Checkpoint.apply_mutation state.spare m)
+         (List.rev state.lag)
+     with _ ->
+       (* The serving side applied these; a spare that cannot replay
+          them would diverge — rebuild it from the serving content. *)
+       state.spare <- clone_of_serving state);
+    state.lag <- []
+  end
+
+(* Publish [idx'] (the mutated spare) as the new serving snapshot and
+   retire the old one into the spare slot, remembering [muts] for
+   catch-up. *)
+let swap_in state idx' muts =
+  Index_graph.prepare_serving idx';
+  let old = Atomic.get state.serving in
+  Atomic.set state.serving { idx = idx'; gen = old.gen + 1 };
+  Atomic.incr state.swaps;
+  state.spare <- old.idx;
+  state.lag <- muts
+
+(* Install a wholesale replacement (replica snapshot bootstrap): both
+   copies are fresh, nothing retired is ever mutated, so no grace wait
+   is needed — readers still on the old copies finish on them and the
+   GC reclaims them after. *)
+let install state ~serving ~spare =
+  Index_graph.prepare_serving serving;
+  let old = Atomic.get state.serving in
+  Atomic.set state.serving { idx = serving; gen = old.gen + 1 };
+  Atomic.incr state.swaps;
+  state.spare <- spare;
+  state.lag <- [];
+  state.spare_dirty <- false
+
+(* ------------------------------------------------------------------ *)
+(* Response writing.  All replies are encoded into the connection's
+   [wbuf] under [wmu] and flushed from its backing bytes directly —
+   no intermediate copy.  Workers and the mutator flush immediately;
+   the main domain's inline fast path batches every reply of a frame
+   batch and flushes once ([flush_replies]), so a pipelined client
+   costs one [write] per batch instead of one per request. *)
+
 let write_all fd b off len =
   let stalls = ref 0 in
   let off = ref off and len = ref len in
@@ -173,18 +305,35 @@ let write_all fd b off len =
     | exception Unix.Unix_error (EINTR, _, _) -> ()
   done
 
+(* Must be called with [conn.wmu] held. *)
+let flush_locked conn =
+  if (not conn.closed) && Obuf.length conn.wbuf > 0 then (
+    try write_all conn.fd (Obuf.base conn.wbuf) 0 (Obuf.length conn.wbuf)
+    with Unix.Unix_error _ -> conn.closed <- true);
+  Obuf.clear conn.wbuf
+
 let send_response conn ~id resp =
-  let buf = Buffer.create 256 in
-  Wire.encode_response buf ~id resp;
-  let b = Buffer.to_bytes buf in
   Mutex.lock conn.wmu;
   Fun.protect ~finally:(fun () -> Mutex.unlock conn.wmu) @@ fun () ->
-  if not conn.closed then
-    try write_all conn.fd b 0 (Bytes.length b)
-    with Unix.Unix_error _ -> conn.closed <- true
+  if not conn.closed then begin
+    Wire.encode_response conn.wbuf ~id resp;
+    flush_locked conn
+  end
+
+(* Main-domain fast path: append without flushing. *)
+let buffer_response conn ~id resp =
+  Mutex.lock conn.wmu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock conn.wmu) @@ fun () ->
+  if not conn.closed then Wire.encode_response conn.wbuf ~id resp
+
+let flush_responses conn =
+  Mutex.lock conn.wmu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock conn.wmu) @@ fun () ->
+  flush_locked conn
 
 (* ------------------------------------------------------------------ *)
-(* Query workers *)
+(* Query evaluation (shared by the worker domains and the main
+   domain's inline fast path) *)
 
 let empty_result =
   { Query_eval.nodes = []; cost = { Cost.index_visits = 0; data_visits = 0 }; n_candidates = 0; n_certain = 0 }
@@ -198,14 +347,19 @@ let wire_result (r : Query_eval.result) : Wire.query_result =
     n_certain = r.n_certain;
   }
 
-(* Per-worker validation cache, re-created whenever the served index
-   is replaced wholesale (add_subgraph, demote). *)
-let worker_cache cache_ref idx =
-  match !cache_ref with
-  | Some c when Validation_cache.index c == idx -> c
-  | _ ->
+(* Per-reader validation caches.  The serving snapshot alternates
+   between the two physical copies as writes land, so each reader
+   keeps one cache per copy (two live entries) keyed by physical
+   identity; a wholesale replacement simply ages both out. *)
+let reader_cache cache_ref idx =
+  match List.find_opt (fun c -> Validation_cache.index c == idx) !cache_ref with
+  | Some c -> c
+  | None ->
     let c = Validation_cache.create idx in
-    cache_ref := Some c;
+    (cache_ref :=
+       match !cache_ref with
+       | prev :: _ -> [ c; prev ]
+       | [] -> [ c ]);
     c
 
 let eval_labels ?cache idx labels =
@@ -225,6 +379,7 @@ let stats_kvs state idx =
     ("largest_extent", string_of_int st.largest_extent);
     ("generation", string_of_int (Index_graph.generation idx));
     ("served", string_of_int (Atomic.get state.served));
+    ("served_inline", string_of_int (Atomic.get state.served_inline));
     ("shed", string_of_int (Atomic.get state.shed));
     ("protocol_errors", string_of_int (Atomic.get state.proto_errors));
     ("deadline_expired", string_of_int (Atomic.get state.deadline_expired));
@@ -233,6 +388,8 @@ let stats_kvs state idx =
     ("queue_capacity", string_of_int state.cfg.queue_depth);
     ("in_flight", string_of_int (Atomic.get state.in_flight));
     ("workers", string_of_int state.cfg.workers);
+    ("evloop_backend", state.evloop_backend);
+    ("snapshot_swaps", string_of_int (Atomic.get state.swaps));
     ("role", if Atomic.get state.is_primary then "primary" else "replica");
     ("epoch", string_of_int (Atomic.get state.epoch));
     ("max_seen_epoch", string_of_int (Atomic.get state.max_seen));
@@ -244,9 +401,8 @@ let stats_kvs state idx =
   @ (match Atomic.get state.hub with Some h -> Replication.hub_stats h | None -> [])
   @ (match state.replica with Some r -> Replication.replica_stats r | None -> [])
 
-let handle_read state cache_ref req : Wire.response =
-  let idx = state.index in
-  let cache flags = if flags.Wire.no_cache then None else Some (worker_cache cache_ref idx) in
+let handle_read state idx cache_ref req : Wire.response =
+  let cache flags = if flags.Wire.no_cache then None else Some (reader_cache cache_ref idx) in
   match req with
   | Wire.Ping -> Wire.Pong
   | Wire.Stats -> Wire.Stats_reply (stats_kvs state idx)
@@ -277,8 +433,8 @@ let stale_read state req =
     | _ -> Replication.stale r)
   | None -> false
 
-let worker_loop state () =
-  let cache_ref = ref None in
+let worker_loop state slot () =
+  let cache_ref = ref [] in
   let rec go () =
     match Bqueue.pop state.readq with
     | None -> ()
@@ -289,7 +445,8 @@ let worker_loop state () =
            else if stale_read state p.req then
              Wire.Error_reply { code = `Stale; message = "replica outside staleness bound" }
            else
-             try Rw_lock.read state.lock (fun () -> handle_read state cache_ref p.req)
+             try
+               with_snapshot state slot (fun idx -> handle_read state idx cache_ref p.req)
              with e -> Wire.Error_reply { code = `App; message = Printexc.to_string e }
          in
          send_response p.conn ~id:p.id resp;
@@ -300,9 +457,8 @@ let worker_loop state () =
   go ()
 
 (* ------------------------------------------------------------------ *)
-(* The mutator: all updates, applied in FIFO order under the write
-   lock.  [prepare_serving] runs before the lock is released so query
-   workers never materialize lazy index state concurrently. *)
+(* The mutator: all updates, applied in FIFO order to the spare copy
+   and published with an atomic snapshot swap (see [snap] above). *)
 
 (* The loggable mutations.  Everything the WAL replays goes through
    {!Checkpoint.apply_mutation}, the same code path recovery uses, so
@@ -315,9 +471,7 @@ let mutation_of_req : Wire.request -> Wal.mutation option = function
   | Wire.Demote reqs -> Some (Wal.Demote reqs)
   | _ -> None
 
-let publish state idx' =
-  Index_graph.prepare_serving idx';
-  state.index <- idx'
+let serving_idx state = (Atomic.get state.serving).idx
 
 let not_primary_reply state : Wire.response =
   match state.replica with
@@ -327,10 +481,10 @@ let not_primary_reply state : Wire.response =
   | None -> Wire.Not_primary { host = state.cfg.host; port = state.cfg.port }
 
 (* Promotion (operator request or failover watchdog), run by the
-   mutator under the write lock.  Epoch = 1 + the highest epoch
-   observed anywhere, persisted before the role flips so a restart
-   cannot resurrect the old epoch; then the replica tailer is retired
-   and (with a data directory) a hub is opened for new subscribers. *)
+   mutator.  Epoch = 1 + the highest epoch observed anywhere,
+   persisted before the role flips so a restart cannot resurrect the
+   old epoch; then the replica tailer is retired and (with a data
+   directory) a hub is opened for new subscribers. *)
 let do_promote state : Wire.response =
   if Atomic.get state.is_primary then
     Wire.Error_reply { code = `App; message = "already primary" }
@@ -343,7 +497,7 @@ let do_promote state : Wire.response =
       (* Start the new reign on a clean generation: subscribers to the
          new primary bootstrap from a checkpoint that includes
          everything replicated so far. *)
-      match Checkpoint.checkpoint_now d state.index with
+      match Checkpoint.checkpoint_now d (serving_idx state) with
       | Ok () | Error _ -> ())
     | None -> ());
     Atomic.set state.epoch e;
@@ -354,13 +508,13 @@ let do_promote state : Wire.response =
     | _ -> ());
     Atomic.set state.fenced false;
     Atomic.set state.is_primary true;
-    Wire.Ok_reply { generation = Index_graph.generation state.index; epoch = e }
+    Wire.Ok_reply { generation = Index_graph.generation (serving_idx state); epoch = e }
   end
 
 let apply_write state (p : pending) : Wire.response =
   let ok () =
     Wire.Ok_reply
-      { generation = Index_graph.generation state.index; epoch = Atomic.get state.epoch }
+      { generation = Index_graph.generation (serving_idx state); epoch = Atomic.get state.epoch }
   in
   let app msg : Wire.response = Error_reply { code = `App; message = msg } in
   try
@@ -372,42 +526,51 @@ let apply_write state (p : pending) : Wire.response =
         match state.durability with
         | Some d when Checkpoint.read_only d -> Wire.Read_only
         | durability -> (
-          let idx' = Checkpoint.apply_mutation state.index m in
+          catch_up state;
+          let idx' =
+            try Checkpoint.apply_mutation state.spare m
+            with e ->
+              (* The spare may be half-mutated; schedule a rebuild.
+                 The serving side is untouched. *)
+              state.spare_dirty <- true;
+              raise e
+          in
           (* Log after applying, before acknowledging: the WAL holds
              only mutations that succeeded, and nothing is acknowledged
              until it is logged.  A WAL failure degrades the server to
-             read-only — the in-memory application stands (it can be at
+             read-only — the published application stands (it can be at
              most this one unacknowledged mutation ahead of the durable
              state) and no further writes are accepted. *)
           match durability with
           | None ->
-            publish state idx';
+            swap_in state idx' [ m ];
             ok ()
           | Some d -> (
             match Checkpoint.log_mutation d m with
             | () ->
-              publish state idx';
+              swap_in state idx' [ m ];
               ok ()
             | exception e ->
               Checkpoint.note_wal_failure d (Printexc.to_string e);
-              publish state idx';
+              swap_in state idx' [ m ];
               Wire.Read_only)))
     | None -> (
       match p.req with
       | Wire.Snapshot -> (
         match (state.durability, state.cfg.snapshot_path) with
         | Some d, _ -> (
-          match Checkpoint.checkpoint_now d state.index with
+          match Checkpoint.checkpoint_now d (serving_idx state) with
           | Ok () -> ok ()
           | Error msg -> app ("checkpoint failed: " ^ msg))
         | None, Some path ->
-          Index_serial.save path state.index;
+          Index_serial.save path (serving_idx state);
           ok ()
         | None, None -> app "no snapshot path configured")
       | Wire.Promote_primary -> do_promote state
       | Wire.Shutdown ->
         let r = ok () in
         Atomic.set state.stop true;
+        state.wake ();
         r
       | _ -> app "read request on write path")
   with
@@ -421,23 +584,26 @@ let apply_write state (p : pending) : Wire.response =
    fully durable primary.  After a reconnect the stream can replay
    bytes already applied; the WAL encoding is canonical, so each
    record's byte extent re-derives exactly and anything at or below
-   the applied position is skipped. *)
+   the applied position is skipped.  A whole [Ev_mutations] batch is
+   published with one snapshot swap. *)
 
 let apply_repl state scratch (ev : Replication.event) =
   match ev with
   | Replication.Ev_promote -> (
     match state.replica with
-    | Some r when not (Replication.is_promoted r) ->
-      ignore (Rw_lock.write state.lock (fun () -> do_promote state))
+    | Some r when not (Replication.is_promoted r) -> ignore (do_promote state)
     | _ -> ())
   | Replication.Ev_snapshot { index; epoch; seq } -> (
     match state.replica with
     | Some r when not (Replication.is_promoted r) -> (
-      match Index_serial.of_string index with
-      | idx' ->
-        Rw_lock.write state.lock (fun () -> publish state idx');
+      (* Two independent decodes: the snapshot becomes both physical
+         copies of the left-right pair. *)
+      match (Index_serial.of_string index, Index_serial.of_string index) with
+      | idx', spare' ->
+        install state ~serving:idx' ~spare:spare';
         (match state.durability with
-        | Some d -> ( match Checkpoint.checkpoint_now d state.index with Ok () | Error _ -> ())
+        | Some d -> (
+          match Checkpoint.checkpoint_now d (serving_idx state) with Ok () | Error _ -> ())
         | None -> ());
         Replication.note_installed r ~epoch ~seq
       | exception _ ->
@@ -451,34 +617,40 @@ let apply_repl state scratch (ev : Replication.event) =
       let aseq, aoff = Replication.applied_position r in
       if seq < aseq || (seq = aseq && offset <= aoff) then ()
       else begin
-        let applied = ref 0 in
-        Rw_lock.write state.lock (fun () ->
-            let pos = ref base in
-            List.iter
-              (fun m ->
-                Buffer.clear scratch;
-                Wal.encode_mutation scratch m;
-                let rec_end = !pos + Buffer.length scratch in
-                (if seq > aseq || rec_end > aoff then
-                   match Checkpoint.apply_mutation state.index m with
-                   | idx' ->
-                     state.index <- idx';
-                     incr applied;
-                     (match state.durability with
-                     | Some d when not (Checkpoint.read_only d) -> (
-                       try Checkpoint.log_mutation d m
-                       with e -> Checkpoint.note_wal_failure d (Printexc.to_string e))
-                     | _ -> ())
-                   | exception _ ->
-                     (* The primary applied this successfully; failing
-                        here means divergence.  Count it and keep the
-                        stream moving. *)
-                     Atomic.incr state.repl_apply_errors);
-                pos := rec_end)
-              muts;
-            Index_graph.prepare_serving state.index);
-        Replication.note_applied r ~seq ~offset ~n:!applied;
-        Option.iter (fun d -> Checkpoint.maybe_checkpoint d state.index) state.durability
+        catch_up state;
+        let applied = ref [] in
+        let n_applied = ref 0 in
+        let pos = ref base in
+        List.iter
+          (fun m ->
+            Buffer.clear scratch;
+            Wal.encode_mutation scratch m;
+            let rec_end = !pos + Buffer.length scratch in
+            (if seq > aseq || rec_end > aoff then
+               match Checkpoint.apply_mutation state.spare m with
+               | idx' ->
+                 state.spare <- idx';
+                 applied := m :: !applied;
+                 incr n_applied;
+                 (match state.durability with
+                 | Some d when not (Checkpoint.read_only d) -> (
+                   try Checkpoint.log_mutation d m
+                   with e -> Checkpoint.note_wal_failure d (Printexc.to_string e))
+                 | _ -> ())
+               | exception _ ->
+                 (* The primary applied this successfully; failing
+                    here means divergence.  Count it and keep the
+                    stream moving. *)
+                 Atomic.incr state.repl_apply_errors);
+            pos := rec_end)
+          muts;
+        (* [lag] is newest-first, which is exactly what [applied]
+           accumulated to. *)
+        if !n_applied > 0 then swap_in state state.spare !applied;
+        Replication.note_applied r ~seq ~offset ~n:!n_applied;
+        Option.iter
+          (fun d -> Checkpoint.maybe_checkpoint d (serving_idx state))
+          state.durability
       end
     | _ -> ())
 
@@ -488,7 +660,7 @@ let mutator_loop state () =
     match Bqueue.pop state.writeq with
     | None -> ()
     | Some (Wrepl ev) ->
-      apply_repl state scratch ev;
+      Rw_lock.write state.lock (fun () -> apply_repl state scratch ev);
       go ()
     | Some (Wreq p) ->
       (if not p.conn.closed then
@@ -499,13 +671,14 @@ let mutator_loop state () =
          send_response p.conn ~id:p.id resp;
          Atomic.incr state.served);
       Atomic.decr state.in_flight;
-      Option.iter (fun d -> Checkpoint.maybe_checkpoint d state.index) state.durability;
+      Option.iter (fun d -> Checkpoint.maybe_checkpoint d (serving_idx state)) state.durability;
       go ()
   in
   go ()
 
 (* ------------------------------------------------------------------ *)
-(* Main loop: accept, buffered reads, frame extraction, routing. *)
+(* Main loop: accept, buffered reads, in-place frame extraction,
+   inline reads, routing. *)
 
 let be32 b off =
   (Char.code (Bytes.get b off) lsl 24)
@@ -521,73 +694,90 @@ let observe_epoch state e =
   if e > Atomic.get state.epoch && Atomic.get state.is_primary then
     Atomic.set state.fenced true
 
-let dispatch state conn payload =
-  match Wire.decode_request payload with
-  | Error msg ->
-    Atomic.incr state.proto_errors;
-    send_response conn ~id:0 (Wire.Error_reply { code = `Protocol; message = msg })
-  | Ok { id; msg = req } ->
-    if Atomic.get state.stop then
-      send_response conn ~id
-        (Wire.Error_reply { code = `Shutting_down; message = "server shutting down" })
-    else begin
-      match req with
-      (* Answered inline by the main domain: version negotiation must
-         precede everything and never queue, and a subscribe converts
-         the connection into a replication stream. *)
-      | Wire.Hello { version = v; epoch = e } ->
-        observe_epoch state e;
-        if v <> Wire.version then
-          send_response conn ~id
+(* Route one decoded request.  Single-shot reads (Ping, Query,
+   Query_path, Stats) are answered inline by the event-loop domain
+   against the lock-free snapshot: they are cheap, and skipping the
+   queue handoff removes two cross-domain wakeups from the common
+   path.  Their replies are buffered on the connection and flushed
+   once per frame batch.  Batch queries (arbitrarily large) go to the
+   worker domains; writes go to the mutator. *)
+let dispatch state ~slot ~cache_ref conn ~id (req : Wire.request) =
+  if Atomic.get state.stop then
+    buffer_response conn ~id
+      (Wire.Error_reply { code = `Shutting_down; message = "server shutting down" })
+  else begin
+    match req with
+    (* Answered inline by the main domain: version negotiation must
+       precede everything and never queue, and a subscribe converts
+       the connection into a replication stream. *)
+    | Wire.Hello { version = v; epoch = e } ->
+      observe_epoch state e;
+      if v <> Wire.version then
+        buffer_response conn ~id
+          (Wire.Error_reply
+             {
+               code = `Version;
+               message = Printf.sprintf "server speaks protocol version %d, client sent %d" Wire.version v;
+             })
+      else
+        buffer_response conn ~id
+          (Wire.Hello_reply
+             {
+               version = Wire.version;
+               epoch = Atomic.get state.epoch;
+               role = (if Atomic.get state.is_primary then Wire.Primary else Wire.Replica);
+             })
+    | Wire.Rep_subscribe { replica_id; epoch = e; seq; offset } ->
+      observe_epoch state e;
+      if e > Atomic.get state.epoch then
+        (* The subscriber outranks us: refuse — following a deposed
+           primary would fork its lineage. *)
+        buffer_response conn ~id (Wire.Fenced { epoch = Atomic.get state.max_seen })
+      else if not (Atomic.get state.is_primary) then
+        buffer_response conn ~id (not_primary_reply state)
+      else (
+        match Atomic.get state.hub with
+        | None ->
+          buffer_response conn ~id
             (Wire.Error_reply
-               {
-                 code = `Version;
-                 message = Printf.sprintf "server speaks protocol version %d, client sent %d" Wire.version v;
-               })
+               { code = `App; message = "replication requires a data directory on the primary" })
+        | Some hub ->
+          (* Hand the fd over with a clean write buffer. *)
+          flush_responses conn;
+          conn.detached <- true;
+          Replication.attach hub ~fd:conn.fd ~replica_id ~seq ~offset)
+    | Wire.Ping | Wire.Query _ | Wire.Query_path _ | Wire.Stats ->
+      let resp =
+        if stale_read state req then
+          Wire.Error_reply { code = `Stale; message = "replica outside staleness bound" }
         else
-          send_response conn ~id
-            (Wire.Hello_reply
-               {
-                 version = Wire.version;
-                 epoch = Atomic.get state.epoch;
-                 role = (if Atomic.get state.is_primary then Wire.Primary else Wire.Replica);
-               })
-      | Wire.Rep_subscribe { replica_id; epoch = e; seq; offset } ->
-        observe_epoch state e;
-        if e > Atomic.get state.epoch then
-          (* The subscriber outranks us: refuse — following a deposed
-             primary would fork its lineage. *)
-          send_response conn ~id (Wire.Fenced { epoch = Atomic.get state.max_seen })
-        else if not (Atomic.get state.is_primary) then
-          send_response conn ~id (not_primary_reply state)
-        else (
-          match Atomic.get state.hub with
-          | None ->
-            send_response conn ~id
-              (Wire.Error_reply
-                 { code = `App; message = "replication requires a data directory on the primary" })
-          | Some hub ->
-            conn.detached <- true;
-            Replication.attach hub ~fd:conn.fd ~replica_id ~seq ~offset)
-      | _ ->
-        let p = { conn; id; req; arrival = Unix.gettimeofday () } in
-        Atomic.incr state.in_flight;
-        let pushed =
-          match req with
-          | Wire.Ping | Wire.Query _ | Wire.Query_path _ | Wire.Batch_query _ | Wire.Stats ->
-            Bqueue.try_push state.readq p
-          | _ -> Bqueue.try_push state.writeq (Wreq p)
-        in
-        if not pushed then begin
-          Atomic.decr state.in_flight;
-          Atomic.incr state.shed;
-          send_response conn ~id Wire.Overloaded
-        end
-    end
+          try with_snapshot state slot (fun idx -> handle_read state idx cache_ref req)
+          with e -> Wire.Error_reply { code = `App; message = Printexc.to_string e }
+      in
+      buffer_response conn ~id resp;
+      Atomic.incr state.served;
+      Atomic.incr state.served_inline
+    | _ ->
+      let p = { conn; id; req; arrival = Unix.gettimeofday () } in
+      Atomic.incr state.in_flight;
+      let pushed =
+        match req with
+        | Wire.Batch_query _ -> Bqueue.try_push state.readq p
+        | _ -> Bqueue.try_push state.writeq (Wreq p)
+      in
+      if not pushed then begin
+        Atomic.decr state.in_flight;
+        Atomic.incr state.shed;
+        buffer_response conn ~id Wire.Overloaded
+      end
+  end
 
 let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?replica_of
     ?hub_faults ?hub_heartbeat_s cfg index =
   Index_graph.prepare_serving index;
+  (* The second physical copy of the left-right pair, via the
+     serialization round-trip (bit-for-bit equivalent content). *)
+  let spare = Index_serial.of_string (Index_serial.to_string index) in
   let epoch0 =
     match durability with
     | Some d -> Replication.load_epoch ~dir:(Checkpoint.dir d)
@@ -597,17 +787,26 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?
   let max_seen = Atomic.make epoch0 in
   let mk_hub d = Replication.create_hub ?faults_for:hub_faults ?heartbeat_s:hub_heartbeat_s ~epoch d in
   let replica = Option.map (fun rc -> Replication.create_replica rc ~epoch ~max_seen) replica_of in
+  let n_workers = max 1 cfg.workers in
   let state =
     {
       cfg;
       lock = Rw_lock.create ();
-      index;
+      serving = Atomic.make { idx = index; gen = 0 };
+      slots = Array.init (n_workers + 1) (fun _ -> Atomic.make (-1));
+      spare;
+      lag = [];
+      spare_dirty = false;
+      swaps = Atomic.make 0;
+      wake = (fun () -> ());
+      evloop_backend = "";
       durability;
       readq = Bqueue.create cfg.queue_depth;
       writeq = Bqueue.create cfg.queue_depth;
       in_flight = Atomic.make 0;
       stop = Atomic.make false;
       served = Atomic.make 0;
+      served_inline = Atomic.make 0;
       shed = Atomic.make 0;
       proto_errors = Atomic.make 0;
       deadline_expired = Atomic.make 0;
@@ -623,22 +822,45 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?
       repl_apply_errors = Atomic.make 0;
     }
   in
+  let ev =
+    match Evloop.create () with
+    | Ok ev -> ev
+    | Error msg -> failwith ("Server: event loop: " ^ msg)
+  in
+  state.evloop_backend <- Evloop.backend_name ev;
+  (* Self-pipe: lets the mutator (Shutdown request) and signal
+     handlers wake a loop that is parked in the kernel with no tick. *)
+  let pipe_r, pipe_w = Unix.pipe () in
+  Unix.set_nonblock pipe_r;
+  Unix.set_nonblock pipe_w;
+  let wake () =
+    try ignore (Unix.write_substring pipe_w "x" 0 1)
+    with Unix.Unix_error _ -> ()
+  in
+  state.wake <- wake;
+  Evloop.add ev pipe_r Evloop.rd;
   if Sys.os_type = "Unix" then ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
   if handle_signals then
     List.iter
-      (fun s -> Sys.set_signal s (Sys.Signal_handle (fun _ -> Atomic.set state.stop true)))
-    [ Sys.sigterm; Sys.sigint ];
+      (fun s ->
+        Sys.set_signal s
+          (Sys.Signal_handle
+             (fun _ ->
+               Atomic.set state.stop true;
+               wake ())))
+      [ Sys.sigterm; Sys.sigint ];
   let listen_fd = Unix.socket PF_INET SOCK_STREAM 0 in
   Unix.setsockopt listen_fd SO_REUSEADDR true;
   Unix.bind listen_fd (ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
   Unix.listen listen_fd 64;
+  Evloop.add ev listen_fd Evloop.rd;
   let port =
     match Unix.getsockname listen_fd with
     | ADDR_INET (_, p) -> p
     | _ -> assert false
   in
   let workers =
-    Array.init (max 1 cfg.workers) (fun _ -> Domain.spawn (worker_loop state))
+    Array.init n_workers (fun i -> Domain.spawn (worker_loop state state.slots.(i + 1)))
   in
   let mutator = Domain.spawn (mutator_loop state) in
   (* The tailer feeds the mutator through a blocking push: replication
@@ -647,11 +869,14 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?
     (fun r -> Replication.start_replica r ~push:(fun ev -> Bqueue.push state.writeq (Wrepl ev)))
     replica;
   on_ready port;
+  let main_slot = state.slots.(0) in
+  let main_cache = ref [] in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
   let close_conn conn =
     Mutex.lock conn.wmu;
     conn.closed <- true;
     Mutex.unlock conn.wmu;
+    Evloop.remove ev conn.fd;
     (try Unix.close conn.fd with Unix.Unix_error _ -> ());
     Hashtbl.remove conns conn.fd
   in
@@ -661,46 +886,62 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?
     | fd, _addr ->
       Unix.set_nonblock fd;
       (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
+      Evloop.add ev fd Evloop.rd;
       Hashtbl.replace conns fd
         {
           fd;
           rbuf = Bytes.create 4096;
           rlen = 0;
           wmu = Mutex.create ();
+          wbuf = Obuf.create 1024;
           closed = false;
           detached = false;
           last_active = Unix.gettimeofday ();
         }
   in
-  (* Extract every complete frame from the connection buffer, then
-     compact what remains to the front. *)
+  (* Extract every complete frame from the connection buffer — decoded
+     in place, no per-frame payload copy — then compact what remains
+     to the front and flush the batched replies with one write. *)
   let process_frames conn =
     let rec go off =
       if conn.closed || conn.detached || conn.rlen - off < 4 then off
       else begin
         let len = be32 conn.rbuf off in
         if len > cfg.max_frame then begin
-          send_response conn ~id:0
+          buffer_response conn ~id:0
             (Wire.Error_reply
                {
                  code = `Protocol;
                  message = Printf.sprintf "frame of %d bytes exceeds limit %d" len cfg.max_frame;
                });
+          flush_responses conn;
           Atomic.incr state.proto_errors;
           close_conn conn;
           off
         end
         else if conn.rlen - off >= 4 + len then begin
-          dispatch state conn (Bytes.sub_string conn.rbuf (off + 4) len);
+          (* The transient string view is only read between here and
+             the end of decoding; decoded requests copy out what they
+             retain. *)
+          (match
+             Wire.decode_request_at (Bytes.unsafe_to_string conn.rbuf) ~pos:(off + 4) ~len
+           with
+          | Error msg ->
+            Atomic.incr state.proto_errors;
+            buffer_response conn ~id:0 (Wire.Error_reply { code = `Protocol; message = msg })
+          | Ok { id; msg = req } -> dispatch state ~slot:main_slot ~cache_ref:main_cache conn ~id req);
           go (off + 4 + len)
         end
         else off
       end
     in
     let consumed = go 0 in
-    if consumed > 0 && (not conn.closed) && not conn.detached then begin
-      Bytes.blit conn.rbuf consumed conn.rbuf 0 (conn.rlen - consumed);
-      conn.rlen <- conn.rlen - consumed
+    if (not conn.closed) && not conn.detached then begin
+      if consumed > 0 then begin
+        Bytes.blit conn.rbuf consumed conn.rbuf 0 (conn.rlen - consumed);
+        conn.rlen <- conn.rlen - consumed
+      end;
+      flush_responses conn
     end
   in
   let chunk = Bytes.create 65536 in
@@ -722,7 +963,10 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?
       process_frames conn;
       (* A subscribe detached this connection: the hub's sender owns
          the fd now; forget it without closing. *)
-      if conn.detached then Hashtbl.remove conns conn.fd
+      if conn.detached then begin
+        Evloop.remove ev conn.fd;
+        Hashtbl.remove conns conn.fd
+      end
   in
   let sweep_idle () =
     if cfg.idle_timeout_s > 0.0 then begin
@@ -735,11 +979,36 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?
       List.iter close_conn stale
     end
   in
+  (* No fixed tick: park until readiness, or until the earliest
+     idle-connection deadline if idle sweeping is on. *)
+  let next_timeout_ms () =
+    if cfg.idle_timeout_s <= 0.0 || Hashtbl.length conns = 0 then -1
+    else begin
+      let next =
+        Hashtbl.fold
+          (fun _ c acc -> Float.min acc (c.last_active +. cfg.idle_timeout_s))
+          conns infinity
+      in
+      let ms = (next -. Unix.gettimeofday ()) *. 1000.0 in
+      if ms <= 0.0 then 0 else int_of_float ms + 20
+    end
+  in
+  let drain_pipe () =
+    let scratch = Bytes.create 64 in
+    let rec go () =
+      match Unix.read pipe_r scratch 0 64 with
+      | n when n > 0 -> go ()
+      | _ -> ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    in
+    go ()
+  in
   let accepting = ref true in
   let rec loop () =
     if Atomic.get state.stop then begin
       if !accepting then begin
         accepting := false;
+        Evloop.remove ev listen_fd;
         (try Unix.close listen_fd with Unix.Unix_error _ -> ());
         (* Stop the tailer before draining so no new replication
            events land in the write queue mid-shutdown. *)
@@ -756,22 +1025,15 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?
       end
     end
     else begin
-      let fds =
-        (if !accepting then [ listen_fd ] else [])
-        @ Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
-      in
-      (match Unix.select fds [] [] 0.5 with
-      | exception Unix.Unix_error (EINTR, _, _) -> ()
-      | ready, _, _ ->
-        List.iter
-          (fun fd ->
-            if fd = listen_fd && !accepting then accept_new ()
-            else
-              match Hashtbl.find_opt conns fd with
-              | Some conn -> service_read conn
-              | None -> ())
-          ready;
-        sweep_idle ());
+      ignore
+        (Evloop.wait ev ~timeout_ms:(next_timeout_ms ()) (fun fd _mask ->
+             if fd = pipe_r then drain_pipe ()
+             else if fd = listen_fd then (if !accepting then accept_new ())
+             else
+               match Hashtbl.find_opt conns fd with
+               | Some conn -> service_read conn
+               | None -> ()));
+      sweep_idle ();
       loop ()
     end
   in
@@ -791,17 +1053,21 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?
       Mutex.unlock c.wmu;
       try Unix.close c.fd with Unix.Unix_error _ -> ())
     conns;
+  (* The mutator has been joined; take the write side anyway so the
+     final checkpoint can never interleave with a straggling
+     mutation path. *)
+  Rw_lock.write state.lock @@ fun () ->
   let final_durability =
     match state.durability with
     | None -> Ok ()
-    | Some d -> Checkpoint.close d state.index
+    | Some d -> Checkpoint.close d (serving_idx state)
   in
   let final_snapshot =
     match cfg.snapshot_path with
     | None -> Ok ()
     | Some path -> (
       try
-        Index_serial.save path state.index;
+        Index_serial.save path (serving_idx state);
         Ok ()
       with e -> Error (Printf.sprintf "final snapshot %s: %s" path (Printexc.to_string e)))
   in

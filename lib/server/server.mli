@@ -1,21 +1,32 @@
 (** dkserve: the concurrent D(k)-index query/update server.
 
-    Threading model ("one mutator, N workers"):
-    - the {e main} domain owns the listening socket and every
-      connection's read side: it accepts, accumulates bytes, extracts
-      and decodes frames, and routes requests to two bounded queues;
+    Threading model ("one mutator, N workers, lock-free reads"):
+    - the {e main} domain runs an {!Evloop} (poll/epoll readiness
+      loop, not a fixed select tick): it accepts, accumulates bytes,
+      decodes frames in place from the connection buffer, answers
+      cheap reads (ping, query, query-path, stats) {e inline}, and
+      routes batch queries and mutations to two bounded queues;
     - [workers] query domains drain the read queue; each evaluates
-      against the shared index under the read side of a {!Rw_lock},
-      with a per-domain {!Dkindex_core.Validation_cache};
+      against an immutable {e serving snapshot} of the index, with a
+      per-domain {!Dkindex_core.Validation_cache};
     - one {e mutator} domain drains the write queue in FIFO order and
-      applies each update under the write side of the lock, calling
-      {!Dkindex_core.Index_graph.prepare_serving} before releasing it
-      so query workers never materialize lazy state concurrently.
+      applies each update to a private spare copy of the index, then
+      publishes it ({!Dkindex_core.Index_graph.prepare_serving} first,
+      one atomic store after) and replays the delta onto the retired
+      copy once in-flight readers have drained (left-right scheme).
+
+    Readers therefore never block and never take a lock: acquiring
+    the snapshot is an atomic load plus a generation-stamped slot
+    store, and a query admitted before a mutation completes on the
+    pre-mutation snapshot.
 
     Responses are written by whichever domain handled the request,
-    under a per-connection mutex, and carry the request id — so a
-    pipelining client may see responses out of order across the
-    read/write queues but can always match them up.
+    under a per-connection mutex, and carry the request id.  Because
+    the inline fast path answers ahead of queued work, a pipelining
+    client {e will} see responses out of order (a ping can overtake an
+    earlier batch query); the id is the authoritative correlation.
+    Requests on the {e same} queue (all mutations; all batch queries)
+    keep their submission order.
 
     Overload and failure semantics:
     - a full queue sheds the request with {!Wire.Overloaded};

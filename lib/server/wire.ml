@@ -50,19 +50,13 @@ type response =
   | Fenced of { epoch : int }
 
 (* ------------------------------------------------------------------ *)
-(* Primitive encoders *)
+(* Primitive encoders, over {!Obuf} so frames can be written (and
+   their length slots patched) in place — no [Buffer.to_bytes] copy
+   per frame. *)
 
-let add_u8 buf n = Buffer.add_char buf (Char.chr (n land 0xff))
-
-let add_u16 buf n =
-  add_u8 buf (n lsr 8);
-  add_u8 buf n
-
-let add_u32 buf n =
-  add_u8 buf (n lsr 24);
-  add_u8 buf (n lsr 16);
-  add_u8 buf (n lsr 8);
-  add_u8 buf n
+let add_u8 = Obuf.add_u8
+let add_u16 = Obuf.add_u16
+let add_u32 = Obuf.add_u32
 
 (* WAL byte offsets can exceed 32 bits; 48 is plenty and keeps frames
    compact.  Generation numbers use u32 with 0xffffffff as a -1
@@ -77,11 +71,11 @@ let add_seq buf n =
 let add_str16 buf s =
   if String.length s > 0xffff then invalid_arg "Wire: string too long";
   add_u16 buf (String.length s);
-  Buffer.add_string buf s
+  Obuf.add_string buf s
 
 let add_str32 buf s =
   add_u32 buf (String.length s);
-  Buffer.add_string buf s
+  Obuf.add_string buf s
 
 let add_pairs16 buf pairs =
   if List.length pairs > 0xffff then invalid_arg "Wire: too many pairs";
@@ -101,14 +95,17 @@ let flags_byte { no_cache } = if no_cache then 1 else 0
 let flags_of_byte b = { no_cache = b land 1 <> 0 }
 
 (* ------------------------------------------------------------------ *)
-(* Primitive decoders: a cursor over an immutable string.  [Bad] is
+(* Primitive decoders: a cursor over a slice [lo, hi) of an immutable
+   string, so a frame payload can be decoded in place from a
+   connection's read buffer without being copied out first.  Every
+   bound checks against [hi], never [String.length c.s].  [Bad] is
    caught at the public entry points, which return [result]. *)
 
 exception Bad of string
 
-type cursor = { s : string; mutable pos : int }
+type cursor = { s : string; mutable pos : int; hi : int }
 
-let need c n = if c.pos + n > String.length c.s then raise (Bad "truncated")
+let need c n = if c.pos + n > c.hi then raise (Bad "truncated")
 
 let u8 c =
   need c 1;
@@ -152,7 +149,7 @@ let str32 c =
 (* Guard list/array reads: a declared count beyond what the remaining
    bytes could possibly hold is malformed, not a 4 GiB allocation. *)
 let check_count c count ~min_item_bytes =
-  if count < 0 || count * min_item_bytes > String.length c.s - c.pos then
+  if count < 0 || count * min_item_bytes > c.hi - c.pos then
     raise (Bad "count exceeds frame")
 
 let pairs16 c =
@@ -169,30 +166,26 @@ let labels16 c =
   List.init n (fun _ -> str16 c)
 
 let expect_end c what =
-  if c.pos <> String.length c.s then raise (Bad (what ^ ": trailing bytes"))
+  if c.pos <> c.hi then raise (Bad (what ^ ": trailing bytes"))
 
 (* ------------------------------------------------------------------ *)
 (* Frames *)
 
 let frame_of_payload payload =
-  let buf = Buffer.create (String.length payload + 4) in
+  let buf = Obuf.create (String.length payload + 4) in
   add_u32 buf (String.length payload);
-  Buffer.add_string buf payload;
-  Buffer.contents buf
+  Obuf.add_string buf payload;
+  Obuf.contents buf
 
-(* Reserve the length slot, write the payload, patch the length in. *)
+(* Reserve the length slot, write the payload, patch the length in
+   place — zero copies, and frames already in the buffer are left
+   untouched (so several frames can be batched and flushed with one
+   write). *)
 let with_frame buf f =
-  let start = Buffer.length buf in
+  let start = Obuf.length buf in
   add_u32 buf 0;
   f ();
-  let payload_len = Buffer.length buf - start - 4 in
-  let bytes = Buffer.to_bytes buf in
-  Bytes.set bytes start (Char.chr ((payload_len lsr 24) land 0xff));
-  Bytes.set bytes (start + 1) (Char.chr ((payload_len lsr 16) land 0xff));
-  Bytes.set bytes (start + 2) (Char.chr ((payload_len lsr 8) land 0xff));
-  Bytes.set bytes (start + 3) (Char.chr (payload_len land 0xff));
-  Buffer.clear buf;
-  Buffer.add_bytes buf bytes
+  Obuf.patch_u32 buf start (Obuf.length buf - start - 4)
 
 (* ------------------------------------------------------------------ *)
 (* Requests *)
@@ -234,7 +227,12 @@ let encode_request buf ~id req =
         add_u48 buf offset
       | Query { flags; expr } ->
         add_u8 buf (flags_byte flags);
-        Path_ast.encode buf expr
+        (* Path_ast's codec speaks [Buffer]; ASTs are tiny and Query
+           encoding is client-side, so the bounce costs nothing the
+           server ever sees. *)
+        let b = Buffer.create 64 in
+        Path_ast.encode b expr;
+        Obuf.add_buffer buf b
       | Query_path { flags; labels } ->
         add_u8 buf (flags_byte flags);
         add_labels16 buf labels
@@ -266,8 +264,8 @@ let check_version v kind =
   if v <> version then
     raise (Bad (Printf.sprintf "unsupported version %d for kind 0x%02x" v kind))
 
-let decode_request payload =
-  let c = { s = payload; pos = 0 } in
+let decode_request_at big ~pos ~len =
+  let c = { s = big; pos; hi = pos + len } in
   match
     let v, kind, id = decode_header c in
     if kind <> 0x0d then check_version v kind;
@@ -277,13 +275,16 @@ let decode_request payload =
         let epoch = u32 c in
         (* A future version may append fields: tolerate trailing bytes
            so the server still sees a Hello it can refuse politely. *)
-        if v = version then expect_end c "hello" else c.pos <- String.length c.s;
+        if v = version then expect_end c "hello" else c.pos <- c.hi;
         Hello { version = v; epoch }
       | 0x01 -> Ping
       | 0x02 ->
         let flags = flags_of_byte (u8 c) in
         let expr =
-          match Path_ast.decode payload ~pos:c.pos with
+          (* Path_ast bounds against the whole backing string; an AST
+             that overruns its own frame leaves [c.pos > c.hi] and is
+             rejected by [expect_end] below. *)
+          match Path_ast.decode big ~pos:c.pos with
           | Ok (expr, pos) ->
             c.pos <- pos;
             expr
@@ -328,6 +329,8 @@ let decode_request payload =
   with
   | decoded -> Ok decoded
   | exception Bad msg -> Error msg
+
+let decode_request payload = decode_request_at payload ~pos:0 ~len:(String.length payload)
 
 (* ------------------------------------------------------------------ *)
 (* Responses *)
@@ -438,8 +441,8 @@ let encode_response buf ~id resp =
         add_u8 buf (error_code_byte code);
         add_str16 buf message)
 
-let decode_response payload =
-  let c = { s = payload; pos = 0 } in
+let decode_response_at big ~pos ~len =
+  let c = { s = big; pos; hi = pos + len } in
   match
     let v, kind, id = decode_header c in
     if kind <> 0x89 then check_version v kind;
@@ -458,7 +461,7 @@ let decode_response payload =
       | 0x89 ->
         let epoch = u32 c in
         let role = role_of_byte (u8 c) in
-        if v = version then expect_end c "hello_reply" else c.pos <- String.length c.s;
+        if v = version then expect_end c "hello_reply" else c.pos <- c.hi;
         Hello_reply { version = v; epoch; role }
       | 0x8a ->
         let epoch = u32 c in
@@ -502,6 +505,44 @@ let decode_response payload =
   with
   | decoded -> Ok decoded
   | exception Bad msg -> Error msg
+
+let decode_response payload = decode_response_at payload ~pos:0 ~len:(String.length payload)
+
+(* ------------------------------------------------------------------ *)
+(* Gathered encoding: for replication frames carrying a large blob
+   (a WAL chunk or a whole serialized index), encode everything but
+   the blob into [buf] — length prefix patched to account for the
+   tail — and hand the blob back to be written from its own string
+   (e.g. with {!Evloop.writev}), instead of copying megabytes through
+   the frame buffer. *)
+
+let gather_threshold = 4096
+
+let encode_response_gather buf ~id resp =
+  let header tail k =
+    let start = Obuf.length buf in
+    add_u32 buf 0;
+    add_u8 buf version;
+    add_u8 buf (response_kind resp);
+    add_u32 buf id;
+    k ();
+    add_u32 buf (String.length tail);
+    Obuf.patch_u32 buf start (Obuf.length buf - start - 4 + String.length tail);
+    Some tail
+  in
+  match resp with
+  | Rep_records { epoch; seq; offset; data } when String.length data >= gather_threshold ->
+    header data (fun () ->
+        add_u32 buf epoch;
+        add_seq buf seq;
+        add_u48 buf offset)
+  | Rep_snapshot { epoch; seq; index } when String.length index >= gather_threshold ->
+    header index (fun () ->
+        add_u32 buf epoch;
+        add_seq buf seq)
+  | _ ->
+    encode_response buf ~id resp;
+    None
 
 (* ------------------------------------------------------------------ *)
 (* Blocking frame reader *)

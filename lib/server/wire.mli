@@ -112,17 +112,34 @@ type response =
 
 (** {1 Codecs} *)
 
-val encode_request : Buffer.t -> id:int -> request -> unit
-(** Append a full frame (length prefix included). *)
+val encode_request : Obuf.t -> id:int -> request -> unit
+(** Append a full frame (length prefix included).  The length slot is
+    patched in place, so frames already in the buffer are untouched
+    and several frames can be batched and flushed with one write. *)
 
-val encode_response : Buffer.t -> id:int -> response -> unit
+val encode_response : Obuf.t -> id:int -> response -> unit
+
+val encode_response_gather : Obuf.t -> id:int -> response -> string option
+(** Like {!encode_response}, but a response carrying a large blob
+    (replication WAL chunks, snapshot bootstraps) has everything {e
+    except} the blob encoded into the buffer — length prefix already
+    accounting for it — and the blob returned as [Some tail] to be
+    written right after the buffer (a gathered/writev-style send),
+    instead of being copied through the frame buffer. *)
 
 type 'a decoded = { id : int; msg : 'a }
 
 val decode_request : string -> (request decoded, string) result
 (** Decode one frame {e payload} (the length prefix already consumed). *)
 
+val decode_request_at : string -> pos:int -> len:int -> (request decoded, string) result
+(** Decode a payload in place from the slice [pos, pos + len) of a
+    larger buffer (a connection's read buffer), copying nothing but
+    the retained strings.  [decode_request p] is
+    [decode_request_at p ~pos:0 ~len:(String.length p)]. *)
+
 val decode_response : string -> (response decoded, string) result
+val decode_response_at : string -> pos:int -> len:int -> (response decoded, string) result
 
 (** {1 Framing} *)
 

@@ -224,7 +224,9 @@ let wait_for ?(timeout_s = 60.0) ~what c pred =
     let kvs = stats c in
     if pred kvs then kvs
     else if Unix.gettimeofday () > deadline then
-      Alcotest.fail (Printf.sprintf "timed out waiting for %s" what)
+      Alcotest.fail
+        (Printf.sprintf "timed out waiting for %s; last stats: %s" what
+           (String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)))
     else begin
       Unix.sleepf 0.05;
       go ()
@@ -238,6 +240,30 @@ let replica_caught_up kvs =
   stat kvs "replication_connected" = "true"
   && stat kvs "replication_bytes_behind" = "0"
   && int_of_string_opt (stat kvs "replication_applied_seq") <> Some (-1)
+
+(* Race-free catch-up ("wait for LSN"): capture the primary's WAL
+   position once every write is acked, then wait until the replica (a)
+   has *heard of* that position — a stale heartbeat cannot fake this —
+   and (b) reports zero bytes behind, which covers both the
+   heartbeat-known gap and received-but-unapplied records sitting in
+   the apply queue. *)
+let primary_wal_position cp =
+  let kvs = stats cp in
+  (int_of_string (stat kvs "wal_seq"), int_of_string (stat kvs "wal_bytes"))
+
+let replica_applied_to (pseq, poff) kvs =
+  replica_caught_up kvs
+  &&
+  match
+    ( int_of_string_opt (stat kvs "replication_primary_seq"),
+      int_of_string_opt (stat kvs "replication_primary_offset") )
+  with
+  | Some kseq, Some koff -> kseq > pseq || (kseq = pseq && koff >= poff)
+  | _ -> false
+
+let wait_replica_applied ?timeout_s ~what cp cr =
+  let pos = primary_wal_position cp in
+  wait_for ?timeout_s ~what cr (replica_applied_to pos)
 
 let send_stream c stream =
   List.iter
@@ -269,7 +295,7 @@ let test_convergence () =
   let cp = Client.connect ~port:pport () in
   send_stream cp stream;
   let cr = Client.connect ~port:rport () in
-  let kvs = wait_for ~what:"replica catch-up" cr replica_caught_up in
+  let kvs = wait_replica_applied ~what:"replica catch-up" cp cr in
   Alcotest.(check string) "replica role" "replica" (stat kvs "role");
   Alcotest.(check bool) "snapshot bootstrap happened" true
     (int_of_string (stat kvs "replication_snapshots_installed") >= 1);
@@ -288,7 +314,7 @@ let test_convergence () =
   (* Incremental shipping: more writes arrive without a new snapshot. *)
   let more = make_stream ~seed:32 ~count:40 in
   send_stream cp more;
-  let kvs = wait_for ~what:"incremental catch-up" cr replica_caught_up in
+  let kvs = wait_replica_applied ~what:"incremental catch-up" cp cr in
   Alcotest.(check bool) "no extra snapshot for incremental records" true
     (int_of_string (stat kvs "replication_records_applied") > 0);
   check_serves_oracle ~what:"replica after more writes" cr
@@ -323,7 +349,7 @@ let test_failover_promote () =
      kill — this is exactly what dkindex-loadgen --wait-replication
      does in CI. *)
   let cr = Client.connect ~port:rport () in
-  ignore (wait_for ~what:"replica catch-up before kill" cr replica_caught_up);
+  ignore (wait_replica_applied ~what:"replica catch-up before kill" cp cr);
   Unix.kill ppid Sys.sigkill;
   ignore (Unix.waitpid [] ppid);
   pids := [ rpid ];
@@ -371,7 +397,7 @@ let test_fencing_deposed_primary () =
   let cp = Client.connect ~port:pport () in
   send_stream cp stream;
   let cr = Client.connect ~port:rport () in
-  ignore (wait_for ~what:"replica catch-up" cr replica_caught_up);
+  ignore (wait_replica_applied ~what:"replica catch-up" cp cr);
   (* Split-brain: promote the replica while the old primary still
      lives and still believes it leads. *)
   (match Client.call cr Wire.Promote_primary with
@@ -439,7 +465,7 @@ let test_bootstrap_after_prune () =
   in
   pids := [ ppid; rpid ];
   let cr = Client.connect ~port:rport () in
-  let kvs = wait_for ~what:"bootstrap catch-up" cr replica_caught_up in
+  let kvs = wait_replica_applied ~what:"bootstrap catch-up" cp cr in
   Alcotest.(check bool) "caught up via snapshot transfer" true
     (int_of_string (stat kvs "replication_snapshots_installed") >= 1);
   check_serves_oracle ~what:"replica after pruned-WAL bootstrap" cr (oracle_after stream);
@@ -480,7 +506,7 @@ let test_torn_stream_reconnects () =
   in
   pids := [ ppid; rpid ];
   let cr = Client.connect ~port:rport () in
-  let kvs = wait_for ~what:"catch-up through torn streams" cr replica_caught_up in
+  let kvs = wait_replica_applied ~what:"catch-up through torn streams" cp cr in
   Alcotest.(check bool) "replica reconnected at least twice" true
     (int_of_string (stat kvs "replication_reconnects") >= 2);
   check_serves_oracle ~what:"replica after torn streams" cr (oracle_after stream);
@@ -512,7 +538,7 @@ let test_auto_promotion () =
   let cp = Client.connect ~port:pport () in
   send_stream cp stream;
   let cr = Client.connect ~port:rport () in
-  ignore (wait_for ~what:"catch-up before primary death" cr replica_caught_up);
+  ignore (wait_replica_applied ~what:"catch-up before primary death" cp cr);
   Unix.kill ppid Sys.sigkill;
   ignore (Unix.waitpid [] ppid);
   pids := [ rpid ];

@@ -16,6 +16,7 @@ module Data_graph = Dkindex_graph.Data_graph
 module Label = Dkindex_graph.Label
 module Path_ast = Dkindex_pathexpr.Path_ast
 module Wire = Dkindex_server.Wire
+module Obuf = Dkindex_server.Obuf
 module Server = Dkindex_server.Server
 module Client = Dkindex_server.Client
 module Prng = Dkindex_datagen.Prng
@@ -152,14 +153,14 @@ let response_arb = QCheck.make response_gen
 let payload_of_frame frame = String.sub frame 4 (String.length frame - 4)
 
 let encode_request_payload ~id req =
-  let buf = Buffer.create 64 in
+  let buf = Obuf.create 64 in
   Wire.encode_request buf ~id req;
-  payload_of_frame (Buffer.contents buf)
+  payload_of_frame (Obuf.contents buf)
 
 let encode_response_payload ~id resp =
-  let buf = Buffer.create 64 in
+  let buf = Obuf.create 64 in
   Wire.encode_response buf ~id resp;
-  payload_of_frame (Buffer.contents buf)
+  payload_of_frame (Obuf.contents buf)
 
 (* --------------------------------------------------------------- *)
 (* Codec round-trips                                                 *)
@@ -702,11 +703,14 @@ let test_bqueue_sheds_at_capacity () =
   | Some _ -> Alcotest.fail "closed+empty must pop None"
 
 (* Deadline expiry: with one worker, a long batch plugs the read
-   queue; a Ping pipelined behind it is older than the deadline by
-   the time the worker dequeues it and must be answered `Deadline
-   (never silently dropped).  If scheduling is so slow that the plug
-   itself expires, the Ping — enqueued in the same burst — has aged
-   just as much, so the assertion holds on either path. *)
+   queue; a second batch pipelined behind it is older than the
+   deadline by the time the worker dequeues it and must be answered
+   `Deadline (never silently dropped).  If scheduling is so slow that
+   the plug itself expires, the victim — enqueued in the same burst —
+   has aged just as much, so the assertion holds on either path.  A
+   Ping pipelined behind both is served inline off the event loop: it
+   overtakes the queued batches entirely (no head-of-line blocking)
+   and is matched to its request by frame id. *)
 let test_deadline_expiry () =
   let _g, idx = build_smoke_dataset () in
   let r, w = Unix.pipe () in
@@ -735,27 +739,32 @@ let test_deadline_expiry () =
     Unix.close r;
     let c = Client.connect ~port () in
     let plug_path = [ "l1"; "l2"; "l3"; "l4" ] in
-    let plug =
-      Wire.Batch_query
-        { flags = { no_cache = true }; paths = List.init 8000 (fun _ -> plug_path) }
+    let batch n =
+      Wire.Batch_query { flags = { no_cache = true }; paths = List.init n (fun _ -> plug_path) }
     in
-    let plug_id = Client.send c plug in
+    let plug_id = Client.send c (batch 8000) in
+    let victim_id = Client.send c (batch 4) in
     let ping_id = Client.send c Wire.Ping in
+    (* The inline fast path answers the Ping immediately, ahead of the
+       queued batches. *)
+    let r1 = Client.recv c in
+    Alcotest.(check int) "inline Ping overtakes the queued batches" ping_id r1.Wire.id;
+    (match r1.Wire.msg with Wire.Pong -> () | _ -> Alcotest.fail "expected Pong");
+    let r2 = Client.recv c in
+    let r3 = Client.recv c in
+    Alcotest.(check (list int)) "worker replies keep queue order" [ plug_id; victim_id ]
+      [ r2.Wire.id; r3.Wire.id ];
     let deadline_hits = ref 0 in
     let handle = function
       | Wire.Error_reply { code = `Deadline; _ } -> incr deadline_hits
-      | Wire.Batch_result _ | Wire.Pong -> ()
+      | Wire.Batch_result _ -> ()
       | _ -> Alcotest.fail "unexpected response kind"
     in
-    let r1 = Client.recv c in
-    let r2 = Client.recv c in
-    Alcotest.(check (list int)) "both pipelined responses arrive, in order" [ plug_id; ping_id ]
-      [ r1.Wire.id; r2.Wire.id ];
-    handle r1.Wire.msg;
     handle r2.Wire.msg;
-    (match r2.Wire.msg with
+    handle r3.Wire.msg;
+    (match r3.Wire.msg with
     | Wire.Error_reply { code = `Deadline; _ } -> ()
-    | _ -> Alcotest.fail "the queued Ping must expire");
+    | _ -> Alcotest.fail "the queued second batch must expire");
     (match Client.call c Wire.Stats with
     | Wire.Stats_reply kvs ->
       let expired =
@@ -768,6 +777,223 @@ let test_deadline_expiry () =
     | _ -> Alcotest.fail "expected Ok_reply for Shutdown");
     let _, status = Unix.waitpid [] pid in
     Client.close c;
+    Alcotest.(check bool) "clean exit" true (status = Unix.WEXITED 0)
+
+(* Pipelining over a real socket: one connection, many requests in
+   flight.  Codifies the response-ordering contract that
+   dkindex-loadgen --pipeline relies on: inline-served requests (Ping,
+   Query, Query_path, Stats) are answered in send order relative to
+   each other, queued Batch_query work may be overtaken by later
+   inline requests, and every reply carries its request's frame id —
+   a pipelining client correlates by id, never by arrival order. *)
+let test_pipelined_ordering () =
+  let _g, idx = build_smoke_dataset () in
+  let r, w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close r;
+    let status =
+      try
+        match
+          Server.run
+            ~on_ready:(fun port ->
+              let line = string_of_int port ^ "\n" in
+              ignore (Unix.write_substring w line 0 (String.length line));
+              Unix.close w)
+            { Server.default_config with port = 0; workers = 1; deadline_s = 0.0 }
+            idx
+        with
+        | Ok () -> 0
+        | Error _ -> 1
+      with _ -> 1
+    in
+    Unix._exit status
+  | pid ->
+    Unix.close w;
+    let port = read_port_line r in
+    Unix.close r;
+    let c = Client.connect ~port () in
+    (* Phase 1: a pure-inline pipeline of 8 queries is answered in
+       send order, every answer bit-for-bit against the local oracle. *)
+    let qs = smoke_queries @ smoke_queries in
+    let ids =
+      List.map
+        (fun labels -> Client.send c (Wire.Query_path { flags = { no_cache = true }; labels }))
+        qs
+    in
+    let rs = List.map (fun _ -> Client.recv c) ids in
+    Alcotest.(check (list int)) "inline pipeline is FIFO" ids (List.map (fun d -> d.Wire.id) rs);
+    List.iter2
+      (fun labels d ->
+        let want = Query_eval.eval_path_strings idx labels in
+        match d.Wire.msg with
+        | Wire.Result r ->
+          Alcotest.(check (list int))
+            ("pipelined " ^ String.concat "." labels ^ ": nodes")
+            want.Query_eval.nodes (Array.to_list r.Wire.nodes)
+        | _ -> Alcotest.fail "expected Result")
+      qs rs;
+    (* Phase 2: a Batch_query with an inline query pipelined behind it
+       — replies are matched by id whatever the arrival order, and
+       both answers are bit-for-bit. *)
+    let batch_paths = List.init 64 (fun i -> List.nth smoke_queries (i mod 4)) in
+    let bid = Client.send c (Wire.Batch_query { flags = { no_cache = true }; paths = batch_paths }) in
+    let qid =
+      Client.send c (Wire.Query_path { flags = { no_cache = true }; labels = [ "l0" ] })
+    in
+    let d1 = Client.recv c in
+    let d2 = Client.recv c in
+    let by_id = [ (d1.Wire.id, d1.Wire.msg); (d2.Wire.id, d2.Wire.msg) ] in
+    Alcotest.(check bool) "both replies arrive with known ids" true
+      (List.mem_assoc bid by_id && List.mem_assoc qid by_id);
+    (match List.assoc bid by_id with
+    | Wire.Batch_result results ->
+      Alcotest.(check int) "batch result count" (List.length batch_paths) (Array.length results);
+      List.iteri
+        (fun i labels ->
+          let want = Query_eval.eval_path_strings idx labels in
+          Alcotest.(check (list int))
+            (Printf.sprintf "batch[%d] nodes" i)
+            want.Query_eval.nodes
+            (Array.to_list results.(i).Wire.nodes))
+        batch_paths
+    | _ -> Alcotest.fail "expected Batch_result for the batch id");
+    (match List.assoc qid by_id with
+    | Wire.Result r ->
+      let want = Query_eval.eval_path_strings idx [ "l0" ] in
+      Alcotest.(check (list int)) "overtaking query nodes" want.Query_eval.nodes
+        (Array.to_list r.Wire.nodes)
+    | _ -> Alcotest.fail "expected Result for the query id");
+    (match Client.call c Wire.Shutdown with
+    | Wire.Ok_reply _ -> ()
+    | _ -> Alcotest.fail "expected Ok_reply for Shutdown");
+    let _, status = Unix.waitpid [] pid in
+    Client.close c;
+    Alcotest.(check bool) "clean exit" true (status = Unix.WEXITED 0)
+
+(* Snapshot churn: reader domains hammer queries while the main
+   thread streams edge updates through the write path.  Every answer
+   — nodes and validation costs — must equal the oracle state after
+   some prefix of the update stream: the atomic snapshot swap means a
+   reader sees a fully-applied prefix, never a half-applied update
+   (no torn reads).  Runs last among the forking tests: the parent
+   spawns domains, and Unix.fork is off the table after that. *)
+let test_snapshot_churn () =
+  let g, idx = build_smoke_dataset () in
+  (* A fixed stream of valid edge additions. *)
+  let n = Data_graph.n_nodes g in
+  let rng = Prng.create ~seed:7 in
+  let updates = ref [] in
+  while List.length !updates < 16 do
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v && (not (Data_graph.has_edge g u v)) && not (List.mem (u, v) !updates) then
+      updates := !updates @ [ (u, v) ]
+  done;
+  let updates = !updates in
+  (* Oracle signatures for every prefix of the stream: queries against
+     the live server must match one of these bit-for-bit. *)
+  let signature idx labels =
+    let r = Query_eval.eval_path_strings idx labels in
+    Printf.sprintf "%s|%d|%d|%d|%d"
+      (String.concat "," (List.map string_of_int r.Query_eval.nodes))
+      r.cost.Dkindex_pathexpr.Cost.index_visits r.cost.data_visits r.n_candidates r.n_certain
+  in
+  let allowed = List.map (fun q -> (q, Hashtbl.create 32)) smoke_queries in
+  let record () =
+    List.iter (fun (q, tbl) -> Hashtbl.replace tbl (signature idx q) ()) allowed
+  in
+  record ();
+  List.iter
+    (fun (u, v) ->
+      Dk_update.add_edge idx u v;
+      record ())
+    updates;
+  let _, fresh_idx = build_smoke_dataset () in
+  let r, w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close r;
+    let status =
+      try
+        match
+          Server.run
+            ~on_ready:(fun port ->
+              let line = string_of_int port ^ "\n" in
+              ignore (Unix.write_substring w line 0 (String.length line));
+              Unix.close w)
+            { Server.default_config with port = 0; workers = 2; deadline_s = 0.0 }
+            fresh_idx
+        with
+        | Ok () -> 0
+        | Error _ -> 1
+      with _ -> 1
+    in
+    Unix._exit status
+  | pid ->
+    Unix.close w;
+    let port = read_port_line r in
+    Unix.close r;
+    let stop = Atomic.make false in
+    let readers =
+      List.init 2 (fun d ->
+          Domain.spawn (fun () ->
+              let c = Client.connect ~port () in
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () ->
+                  let served = ref 0 and torn = ref [] in
+                  let i = ref d in
+                  while not (Atomic.get stop) do
+                    let q, tbl = List.nth allowed (!i mod List.length allowed) in
+                    (match
+                       Client.call c (Wire.Query_path { flags = { no_cache = true }; labels = q })
+                     with
+                    | Wire.Result r ->
+                      let got =
+                        Printf.sprintf "%s|%d|%d|%d|%d"
+                          (String.concat ","
+                             (List.map string_of_int (Array.to_list r.Wire.nodes)))
+                          r.Wire.index_visits r.Wire.data_visits r.Wire.n_candidates
+                          r.Wire.n_certain
+                      in
+                      if not (Hashtbl.mem tbl got) then
+                        torn := (String.concat "." q, got) :: !torn
+                    | _ -> torn := (String.concat "." q, "non-Result reply") :: !torn);
+                    incr served;
+                    incr i
+                  done;
+                  (!served, !torn))))
+    in
+    let cw = Client.connect ~port () in
+    List.iter
+      (fun (u, v) ->
+        (match Client.call cw (Wire.Add_edge { u; v }) with
+        | Wire.Ok_reply _ -> ()
+        | _ -> Alcotest.fail "expected Ok_reply for the churn update");
+        (* Let readers land between swaps so many prefixes get
+           observed. *)
+        Unix.sleepf 0.005)
+      updates;
+    Unix.sleepf 0.02;
+    Atomic.set stop true;
+    let tallies = List.map Domain.join readers in
+    let total = List.fold_left (fun a (s, _) -> a + s) 0 tallies in
+    let torn = List.concat_map snd tallies in
+    (match torn with
+    | [] -> ()
+    | (q, got) :: _ ->
+      Alcotest.fail
+        (Printf.sprintf "torn read: %d answer(s) match no prefix state; first: query %s got %s"
+           (List.length torn) q got));
+    Alcotest.(check bool) "readers made progress during churn" true (total > 20);
+    (* Converged: the post-stream server answers equal the full-prefix
+       oracle exactly. *)
+    List.iter (check_against_local idx cw) smoke_queries;
+    (match Client.call cw Wire.Shutdown with
+    | Wire.Ok_reply _ -> ()
+    | _ -> Alcotest.fail "expected Ok_reply for Shutdown");
+    let _, status = Unix.waitpid [] pid in
+    Client.close cw;
     Alcotest.(check bool) "clean exit" true (status = Unix.WEXITED 0)
 
 (* --------------------------------------------------------------- *)
@@ -832,6 +1058,11 @@ let () =
           Alcotest.test_case "malformed frames, wire shutdown" `Quick test_smoke_protocol_errors;
           Alcotest.test_case "queued requests expire against the deadline" `Quick
             test_deadline_expiry;
+          Alcotest.test_case "pipelined requests: FIFO inline, id-matched overtaking" `Quick
+            test_pipelined_ordering;
+          (* Last forking test: it spawns reader domains in the
+             parent, after which Unix.fork is no longer available. *)
+          Alcotest.test_case "no torn reads under snapshot churn" `Quick test_snapshot_churn;
         ] );
       ( "queue",
         [
