@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick bench-smoke bench-trajectory serve loadgen examples clean fmt
+.PHONY: all build test bench bench-quick bench-smoke bench-trajectory bench-xl serve loadgen examples clean fmt
 
 all: build test bench-smoke
 
@@ -20,10 +20,17 @@ bench-quick:
 bench-smoke:
 	dune exec bench/trajectory.exe -- --smoke
 
-# Full trajectory pass: refreshes BENCH_PR5.json (current numbers),
-# keeping the recorded baselines for comparison.
+# Full trajectory pass: writes BENCH_PR7.json with the PR 6 numbers
+# merged in as baselines.
 bench-trajectory:
-	dune exec bench/trajectory.exe -- --scale 40 --baseline BENCH_PR5.json --out BENCH_PR5.json
+	dune exec bench/trajectory.exe -- --scale 40 --baseline BENCH_PR6.json --out BENCH_PR7.json
+
+# Trajectory plus the out-of-core scale:xl series: streamed 10M-edge
+# datagen, external-memory D(k) build under a 512 MiB OCaml heap cap,
+# O(1) mmap opens, and mmap-backed queries — each xl bench in a fresh
+# process with its peak RSS recorded in the JSON.
+bench-xl:
+	dune exec bench/trajectory.exe -- --scale 40 --xl --baseline BENCH_PR6.json --out BENCH_PR7.json
 
 # Serve the pinned XMark dataset over TCP (dkserve protocol, DESIGN.md 9).
 serve:

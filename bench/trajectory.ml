@@ -5,7 +5,7 @@
    samples — timing noise on a shared machine is strictly additive, so
    the minimum is the robust estimator) plus a construction / query /
    update macro pass on XMark, and writes the results as JSON (default
-   BENCH_PR6.json).  An optional [--baseline prev.json] merges a
+   BENCH_PR7.json).  An optional [--baseline prev.json] merges a
    previous run into the output as per-benchmark {"baseline_ns",
    "after_ns"} pairs so a PR records its own before/after evidence.
 
@@ -30,21 +30,86 @@ module Wal = Dkindex_server.Wal
 module Checkpoint = Dkindex_server.Checkpoint
 
 let scale = ref 40
-let out_file = ref "BENCH_PR6.json"
+let out_file = ref "BENCH_PR7.json"
 let baseline_file = ref ""
 let smoke = ref false
 let no_out = ref false
+let xl = ref false
+let xl_edges = ref 10_000_000
+let xl_heap_cap_mb = ref 512
+let xl_child = ref ""
+let xl_dir = ref ""
 
 let spec =
   [
     ("--scale", Arg.Set_int scale, "N  XMark scale for the macro pass (default 40)");
-    ("--out", Arg.Set_string out_file, "FILE  output JSON (default BENCH_PR6.json)");
+    ("--out", Arg.Set_string out_file, "FILE  output JSON (default BENCH_PR7.json)");
     ( "--baseline",
       Arg.Set_string baseline_file,
       "FILE  merge a previous run as baseline_ns/after_ns pairs" );
     ("--smoke", Arg.Set smoke, "   tiny-scale smoke run: no JSON, allocation assertions");
     ("--no-out", Arg.Set no_out, "   measure and print, but write no file");
+    ( "--xl",
+      Arg.Set xl,
+      "   run the out-of-core scale:xl series (streamed datagen, external build, mmap \
+       query) with per-bench peak-RSS tracking" );
+    ( "--xl-edges",
+      Arg.Set_int xl_edges,
+      "N  edge count for the xl random graph (default 10_000_000)" );
+    ( "--xl-heap-cap-mb",
+      Arg.Set_int xl_heap_cap_mb,
+      "MB  fail the xl build bench if its peak OCaml heap exceeds this (default 512)" );
+    ("--xl-child", Arg.Set_string xl_child, "NAME  (internal) run one xl bench and exit");
+    ("--xl-dir", Arg.Set_string xl_dir, "DIR  (internal) working dir for --xl-child");
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Host / process memory facts (Linux procfs; 0 where unavailable).    *)
+
+let proc_status_kb field =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go () =
+          match input_line ic with
+          | exception End_of_file -> 0
+          | line ->
+            if String.length line > String.length field
+               && String.sub line 0 (String.length field) = field
+            then
+              Scanf.sscanf
+                (String.sub line (String.length field) (String.length line - String.length field))
+                " %d" (fun kb -> kb)
+            else go ()
+        in
+        go ())
+
+let peak_rss_bytes () = proc_status_kb "VmHWM:" * 1024
+
+let host_total_ram_bytes () =
+  match open_in "/proc/meminfo" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match input_line ic with
+        | line -> ( try Scanf.sscanf line "MemTotal: %d kB" (fun kb -> kb * 1024) with _ -> 0)
+        | exception End_of_file -> 0)
+
+let page_size_bytes () =
+  (* No getpagesize in the stdlib; mapped sections are 4096-aligned and
+     that is the page size everywhere this runs, but ask getconf when
+     available so the recorded metadata is honest. *)
+  match Unix.open_process_in "getconf PAGE_SIZE 2>/dev/null" with
+  | exception Unix.Unix_error _ -> 4096
+  | ic -> (
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | _ -> ( match int_of_string_opt (String.trim line) with Some n when n > 0 -> n | _ -> 4096))
 
 (* ------------------------------------------------------------------ *)
 (* Timing: minimum ns/op over [reps] samples.  Each sample times a
@@ -165,7 +230,12 @@ let update_edges g ~count ~seed =
 (* ------------------------------------------------------------------ *)
 (* JSON (minimal writer/reader for the flat shapes we emit) *)
 
-type entry = { name : string; after_ns : float; baseline_ns : float option }
+type entry = {
+  name : string;
+  after_ns : float;
+  baseline_ns : float option;
+  rss_bytes : int option;  (* peak VmHWM of the forked runner, xl series only *)
+}
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -253,6 +323,9 @@ let write_json path ~entries ~macro =
              e.after_ns
              (if e.after_ns > 0.0 then b /. e.after_ns else 0.0))
       | None -> Buffer.add_string buf (Printf.sprintf "\"after_ns\": %.1f" e.after_ns));
+      (match e.rss_bytes with
+      | Some rss -> Buffer.add_string buf (Printf.sprintf ", \"rss_bytes\": %d" rss)
+      | None -> ());
       Buffer.add_string buf (if i = n - 1 then "}\n" else "},\n"))
     entries;
   Buffer.add_string buf "  },\n  \"macro\": {\n";
@@ -359,11 +432,75 @@ let assert_framing_allocation () =
          per_encode)
 
 (* ------------------------------------------------------------------ *)
+(* scale:xl bench bodies.  Each runs in a fresh process (re-exec'd with
+   [--xl-child]) so VmHWM and top_heap_words are the bench's own.  The
+   timed region excludes setup that a real consumer would amortize
+   (opening an already-built container before querying it). *)
+
+let xl_child_main name =
+  let dir = !xl_dir in
+  let gpath = Filename.concat dir "xl.dkc" in
+  let ipath = Filename.concat dir "xl-idx.dkc" in
+  let nodes = max 2 (!xl_edges / 5) in
+  let extra = max 0 (!xl_edges - (nodes - 1)) in
+  let ns =
+    match name with
+    | "xl:datagen-stream" ->
+      let t0 = now_ns () in
+      Dkindex_datagen.Random_graph.stream ~seed:77 ~nodes ~n_labels:12 ~extra_edges:extra
+        ~value_fraction:0.02 ~tmp_dir:dir ~path:gpath ();
+      now_ns () -. t0
+    | "xl:build-external" ->
+      let g = Container.open_graph gpath in
+      let t0 = now_ns () in
+      let idx = Dk_index.build ~mode:`External g ~reqs:[ ("l0", 2); ("l1", 2) ] in
+      let ns = now_ns () -. t0 in
+      Index_serial.save_container ipath idx;
+      let heap = Gc.((quick_stat ()).top_heap_words) * (Sys.word_size / 8) in
+      let cap = !xl_heap_cap_mb * 1024 * 1024 in
+      if heap > cap then
+        failwith
+          (Printf.sprintf "peak heap %d MiB exceeds the %d MiB cap" (heap / 1048576)
+             !xl_heap_cap_mb);
+      ns
+    | "xl:open-mmap" ->
+      let t0 = now_ns () in
+      let g = Container.open_graph gpath in
+      let ns = now_ns () -. t0 in
+      ignore (Data_graph.n_nodes g);
+      ns
+    | "xl:load-index-mmap" ->
+      let t0 = now_ns () in
+      let idx = Index_serial.load_container ipath in
+      let ns = now_ns () -. t0 in
+      ignore (Index_graph.n_nodes idx);
+      ns
+    | "xl:query-mmap" ->
+      let idx = Index_serial.load_container ipath in
+      let best = ref infinity in
+      for _ = 1 to 3 do
+        let t0 = now_ns () in
+        ignore (Query_eval.eval_path_strings idx [ "l0"; "l1" ]);
+        let ns = now_ns () -. t0 in
+        if ns < !best then best := ns
+      done;
+      !best
+    | other -> failwith ("unknown xl bench " ^ other)
+  in
+  let heap = Gc.((quick_stat ()).top_heap_words) * (Sys.word_size / 8) in
+  Printf.printf "%.0f %d %d\n%!" ns (peak_rss_bytes ()) heap
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "bench/trajectory.exe";
+  if not (String.equal !xl_child "") then begin
+    xl_child_main !xl_child;
+    exit 0
+  end;
   if !smoke then begin
-    scale := 6;
+    (* Smallest scale where every pinned workload label occurs. *)
+    scale := 8;
     no_out := true
   end;
   Printf.printf "trajectory: XMark scale %d%s\n%!" !scale (if !smoke then " (smoke)" else "");
@@ -386,12 +523,12 @@ let () =
   let bench name f =
     let ns = best_ns f in
     Printf.printf "  %-44s %12.0f ns/op\n%!" name ns;
-    entries := { name; after_ns = ns; baseline_ns = None } :: !entries
+    entries := { name; after_ns = ns; baseline_ns = None; rss_bytes = None } :: !entries
   in
   let bench_resource name ~allocate ~runs f =
     let ns = best_ns_with_resource ~allocate ~runs f in
     Printf.printf "  %-44s %12.0f ns/op\n%!" name ns;
-    entries := { name; after_ns = ns; baseline_ns = None } :: !entries
+    entries := { name; after_ns = ns; baseline_ns = None; rss_bytes = None } :: !entries
   in
   (* Figures 4/5: construction and query evaluation. *)
   bench "fig4/5:build-A(2)" (fun () -> ignore (A_k_index.build g ~k:2));
@@ -423,7 +560,7 @@ let () =
        let ns = best_ns (fun () -> ignore (Query_eval.eval_batch ~domains dk batch)) in
        let ns = per_query ns in
        Printf.printf "  %-44s %12.0f ns/query\n%!" name ns;
-       entries := { name; after_ns = ns; baseline_ns = None } :: !entries)
+       entries := { name; after_ns = ns; baseline_ns = None; rss_bytes = None } :: !entries)
      [ 1; 2; 4 ]);
   (* Substrate: bisimulation refinement. *)
   bench "substrate:label-split" (fun () -> ignore (Label_split.build g));
@@ -527,7 +664,7 @@ let () =
        Array.sort compare samples;
        let ns = samples.(0) in
        Printf.printf "  %-44s %12.0f ns/req\n%!" name ns;
-       entries := { name; after_ns = ns; baseline_ns = None } :: !entries)
+       entries := { name; after_ns = ns; baseline_ns = None; rss_bytes = None } :: !entries)
      [ 1; 2; 4 ];
    (let requests = if !smoke then 60 else 1000 in
     let lat = Array.make requests 0.0 in
@@ -547,7 +684,7 @@ let () =
     let ns = samples.(0) in
     Printf.printf "  %-44s %12.0f ns\n%!" "serve:socket-p99-latency" ns;
     entries :=
-      { name = "serve:socket-p99-latency"; after_ns = ns; baseline_ns = None } :: !entries);
+      { name = "serve:socket-p99-latency"; after_ns = ns; baseline_ns = None; rss_bytes = None } :: !entries);
    (* Pipelined throughput: one connection keeping [depth] requests in
       flight, replies matched by id (the inline fast path may reorder
       them).  The contrast with socket-throughput-c1 is the headroom
@@ -582,7 +719,7 @@ let () =
     let ns = samples.(0) in
     let name = Printf.sprintf "serve:pipelined-throughput-k%d" depth in
     Printf.printf "  %-44s %12.0f ns/req\n%!" name ns;
-    entries := { name; after_ns = ns; baseline_ns = None } :: !entries);
+    entries := { name; after_ns = ns; baseline_ns = None; rss_bytes = None } :: !entries);
    (* Stop the server over its own wire and reclaim the domain. *)
    let c = Client.connect ~port () in
    (match Client.call c Wire.Shutdown with
@@ -694,7 +831,7 @@ let () =
        Domain.join srv;
        rm_rf dir;
        Printf.printf "  %-44s %12.0f ns/write\n%!" name !best;
-       entries := { name; after_ns = !best; baseline_ns = None } :: !entries)
+       entries := { name; after_ns = !best; baseline_ns = None; rss_bytes = None } :: !entries)
      variants);
   (* Replication: aggregate read throughput against a primary plus 0/1/2
      caught-up replicas (driver domains round-robin their connections
@@ -826,7 +963,7 @@ let () =
      Array.sort compare samples;
      let ns = samples.(0) in
      Printf.printf "  %-44s %12.0f ns/req\n%!" name ns;
-     entries := { name; after_ns = ns; baseline_ns = None } :: !entries
+     entries := { name; after_ns = ns; baseline_ns = None; rss_bytes = None } :: !entries
    done;
    (* Lag: alternate add/remove of one absent ID/IDREF edge (every
       request is an acknowledged mutation, state returns to its start),
@@ -863,7 +1000,7 @@ let () =
     Array.sort compare lags;
     let p99 = lags.(n_writes * 99 / 100) in
     Printf.printf "  %-44s %12.0f bytes behind (p99)\n%!" "serve:replication-lag" p99;
-    entries := { name = "serve:replication-lag"; after_ns = p99; baseline_ns = None } :: !entries);
+    entries := { name = "serve:replication-lag"; after_ns = p99; baseline_ns = None; rss_bytes = None } :: !entries);
    let stop port srv dir =
      let c = Client.connect ~port () in
      (match Client.call c Wire.Shutdown with
@@ -878,6 +1015,63 @@ let () =
    stop r2port r2srv r2dir;
    stop r1port r1srv r1dir;
    stop pport psrv pdir);
+
+  (* ---------------------------------------------------------------- *)
+  (* scale:xl — the out-of-core tier.  Each bench re-execs this binary
+     with [--xl-child NAME --xl-dir DIR] so its peak RSS (VmHWM) and
+     peak OCaml heap start clean instead of inheriting the macro pass's
+     high-water marks; the child prints "<ns> <rss_bytes> <heap_bytes>"
+     on stdout. *)
+  let run_child name dir =
+    let r, w = Unix.pipe () in
+    let args =
+      [|
+        Sys.executable_name; "--xl-child"; name; "--xl-dir"; dir;
+        "--xl-edges"; string_of_int !xl_edges;
+        "--xl-heap-cap-mb"; string_of_int !xl_heap_cap_mb;
+      |]
+    in
+    let pid = Unix.create_process Sys.executable_name args Unix.stdin w Unix.stderr in
+    Unix.close w;
+    let ic = Unix.in_channel_of_descr r in
+    let line = try input_line ic with End_of_file -> "" in
+    close_in ic;
+    (match Unix.waitpid [] pid with
+    | _, Unix.WEXITED 0 -> ()
+    | _ -> failwith (name ^ ": xl bench child failed"));
+    Scanf.sscanf line "%f %d %d" (fun ns rss heap -> (ns, rss, heap))
+  in
+  let xl_facts = ref [] in
+  if !xl then begin
+    let dir = Filename.temp_file "dkxl" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    let record name =
+      let ns, rss, heap = run_child name dir in
+      Printf.printf "  %-34s %12.0f ns   rss %5d MiB   heap %5d MiB\n%!" name ns
+        (rss / 1048576) (heap / 1048576);
+      entries := { name; after_ns = ns; baseline_ns = None; rss_bytes = Some rss } :: !entries;
+      (ns, rss, heap)
+    in
+    Printf.printf "scale:xl series: ~%d edges (fresh process per bench)\n%!" !xl_edges;
+    ignore (record "xl:datagen-stream");
+    let _, _, build_heap = record "xl:build-external" in
+    ignore (record "xl:open-mmap");
+    ignore (record "xl:load-index-mmap");
+    ignore (record "xl:query-mmap");
+    (* Shape facts, read from the finished container (O(1) open). *)
+    let g = Container.open_graph (Filename.concat dir "xl.dkc") in
+    xl_facts :=
+      [
+        ("xl_data_nodes", string_of_int (Data_graph.n_nodes g));
+        ("xl_data_edges", string_of_int (Data_graph.n_edges g));
+        ( "xl_container_bytes",
+          string_of_int (Unix.stat (Filename.concat dir "xl.dkc")).Unix.st_size );
+        ("xl_build_peak_heap_bytes", string_of_int build_heap);
+        ("xl_heap_cap_bytes", string_of_int (!xl_heap_cap_mb * 1024 * 1024));
+      ];
+    rm_rf dir
+  end;
   let entries = List.rev !entries in
   (* Macro pass facts. *)
   let query_cost =
@@ -898,8 +1092,12 @@ let () =
       ("workload_query_cost_visits", string_of_int query_cost);
       ("n_update_edges", string_of_int n_updates);
       ("host_recommended_domains", string_of_int (Domain.recommended_domain_count ()));
+      ("host_total_ram_bytes", string_of_int (host_total_ram_bytes ()));
+      ("page_size_bytes", string_of_int (page_size_bytes ()));
+      ("peak_rss_bytes", string_of_int (peak_rss_bytes ()));
       ("batch_queries", string_of_int (4 * List.length queries));
     ]
+    @ !xl_facts
   in
   Printf.printf "  macro: %s\n%!"
     (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) macro));

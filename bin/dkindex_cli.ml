@@ -21,6 +21,11 @@ module Xml_writer = Dkindex_xml.Xml_writer
 let comma_list s = String.split_on_char ',' s |> List.filter (fun x -> x <> "")
 
 let load_graph ~input ~id_attrs ~idref_attrs =
+  match Container.probe input with
+  | Some Container.Graph -> Container.open_graph input
+  | Some Container.Index ->
+    failwith (input ^ " is an index container; pass it to `query --load-index`")
+  | None ->
   if Filename.check_suffix input ".xml" then begin
     let doc = Xml_parser.parse_file input in
     let config =
@@ -64,27 +69,42 @@ let graph_term =
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
 
-let generate dataset scale seed output =
+let generate dataset scale seed output stream =
   let write_doc config doc =
     if Filename.check_suffix output ".xml" then Xml_writer.write_file output doc
     else Serial.save output (Xml_to_graph.graph_of_doc ~config doc)
   in
-  (match dataset with
-  | "xmark" -> write_doc Dkindex_datagen.Xmark.config (Dkindex_datagen.Xmark.doc ~seed ~scale ())
-  | "nasa" -> write_doc Dkindex_datagen.Nasa.config (Dkindex_datagen.Nasa.doc ~seed ~scale ())
-  | "treebank" ->
-    write_doc Dkindex_datagen.Treebank.config (Dkindex_datagen.Treebank.doc ~seed ~scale ())
-  | "random" ->
-    if Filename.check_suffix output ".xml" then
-      failwith "random graphs are not XML documents; use a .graph output"
-    else
-      Serial.save output
-        (Dkindex_datagen.Random_graph.graph ~seed ~nodes:(scale * 100) ~n_labels:12
-           ~extra_edges:(scale * 10) ())
-  | other -> failwith (Printf.sprintf "unknown dataset %S (xmark | nasa | treebank | random)" other));
+  (if stream then
+     (* Streamed generation: edges go through an external sorter into a
+        container file; peak memory is one XML subtree, independent of
+        scale.  Byte-identical to materializing and saving. *)
+     match dataset with
+     | "xmark" -> ignore (Dkindex_datagen.Xmark.stream ~seed ~scale ~path:output ())
+     | "nasa" -> ignore (Dkindex_datagen.Nasa.stream ~seed ~scale ~path:output ())
+     | "random" ->
+       Dkindex_datagen.Random_graph.stream ~seed ~nodes:(scale * 100) ~n_labels:12
+         ~extra_edges:(scale * 10) ~path:output ()
+     | "treebank" -> failwith "treebank has no streaming generator (xmark | nasa | random)"
+     | other ->
+       failwith (Printf.sprintf "unknown dataset %S (xmark | nasa | random)" other)
+   else
+     match dataset with
+     | "xmark" -> write_doc Dkindex_datagen.Xmark.config (Dkindex_datagen.Xmark.doc ~seed ~scale ())
+     | "nasa" -> write_doc Dkindex_datagen.Nasa.config (Dkindex_datagen.Nasa.doc ~seed ~scale ())
+     | "treebank" ->
+       write_doc Dkindex_datagen.Treebank.config (Dkindex_datagen.Treebank.doc ~seed ~scale ())
+     | "random" ->
+       if Filename.check_suffix output ".xml" then
+         failwith "random graphs are not XML documents; use a .graph output"
+       else
+         Serial.save output
+           (Dkindex_datagen.Random_graph.graph ~seed ~nodes:(scale * 100) ~n_labels:12
+              ~extra_edges:(scale * 10) ())
+     | other ->
+       failwith (Printf.sprintf "unknown dataset %S (xmark | nasa | treebank | random)" other));
   Printf.printf "wrote %s\n" output
 
-let generate_cmd =
+let generate_cmds =
   let dataset =
     Arg.(
       value & opt string "xmark"
@@ -99,9 +119,17 @@ let generate_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output (.xml or .graph)")
   in
-  Cmd.v
-    (Cmd.info "generate" ~doc:"Generate a synthetic dataset")
-    Term.(const generate $ dataset $ scale $ seed_arg $ output)
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Stream edges straight into a binary container file without \
+             materializing the dataset in memory (xmark | nasa | random)")
+  in
+  let term = Term.(const generate $ dataset $ scale $ seed_arg $ output $ stream) in
+  ( Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic dataset") term,
+    Cmd.v (Cmd.info "datagen" ~doc:"Alias of generate") term )
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                               *)
@@ -121,16 +149,16 @@ let stats_cmd =
 (* ------------------------------------------------------------------ *)
 (* index construction shared by build/query                            *)
 
-let make_index g kind k workload_size seed =
+let make_index ?(mode = `Auto) g kind k workload_size seed =
   match kind with
   | "label-split" | "a0" -> Label_split.build g
-  | "ak" -> A_k_index.build g ~k
-  | "1-index" | "one" -> One_index.build g
+  | "ak" -> A_k_index.build ~mode g ~k
+  | "1-index" | "one" -> One_index.build ~mode g
   | "fb" -> Fb_index.build g
   | "dk" ->
     let queries = Dkindex_workload.Query_gen.generate ~seed ~count:workload_size g in
     let reqs = Dkindex_workload.Miner.mine g queries in
-    Dk_index.build g ~reqs
+    Dk_index.build ~mode g ~reqs
   | other ->
     failwith (Printf.sprintf "unknown index %S (label-split | ak | 1-index | fb | dk)" other)
 
@@ -146,51 +174,86 @@ let workload_arg =
     value & opt int 100
     & info [ "workload-queries" ] ~docv:"N" ~doc:"Workload size used to tune the D(k)-index")
 
-let build g kind k workload_size seed save =
+let build g kind k workload_size seed save out_of_core max_heap_mb =
+  let mode = if out_of_core then `External else `Auto in
   let t0 = Unix.gettimeofday () in
-  let idx = make_index g kind k workload_size seed in
+  let idx = make_index ~mode g kind k workload_size seed in
   let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
   Printf.printf "%s built in %.1f ms\n" kind ms;
   (match save with
   | Some path ->
-    Index_serial.save path idx;
+    if Filename.check_suffix path ".dkc" then Index_serial.save_container path idx
+    else Index_serial.save path idx;
     Printf.printf "saved to %s\n" path
   | None -> ());
-  Format.printf "%a@?" Index_stats.pp (Index_stats.compute idx)
+  Format.printf "%a@?" Index_stats.pp (Index_stats.compute idx);
+  let heap_bytes = Gc.((quick_stat ()).top_heap_words) * (Sys.word_size / 8) in
+  Printf.printf "peak OCaml heap: %.1f MiB\n" (float_of_int heap_bytes /. 1048576.0);
+  match max_heap_mb with
+  | Some cap when heap_bytes > cap * 1024 * 1024 ->
+    Printf.eprintf "error: peak heap %d bytes exceeds --max-heap-mb %d\n" heap_bytes cap;
+    exit 1
+  | _ -> ()
 
 let build_cmd =
   let save =
     Arg.(
       value
       & opt (some string) None
-      & info [ "save" ] ~docv:"FILE" ~doc:"Persist the index for later `query --load-index`")
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:
+            "Persist the index for later `query --load-index` (a .dkc suffix \
+             selects the binary container format)")
+  in
+  let out_of_core =
+    Arg.(
+      value & flag
+      & info [ "out-of-core" ]
+          ~doc:
+            "Force the external-memory refinement path (sort/scan passes over \
+             temp files) regardless of graph size")
+  in
+  let max_heap_mb =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-heap-mb" ] ~docv:"MB"
+          ~doc:"Fail (exit 1) if the peak OCaml heap exceeds this many MiB")
   in
   Cmd.v
     (Cmd.info "build" ~doc:"Build an index and print its profile")
-    Term.(const build $ graph_term $ index_kind_arg $ k_arg $ workload_arg $ seed_arg $ save)
+    Term.(
+      const build $ graph_term $ index_kind_arg $ k_arg $ workload_arg $ seed_arg $ save
+      $ out_of_core $ max_heap_mb)
 
 (* ------------------------------------------------------------------ *)
 (* query                                                               *)
 
-let query g kind k workload_size seed load expr_str show =
+let eval_one idx kind expr_str =
+  (* A leading '/' selects the tree-pattern language; anything else is
+     a regular path expression. *)
+  if String.length expr_str > 0 && Char.equal expr_str.[0] '/' then
+    let pattern = Dkindex_pathexpr.Tree_pattern.parse expr_str in
+    Query_eval.eval_pattern ~validate:(not (String.equal kind "fb")) idx pattern
+  else
+    let expr = Dkindex_pathexpr.Path_parser.parse expr_str in
+    match Dkindex_pathexpr.Path_ast.as_label_seq expr with
+    | Some labels -> Query_eval.eval_path_strings idx labels
+    | None -> Query_eval.eval_expr idx expr
+
+let query g kind k workload_size seed load expr_str show check =
   let idx =
     match load with
-    | Some path -> Index_serial.load path
+    | Some path -> (
+      match Container.probe path with
+      | Some Container.Index -> Index_serial.load_container path
+      | Some Container.Graph ->
+        failwith (path ^ " is a graph container, not an index; pass it to --input")
+      | None -> Index_serial.load path)
     | None -> make_index g kind k workload_size seed
   in
   let g = Index_graph.data idx in
-  (* A leading '/' selects the tree-pattern language; anything else is
-     a regular path expression. *)
-  let result =
-    if String.length expr_str > 0 && Char.equal expr_str.[0] '/' then
-      let pattern = Dkindex_pathexpr.Tree_pattern.parse expr_str in
-      Query_eval.eval_pattern ~validate:(not (String.equal kind "fb")) idx pattern
-    else
-      let expr = Dkindex_pathexpr.Path_parser.parse expr_str in
-      match Dkindex_pathexpr.Path_ast.as_label_seq expr with
-      | Some labels -> Query_eval.eval_path_strings idx labels
-      | None -> Query_eval.eval_expr idx expr
-  in
+  let result = eval_one idx kind expr_str in
   Printf.printf "%d matching nodes (cost: %s; %d candidates validated, %d sound index nodes)\n"
     (List.length result.Query_eval.nodes)
     (Format.asprintf "%a" Dkindex_pathexpr.Cost.pp result.Query_eval.cost)
@@ -198,7 +261,23 @@ let query g kind k workload_size seed load expr_str show =
   List.iteri
     (fun i u ->
       if i < show then Printf.printf "  node %d label %s\n" u (Data_graph.label_name g u))
-    result.Query_eval.nodes
+    result.Query_eval.nodes;
+  if check then begin
+    (* Cross-check against a fully in-RAM copy: the text round-trip
+       rebuilds every array on the OCaml heap, so when the index came
+       from a mapped container this compares mmap-backed evaluation
+       against heap-backed evaluation bit for bit. *)
+    let ram = Index_serial.of_string (Index_serial.to_string idx) in
+    let result' = eval_one ram kind expr_str in
+    if result.Query_eval.nodes <> result'.Query_eval.nodes then begin
+      Printf.eprintf "error: --check mismatch (%d mapped vs %d in-RAM nodes)\n"
+        (List.length result.Query_eval.nodes)
+        (List.length result'.Query_eval.nodes);
+      exit 1
+    end;
+    Printf.printf "check OK: in-RAM evaluation matches (%d nodes)\n"
+      (List.length result'.Query_eval.nodes)
+  end
 
 let query_cmd =
   let expr =
@@ -212,7 +291,18 @@ let query_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "load-index" ] ~docv:"FILE" ~doc:"Use a previously saved index instead of building one")
+      & info [ "load-index" ] ~docv:"FILE"
+          ~doc:
+            "Use a previously saved index (text or .dkc container, \
+             autodetected) instead of building one")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Re-evaluate on a fully in-RAM copy of the index and fail unless \
+             the answers agree bit for bit")
   in
   Cmd.v
     (Cmd.info "query"
@@ -222,7 +312,7 @@ let query_cmd =
           pattern ('//a[./b]//c')")
     Term.(
       const query $ graph_term $ index_kind_arg $ k_arg $ workload_arg $ seed_arg $ load $ expr
-      $ show)
+      $ show $ check)
 
 (* ------------------------------------------------------------------ *)
 (* workload                                                            *)
@@ -305,4 +395,8 @@ let () =
     Cmd.info "dkindex" ~version:"1.0.0"
       ~doc:"Adaptive structural summaries for graph-structured data (SIGMOD 2003 D(k)-index)"
   in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; stats_cmd; build_cmd; query_cmd; workload_cmd; verify_cmd; dot_cmd ]))
+  let generate_cmd, datagen_cmd = generate_cmds in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; datagen_cmd; stats_cmd; build_cmd; query_cmd; workload_cmd; verify_cmd; dot_cmd ]))

@@ -237,17 +237,27 @@ let gen_dataset rng cnt ~n_datasets i =
     @ optional 0.75 (fun () -> gen_table_head rng cnt)
     @ [ Xml_ast.Element (el "identifier" (txt (dataset_id i))) ])
 
-let doc ?(seed = 43) ~scale () =
+(* Event emission is the primitive (see {!Xmark}); one dataset subtree
+   is materialized at a time and flushed with [Xml_sax.emit_tree]. *)
+let events ?(seed = 43) ~scale emit =
   let rng = Prng.create ~seed in
   let n_datasets = max 1 scale in
   let cnt = { definitions = 0; fields = 0; references = 0; journals = 0 } in
-  let root =
-    el "datasets"
-      (List.init n_datasets (fun i -> Xml_ast.Element (gen_dataset rng cnt ~n_datasets i)))
-  in
-  { Xml_ast.root }
+  emit (Xml_sax.Start_element { tag = "datasets"; attrs = [] });
+  for i = 0 to n_datasets - 1 do
+    Xml_sax.emit_tree (gen_dataset rng cnt ~n_datasets i) emit
+  done;
+  emit (Xml_sax.End_element "datasets")
+
+let doc ?seed ~scale () =
+  let collect = Xml_sax.Collect.create () in
+  events ?seed ~scale (Xml_sax.Collect.feed collect);
+  { Xml_ast.root = Xml_sax.Collect.root collect }
 
 let graph ?seed ~scale () = Xml_to_graph.graph_of_doc ~config (doc ?seed ~scale ())
+
+let stream ?seed ?mem_budget ?tmp_dir ~scale ~path () =
+  Xml_to_graph.stream_to_container ~config ?mem_budget ?tmp_dir ~path (events ?seed ~scale)
 
 let ref_pairs =
   [

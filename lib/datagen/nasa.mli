@@ -27,6 +27,21 @@ val doc : ?seed:int -> scale:int -> unit -> Dkindex_xml.Xml_ast.doc
 val config : Dkindex_xml.Xml_to_graph.config
 val graph : ?seed:int -> scale:int -> unit -> Dkindex_graph.Data_graph.t
 
+val events : ?seed:int -> scale:int -> (Dkindex_xml.Xml_sax.event -> unit) -> unit
+(** Emit the document as SAX events ([doc] is these events collected);
+    peak memory is one dataset subtree.  See {!Xmark.events}. *)
+
+val stream :
+  ?seed:int ->
+  ?mem_budget:int ->
+  ?tmp_dir:string ->
+  scale:int ->
+  path:string ->
+  unit ->
+  int * string list
+(** Generate straight into a {!Dkindex_graph.Container} file,
+    byte-identical to saving [graph].  See {!Xmark.stream}. *)
+
 val ref_pairs : (string * string) list
 (** The 8 ID/IDREF label pairs of the synthetic NASA schema (paper,
     Section 6.2). *)

@@ -18,6 +18,22 @@ val graph :
     [value_fraction] (default 0) gives that share of nodes an atomic
     payload from ["v0" .. "v3"], for value-predicate tests. *)
 
+val stream :
+  ?seed:int ->
+  ?value_fraction:float ->
+  ?mem_budget:int ->
+  ?tmp_dir:string ->
+  nodes:int ->
+  n_labels:int ->
+  extra_edges:int ->
+  path:string ->
+  unit ->
+  unit
+(** [graph] generated straight into a {!Dkindex_graph.Container} file
+    at [path] via {!Dkindex_graph.Graph_stream}: adjacency is never
+    materialized, and the file is byte-identical to
+    [Container.save_graph] of [graph] with the same parameters. *)
+
 val tree :
   ?seed:int -> nodes:int -> n_labels:int -> unit -> Dkindex_graph.Data_graph.t
 (** Random tree (exactly one parent per non-root node). *)

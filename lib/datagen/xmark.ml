@@ -99,15 +99,7 @@ let gen_item rng pop i =
     @ List.init n_cats incategory
     @ [ Xml_ast.Element (el "mailbox" mails) ])
 
-let gen_regions rng pop =
-  let regions = [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |] in
-  let buckets = Array.make (Array.length regions) [] in
-  for i = pop.n_items - 1 downto 0 do
-    let r = Prng.int rng (Array.length regions) in
-    buckets.(r) <- Xml_ast.Element (gen_item rng pop i) :: buckets.(r)
-  done;
-  el "regions"
-    (Array.to_list (Array.mapi (fun r items -> Xml_ast.Element (el regions.(r) items)) buckets))
+let region_names = [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
 
 let gen_person rng pop i =
   let base =
@@ -237,29 +229,66 @@ let gen_closed_auction rng pop =
       Xml_ast.Element (gen_annotation rng pop);
     ]
 
-let doc ?(seed = 42) ~scale () =
+(* Event emission is the primitive: [doc] collects the very same
+   events [stream] feeds to a container sink, so the two can never
+   diverge.  Each top-level chunk (one item, person, auction ...) is
+   still built as a bounded [Xml_ast] subtree and flushed with
+   [Xml_sax.emit_tree], so peak memory is one chunk, not the document.
+   Region assignments are drawn for every item up front — region-major
+   emission order needs them before the first region opens. *)
+let events ?(seed = 42) ~scale emit =
   let rng = Prng.create ~seed in
   let pop = population scale in
-  let root =
-    el "site"
-      [
-        Xml_ast.Element (gen_regions rng pop);
-        Xml_ast.Element
-          (el "categories" (List.init pop.n_categories (fun i -> Xml_ast.Element (gen_category rng i))));
-        Xml_ast.Element (gen_catgraph rng pop);
-        Xml_ast.Element
-          (el "people" (List.init pop.n_persons (fun i -> Xml_ast.Element (gen_person rng pop i))));
-        Xml_ast.Element
-          (el "open_auctions"
-             (List.init pop.n_open (fun i -> Xml_ast.Element (gen_open_auction rng pop i))));
-        Xml_ast.Element
-          (el "closed_auctions"
-             (List.init pop.n_closed (fun _ -> Xml_ast.Element (gen_closed_auction rng pop))));
-      ]
-  in
-  { Xml_ast.root }
+  let start tag = emit (Xml_sax.Start_element { tag; attrs = [] }) in
+  let close tag = emit (Xml_sax.End_element tag) in
+  let sub element = Xml_sax.emit_tree element emit in
+  start "site";
+  start "regions";
+  let assignment = Array.make pop.n_items 0 in
+  for i = 0 to pop.n_items - 1 do
+    assignment.(i) <- Prng.int rng (Array.length region_names)
+  done;
+  Array.iteri
+    (fun r name ->
+      start name;
+      for i = 0 to pop.n_items - 1 do
+        if assignment.(i) = r then sub (gen_item rng pop i)
+      done;
+      close name)
+    region_names;
+  close "regions";
+  start "categories";
+  for i = 0 to pop.n_categories - 1 do
+    sub (gen_category rng i)
+  done;
+  close "categories";
+  sub (gen_catgraph rng pop);
+  start "people";
+  for i = 0 to pop.n_persons - 1 do
+    sub (gen_person rng pop i)
+  done;
+  close "people";
+  start "open_auctions";
+  for i = 0 to pop.n_open - 1 do
+    sub (gen_open_auction rng pop i)
+  done;
+  close "open_auctions";
+  start "closed_auctions";
+  for _ = 1 to pop.n_closed do
+    sub (gen_closed_auction rng pop)
+  done;
+  close "closed_auctions";
+  close "site"
+
+let doc ?seed ~scale () =
+  let collect = Xml_sax.Collect.create () in
+  events ?seed ~scale (Xml_sax.Collect.feed collect);
+  { Xml_ast.root = Xml_sax.Collect.root collect }
 
 let graph ?seed ~scale () = Xml_to_graph.graph_of_doc ~config (doc ?seed ~scale ())
+
+let stream ?seed ?mem_budget ?tmp_dir ~scale ~path () =
+  Xml_to_graph.stream_to_container ~config ?mem_budget ?tmp_dir ~path (events ?seed ~scale)
 
 let ref_pairs =
   [

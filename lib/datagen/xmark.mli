@@ -15,6 +15,28 @@
 
 val doc : ?seed:int -> scale:int -> unit -> Dkindex_xml.Xml_ast.doc
 
+val events : ?seed:int -> scale:int -> (Dkindex_xml.Xml_sax.event -> unit) -> unit
+(** The generator's primitive: emit the document as SAX events in
+    document order.  [doc] is exactly these events collected into a
+    tree, so both APIs always agree for a given seed and scale.  Peak
+    memory is one top-level chunk (an item, a person, an auction), not
+    the document. *)
+
+val stream :
+  ?seed:int ->
+  ?mem_budget:int ->
+  ?tmp_dir:string ->
+  scale:int ->
+  path:string ->
+  unit ->
+  int * string list
+(** Generate straight into a {!Dkindex_graph.Container} file at [path]
+    without materializing the document or the graph (events through
+    {!Dkindex_xml.Xml_to_graph.stream_to_container}).  Returns
+    [(n_reference_edges, unresolved_refs)].  The file is byte-identical
+    to [Container.save_graph] of [graph] with the same seed and
+    scale. *)
+
 val config : Dkindex_xml.Xml_to_graph.config
 (** ID/IDREF attribute mapping for XMark documents. *)
 

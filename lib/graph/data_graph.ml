@@ -1,20 +1,26 @@
 (* Adjacency lives in a CSR (compressed sparse row) layout: one flat
-   offsets array and one flat neighbor array per direction, with each
+   offsets vector and one flat neighbor vector per direction, with each
    node's neighbor run sorted increasing.  Mutation goes through a
    small overflow layer — per-node extra-edge lists for additions and a
    tombstone set for deletions — that is folded back into fresh CSR
-   arrays once it grows past a fraction of the edge count, so updates
+   vectors once it grows past a fraction of the edge count, so updates
    stay amortized O(1) and the hot iteration paths stay allocation-free
-   flat-array loops almost all the time. *)
+   flat loads almost all the time.
+
+   The flat storage is Int_vec (a native-int bigarray), so the same
+   code path serves heap-resident graphs and graphs whose CSR sections
+   are memory-mapped straight out of a Container file.  A mapped graph
+   behaves identically; its first overflow fold simply rebuilds into
+   fresh heap-side vectors (the mapping itself is never written). *)
 
 type adj = {
-  mutable off : int array;  (* n + 1 offsets into arr *)
-  mutable arr : int array;  (* neighbor runs, each sorted increasing *)
+  mutable off : Int_vec.t;  (* n + 1 offsets into arr *)
+  mutable arr : Int_vec.t;  (* neighbor runs, each sorted increasing *)
 }
 
 type t = {
   pool : Label.Pool.t;
-  labels : Label.t array;
+  labels : Int_vec.t;  (* node -> label code *)
   children : adj;
   parents : adj;
   values : (int, string) Hashtbl.t;  (* node -> atomic payload *)
@@ -33,11 +39,11 @@ type t = {
 }
 
 let pool g = g.pool
-let n_nodes g = Array.length g.labels
+let n_nodes g = Int_vec.length g.labels
 let n_edges g = g.n_edges
 let root _ = 0
-let label g u = g.labels.(u)
-let label_name g u = Label.Pool.name g.pool g.labels.(u)
+let label g u = Label.of_int (Int_vec.get g.labels u)
+let label_name g u = Label.Pool.name g.pool (Label.of_int (Int_vec.get g.labels u))
 let value g u = Hashtbl.find_opt g.values u
 
 (* ------------------------------------------------------------------ *)
@@ -48,49 +54,56 @@ let value g u = Hashtbl.find_opt g.values u
    source, sort each run, then compact duplicates in place.  Returns
    the deduplicated layout and edge count. *)
 let csr_of_edges n iter =
-  let deg = Array.make (n + 1) 0 in
-  iter (fun u _ -> deg.(u + 1) <- deg.(u + 1) + 1);
+  let deg = Int_vec.zeros (n + 1) in
+  iter (fun u _ -> Int_vec.set deg (u + 1) (Int_vec.get deg (u + 1) + 1));
   for i = 1 to n do
-    deg.(i) <- deg.(i) + deg.(i - 1)
+    Int_vec.set deg i (Int_vec.get deg i + Int_vec.get deg (i - 1))
   done;
-  let fill = Array.copy deg in
-  let arr = Array.make deg.(n) 0 in
+  let fill = Int_vec.copy deg in
+  let arr = Int_vec.create (Int_vec.get deg n) in
   iter (fun u v ->
-      arr.(fill.(u)) <- v;
-      fill.(u) <- fill.(u) + 1);
-  (* Sort and dedup each run, compacting the whole array. *)
-  let off = Array.make (n + 1) 0 in
+      Int_vec.set arr (Int_vec.get fill u) v;
+      Int_vec.set fill u (Int_vec.get fill u + 1));
+  (* Sort and dedup each run, compacting the whole vector. *)
+  let off = Int_vec.zeros (n + 1) in
   let w = ref 0 in
   for u = 0 to n - 1 do
-    off.(u) <- !w;
-    let lo = deg.(u) and hi = deg.(u + 1) in
-    Int_arr.sort_range arr ~lo ~hi;
-    let len = Int_arr.dedup_range arr ~lo ~hi in
-    Array.blit arr lo arr !w len;
+    Int_vec.set off u !w;
+    let lo = Int_vec.get deg u and hi = Int_vec.get deg (u + 1) in
+    Int_vec.sort_range arr ~lo ~hi;
+    let len = Int_vec.dedup_range arr ~lo ~hi in
+    (* Left-to-right compaction: the write cursor never passes the
+       read cursor, so copying in place is safe. *)
+    for i = 0 to len - 1 do
+      Int_vec.set arr (!w + i) (Int_vec.get arr (lo + i))
+    done;
     w := !w + len
   done;
-  off.(n) <- !w;
-  ({ off; arr = (if !w = Array.length arr then arr else Array.sub arr 0 !w) }, !w)
+  Int_vec.set off n !w;
+  let arr =
+    if !w = Int_vec.length arr then arr else Int_vec.sub arr ~pos:0 ~len:!w
+  in
+  ({ off; arr }, !w)
 
 (* The reverse CSR of a deduplicated children CSR.  Scanning sources in
    increasing order appends each parent in increasing order, so runs
    come out sorted without a sorting pass. *)
 let reverse_csr n children =
-  let deg = Array.make (n + 1) 0 in
-  for i = 0 to children.off.(n) - 1 do
-    let v = children.arr.(i) in
-    deg.(v + 1) <- deg.(v + 1) + 1
+  let deg = Int_vec.zeros (n + 1) in
+  for i = 0 to Int_vec.get children.off n - 1 do
+    let v = Int_vec.get children.arr i in
+    Int_vec.set deg (v + 1) (Int_vec.get deg (v + 1) + 1)
   done;
   for i = 1 to n do
-    deg.(i) <- deg.(i) + deg.(i - 1)
+    Int_vec.set deg i (Int_vec.get deg i + Int_vec.get deg (i - 1))
   done;
-  let fill = Array.copy deg in
-  let arr = Array.make deg.(n) 0 in
+  let fill = Int_vec.copy deg in
+  let arr = Int_vec.create (Int_vec.get deg n) in
   for u = 0 to n - 1 do
-    for i = children.off.(u) to children.off.(u + 1) - 1 do
-      let v = children.arr.(i) in
-      arr.(fill.(v)) <- u;
-      fill.(v) <- fill.(v) + 1
+    for i = Int_vec.get children.off u to Int_vec.get children.off (u + 1) - 1 do
+      let v = Int_vec.get children.arr i in
+      Int_vec.set arr (Int_vec.get fill v) u;
+      Int_vec.set fill v (Int_vec.get fill v + 1)
     done
   done;
   { off = deg; arr }
@@ -101,55 +114,59 @@ let reverse_csr n children =
 let iter_children g u f =
   let off = g.children.off and arr = g.children.arr in
   if g.n_deleted = 0 then
-    for i = off.(u) to off.(u + 1) - 1 do
-      f arr.(i)
+    for i = Int_vec.get off u to Int_vec.get off (u + 1) - 1 do
+      f (Int_vec.unsafe_get arr i)
     done
   else
-    for i = off.(u) to off.(u + 1) - 1 do
-      if not (Hashtbl.mem g.deleted (u, arr.(i))) then f arr.(i)
+    for i = Int_vec.get off u to Int_vec.get off (u + 1) - 1 do
+      let v = Int_vec.unsafe_get arr i in
+      if not (Hashtbl.mem g.deleted (u, v)) then f v
     done;
   if g.n_extra > 0 then List.iter f g.extra_children.(u)
 
 let iter_parents g u f =
   let off = g.parents.off and arr = g.parents.arr in
   if g.n_deleted = 0 then
-    for i = off.(u) to off.(u + 1) - 1 do
-      f arr.(i)
+    for i = Int_vec.get off u to Int_vec.get off (u + 1) - 1 do
+      f (Int_vec.unsafe_get arr i)
     done
   else
-    for i = off.(u) to off.(u + 1) - 1 do
-      if not (Hashtbl.mem g.deleted (arr.(i), u)) then f arr.(i)
+    for i = Int_vec.get off u to Int_vec.get off (u + 1) - 1 do
+      let v = Int_vec.unsafe_get arr i in
+      if not (Hashtbl.mem g.deleted (v, u)) then f v
     done;
   if g.n_extra > 0 then List.iter f g.extra_parents.(u)
 
 let exists_children g u pred =
   let off = g.children.off and arr = g.children.arr in
-  let i = ref off.(u) and hi = off.(u + 1) in
+  let i = ref (Int_vec.get off u) and hi = Int_vec.get off (u + 1) in
   let found = ref false in
   if g.n_deleted = 0 then
     while (not !found) && !i < hi do
-      if pred arr.(!i) then found := true;
+      if pred (Int_vec.unsafe_get arr !i) then found := true;
       incr i
     done
   else
     while (not !found) && !i < hi do
-      if (not (Hashtbl.mem g.deleted (u, arr.(!i)))) && pred arr.(!i) then found := true;
+      let v = Int_vec.unsafe_get arr !i in
+      if (not (Hashtbl.mem g.deleted (u, v))) && pred v then found := true;
       incr i
     done;
   !found || (g.n_extra > 0 && List.exists pred g.extra_children.(u))
 
 let exists_parents g u pred =
   let off = g.parents.off and arr = g.parents.arr in
-  let i = ref off.(u) and hi = off.(u + 1) in
+  let i = ref (Int_vec.get off u) and hi = Int_vec.get off (u + 1) in
   let found = ref false in
   if g.n_deleted = 0 then
     while (not !found) && !i < hi do
-      if pred arr.(!i) then found := true;
+      if pred (Int_vec.unsafe_get arr !i) then found := true;
       incr i
     done
   else
     while (not !found) && !i < hi do
-      if (not (Hashtbl.mem g.deleted (arr.(!i), u))) && pred arr.(!i) then found := true;
+      let v = Int_vec.unsafe_get arr !i in
+      if (not (Hashtbl.mem g.deleted (v, u))) && pred v then found := true;
       incr i
     done;
   !found || (g.n_extra > 0 && List.exists pred g.extra_parents.(u))
@@ -157,11 +174,12 @@ let exists_parents g u pred =
 let collect_sorted g adj ~extra ~del u =
   (* Materialize one node's neighbor list, sorted increasing. *)
   let off = adj.off and arr = adj.arr in
-  let lo = off.(u) and hi = off.(u + 1) in
+  let lo = Int_vec.get off u and hi = Int_vec.get off (u + 1) in
   let base = ref [] in
   for i = hi - 1 downto lo do
-    if g.n_deleted = 0 || not (Hashtbl.mem g.deleted (del u arr.(i))) then
-      base := arr.(i) :: !base
+    let v = Int_vec.get arr i in
+    if g.n_deleted = 0 || not (Hashtbl.mem g.deleted (del u v)) then
+      base := v :: !base
   done;
   match (if g.n_extra = 0 then [] else extra.(u)) with
   | [] -> !base
@@ -171,12 +189,12 @@ let children g u = collect_sorted g g.children ~extra:g.extra_children ~del:(fun
 let parents g u = collect_sorted g g.parents ~extra:g.extra_parents ~del:(fun u v -> (v, u)) u
 
 let degree_of g adj ~extra ~del u =
-  let lo = adj.off.(u) and hi = adj.off.(u + 1) in
+  let lo = Int_vec.get adj.off u and hi = Int_vec.get adj.off (u + 1) in
   let d = ref 0 in
   if g.n_deleted = 0 then d := hi - lo
   else
     for i = lo to hi - 1 do
-      if not (Hashtbl.mem g.deleted (del u adj.arr.(i))) then incr d
+      if not (Hashtbl.mem g.deleted (del u (Int_vec.get adj.arr i))) then incr d
     done;
   if g.n_extra > 0 then d := !d + List.length extra.(u);
   !d
@@ -204,7 +222,7 @@ let nodes_with_label g l =
       let table = Array.make (Label.Pool.count g.pool) [] in
       (* Walk ids downwards so each bucket ends up increasing. *)
       for u = n_nodes g - 1 downto 0 do
-        let code = Label.to_int g.labels.(u) in
+        let code = Int_vec.get g.labels u in
         table.(code) <- u :: table.(code)
       done;
       g.by_label <- Some table;
@@ -215,13 +233,19 @@ let nodes_with_label g l =
 
 let has_edge g u v =
   (not (g.n_deleted > 0 && Hashtbl.mem g.deleted (u, v)))
-  && (Int_arr.mem_range g.children.arr ~lo:g.children.off.(u) ~hi:g.children.off.(u + 1) v
+  && (Int_vec.mem_range g.children.arr
+        ~lo:(Int_vec.get g.children.off u)
+        ~hi:(Int_vec.get g.children.off (u + 1))
+        v
      || (g.n_extra > 0 && List.memq v g.extra_children.(u)))
 
 (* A tombstoned CSR edge still occupies its slot, so membership of the
    base layout alone (ignoring tombstones) also matters for updates. *)
 let in_csr g u v =
-  Int_arr.mem_range g.children.arr ~lo:g.children.off.(u) ~hi:g.children.off.(u + 1) v
+  Int_vec.mem_range g.children.arr
+    ~lo:(Int_vec.get g.children.off u)
+    ~hi:(Int_vec.get g.children.off (u + 1))
+    v
 
 let check_range n u v =
   if u < 0 || u >= n || v < 0 || v >= n then
@@ -249,7 +273,7 @@ let make ?(values = []) ~pool ~labels ~edges () =
     values;
   {
     pool;
-    labels = Array.copy labels;
+    labels = Int_vec.init n (fun u -> Label.to_int labels.(u));
     children;
     parents;
     values = value_table;
@@ -263,8 +287,42 @@ let make ?(values = []) ~pool ~labels ~edges () =
     by_label = None;
   }
 
-(* Fold the overflow layer back into flat arrays.  Amortized: runs
-   after O(n_edges) overflow operations and costs O(n + m). *)
+(* Assemble a graph directly from prebuilt CSR sections (a Container
+   mapping or a streamed build).  The vectors are adopted, not copied:
+   for a mapped file this is what makes open O(1).  Both directions
+   must already be sorted, deduplicated views of the same edge set —
+   Container guarantees that for files it wrote. *)
+let of_csr ?(values = []) ~pool ~label_codes ~children:(coff, carr)
+    ~parents:(poff, parr) () =
+  let n = Int_vec.length label_codes in
+  if n = 0 then invalid_arg "Data_graph.of_csr: no nodes";
+  if Int_vec.length coff <> n + 1 || Int_vec.length poff <> n + 1 then
+    invalid_arg "Data_graph.of_csr: offset length mismatch";
+  let m = Int_vec.get coff n in
+  if Int_vec.length carr <> m || Int_vec.length parr <> m || Int_vec.get poff n <> m
+  then invalid_arg "Data_graph.of_csr: edge count mismatch";
+  let value_table = Hashtbl.create (max 16 (List.length values)) in
+  List.iter (fun (u, payload) -> Hashtbl.replace value_table u payload) values;
+  {
+    pool;
+    labels = label_codes;
+    children = { off = coff; arr = carr };
+    parents = { off = poff; arr = parr };
+    values = value_table;
+    n_edges = m;
+    extra_children = Array.make n [];
+    extra_parents = Array.make n [];
+    deleted = Hashtbl.create 8;
+    n_extra = 0;
+    n_deleted = 0;
+    rebuild_at = rebuild_threshold m;
+    by_label = None;
+  }
+
+(* Fold the overflow layer back into flat vectors.  Amortized: runs
+   after O(n_edges) overflow operations and costs O(n + m).  On a
+   mapped graph this is also the migration point: the fresh vectors
+   live on the heap side and the file mapping is no longer read. *)
 let rebuild_csr g =
   let n = n_nodes g in
   let children, m = csr_of_edges n (fun f -> iter_edges g (fun u v -> f u v)) in
@@ -294,10 +352,19 @@ let csr_parents g =
   flatten g;
   (g.parents.off, g.parents.arr)
 
+let label_codes g = g.labels
+
+let iter_values g f =
+  let pairs = Hashtbl.fold (fun u payload acc -> (u, payload) :: acc) g.values [] in
+  List.iter (fun (u, payload) -> f u payload)
+    (List.sort (fun (a, _) (b, _) -> Int.compare a b) pairs)
+
+let n_values g = Hashtbl.length g.values
+
 let add_edge g u v =
   check_range (n_nodes g) u v;
-  (* [u] and [v] are validated above, so array reads are unchecked on
-     this hot path (loaders add edges in bulk). *)
+  (* [u] and [v] are validated above, so reads are unchecked on this
+     hot path (loaders add edges in bulk). *)
   if g.n_deleted > 0 && Hashtbl.mem g.deleted (u, v) then begin
     (* The slot still exists in the CSR: just lift the tombstone. *)
     Hashtbl.remove g.deleted (u, v);
@@ -305,8 +372,8 @@ let add_edge g u v =
     g.n_edges <- g.n_edges + 1
   end
   else begin
-    let lo = Array.unsafe_get g.children.off u in
-    let hi = Array.unsafe_get g.children.off (u + 1) in
+    let lo = Int_vec.unsafe_get g.children.off u in
+    let hi = Int_vec.unsafe_get g.children.off (u + 1) in
     let in_csr =
       (* Hand-inlined short scan: ocamlopt does not inline functions
          containing loops across modules, and this is the hottest loop
@@ -314,12 +381,12 @@ let add_edge g u v =
       if hi - lo <= 16 then begin
         let arr = g.children.arr in
         let i = ref lo in
-        while !i < hi && Array.unsafe_get arr !i < v do
+        while !i < hi && Int_vec.unsafe_get arr !i < v do
           incr i
         done;
-        !i < hi && Array.unsafe_get arr !i = v
+        !i < hi && Int_vec.unsafe_get arr !i = v
       end
-      else Int_arr.mem_range g.children.arr ~lo ~hi v
+      else Int_vec.mem_range g.children.arr ~lo ~hi v
     in
     if
       not
@@ -363,9 +430,9 @@ let remove_edge g u v =
 let copy g =
   {
     pool = Label.Pool.copy g.pool;
-    labels = Array.copy g.labels;
-    children = { off = Array.copy g.children.off; arr = Array.copy g.children.arr };
-    parents = { off = Array.copy g.parents.off; arr = Array.copy g.parents.arr };
+    labels = Int_vec.copy g.labels;
+    children = { off = Int_vec.copy g.children.off; arr = Int_vec.copy g.children.arr };
+    parents = { off = Int_vec.copy g.parents.off; arr = Int_vec.copy g.parents.arr };
     values = Hashtbl.copy g.values;
     n_edges = g.n_edges;
     extra_children = Array.copy g.extra_children;
@@ -384,7 +451,9 @@ let graft g h =
   let offset = ng in
   let remap u = u - 1 + offset in
   let labels = Array.make (ng + nh - 1) (Label.of_int 0) in
-  Array.blit g.labels 0 labels 0 ng;
+  for u = 0 to ng - 1 do
+    labels.(u) <- label g u
+  done;
   for u = 1 to nh - 1 do
     labels.(remap u) <- Label.Pool.intern pool (label_name h u)
   done;

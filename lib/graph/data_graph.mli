@@ -13,12 +13,19 @@
     addition builds a new graph, see {!graft}).
 
     Internally adjacency is stored in CSR (compressed sparse row)
-    layout: a flat offsets array plus a flat neighbor array per
-    direction, each node's neighbor run sorted increasing.  Updates go
-    through a small overflow buffer that is folded back into fresh flat
-    arrays once it exceeds a fraction of the edge count, so
-    {!iter_children}/{!iter_parents} are allocation-free flat-array
-    loops and {!has_edge} is a binary search in the common case. *)
+    layout: a flat offsets vector plus a flat neighbor vector per
+    direction ({!Int_vec}), each node's neighbor run sorted
+    increasing.  Updates go through a small overflow buffer that is
+    folded back into fresh flat vectors once it exceeds a fraction of
+    the edge count, so {!iter_children}/{!iter_parents} are
+    allocation-free flat loops and {!has_edge} is a binary search in
+    the common case.
+
+    Because the flat storage is {!Int_vec} (a native-int bigarray),
+    the CSR sections can also be views into a memory-mapped
+    {!Container} file ({!of_csr}): queries run identically on a mapped
+    graph, and the first overflow fold after a mutation migrates the
+    graph to fresh heap-side vectors. *)
 
 type t
 
@@ -65,15 +72,24 @@ val flatten : t -> unit
     Semantically a no-op; called implicitly by {!csr_children} and
     {!csr_parents}. *)
 
-val csr_children : t -> int array * int array
+val csr_children : t -> Int_vec.t * Int_vec.t
 (** [(off, arr)]: node [u]'s children are [arr.(off.(u)) ..
     arr.(off.(u + 1) - 1)], sorted increasing.  Flattens pending
-    updates first.  The arrays are the graph's own storage — valid
+    updates first.  The vectors are the graph's own storage — valid
     until the next mutation, never to be written.  For allocation-free
     hot loops that cannot afford a closure per node. *)
 
-val csr_parents : t -> int array * int array
+val csr_parents : t -> Int_vec.t * Int_vec.t
 (** The parent-direction counterpart of {!csr_children}. *)
+
+val label_codes : t -> Int_vec.t
+(** Node label codes ([Label.to_int] of {!label}), the graph's own
+    storage — never to be written. *)
+
+val iter_values : t -> (int -> string -> unit) -> unit
+(** Visit every (node, payload) pair in increasing node order. *)
+
+val n_values : t -> int
 
 val iter_edges : t -> (int -> int -> unit) -> unit
 val fold_nodes : t -> init:'a -> f:('a -> int -> 'a) -> 'a
@@ -100,6 +116,23 @@ val make :
     IDREFs).  [values] attaches atomic payloads to nodes.
     @raise Invalid_argument on out-of-range endpoints or if [labels]
     is empty. *)
+
+val of_csr :
+  ?values:(int * string) list ->
+  pool:Label.Pool.t ->
+  label_codes:Int_vec.t ->
+  children:Int_vec.t * Int_vec.t ->
+  parents:Int_vec.t * Int_vec.t ->
+  unit ->
+  t
+(** [of_csr ~pool ~label_codes ~children:(coff, carr)
+    ~parents:(poff, parr) ()] assembles a graph directly from prebuilt
+    CSR sections, adopting the vectors without copying — this is the
+    O(1) open path for {!Container}-mapped graphs and the exit of the
+    streaming builder.  Both directions must already be sorted,
+    deduplicated layouts of the same edge set; only shape (lengths and
+    edge counts) is validated here.
+    @raise Invalid_argument on shape mismatch or zero nodes. *)
 
 val add_edge : t -> int -> int -> unit
 (** [add_edge g u v] inserts the edge [u -> v].  No-op if the edge is

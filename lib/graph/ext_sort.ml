@@ -1,0 +1,422 @@
+(* External merge sort for the out-of-core paths: buffer items in a
+   flat Int_vec, spill sorted runs to anonymous temp files when the
+   buffer fills, then k-way merge the runs (plus the in-RAM tail) in
+   one streaming pass.  Two shapes are needed: fixed (a, b) pairs (the
+   streaming CSR builder) and variable-length int records (the
+   external refinement pass).
+
+   Temp files are created and unlinked immediately — the descriptors
+   keep them alive, so a crash leaks nothing.  Runs are raw
+   little-endian native words; with a [mem_budget] of B words a
+   dataset of W words makes ceil(W/B) runs, merged with a linear
+   min-scan over the run heads (run counts here are tens, not
+   thousands, so a loser tree would be noise). *)
+
+let default_budget = 1 lsl 22  (* words: 32 MiB per sorter *)
+
+let temp_fd ?tmp_dir () =
+  let dir = match tmp_dir with Some d -> d | None -> Filename.get_temp_dir_name () in
+  let path = Filename.temp_file ~temp_dir:dir "dkxsort" ".run" in
+  let fd = Unix.openfile path [ O_RDWR ] 0o600 in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  fd
+
+let really_write fd buf off len =
+  let w = ref off and rem = ref len in
+  while !rem > 0 do
+    let k = Unix.write fd buf !w !rem in
+    w := !w + k;
+    rem := !rem - k
+  done
+
+(* Buffered little-endian word reader over a run fd. *)
+module Run = struct
+  type t = {
+    fd : Unix.file_descr;
+    buf : Bytes.t;
+    mutable pos : int;
+    mutable len : int;
+    mutable eof : bool;
+  }
+
+  let buf_cap = 1 lsl 16
+
+  let of_fd fd =
+    ignore (Unix.lseek fd 0 SEEK_SET);
+    { fd; buf = Bytes.create buf_cap; pos = 0; len = 0; eof = false }
+
+  let refill r =
+    if not r.eof then begin
+      (* Keep any partial word: compact, then top up. *)
+      let rem = r.len - r.pos in
+      if rem > 0 then Bytes.blit r.buf r.pos r.buf 0 rem;
+      r.pos <- 0;
+      r.len <- rem;
+      let k = Unix.read r.fd r.buf r.len (buf_cap - r.len) in
+      if k = 0 then r.eof <- true else r.len <- r.len + k
+    end
+
+  let read_word r =
+    if r.len - r.pos < 8 then refill r;
+    if r.len - r.pos < 8 then None
+    else begin
+      let x = Int64.to_int (Bytes.get_int64_le r.buf r.pos) in
+      r.pos <- r.pos + 8;
+      Some x
+    end
+
+  let close r = try Unix.close r.fd with Unix.Unix_error _ -> ()
+end
+
+(* Spill words [0, words) of [data] as one sorted run. *)
+let spill ?tmp_dir data words =
+  let fd = temp_fd ?tmp_dir () in
+  let chunk = Bytes.create (1 lsl 16) in
+  let fill = ref 0 in
+  for i = 0 to words - 1 do
+    if !fill = Bytes.length chunk then begin
+      really_write fd chunk 0 !fill;
+      fill := 0
+    end;
+    Bytes.set_int64_le chunk !fill (Int64.of_int (Int_vec.unsafe_get data i));
+    fill := !fill + 8
+  done;
+  if !fill > 0 then really_write fd chunk 0 !fill;
+  fd
+
+(* ------------------------------------------------------------------ *)
+
+module Pairs = struct
+  type t = {
+    data : Int_vec.t;  (* pairs at slots [2i, 2i + 1) *)
+    cap_pairs : int;
+    tmp_dir : string option;
+    mutable n : int;  (* buffered pairs *)
+    mutable runs : Unix.file_descr list;  (* reversed *)
+    mutable total : int;
+    mutable closed : bool;
+  }
+
+  let create ?(mem_budget = default_budget) ?tmp_dir () =
+    let cap_pairs = max 1024 (mem_budget / 2) in
+    {
+      data = Int_vec.create (2 * cap_pairs);
+      cap_pairs;
+      tmp_dir;
+      n = 0;
+      runs = [];
+      total = 0;
+      closed = false;
+    }
+
+  (* In-place quicksort of the buffered pairs by (a, b) — the Int_vec
+     qsort, with two-word elements. *)
+  let cmp_pair d i j =
+    let c = compare (Int_vec.unsafe_get d (2 * i)) (Int_vec.unsafe_get d (2 * j)) in
+    if c <> 0 then c
+    else compare (Int_vec.unsafe_get d ((2 * i) + 1)) (Int_vec.unsafe_get d ((2 * j) + 1))
+
+  let swap_pair d i j =
+    let a = Int_vec.unsafe_get d (2 * i) and b = Int_vec.unsafe_get d ((2 * i) + 1) in
+    Int_vec.unsafe_set d (2 * i) (Int_vec.unsafe_get d (2 * j));
+    Int_vec.unsafe_set d ((2 * i) + 1) (Int_vec.unsafe_get d ((2 * j) + 1));
+    Int_vec.unsafe_set d (2 * j) a;
+    Int_vec.unsafe_set d ((2 * j) + 1) b
+
+  let rec qsort d lo hi =
+    if hi - lo > 1 then begin
+      if hi - lo <= 16 then
+        for i = lo + 1 to hi - 1 do
+          let j = ref i in
+          while !j > lo && cmp_pair d (!j - 1) !j > 0 do
+            swap_pair d (!j - 1) !j;
+            decr j
+          done
+        done
+      else begin
+        let mid = lo + ((hi - lo) / 2) in
+        if cmp_pair d mid lo < 0 then swap_pair d mid lo;
+        if cmp_pair d (hi - 1) lo < 0 then swap_pair d (hi - 1) lo;
+        if cmp_pair d (hi - 1) mid < 0 then swap_pair d (hi - 1) mid;
+        (* Median-of-three leaves the pivot at [mid]; park it at
+           [hi - 2] so partitioning can't lose track of it. *)
+        swap_pair d mid (hi - 2);
+        let p = hi - 2 in
+        let i = ref lo and j = ref (hi - 2) in
+        let continue = ref true in
+        while !continue do
+          incr i;
+          while cmp_pair d !i p < 0 do
+            incr i
+          done;
+          decr j;
+          while cmp_pair d !j p > 0 do
+            decr j
+          done;
+          if !i >= !j then continue := false else swap_pair d !i !j
+        done;
+        swap_pair d !i (hi - 2);
+        qsort d lo !i;
+        qsort d (!i + 1) hi
+      end
+    end
+
+  let sort_buffer t = qsort t.data 0 t.n
+
+  let flush_run t =
+    if t.n > 0 then begin
+      sort_buffer t;
+      t.runs <- spill ?tmp_dir:t.tmp_dir t.data (2 * t.n) :: t.runs;
+      t.n <- 0
+    end
+
+  let add t a b =
+    if t.closed then invalid_arg "Ext_sort.Pairs: closed";
+    if t.n = t.cap_pairs then flush_run t;
+    Int_vec.unsafe_set t.data (2 * t.n) a;
+    Int_vec.unsafe_set t.data ((2 * t.n) + 1) b;
+    t.n <- t.n + 1;
+    t.total <- t.total + 1
+
+  let total t = t.total
+
+  let iter_merged t f =
+    if t.closed then invalid_arg "Ext_sort.Pairs: closed";
+    sort_buffer t;
+    let runs = Array.of_list (List.rev_map Run.of_fd t.runs) in
+    let k = Array.length runs in
+    (* Head pair of each source; source [k] is the in-RAM tail. *)
+    let ha = Array.make (k + 1) 0 and hb = Array.make (k + 1) 0 in
+    let live = Array.make (k + 1) false in
+    let tail_pos = ref 0 in
+    let advance s =
+      if s < k then
+        match Run.read_word runs.(s) with
+        | None -> live.(s) <- false
+        | Some a ->
+          (match Run.read_word runs.(s) with
+          | None -> live.(s) <- false  (* torn pair: impossible for our own runs *)
+          | Some b ->
+            ha.(s) <- a;
+            hb.(s) <- b;
+            live.(s) <- true)
+      else if !tail_pos < t.n then begin
+        ha.(s) <- Int_vec.get t.data (2 * !tail_pos);
+        hb.(s) <- Int_vec.get t.data ((2 * !tail_pos) + 1);
+        incr tail_pos;
+        live.(s) <- true
+      end
+      else live.(s) <- false
+    in
+    for s = 0 to k do
+      advance s
+    done;
+    let any = ref true in
+    while !any do
+      let best = ref (-1) in
+      for s = 0 to k do
+        if
+          live.(s)
+          && (!best < 0
+             || ha.(s) < ha.(!best)
+             || (ha.(s) = ha.(!best) && hb.(s) < hb.(!best)))
+        then best := s
+      done;
+      if !best < 0 then any := false
+      else begin
+        f ha.(!best) hb.(!best);
+        advance !best
+      end
+    done;
+    Array.iter Run.close runs;
+    t.runs <- [];
+    t.n <- 0;
+    t.closed <- true
+
+  let close t =
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.runs;
+    t.runs <- [];
+    t.closed <- true
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Records = struct
+  (* Variable-length int records, ordered lexicographically
+     (element-wise; a strict prefix sorts first).  Runs frame each
+     record as [len; w0 .. w_{len-1}]. *)
+
+  type t = {
+    data : Int_vec.t;
+    cap : int;
+    tmp_dir : string option;
+    mutable fill : int;  (* words used in data *)
+    mutable starts : int array;  (* record start offsets, [0, n) *)
+    mutable lens : int array;
+    mutable n : int;
+    mutable runs : Unix.file_descr list;
+    mutable total : int;
+    mutable closed : bool;
+  }
+
+  let create ?(mem_budget = default_budget) ?tmp_dir () =
+    let cap = max 4096 mem_budget in
+    {
+      data = Int_vec.create cap;
+      cap;
+      tmp_dir;
+      fill = 0;
+      starts = Array.make 1024 0;
+      lens = Array.make 1024 0;
+      n = 0;
+      runs = [];
+      total = 0;
+      closed = false;
+    }
+
+  let lex_cmp d s1 l1 s2 l2 =
+    let l = min l1 l2 in
+    let i = ref 0 and c = ref 0 in
+    while !c = 0 && !i < l do
+      c := compare (Int_vec.unsafe_get d (s1 + !i)) (Int_vec.unsafe_get d (s2 + !i));
+      incr i
+    done;
+    if !c <> 0 then !c else compare l1 l2
+
+  let sort_buffer t =
+    let idx = Array.init t.n Fun.id in
+    let d = t.data and starts = t.starts and lens = t.lens in
+    Array.sort (fun i j -> lex_cmp d starts.(i) lens.(i) starts.(j) lens.(j)) idx;
+    idx
+
+  let flush_run t =
+    if t.n > 0 then begin
+      let idx = sort_buffer t in
+      let fd = temp_fd ?tmp_dir:t.tmp_dir () in
+      let chunk = Bytes.create (1 lsl 16) in
+      let fill = ref 0 in
+      let put x =
+        if !fill = Bytes.length chunk then begin
+          really_write fd chunk 0 !fill;
+          fill := 0
+        end;
+        Bytes.set_int64_le chunk !fill (Int64.of_int x);
+        fill := !fill + 8
+      in
+      Array.iter
+        (fun i ->
+          put t.lens.(i);
+          for j = t.starts.(i) to t.starts.(i) + t.lens.(i) - 1 do
+            put (Int_vec.get t.data j)
+          done)
+        idx;
+      if !fill > 0 then really_write fd chunk 0 !fill;
+      t.runs <- fd :: t.runs;
+      t.n <- 0;
+      t.fill <- 0
+    end
+
+  let grow_meta t =
+    let cap = Array.length t.starts in
+    if t.n = cap then begin
+      t.starts <- Array.append t.starts (Array.make cap 0);
+      t.lens <- Array.append t.lens (Array.make cap 0)
+    end
+
+  let add t rec_ ~len =
+    if t.closed then invalid_arg "Ext_sort.Records: closed";
+    if len > t.cap then invalid_arg "Ext_sort.Records: record exceeds budget";
+    if t.fill + len > t.cap then flush_run t;
+    grow_meta t;
+    t.starts.(t.n) <- t.fill;
+    t.lens.(t.n) <- len;
+    for i = 0 to len - 1 do
+      Int_vec.unsafe_set t.data (t.fill + i) (Array.unsafe_get rec_ i)
+    done;
+    t.fill <- t.fill + len;
+    t.n <- t.n + 1;
+    t.total <- t.total + 1
+
+  let total t = t.total
+
+  (* Run-head state for the merge: each source holds its current
+     record in a growable scratch array. *)
+  type head = {
+    mutable hbuf : int array;
+    mutable hlen : int;
+    mutable hlive : bool;
+  }
+
+  let iter_merged t f =
+    if t.closed then invalid_arg "Ext_sort.Records: closed";
+    let idx = sort_buffer t in
+    let runs = Array.of_list (List.rev_map Run.of_fd t.runs) in
+    let k = Array.length runs in
+    let heads =
+      Array.init (k + 1) (fun _ -> { hbuf = Array.make 64 0; hlen = 0; hlive = false })
+    in
+    let tail_pos = ref 0 in
+    let advance s =
+      let h = heads.(s) in
+      if s < k then
+        match Run.read_word runs.(s) with
+        | None -> h.hlive <- false
+        | Some len ->
+          if Array.length h.hbuf < len then h.hbuf <- Array.make (2 * len) 0;
+          for i = 0 to len - 1 do
+            match Run.read_word runs.(s) with
+            | Some x -> h.hbuf.(i) <- x
+            | None -> raise (Failure "Ext_sort.Records: torn run record")
+          done;
+          h.hlen <- len;
+          h.hlive <- true
+      else if !tail_pos < t.n then begin
+        let i = idx.(!tail_pos) in
+        incr tail_pos;
+        let len = t.lens.(i) in
+        if Array.length h.hbuf < len then h.hbuf <- Array.make (2 * len) 0;
+        for j = 0 to len - 1 do
+          h.hbuf.(j) <- Int_vec.get t.data (t.starts.(i) + j)
+        done;
+        h.hlen <- len;
+        h.hlive <- true
+      end
+      else h.hlive <- false
+    in
+    let head_cmp a b =
+      let la = heads.(a).hlen and lb = heads.(b).hlen in
+      let da = heads.(a).hbuf and db = heads.(b).hbuf in
+      let l = min la lb in
+      let i = ref 0 and c = ref 0 in
+      while !c = 0 && !i < l do
+        c := compare (Array.unsafe_get da !i) (Array.unsafe_get db !i);
+        incr i
+      done;
+      if !c <> 0 then !c else compare la lb
+    in
+    for s = 0 to k do
+      advance s
+    done;
+    let any = ref true in
+    while !any do
+      let best = ref (-1) in
+      for s = 0 to k do
+        if heads.(s).hlive && (!best < 0 || head_cmp s !best < 0) then best := s
+      done;
+      if !best < 0 then any := false
+      else begin
+        f heads.(!best).hbuf heads.(!best).hlen;
+        advance !best
+      end
+    done;
+    Array.iter Run.close runs;
+    t.runs <- [];
+    t.n <- 0;
+    t.fill <- 0;
+    t.closed <- true
+
+  let close t =
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.runs;
+    t.runs <- [];
+    t.closed <- true
+end

@@ -1,0 +1,46 @@
+(** External merge sort for the out-of-core build paths.
+
+    Items buffer into a flat {!Int_vec}; when the buffer reaches the
+    memory budget a sorted run is spilled to an unlinked temp file
+    (crash-safe — the descriptor is the only reference), and
+    [iter_merged] streams the globally sorted sequence through a
+    k-way merge of the runs plus the in-RAM tail.  A sorter is
+    single-use: after [iter_merged] (or [close]) it cannot accept
+    more items. *)
+
+module Pairs : sig
+  (** (a, b) int pairs, sorted by [a] then [b]; duplicates are kept
+      (callers dedup in the merged stream). *)
+
+  type t
+
+  val create : ?mem_budget:int -> ?tmp_dir:string -> unit -> t
+  (** [mem_budget] is in words (two per pair); default 4M words
+      (32 MiB). *)
+
+  val add : t -> int -> int -> unit
+  val total : t -> int
+  val iter_merged : t -> (int -> int -> unit) -> unit
+  val close : t -> unit
+end
+
+module Records : sig
+  (** Variable-length int records in lexicographic order
+      (element-wise compare; a strict prefix sorts first). *)
+
+  type t
+
+  val create : ?mem_budget:int -> ?tmp_dir:string -> unit -> t
+
+  val add : t -> int array -> len:int -> unit
+  (** Copies words [0, len) of the scratch array into the buffer.
+      @raise Invalid_argument if a single record exceeds the budget. *)
+
+  val total : t -> int
+
+  val iter_merged : t -> (int array -> int -> unit) -> unit
+  (** The callback receives a scratch buffer and the record length;
+      the buffer is reused between calls — copy what must survive. *)
+
+  val close : t -> unit
+end

@@ -1,0 +1,130 @@
+(* Flat int storage behind the CSR layout.  A bigarray rather than an
+   int array so the same vector type can sit on the OCaml heap or on a
+   memory-mapped file section (Container): the element representation
+   is an untagged native word either way, and the accessors below are
+   compiler primitives that compile to single loads/stores because the
+   element type is statically known. *)
+
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+external length : t -> int = "%caml_ba_dim_1"
+external get : t -> int -> int = "%caml_ba_ref_1"
+external set : t -> int -> int -> unit = "%caml_ba_set_1"
+external unsafe_get : t -> int -> int = "%caml_ba_unsafe_ref_1"
+external unsafe_set : t -> int -> int -> unit = "%caml_ba_unsafe_set_1"
+
+let create n : t = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+
+let zeros n =
+  let v = create n in
+  Bigarray.Array1.fill v 0;
+  v
+
+let init n f =
+  let v = create n in
+  for i = 0 to n - 1 do
+    unsafe_set v i (f i)
+  done;
+  v
+
+let of_array a = init (Array.length a) (Array.unsafe_get a)
+
+let to_array v = Array.init (length v) (unsafe_get v)
+
+let copy v =
+  let w = create (length v) in
+  Bigarray.Array1.blit v w;
+  w
+
+let sub v ~pos ~len : t = Bigarray.Array1.sub v pos len
+let fill v x = Bigarray.Array1.fill v x
+
+let blit ~src ~src_pos ~dst ~dst_pos ~len =
+  if len > 0 then
+    Bigarray.Array1.blit (Bigarray.Array1.sub src src_pos len)
+      (Bigarray.Array1.sub dst dst_pos len)
+
+(* Sorting / searching over [lo, hi) ranges — the Int_arr routines,
+   retargeted at the bigarray accessors. *)
+
+let insertion_sort (a : t) lo hi =
+  for i = lo + 1 to hi - 1 do
+    let x = get a i in
+    let j = ref (i - 1) in
+    while !j >= lo && get a !j > x do
+      set a (!j + 1) (get a !j);
+      decr j
+    done;
+    set a (!j + 1) x
+  done
+
+let swap (a : t) i j =
+  let t = get a i in
+  set a i (get a j);
+  set a j t
+
+let rec qsort (a : t) lo hi =
+  if hi - lo <= 16 then insertion_sort a lo hi
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    if get a mid < get a lo then swap a mid lo;
+    if get a (hi - 1) < get a lo then swap a (hi - 1) lo;
+    if get a (hi - 1) < get a mid then swap a (hi - 1) mid;
+    let pivot = get a mid in
+    let i = ref lo and j = ref (hi - 1) in
+    while !i <= !j do
+      while get a !i < pivot do
+        incr i
+      done;
+      while get a !j > pivot do
+        decr j
+      done;
+      if !i <= !j then begin
+        swap a !i !j;
+        incr i;
+        decr j
+      end
+    done;
+    if !j - lo < hi - !i then begin
+      qsort a lo (!j + 1);
+      qsort a !i hi
+    end
+    else begin
+      qsort a !i hi;
+      qsort a lo (!j + 1)
+    end
+  end
+
+let sort_range a ~lo ~hi = if hi - lo > 1 then qsort a lo hi
+
+let dedup_range (a : t) ~lo ~hi =
+  if hi <= lo then 0
+  else begin
+    let w = ref (lo + 1) in
+    for r = lo + 1 to hi - 1 do
+      if get a r <> get a (!w - 1) then begin
+        set a !w (get a r);
+        incr w
+      end
+    done;
+    !w - lo
+  end
+
+let mem_range (a : t) ~lo ~hi x =
+  if hi - lo <= 16 then begin
+    let i = ref lo in
+    while !i < hi && unsafe_get a !i < x do
+      incr i
+    done;
+    !i < hi && unsafe_get a !i = x
+  end
+  else begin
+    let lo = ref lo and hi = ref hi in
+    let found = ref false in
+    while (not !found) && !lo < !hi do
+      let mid = !lo + ((!hi - !lo) / 2) in
+      let v = get a mid in
+      if v = x then found := true else if v < x then lo := mid + 1 else hi := mid
+    done;
+    !found
+  end

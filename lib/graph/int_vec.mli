@@ -1,0 +1,46 @@
+(** Flat int vectors backing the CSR layout.
+
+    A bigarray of untagged native ints rather than an [int array], so
+    the same type covers both OCaml-heap storage and sections of a
+    memory-mapped {!Container} file.  The type is exposed concretely
+    and the accessors are compiler primitives, so [get]/[set] compile
+    to single loads/stores at every call site.
+
+    Vectors created here live in malloc'd memory outside the OCaml
+    heap; vectors returned by {!Container} are views into a mapped
+    file and stay valid as long as the vector value is reachable (the
+    mapping is released by the GC finalizer, never explicitly). *)
+
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+external length : t -> int = "%caml_ba_dim_1"
+external get : t -> int -> int = "%caml_ba_ref_1"
+external set : t -> int -> int -> unit = "%caml_ba_set_1"
+external unsafe_get : t -> int -> int = "%caml_ba_unsafe_ref_1"
+external unsafe_set : t -> int -> int -> unit = "%caml_ba_unsafe_set_1"
+
+val create : int -> t
+(** Uninitialized storage — every slot must be written before read. *)
+
+val zeros : int -> t
+val init : int -> (int -> int) -> t
+val of_array : int array -> t
+val to_array : t -> int array
+val copy : t -> t
+
+val sub : t -> pos:int -> len:int -> t
+(** Zero-copy view sharing storage with the argument. *)
+
+val fill : t -> int -> unit
+val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+
+val sort_range : t -> lo:int -> hi:int -> unit
+(** Sort [\[lo, hi)] increasing, in place. *)
+
+val dedup_range : t -> lo:int -> hi:int -> int
+(** Compact a sorted range in place, dropping adjacent duplicates;
+    returns the deduplicated length. *)
+
+val mem_range : t -> lo:int -> hi:int -> int -> bool
+(** Membership in a sorted range: linear scan on short runs, binary
+    search otherwise. *)

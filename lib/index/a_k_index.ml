@@ -1,6 +1,6 @@
-let build ?domains g ~k =
+let build ?domains ?mode g ~k =
   if k < 0 then invalid_arg "A_k_index.build: k must be non-negative";
-  let p = Kbisim.k_partition ?domains g ~k in
-  Index_graph.of_partition g ~cls:p.cls ~n_classes:p.n_classes
+  let p = Kbisim.k_partition ?domains ?mode g ~k in
+  Index_graph.of_partition ?mode g ~cls:p.cls ~n_classes:p.n_classes
     ~k_of_class:(fun _ -> k)
     ~req_of_class:(fun _ -> k)

@@ -12,8 +12,8 @@ let label_parents g =
     let off, arr = Data_graph.csr_children g in
     for u = 0 to Data_graph.n_nodes g - 1 do
       let lu = Label.to_int (Data_graph.label g u) in
-      for i = off.(u) to off.(u + 1) - 1 do
-        let lv = Label.to_int (Data_graph.label g (Array.unsafe_get arr i)) in
+      for i = Int_vec.get off u to Int_vec.get off (u + 1) - 1 do
+        let lv = Label.to_int (Data_graph.label g (Int_vec.unsafe_get arr i)) in
         let j = (lv * n_labels) + lu in
         if Bytes.unsafe_get seen j = '\000' then begin
           Bytes.unsafe_set seen j '\001';

@@ -8,7 +8,7 @@ let effective_reqs g ~reqs = Broadcast.run g ~reqs
    classes whose (broadcast) requirement is at least k.  Returns the
    final partition and the per-class requirement, which is also the
    local similarity achieved by each class. *)
-let build_partition g ~label_reqs =
+let build_partition ?mode g ~label_reqs =
   let p0 = Kbisim.label_partition g in
   let labels = Kbisim.class_labels g p0 in
   let req0 = Array.map (fun l -> label_reqs.(Label.to_int l)) labels in
@@ -16,21 +16,21 @@ let build_partition g ~label_reqs =
   let p = ref p0 and class_req = ref req0 in
   for k = 1 to kmax do
     let cr = !class_req in
-    let p', _changed = Kbisim.refine g !p ~eligible:(fun c -> cr.(c) >= k) in
+    let p', _changed = Kbisim.refine ?mode g !p ~eligible:(fun c -> cr.(c) >= k) in
     class_req := Array.map (fun old_class -> cr.(old_class)) p'.Kbisim.parent_class;
     p := p'
   done;
   (!p, !class_req)
 
-let of_built g (p : Kbisim.partition) class_req =
-  Index_graph.of_partition g ~cls:p.cls ~n_classes:p.n_classes
+let of_built ?mode g (p : Kbisim.partition) class_req =
+  Index_graph.of_partition ?mode g ~cls:p.cls ~n_classes:p.n_classes
     ~k_of_class:(fun c -> class_req.(c))
     ~req_of_class:(fun c -> class_req.(c))
 
-let build g ~reqs =
+let build ?mode g ~reqs =
   let label_reqs = Broadcast.run g ~reqs in
-  let p, class_req = build_partition g ~label_reqs in
-  let t = of_built g p class_req in
+  let p, class_req = build_partition ?mode g ~label_reqs in
+  let t = of_built ?mode g p class_req in
   Log.info (fun m ->
       m "built D(k)-index: %d classes over %d data nodes (kmax=%d)" p.Kbisim.n_classes
         (Data_graph.n_nodes g)
@@ -53,10 +53,10 @@ let enforce_definition3 t =
         end)
   done
 
-let rebuild idx ~reqs =
+let rebuild ?mode idx ~reqs =
   let derived, inode_of_derived = Index_graph.as_data_graph idx in
   let label_reqs = Broadcast.run derived ~reqs in
-  let p, class_req = build_partition derived ~label_reqs in
+  let p, class_req = build_partition ?mode derived ~label_reqs in
   (* Theorem 2 only guarantees the requirement-level similarity when the
      input is a true refinement of the target index.  After source-data
      updates the input's recorded similarities may be lower than its

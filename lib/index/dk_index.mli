@@ -15,12 +15,15 @@ type requirements = (string * int) list
 (** Per-label local-similarity requirements mined from the query load;
     labels not listed default to 0. *)
 
-val build : Data_graph.t -> reqs:requirements -> Index_graph.t
+val build : ?mode:Kbisim.mode -> Data_graph.t -> reqs:requirements -> Index_graph.t
+(** [mode] selects the refinement engine per round (default [`Auto]:
+    in-RAM below 2{^24} edges, external sort/scan above); the built
+    index is bit-for-bit independent of it. *)
 
 val effective_reqs : Data_graph.t -> reqs:requirements -> int array
 (** The per-label-code requirements after the broadcast step. *)
 
-val rebuild : Index_graph.t -> reqs:requirements -> Index_graph.t
+val rebuild : ?mode:Kbisim.mode -> Index_graph.t -> reqs:requirements -> Index_graph.t
 (** Theorem 2: the D(k)-index of any refinement of a D(k)-index equals
     the D(k)-index of the data.  [rebuild] treats the given index graph
     as a data graph, constructs the D(k)-index over it, and merges

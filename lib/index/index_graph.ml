@@ -540,21 +540,24 @@ let attach_edges t nd =
     add_edge_raw t nd.id scratch.(i)
   done
 
-let of_partition g ~cls ~n_classes ~k_of_class ~req_of_class =
+(* Nodes, extents and the [cls] map of a partition — everything but
+   the index edges, shared by [of_partition] (which projects the data
+   edges) and [of_partition_with_edges] (which installs a precomputed
+   CSR, e.g. from an index container). *)
+let partition_nodes ~fname g ~cls ~n_classes ~k_of_class ~req_of_class =
   let n = Data_graph.n_nodes g in
-  if Array.length cls <> n then invalid_arg "Index_graph.of_partition: cls size mismatch";
+  if Array.length cls <> n then invalid_arg (fname ^ ": cls size mismatch");
   let sizes = Array.make n_classes 0 in
   let labels = Array.make n_classes None in
   for u = 0 to n - 1 do
     let c = cls.(u) in
-    if c < 0 || c >= n_classes then invalid_arg "Index_graph.of_partition: class out of range";
+    if c < 0 || c >= n_classes then invalid_arg (fname ^ ": class out of range");
     sizes.(c) <- sizes.(c) + 1;
     let l = Data_graph.label g u in
     match labels.(c) with
     | None -> labels.(c) <- Some l
     | Some l' ->
-      if not (Label.equal l l') then
-        invalid_arg "Index_graph.of_partition: class mixes labels"
+      if not (Label.equal l l') then invalid_arg (fname ^ ": class mixes labels")
   done;
   (* Fill extents by a second ascending scan: each comes out sorted. *)
   let extents = Array.map (fun s -> Array.make s 0) sizes in
@@ -594,16 +597,83 @@ let of_partition g ~cls ~n_classes ~k_of_class ~req_of_class =
   in
   for c = 0 to n_classes - 1 do
     match labels.(c) with
-    | None -> invalid_arg "Index_graph.of_partition: empty class"
+    | None -> invalid_arg (fname ^ ": empty class")
     | Some label ->
       ignore (alloc t ~label ~extent:extents.(c) ~k:(k_of_class c) ~req:(req_of_class c))
   done;
-  (* Edges: project every data edge to its (class, class) pair, dedup,
-     then counting-sort the distinct pairs straight into the CSR
-     layout.  A flat byte matrix keeps the per-edge check to two loads
-     when the class count is small; huge partitions fall back to a
-     hash table. *)
-  let deg = Array.make (n_classes + 1) 0 in
+  t
+
+(* Install a child CSR and derive the parent CSR from it by counting
+   sort (deterministic: parent runs come out sorted because [a]
+   ascends). *)
+let install_from_children t n_classes ~coff ~carr =
+  let m = Array.length carr in
+  let pdeg = Array.make (n_classes + 1) 0 in
+  Array.iter (fun v -> pdeg.(v + 1) <- pdeg.(v + 1) + 1) carr;
+  for i = 1 to n_classes do
+    pdeg.(i) <- pdeg.(i) + pdeg.(i - 1)
+  done;
+  let pfill = Array.copy pdeg in
+  let parr = Array.make m 0 in
+  for a = 0 to n_classes - 1 do
+    for i = coff.(a) to coff.(a + 1) - 1 do
+      let b = carr.(i) in
+      parr.(pfill.(b)) <- a;
+      pfill.(b) <- pfill.(b) + 1
+    done
+  done;
+  t.children.off <- coff;
+  t.children.arr <- carr;
+  t.children.csr_n <- n_classes;
+  t.parents.off <- pdeg;
+  t.parents.arr <- parr;
+  t.parents.csr_n <- n_classes;
+  t.n_iedges <- m;
+  t.rebuild_at <- rebuild_threshold ~next_id:t.next_id m
+
+(* Same cutover point as [Kbisim.auto_threshold]: past ~16M data
+   edges the in-RAM dedup structures dominate the heap, and the
+   external sorter's sequential passes win anyway. *)
+let external_edge_threshold = 1 lsl 24
+
+(* Out-of-core edge projection: stream every projected (class, class)
+   pair through the external sorter, then consume the globally sorted
+   merge, skipping duplicates.  The merge order (src ascending, dst
+   ascending within a run) IS the CSR layout, so the neighbor array
+   fills left to right with no counting sort and no per-run sort —
+   bit-identical to the in-RAM path's output.  Heap usage is the final
+   CSR plus the [n_classes + 1] degree array; the sorter buffer is
+   off-heap and spills past its budget. *)
+let project_edges_external t g ~n_classes ~deg =
+  let sorter = Ext_sort.Pairs.create () in
+  Data_graph.iter_edges g (fun u v ->
+      Ext_sort.Pairs.add sorter t.cls.(u) t.cls.(v));
+  (* Distinct-pair count is unknown until the merge, so stage the
+     neighbor column in an off-heap buffer sized by the (known) total
+     and copy the deduplicated prefix into an exact-size array. *)
+  let buf = Int_vec.create (max 1 (Ext_sort.Pairs.total sorter)) in
+  let m = ref 0 in
+  let prev_a = ref (-1) and prev_b = ref (-1) in
+  Ext_sort.Pairs.iter_merged sorter (fun a b ->
+      if a <> !prev_a || b <> !prev_b then begin
+        prev_a := a;
+        prev_b := b;
+        Int_vec.unsafe_set buf !m b;
+        incr m;
+        deg.(a + 1) <- deg.(a + 1) + 1
+      end);
+  let carr = Array.init !m (fun i -> Int_vec.unsafe_get buf i) in
+  for i = 1 to n_classes do
+    deg.(i) <- deg.(i) + deg.(i - 1)
+  done;
+  install_from_children t n_classes ~coff:deg ~carr
+
+(* In-RAM edge projection: project every data edge to its
+   (class, class) pair, dedup, then counting-sort the distinct pairs
+   straight into the CSR layout.  A flat byte matrix keeps the
+   per-edge check to two loads when the class count is small; huge
+   partitions fall back to a hash table. *)
+let project_edges_in_ram t g ~n_classes ~deg =
   let srcs = ref (Array.make 1024 0) and dsts = ref (Array.make 1024 0) in
   let m = ref 0 in
   let push a b =
@@ -653,28 +723,47 @@ let of_partition g ~cls ~n_classes ~k_of_class ~req_of_class =
   for c = 0 to n_classes - 1 do
     Int_arr.sort_range carr ~lo:deg.(c) ~hi:deg.(c + 1)
   done;
-  let pdeg = Array.make (n_classes + 1) 0 in
-  Array.iter (fun v -> pdeg.(v + 1) <- pdeg.(v + 1) + 1) carr;
-  for i = 1 to n_classes do
-    pdeg.(i) <- pdeg.(i) + pdeg.(i - 1)
+  install_from_children t n_classes ~coff:deg ~carr
+
+let of_partition ?(mode = `Auto) g ~cls ~n_classes ~k_of_class ~req_of_class =
+  let t =
+    partition_nodes ~fname:"Index_graph.of_partition" g ~cls ~n_classes ~k_of_class
+      ~req_of_class
+  in
+  let project =
+    match mode with
+    | `External -> project_edges_external
+    | `In_ram -> project_edges_in_ram
+    | `Auto ->
+      if Data_graph.n_edges g >= external_edge_threshold then project_edges_external
+      else project_edges_in_ram
+  in
+  project t g ~n_classes ~deg:(Array.make (n_classes + 1) 0);
+  t
+
+let of_partition_with_edges g ~cls ~n_classes ~k_of_class ~req_of_class
+    ~children:(coff, carr) =
+  let fname = "Index_graph.of_partition_with_edges" in
+  let t = partition_nodes ~fname g ~cls ~n_classes ~k_of_class ~req_of_class in
+  (* Shape-validate the provided CSR (O(index edges), not O(data
+     edges) — skipping the data-edge projection is this entry point's
+     whole purpose; content integrity is the container CRC's job). *)
+  if Array.length coff <> n_classes + 1 || coff.(0) <> 0 then
+    invalid_arg (fname ^ ": bad offsets shape");
+  for c = 0 to n_classes - 1 do
+    if coff.(c) > coff.(c + 1) then invalid_arg (fname ^ ": offsets not monotone")
   done;
-  let pfill = Array.copy pdeg in
-  let parr = Array.make !m 0 in
-  for a = 0 to n_classes - 1 do
-    for i = deg.(a) to deg.(a + 1) - 1 do
+  if coff.(n_classes) <> Array.length carr then
+    invalid_arg (fname ^ ": offsets/neighbors length mismatch");
+  for c = 0 to n_classes - 1 do
+    for i = coff.(c) to coff.(c + 1) - 1 do
       let b = carr.(i) in
-      parr.(pfill.(b)) <- a;
-      pfill.(b) <- pfill.(b) + 1
+      if b < 0 || b >= n_classes then invalid_arg (fname ^ ": neighbor out of range");
+      if i > coff.(c) && carr.(i - 1) >= b then
+        invalid_arg (fname ^ ": neighbor run not sorted strictly increasing")
     done
   done;
-  t.children.off <- deg;
-  t.children.arr <- carr;
-  t.children.csr_n <- n_classes;
-  t.parents.off <- pdeg;
-  t.parents.arr <- parr;
-  t.parents.csr_n <- n_classes;
-  t.n_iedges <- !m;
-  t.rebuild_at <- rebuild_threshold ~next_id:t.next_id !m;
+  install_from_children t n_classes ~coff ~carr;
   t
 
 let split t id groups =

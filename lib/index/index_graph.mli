@@ -42,6 +42,7 @@ val k_infinite : int
 (** {1 Construction} *)
 
 val of_partition :
+  ?mode:[ `Auto | `In_ram | `External ] ->
   Data_graph.t ->
   cls:int array ->
   n_classes:int ->
@@ -51,7 +52,32 @@ val of_partition :
 (** Build an index graph from a partition of the data nodes given as a
     [cls] map (data node -> class id in [0 .. n_classes-1]).  Index
     node ids coincide with class ids.  @raise Invalid_argument if a
-    class is empty or mixes labels. *)
+    class is empty or mixes labels.
+
+    [mode] selects how the data edges are projected and deduplicated
+    into the index CSR: [`In_ram] keeps the distinct (class, class)
+    pairs in a hash table / byte matrix, [`External] streams every
+    projected pair through {!Dkindex_graph.Ext_sort} so the working
+    set is bounded by the sorter budget rather than the number of
+    distinct index edges.  [`Auto] (the default) picks [`External] at
+    the same edge-count threshold as {!Kbisim.refine}.  Both paths
+    produce bit-identical CSRs. *)
+
+val of_partition_with_edges :
+  Data_graph.t ->
+  cls:int array ->
+  n_classes:int ->
+  k_of_class:(int -> int) ->
+  req_of_class:(int -> int) ->
+  children:(int array * int array) ->
+  t
+(** {!of_partition}, but installing the given index adjacency
+    ([children] = CSR offsets + sorted neighbor runs over class ids;
+    parents are derived by counting sort) instead of projecting every
+    data edge — O(n + index edges) instead of O(data edges).  The
+    loader for index containers, whose stored CSR came from this
+    module in the first place.  Only the CSR {i shape} is validated;
+    callers vouch for its content. *)
 
 (** {1 Accessors} *)
 

@@ -154,3 +154,108 @@ let load path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+(* ------------------------------------------------------------------ *)
+(* Container persistence: the binary counterpart of the text format
+   above — the embedded data graph as mappable sections plus the
+   partition (dense first-touch class ids, exactly the numbering
+   [to_string] uses), per-class k/req, and the index adjacency itself,
+   so loading skips both the text parse and the O(data edges) edge
+   projection. *)
+
+let container_sections = Container.graph_n_sections + 6
+
+(* Dense first-touch remap over data nodes, shared with [to_string]. *)
+let dense_classes t =
+  let data = Index_graph.data t in
+  let n = Data_graph.n_nodes data in
+  let dense = Hashtbl.create 256 in
+  let order = ref [] and count = ref 0 in
+  let cls = Int_vec.create n in
+  for u = 0 to n - 1 do
+    let id = Index_graph.cls t u in
+    let c =
+      match Hashtbl.find_opt dense id with
+      | Some c -> c
+      | None ->
+        let c = !count in
+        incr count;
+        Hashtbl.add dense id c;
+        order := id :: !order;
+        c
+    in
+    Int_vec.set cls u c
+  done;
+  (cls, Array.of_list (List.rev !order), dense)
+
+let save_container path t =
+  let data = Index_graph.data t in
+  let cls, order, dense = dense_classes t in
+  let nc = Array.length order in
+  let enc k = if k >= Index_graph.k_infinite then -1 else k in
+  let ks = Int_vec.init nc (fun c -> enc (Index_graph.node t order.(c)).Index_graph.k) in
+  let rqs =
+    Int_vec.init nc (fun c -> enc (Index_graph.node t order.(c)).Index_graph.req)
+  in
+  (* Index child CSR in dense-class space; runs re-sorted because the
+     dense remap does not preserve id order. *)
+  let kids =
+    Array.map
+      (fun id ->
+        let l = List.sort Int.compare (List.map (Hashtbl.find dense) (Index_graph.children_list t id)) in
+        Array.of_list l)
+      order
+  in
+  let im = Array.fold_left (fun acc a -> acc + Array.length a) 0 kids in
+  let ioff = Int_vec.zeros (nc + 1) in
+  Array.iteri (fun c a -> Int_vec.set ioff (c + 1) (Array.length a)) kids;
+  for c = 1 to nc do
+    Int_vec.set ioff c (Int_vec.get ioff c + Int_vec.get ioff (c - 1))
+  done;
+  let w = Container.Writer.create path ~kind:Container.Index ~n_sections:container_sections in
+  (try
+     Container.write_graph_sections w data;
+     Container.Writer.int_section w "cls" cls;
+     Container.Writer.int_section w "clsk" ks;
+     Container.Writer.int_section w "clsrq" rqs;
+     Container.Writer.int_section w "ioff" ioff;
+     Container.Writer.begin_section w "iarr";
+     Array.iter (fun a -> Array.iter (Container.Writer.write_int w) a) kids;
+     Container.Writer.end_section w;
+     Container.Writer.begin_section w "imeta";
+     Container.Writer.write_int w nc;
+     Container.Writer.write_int w im;
+     Container.Writer.end_section w
+   with e ->
+     Container.Writer.abort w;
+     raise e);
+  Container.Writer.finish w
+
+let load_container ?verify path =
+  Container.Reader.with_file ?verify ~kind:Container.Index path (fun h ->
+      let malformed what = raise (Container.Error (Container.Malformed what)) in
+      let data = Container.Reader.graph h in
+      let n = Data_graph.n_nodes data in
+      let cls_v = Container.Reader.int_vec h "cls" in
+      let ks = Container.Reader.int_vec h "clsk" in
+      let rqs = Container.Reader.int_vec h "clsrq" in
+      let ioff_v = Container.Reader.int_vec h "ioff" in
+      let iarr_v = Container.Reader.int_vec h "iarr" in
+      let imeta = Container.Reader.int_vec h "imeta" in
+      if Int_vec.length imeta < 2 then malformed "imeta";
+      let nc = Int_vec.get imeta 0 and im = Int_vec.get imeta 1 in
+      if nc < 1 || im < 0 then malformed "imeta counts";
+      if Int_vec.length cls_v <> n then malformed "cls length";
+      if Int_vec.length ks <> nc || Int_vec.length rqs <> nc then malformed "class table";
+      if Int_vec.length ioff_v <> nc + 1 || Int_vec.length iarr_v <> im then
+        malformed "index csr shape";
+      let cls = Array.init n (fun u -> Int_vec.get cls_v u) in
+      let coff = Array.init (nc + 1) (fun c -> Int_vec.get ioff_v c) in
+      let carr = Array.init im (fun i -> Int_vec.get iarr_v i) in
+      let dec k = if k < 0 then Index_graph.k_infinite else k in
+      try
+        Index_graph.of_partition_with_edges data ~cls ~n_classes:nc
+          ~k_of_class:(fun c -> dec (Int_vec.get ks c))
+          ~req_of_class:(fun c -> dec (Int_vec.get rqs c))
+          ~children:(coff, carr)
+      with Invalid_argument msg -> malformed msg)

@@ -32,3 +32,21 @@ val save : string -> Index_graph.t -> unit
 (** Atomic: writes [path ^ ".tmp"], then renames over [path]. *)
 
 val load : string -> Index_graph.t
+
+(** {1 Container persistence}
+
+    The binary counterpart of the text format: a
+    {!Dkindex_graph.Container} of kind [Index] holding the embedded
+    data graph as mappable sections plus the partition (dense
+    first-touch class ids — the same numbering {!to_string} uses),
+    per-class k/req, and the index adjacency itself.  Loading maps the
+    data CSR in place and installs the stored index CSR directly
+    ({!Index_graph.of_partition_with_edges}), so the cost is
+    O(data nodes + index edges), never O(data edges). *)
+
+val save_container : string -> Index_graph.t -> unit
+(** Atomic (container tmp + rename). *)
+
+val load_container : ?verify:bool -> string -> Index_graph.t
+(** @raise Dkindex_graph.Container.Error on validation failure
+    ([~verify:true] additionally streams every section CRC). *)

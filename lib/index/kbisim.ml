@@ -61,8 +61,8 @@ let signature p ~eligible ~seen ~off ~arr u =
   let c = p.cls.(u) in
   if eligible c then begin
     let sum = ref 0 and xr = ref 0 and cnt = ref 0 in
-    for i = off.(u) to off.(u + 1) - 1 do
-      let pc = p.cls.(arr.(i)) in
+    for i = Int_vec.get off u to Int_vec.get off (u + 1) - 1 do
+      let pc = p.cls.(Int_vec.unsafe_get arr i) in
       if seen.(pc) <> u then begin
         seen.(pc) <- u;
         let h = mix pc in
@@ -87,16 +87,16 @@ let same_key p ~eligible ~vstamp ~ticket ~off ~arr u ~rep c =
     ticket := !ticket + 2;
     let t = !ticket in
     let distinct = ref 0 in
-    for i = off.(rep) to off.(rep + 1) - 1 do
-      let pc = p.cls.(arr.(i)) in
+    for i = Int_vec.get off rep to Int_vec.get off (rep + 1) - 1 do
+      let pc = p.cls.(Int_vec.unsafe_get arr i) in
       if vstamp.(pc) <> t then begin
         vstamp.(pc) <- t;
         incr distinct
       end
     done;
     let ok = ref true and matched = ref 0 in
-    for i = off.(u) to off.(u + 1) - 1 do
-      let pc = p.cls.(arr.(i)) in
+    for i = Int_vec.get off u to Int_vec.get off (u + 1) - 1 do
+      let pc = p.cls.(Int_vec.unsafe_get arr i) in
       if vstamp.(pc) = t then begin
         vstamp.(pc) <- t + 1;
         incr matched
@@ -266,13 +266,127 @@ let refine_gen ?(domains = 1) g p ~eligible ~off ~arr =
       global.n <> nc )
   end
 
-let refine ?domains g p ~eligible =
-  let off, arr = Data_graph.csr_parents g in
-  refine_gen ?domains g p ~eligible ~off ~arr
+(* External-memory refinement (after Hellings et al., "I/O efficient
+   bisimulation partitioning"): instead of interning keys in a hash
+   table, write each node's exact key as a sorted record
+   [old class; #distinct parent classes; those classes ascending; node id]
+   to an external sorter, then group equal keys in one merged scan.
+   RAM use is O(n) words (class arrays) regardless of m — the O(m)
+   key data lives in the sorter's spill runs, and adjacency is read
+   once in CSR order (sequential page faults on a mapped graph).
 
-let refine_by_children ?domains g p =
+   Numbering: within a group records sort by the trailing node id, so
+   the group's first record carries its minimum node; ranking groups
+   by that minimum reproduces the first-occurrence class numbering of
+   the in-RAM pass exactly — the two paths agree bit-for-bit.  An
+   ineligible class emits [c; 0; u] for every node, which is also the
+   key an eligible class of parentless nodes gets; the shapes can
+   never meet, because eligibility is a property of the class. *)
+let refine_external ?tmp_dir ?mem_budget g p ~eligible ~off ~arr =
+  let n = Data_graph.n_nodes g in
+  let nc = p.n_classes in
+  let sorter = Ext_sort.Records.create ?mem_budget ?tmp_dir () in
+  Fun.protect ~finally:(fun () -> Ext_sort.Records.close sorter) @@ fun () ->
+  let scratch = ref (Array.make 64 0) in
+  let seen = Array.make nc (-1) in
+  for u = 0 to n - 1 do
+    let c = p.cls.(u) in
+    if eligible c then begin
+      let lo = Int_vec.get off u and hi = Int_vec.get off (u + 1) in
+      if Array.length !scratch < hi - lo + 3 then
+        scratch := Array.make (2 * (hi - lo + 3)) 0;
+      let s = !scratch in
+      let d = ref 0 in
+      for i = lo to hi - 1 do
+        let pc = p.cls.(Int_vec.unsafe_get arr i) in
+        if seen.(pc) <> u then begin
+          seen.(pc) <- u;
+          s.(2 + !d) <- pc;
+          incr d
+        end
+      done;
+      Int_arr.sort_range s ~lo:2 ~hi:(2 + !d);
+      s.(0) <- c;
+      s.(1) <- !d;
+      s.(2 + !d) <- u;
+      Ext_sort.Records.add sorter s ~len:(3 + !d)
+    end
+    else begin
+      let s = !scratch in
+      s.(0) <- c;
+      s.(1) <- 0;
+      s.(2) <- u;
+      Ext_sort.Records.add sorter s ~len:3
+    end
+  done;
+  (* Merged scan: records with equal key prefixes form one new class. *)
+  let cls_prov = Int_vec.create n in
+  let cap0 = max 256 nc in
+  let min_u = ref (Array.make cap0 0) in
+  let old_c = ref (Array.make cap0 0) in
+  let key = ref (Array.make 64 0) in
+  let key_len = ref (-1) in
+  let gid = ref (-1) in
+  Ext_sort.Records.iter_merged sorter (fun buf len ->
+      let klen = len - 1 in
+      let same =
+        !key_len = klen
+        &&
+        let i = ref 0 in
+        while !i < klen && (!key).(!i) = buf.(!i) do
+          incr i
+        done;
+        !i = klen
+      in
+      let u = buf.(klen) in
+      if not same then begin
+        incr gid;
+        if Array.length !key < klen then key := Array.make (2 * klen) 0;
+        Array.blit buf 0 !key 0 klen;
+        key_len := klen;
+        if !gid = Array.length !min_u then begin
+          min_u := Array.append !min_u (Array.make !gid 0);
+          old_c := Array.append !old_c (Array.make !gid 0)
+        end;
+        (!min_u).(!gid) <- u;
+        (!old_c).(!gid) <- buf.(0)
+      end;
+      Int_vec.set cls_prov u !gid);
+  let ng = !gid + 1 in
+  (* Rank groups by their minimum node = global first occurrence. *)
+  let order = Array.init ng Fun.id in
+  let min_u = !min_u and old_c = !old_c in
+  Array.sort (fun a b -> Int.compare min_u.(a) min_u.(b)) order;
+  let final = Array.make ng 0 in
+  Array.iteri (fun rank grp -> final.(grp) <- rank) order;
+  let cls = Array.init n (fun u -> final.(Int_vec.get cls_prov u)) in
+  let parent_class = Array.init ng (fun rank -> old_c.(order.(rank))) in
+  ({ cls; n_classes = ng; parent_class }, ng <> nc)
+
+type mode = [ `Auto | `In_ram | `External ]
+
+(* Auto cutover: below this many edges the in-RAM hash-interning path
+   (with its parallel option) wins easily; above it, key records no
+   longer fit comfortably in RAM and the sort/scan pass takes over. *)
+let auto_threshold = 1 lsl 24
+
+let resolve_mode mode g : [ `In_ram | `External ] =
+  match mode with
+  | (`In_ram | `External) as m -> m
+  | `Auto -> if Data_graph.n_edges g >= auto_threshold then `External else `In_ram
+
+let refine_dispatch ?domains ~mode g p ~eligible ~off ~arr =
+  match resolve_mode mode g with
+  | `In_ram -> refine_gen ?domains g p ~eligible ~off ~arr
+  | `External -> refine_external g p ~eligible ~off ~arr
+
+let refine ?domains ?(mode = `Auto) g p ~eligible =
+  let off, arr = Data_graph.csr_parents g in
+  refine_dispatch ?domains ~mode g p ~eligible ~off ~arr
+
+let refine_by_children ?domains ?(mode = `Auto) g p =
   let off, arr = Data_graph.csr_children g in
-  refine_gen ?domains g p ~eligible:(fun _ -> true) ~off ~arr
+  refine_dispatch ?domains ~mode g p ~eligible:(fun _ -> true) ~off ~arr
 
 (* Round-to-round eligibility.  When a round is over, a class of the
    new partition can only split in the next round if some node in it
@@ -294,8 +408,8 @@ let next_eligible ~off ~arr n p p' =
   let e = Array.make p'.n_classes false in
   for u = 0 to n - 1 do
     let hot = ref false in
-    for i = off.(u) to off.(u + 1) - 1 do
-      if moved.(p'.cls.(arr.(i))) then hot := true
+    for i = Int_vec.get off u to Int_vec.get off (u + 1) - 1 do
+      if moved.(p'.cls.(Int_vec.unsafe_get arr i)) then hot := true
     done;
     if !hot then e.(p'.cls.(u)) <- true
   done;
@@ -303,7 +417,7 @@ let next_eligible ~off ~arr n p p' =
 
 let all_false e = not (Array.exists Fun.id e)
 
-let k_partition ?domains g ~k =
+let k_partition ?domains ?(mode = `Auto) g ~k =
   let off, arr = Data_graph.csr_parents g in
   let n = Data_graph.n_nodes g in
   let p = ref (label_partition g) in
@@ -315,7 +429,7 @@ let k_partition ?domains g ~k =
          | None -> fun _ -> true
          | Some e -> if all_false e then raise Exit else fun c -> e.(c)
        in
-       let p', changed = refine_gen ?domains g !p ~eligible ~off ~arr in
+       let p', changed = refine_dispatch ?domains ~mode g !p ~eligible ~off ~arr in
        if not changed then begin
          p := p';
          raise Exit
@@ -326,7 +440,7 @@ let k_partition ?domains g ~k =
    with Exit -> ());
   !p
 
-let stable_partition ?domains g =
+let stable_partition ?domains ?(mode = `Auto) g =
   let off, arr = Data_graph.csr_parents g in
   let n = Data_graph.n_nodes g in
   let rec go p rounds elig =
@@ -336,7 +450,7 @@ let stable_partition ?domains g =
       let eligible =
         match elig with None -> fun _ -> true | Some e -> fun c -> e.(c)
       in
-      let p', changed = refine_gen ?domains g p ~eligible ~off ~arr in
+      let p', changed = refine_dispatch ?domains ~mode g p ~eligible ~off ~arr in
       if not changed then (p, rounds)
       else go p' (rounds + 1) (Some (next_eligible ~off ~arr n p p'))
   in

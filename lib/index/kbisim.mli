@@ -23,8 +23,25 @@ val label_partition : Data_graph.t -> partition
 val class_labels : Data_graph.t -> partition -> Label.t array
 (** Label carried by each class. *)
 
+type mode = [ `Auto | `In_ram | `External ]
+(** How a refinement round runs.  [`In_ram] is the hash-interning
+    pass below (optionally parallel); [`External] is a sort/scan pass
+    that writes each node's exact key record to an external merge
+    sorter and groups equal keys in one merged stream — O(n) words of
+    RAM regardless of edge count, with the O(m) key data in spilled
+    temp-file runs (after Hellings et al., {i I/O efficient
+    bisimulation partitioning}).  [`Auto] (the default everywhere)
+    picks [`External] at ≥ 2{^24} edges.  Both paths assign classes in
+    global first-occurrence order, so results — ids included — are
+    bit-for-bit identical whichever runs. *)
+
 val refine :
-  ?domains:int -> Data_graph.t -> partition -> eligible:(int -> bool) -> partition * bool
+  ?domains:int ->
+  ?mode:mode ->
+  Data_graph.t ->
+  partition ->
+  eligible:(int -> bool) ->
+  partition * bool
 (** One refinement round splitting only classes for which [eligible]
     holds; returns the new partition and whether anything split.
     [parent_class] of the result maps into the argument partition.
@@ -43,15 +60,15 @@ val refine :
     multiple domains (a pure array read qualifies). *)
 
 val refine_by_children :
-  ?domains:int -> Data_graph.t -> partition -> partition * bool
+  ?domains:int -> ?mode:mode -> Data_graph.t -> partition -> partition * bool
 (** One backward refinement round: splits every class on the key
     {i (own class, set of child classes)}.  The mirror of {!refine}
     used by the F&B-index construction; same determinism guarantees. *)
 
-val k_partition : ?domains:int -> Data_graph.t -> k:int -> partition
+val k_partition : ?domains:int -> ?mode:mode -> Data_graph.t -> k:int -> partition
 (** The A(k) partition: [k] full rounds from the label partition. *)
 
-val stable_partition : ?domains:int -> Data_graph.t -> partition * int
+val stable_partition : ?domains:int -> ?mode:mode -> Data_graph.t -> partition * int
 (** The full bisimulation (1-index) partition: refine to fixpoint.
     Also returns the number of rounds taken (the graph's bisimulation
     depth). *)

@@ -21,6 +21,15 @@
     invalidation (they depend only on the expression and the label
     pool); per-node answers do not.
 
+    {b Bounding.}  Memoized answers are capped at [max_entries] across
+    all tables.  When a lookup finds the cache over its cap, a clock
+    (second-chance) sweep runs over the interned tables: tables touched
+    since the last sweep survive with their bit cleared, the rest have
+    their answers dropped, until the total is back under the cap.
+    Compiled automata and the tables themselves are kept (they are
+    small and expensive to rebuild); only the per-node answers — the
+    part that grows with churn — are evicted.
+
     A cache is single-domain state: {!Query_eval.eval_batch} creates
     one per worker domain. *)
 
@@ -29,8 +38,10 @@ open Dkindex_pathexpr
 
 type t
 
-val create : Index_graph.t -> t
-(** A fresh cache bound to one index graph (and its data graph). *)
+val create : ?max_entries:int -> Index_graph.t -> t
+(** A fresh cache bound to one index graph (and its data graph).
+    [max_entries] (default [2^20]) caps the total memoized answers.
+    @raise Invalid_argument if [max_entries < 1]. *)
 
 val index : t -> Index_graph.t
 
@@ -55,3 +66,10 @@ val invalidate : t -> unit
 
 val stats : t -> int * int
 (** [(hits, misses)] over intern lookups, for tests and diagnostics. *)
+
+val entry_count : t -> int
+(** Total memoized answers currently held across all tables. *)
+
+val evictions : t -> int
+(** Cumulative answers dropped by cap enforcement (not by
+    generation-based invalidation). *)

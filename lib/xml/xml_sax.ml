@@ -386,3 +386,60 @@ let fold_channel ic ~init ~f = fold (of_channel ic) ~init ~f
 let fold_file path ~init ~f =
   let ic = open_in_bin path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> fold_channel ic ~init ~f)
+
+(* Tree <-> event bridges for the streaming datagen path: generators
+   emit events as the primitive, [Collect] rebuilds the tree for the
+   materializing [doc] API, and [emit_tree] lets a generator build a
+   bounded subtree with the ordinary Xml_ast constructors and flush it
+   into the event stream. *)
+
+let emit_tree (root : Xml_ast.element) emit =
+  let rec go (el : Xml_ast.element) =
+    emit (Start_element { tag = el.tag; attrs = el.attrs });
+    List.iter
+      (function Xml_ast.Element child -> go child | Xml_ast.Text text -> emit (Text text))
+      el.children;
+    emit (End_element el.tag)
+  in
+  go root
+
+module Collect = struct
+  type frame = {
+    f_tag : string;
+    f_attrs : Xml_ast.attr list;
+    mutable f_children : Xml_ast.node list;  (* reverse document order *)
+  }
+
+  type t = { mutable stack : frame list; mutable result : Xml_ast.element option }
+
+  let create () = { stack = []; result = None }
+
+  let feed t = function
+    | Start_element { tag; attrs } ->
+      if t.result <> None then invalid_arg "Xml_sax.Collect: second root element";
+      t.stack <- { f_tag = tag; f_attrs = attrs; f_children = [] } :: t.stack
+    | Text text -> (
+      match t.stack with
+      | top :: _ -> top.f_children <- Xml_ast.Text text :: top.f_children
+      | [] -> invalid_arg "Xml_sax.Collect: text outside any element")
+    | End_element tag -> (
+      match t.stack with
+      | top :: rest ->
+        if not (String.equal top.f_tag tag) then
+          invalid_arg
+            (Printf.sprintf "Xml_sax.Collect: </%s> closes <%s>" tag top.f_tag);
+        let el =
+          { Xml_ast.tag = top.f_tag; attrs = top.f_attrs; children = List.rev top.f_children }
+        in
+        t.stack <- rest;
+        (match rest with
+        | parent :: _ -> parent.f_children <- Xml_ast.Element el :: parent.f_children
+        | [] -> t.result <- Some el)
+      | [] -> invalid_arg "Xml_sax.Collect: end event without a matching start")
+
+  let root t =
+    match (t.result, t.stack) with
+    | Some el, [] -> el
+    | _, _ :: _ -> invalid_arg "Xml_sax.Collect.root: unclosed element"
+    | None, [] -> invalid_arg "Xml_sax.Collect.root: no events fed"
+end

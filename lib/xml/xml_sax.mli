@@ -37,3 +37,27 @@ val fold : t -> init:'a -> f:('a -> event -> 'a) -> 'a
 val fold_string : string -> init:'a -> f:('a -> event -> 'a) -> 'a
 val fold_channel : in_channel -> init:'a -> f:('a -> event -> 'a) -> 'a
 val fold_file : string -> init:'a -> f:('a -> event -> 'a) -> 'a
+
+val emit_tree : Xml_ast.element -> (event -> unit) -> unit
+(** Replay a materialized subtree as events, in document order.  The
+    exact inverse of {!Collect}: collecting [emit_tree el] yields [el]
+    back.  Used by the streaming dataset generators to build bounded
+    subtrees with the {!Xml_ast} constructors and flush them into an
+    event consumer. *)
+
+(** Rebuilding a tree from a well-formed event sequence — the
+    materializing end of the event-primitive generators ([doc] =
+    collect the same events that [stream] would emit). *)
+module Collect : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> event -> unit
+  (** @raise Invalid_argument on an ill-formed sequence (mismatched or
+      stray end tags, text outside elements, a second root). *)
+
+  val root : t -> Xml_ast.element
+  (** The completed root element.
+      @raise Invalid_argument if the sequence is incomplete. *)
+end

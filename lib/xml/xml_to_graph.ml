@@ -9,97 +9,127 @@ type result = {
 }
 
 module B = Dkindex_graph.Builder
+module GS = Dkindex_graph.Graph_stream
 
 let split_refs value =
   String.split_on_char ' ' value |> List.filter (fun s -> not (String.equal s ""))
 
-let convert ?(config = default_config) doc =
-  let builder = B.create () in
-  let ids = Hashtbl.create 256 in
-  (* pending references: (source node, target id string) *)
-  let pending = ref [] in
-  let is_id name = List.mem name config.id_attrs in
-  let is_idref name = List.mem name config.idref_attrs in
-  let rec emit parent (el : Xml_ast.element) =
-    let node = B.add_child builder ~parent el.tag in
+(* Where converted nodes and edges go.  The same conversion pass
+   serves the in-RAM [Builder] and the out-of-core [Graph_stream] —
+   both allocate node ids in call order, so the two sinks produce
+   identical graphs from the same event sequence. *)
+type sink = {
+  sink_root : int;
+  sink_add_child : parent:int -> string -> int;
+  sink_add_value : parent:int -> text:string option -> int;
+  sink_add_edge : int -> int -> unit;
+}
+
+let builder_sink b =
+  {
+    sink_root = B.root b;
+    sink_add_child = (fun ~parent tag -> B.add_child b ~parent tag);
+    sink_add_value = (fun ~parent ~text -> B.add_value ?text b ~parent);
+    sink_add_edge = (fun u v -> B.add_edge b u v);
+  }
+
+let stream_sink gs =
+  {
+    sink_root = GS.root gs;
+    sink_add_child = (fun ~parent tag -> GS.add_child gs ~parent tag);
+    sink_add_value = (fun ~parent ~text -> GS.add_value ?text gs ~parent);
+    sink_add_edge = (fun u v -> GS.add_edge gs u v);
+  }
+
+type stream = {
+  s_config : config;
+  s_sink : sink;
+  s_ids : (string, int) Hashtbl.t;
+  mutable s_pending : (int * string) list;  (* (source node, target id string) *)
+  mutable s_stack : int list;
+}
+
+let stream_create ?(config = default_config) sink =
+  {
+    s_config = config;
+    s_sink = sink;
+    s_ids = Hashtbl.create 256;
+    s_pending = [];
+    s_stack = [ sink.sink_root ];
+  }
+
+let stream_feed st (event : Xml_sax.event) =
+  let top () =
+    match st.s_stack with
+    | node :: _ -> node
+    | [] -> invalid_arg "Xml_to_graph.stream_feed: event after the root closed"
+  in
+  match event with
+  | Xml_sax.Start_element { tag; attrs } ->
+    let node = st.s_sink.sink_add_child ~parent:(top ()) tag in
     List.iter
       (fun (a : Xml_ast.attr) ->
-        if is_id a.name then Hashtbl.replace ids a.value node
-        else if is_idref a.name then
-          List.iter (fun target -> pending := (node, target) :: !pending) (split_refs a.value)
+        if List.mem a.name st.s_config.id_attrs then Hashtbl.replace st.s_ids a.value node
+        else if List.mem a.name st.s_config.idref_attrs then
+          List.iter
+            (fun target -> st.s_pending <- (node, target) :: st.s_pending)
+            (split_refs a.value)
         else begin
-          let attr_node = B.add_child builder ~parent:node a.name in
-          ignore (B.add_value builder ~parent:attr_node ~text:a.value)
+          let attr_node = st.s_sink.sink_add_child ~parent:node a.name in
+          ignore (st.s_sink.sink_add_value ~parent:attr_node ~text:(Some a.value))
         end)
-      el.attrs;
-    List.iter
-      (function
-        | Xml_ast.Element child -> emit node child
-        | Xml_ast.Text text -> ignore (B.add_value builder ~parent:node ~text))
-      el.children
-  in
-  emit (B.root builder) doc.Xml_ast.root;
+      attrs;
+    st.s_stack <- node :: st.s_stack
+  | Xml_sax.End_element _ -> (
+    match st.s_stack with
+    | _ :: rest -> st.s_stack <- rest
+    | [] -> invalid_arg "Xml_to_graph.stream_feed: unmatched end event")
+  | Xml_sax.Text text -> ignore (st.s_sink.sink_add_value ~parent:(top ()) ~text:(Some text))
+
+let stream_finish st =
   let unresolved = ref [] and n_refs = ref 0 in
   List.iter
     (fun (source, target) ->
-      match Hashtbl.find_opt ids target with
+      match Hashtbl.find_opt st.s_ids target with
       | Some node ->
-        B.add_edge builder source node;
+        st.s_sink.sink_add_edge source node;
         incr n_refs
       | None -> unresolved := target :: !unresolved)
-    !pending;
-  {
-    graph = B.build builder;
-    n_reference_edges = !n_refs;
-    unresolved_refs = List.rev !unresolved;
-  }
+    st.s_pending;
+  (!n_refs, List.rev !unresolved)
+
+let convert ?config doc =
+  let builder = B.create () in
+  let st = stream_create ?config (builder_sink builder) in
+  Xml_sax.emit_tree doc.Xml_ast.root (stream_feed st);
+  let n_refs, unresolved = stream_finish st in
+  { graph = B.build builder; n_reference_edges = n_refs; unresolved_refs = unresolved }
 
 let graph_of_doc ?config doc = (convert ?config doc).graph
 
-let convert_events ?(config = default_config) stream =
+let convert_events ?config stream =
   let builder = B.create () in
-  let ids = Hashtbl.create 256 in
-  let pending = ref [] in
-  let is_id name = List.mem name config.id_attrs in
-  let is_idref name = List.mem name config.idref_attrs in
-  let stack = ref [ B.root builder ] in
-  let top () = match !stack with node :: _ -> node | [] -> assert false in
-  Xml_sax.fold stream ~init:() ~f:(fun () event ->
-      match event with
-      | Xml_sax.Start_element { tag; attrs } ->
-        let node = B.add_child builder ~parent:(top ()) tag in
-        List.iter
-          (fun (a : Xml_ast.attr) ->
-            if is_id a.name then Hashtbl.replace ids a.value node
-            else if is_idref a.name then
-              List.iter
-                (fun target -> pending := (node, target) :: !pending)
-                (split_refs a.value)
-            else begin
-              let attr_node = B.add_child builder ~parent:node a.name in
-              ignore (B.add_value builder ~parent:attr_node ~text:a.value)
-            end)
-          attrs;
-        stack := node :: !stack
-      | Xml_sax.End_element _ -> stack := List.tl !stack
-      | Xml_sax.Text text -> ignore (B.add_value builder ~parent:(top ()) ~text));
-  let unresolved = ref [] and n_refs = ref 0 in
-  List.iter
-    (fun (source, target) ->
-      match Hashtbl.find_opt ids target with
-      | Some node ->
-        B.add_edge builder source node;
-        incr n_refs
-      | None -> unresolved := target :: !unresolved)
-    !pending;
-  {
-    graph = B.build builder;
-    n_reference_edges = !n_refs;
-    unresolved_refs = List.rev !unresolved;
-  }
+  let st = stream_create ?config (builder_sink builder) in
+  Xml_sax.fold stream ~init:() ~f:(fun () event -> stream_feed st event);
+  let n_refs, unresolved = stream_finish st in
+  { graph = B.build builder; n_reference_edges = n_refs; unresolved_refs = unresolved }
 
 let convert_file ?config path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> convert_events ?config (Xml_sax.of_channel ic))
+
+let stream_to_container ?config ?mem_budget ?tmp_dir ~path events =
+  let gs = GS.create ?mem_budget ?tmp_dir ~path () in
+  match
+    let st = stream_create ?config (stream_sink gs) in
+    events (stream_feed st);
+    stream_finish st
+  with
+  | stats ->
+    GS.finish gs;
+    stats
+  | exception e ->
+    GS.abort gs;
+    raise e

@@ -7,22 +7,22 @@ deterministic for the fixed seed.)
   wrote auction.xml
 
   $ dkindex stats -i auction.xml --idref-attrs category,item,person,open_auction,from,to | head -1
-  nodes=1541 edges=1715 labels=69 max_out=20 max_in=29 max_depth=8 unreachable=0
+  nodes=1480 edges=1643 labels=69 max_out=20 max_in=26 max_depth=8 unreachable=0
 
   $ dkindex build -i auction.xml --idref-attrs category,item,person,open_auction,from,to --index dk --save auction.index | sed 's/in [0-9.]* ms/in N ms/' | head -4
   dk built in N ms
   saved to auction.index
-  index nodes   621
-  index edges   796
+  index nodes   643
+  index edges   815
 
   $ dkindex query -i auction.xml --load-index auction.index "open_auction.itemref.item.name" | head -1
-  9 matching nodes (cost: index=16 data=0 total=16; 0 candidates validated, 6 sound index nodes)
+  9 matching nodes (cost: index=20 data=0 total=20; 0 candidates validated, 8 sound index nodes)
 
   $ dkindex query -i auction.xml --idref-attrs category,item,person,open_auction,from,to --index fb "//open_auction[./bidder]/itemref" | head -1
-  10 matching nodes (cost: index=1707 data=0 total=1707; 0 candidates validated, 10 sound index nodes)
+  7 matching nodes (cost: index=1584 data=0 total=1584; 0 candidates validated, 7 sound index nodes)
 
   $ dkindex verify -i auction.xml --load-index auction.index
-  OK: 621 index nodes and 50 queries verified
+  OK: 643 index nodes and 50 queries verified
 
   $ dkindex workload -i auction.xml --count 5 | head -1
   generated 5 queries:

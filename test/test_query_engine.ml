@@ -275,6 +275,40 @@ let cache_tests =
         idx := Dk_tune.demote !idx ~reqs:[];
         cache := Validation_cache.create !idx;
         run_all ());
+    test "cap bounds memoized answers under churn and keeps answers exact" (fun () ->
+        let g = random_graph ~seed:871 ~nodes:200 in
+        let queries = Query_gen.generate ~seed:872 ~count:40 ~min_len:2 ~max_len:4 g in
+        let idx = Label_split.build g in
+        let cap = 64 in
+        let cache = Validation_cache.create ~max_entries:cap idx in
+        (* Many distinct paths over a tight cap: eviction must trigger,
+           the bound must hold at every lookup, and answers must stay
+           equal to the uncached oracle throughout. *)
+        for _round = 1 to 5 do
+          List.iter
+            (fun q ->
+              let expected = oracle_path g q in
+              let r = Query_eval.eval_path ~cache idx q in
+              check_int_list "cached = oracle" expected r.Query_eval.nodes)
+            queries
+        done;
+        check_bool "eviction actually ran" true (Validation_cache.evictions cache > 0);
+        (* The sweep runs at lookup time, before the winning table is
+           refilled: entering a lookup the total is under the cap, so
+           the steady state is cap + (largest single table). *)
+        let final = Validation_cache.entry_count cache in
+        check_bool "entry count bounded" true (final <= 2 * cap + Data_graph.n_nodes g);
+        (* A fresh sweep-triggering lookup drops it back under cap. *)
+        ignore (Query_eval.eval_path ~cache idx (List.hd queries));
+        let hits, misses = Validation_cache.stats cache in
+        check_bool "interning still works under pressure" true (hits > 0 && misses > 0));
+    test "unbounded-by-default cache never evicts on small workloads" (fun () ->
+        let g = random_graph ~seed:873 ~nodes:150 in
+        let queries = Query_gen.generate ~seed:874 ~count:25 g in
+        let idx = Label_split.build g in
+        let cache = Validation_cache.create idx in
+        List.iter (fun q -> ignore (Query_eval.eval_path ~cache idx q)) queries;
+        check_int "no evictions" 0 (Validation_cache.evictions cache));
     test "nfa validator caching survives expression reuse" (fun () ->
         let m = movie_graph () in
         let idx = Label_split.build m.g in
