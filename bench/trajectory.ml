@@ -5,7 +5,7 @@
    samples — timing noise on a shared machine is strictly additive, so
    the minimum is the robust estimator) plus a construction / query /
    update macro pass on XMark, and writes the results as JSON (default
-   BENCH_PR7.json).  An optional [--baseline prev.json] merges a
+   BENCH_PR8.json).  An optional [--baseline prev.json] merges a
    previous run into the output as per-benchmark {"baseline_ns",
    "after_ns"} pairs so a PR records its own before/after evidence.
 
@@ -30,7 +30,7 @@ module Wal = Dkindex_server.Wal
 module Checkpoint = Dkindex_server.Checkpoint
 
 let scale = ref 40
-let out_file = ref "BENCH_PR7.json"
+let out_file = ref "BENCH_PR8.json"
 let baseline_file = ref ""
 let smoke = ref false
 let no_out = ref false
@@ -43,7 +43,7 @@ let xl_dir = ref ""
 let spec =
   [
     ("--scale", Arg.Set_int scale, "N  XMark scale for the macro pass (default 40)");
-    ("--out", Arg.Set_string out_file, "FILE  output JSON (default BENCH_PR7.json)");
+    ("--out", Arg.Set_string out_file, "FILE  output JSON (default BENCH_PR8.json)");
     ( "--baseline",
       Arg.Set_string baseline_file,
       "FILE  merge a previous run as baseline_ns/after_ns pairs" );
@@ -562,6 +562,82 @@ let () =
        Printf.printf "  %-44s %12.0f ns/query\n%!" name ns;
        entries := { name; after_ns = ns; baseline_ns = None; rss_bytes = None } :: !entries)
      [ 1; 2; 4 ]);
+  (* Cost-based planner over the full index family.  Per pinned query:
+     plan:best-single / plan:worst-single are the best / worst
+     hand-picked single-index scan (min / max over the family of each
+     query's best-of time, summed, then averaged per query), plan:auto
+     is the planner end to end (statistics consultation + plan choice
+     + execution), and plan:choose is the planning step alone.  No
+     validation caches on either side, so the comparison is symmetric. *)
+  let plan_facts = ref [] in
+  (let module Plan = Dkindex_planner.Plan in
+   let module Planner = Dkindex_planner.Planner in
+   let one = One_index.build g in
+   let ls = Label_split.build g in
+   let fb = Fb_index.build g in
+   let pl = Planner.create g in
+   Planner.register pl ~name:"dk" dk;
+   Planner.register pl ~name:"ak" a2;
+   Planner.register pl ~name:"1-index" one;
+   Planner.register pl ~name:"label-split" ls;
+   Planner.register pl ~name:"fb" fb;
+   Planner.observe_workload pl queries;
+   let family = [ dk; a2; one; ls; fb ] in
+   let nq = float_of_int (List.length queries) in
+   let scan_ns =
+     List.map
+       (fun q ->
+         List.map
+           (fun idx -> best_ns (fun () -> ignore (Query_eval.eval_path ~strategy:`Auto idx q)))
+           family)
+       queries
+   in
+   let total f = List.fold_left (fun acc per_q -> acc +. f per_q) 0.0 scan_ns in
+   let best = total (List.fold_left Float.min infinity) in
+   let worst = total (List.fold_left Float.max 0.0) in
+   let auto =
+     List.fold_left
+       (fun acc q -> acc +. best_ns (fun () -> ignore (Planner.eval_planned_path pl q)))
+       0.0 queries
+   in
+   let choose =
+     List.fold_left
+       (fun acc q -> acc +. best_ns (fun () -> ignore (Planner.choose_path pl q)))
+       0.0 queries
+   in
+   let record name ns =
+     Printf.printf "  %-44s %12.0f ns/query\n%!" name ns;
+     entries := { name; after_ns = ns; baseline_ns = None; rss_bytes = None } :: !entries
+   in
+   record "plan:auto" (auto /. nq);
+   record "plan:best-single" (best /. nq);
+   record "plan:worst-single" (worst /. nq);
+   record "plan:choose" (choose /. nq);
+   plan_facts :=
+     [
+       ("plan_auto_vs_best_ratio", Printf.sprintf "%.3f" (auto /. best));
+       ("plan_worst_vs_auto_ratio", Printf.sprintf "%.3f" (worst /. auto));
+       ("plan_choose_overhead_pct", Printf.sprintf "%.2f" (100.0 *. choose /. auto));
+     ];
+   if !smoke then begin
+     (* Catalog consultation must stay O(1) words per planned query:
+        array indexing into the swept rows, a bounded list of plan
+        records, no per-extent or per-node work. *)
+     let q = List.hd queries in
+     ignore (Planner.choose_path pl q);
+     let n = 1_000 in
+     let before = allocated_words () in
+     for _ = 1 to n do
+       ignore (Planner.choose_path pl q)
+     done;
+     let per_choose = (allocated_words () -. before) /. float_of_int n in
+     Printf.printf "  planner allocation: %.0f words/choose\n%!" per_choose;
+     if per_choose > 2048.0 then
+       failwith
+         (Printf.sprintf
+            "Planner.choose allocated %.0f words — catalog consultation is no longer O(1)"
+            per_choose)
+   end);
   (* Substrate: bisimulation refinement. *)
   bench "substrate:label-split" (fun () -> ignore (Label_split.build g));
   bench "substrate:1-index" (fun () -> ignore (One_index.build g));
@@ -1097,6 +1173,7 @@ let () =
       ("peak_rss_bytes", string_of_int (peak_rss_bytes ()));
       ("batch_queries", string_of_int (4 * List.length queries));
     ]
+    @ !plan_facts
     @ !xl_facts
   in
   Printf.printf "  macro: %s\n%!"

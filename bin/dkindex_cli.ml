@@ -241,7 +241,97 @@ let eval_one idx kind expr_str =
     | Some labels -> Query_eval.eval_path_strings idx labels
     | None -> Query_eval.eval_expr idx expr
 
-let query g kind k workload_size seed load expr_str show check =
+let print_result g show result =
+  Printf.printf "%d matching nodes (cost: %s; %d candidates validated, %d sound index nodes)\n"
+    (List.length result.Query_eval.nodes)
+    (Format.asprintf "%a" Dkindex_pathexpr.Cost.pp result.Query_eval.cost)
+    result.Query_eval.n_candidates result.Query_eval.n_certain;
+  List.iteri
+    (fun i u ->
+      if i < show then Printf.printf "  node %d label %s\n" u (Data_graph.label_name g u))
+    result.Query_eval.nodes
+
+(* --plan: route the query through the cost-based planner over the
+   whole index family (or over the loaded index alone). *)
+let planned_query g k workload_size seed load expr_str plan_sel explain show check =
+  let module Plan = Dkindex_planner.Plan in
+  let module Planner = Dkindex_planner.Planner in
+  if String.length expr_str > 0 && Char.equal expr_str.[0] '/' then
+    failwith "--plan covers path expressions; tree patterns pick their index with --index";
+  let expr = Dkindex_pathexpr.Path_parser.parse expr_str in
+  let pl =
+    match load with
+    | Some path ->
+      let idx =
+        match Container.probe path with
+        | Some Container.Index -> Index_serial.load_container path
+        | Some Container.Graph ->
+          failwith (path ^ " is a graph container, not an index; pass it to --input")
+        | None -> Index_serial.load path
+      in
+      let pl = Planner.create (Index_graph.data idx) in
+      Planner.register pl ~name:"loaded" ~cache:(Validation_cache.create idx) idx;
+      pl
+    | None ->
+      let queries = Dkindex_workload.Query_gen.generate ~seed ~count:workload_size g in
+      let reqs = Dkindex_workload.Miner.mine g queries in
+      let pl = Planner.create g in
+      let reg name idx = Planner.register pl ~name ~cache:(Validation_cache.create idx) idx in
+      reg "dk" (Dk_index.build g ~reqs);
+      reg "ak" (A_k_index.build g ~k);
+      reg "1-index" (One_index.build g);
+      reg "label-split" (Label_split.build g);
+      reg "fb" (Fb_index.build g);
+      Planner.observe_workload pl queries;
+      pl
+  in
+  let dg = Planner.data pl in
+  if explain then List.iter print_endline (Planner.explain pl expr);
+  let plan, result =
+    match plan_sel with
+    | "auto" -> Planner.eval_planned pl expr
+    | name -> (
+      let wanted (p : Plan.t) =
+        match p.Plan.access with
+        | Plan.Scan n -> String.equal n name
+        | Plan.Raw -> String.equal name "raw"
+        | Plan.Intersect _ -> false
+      in
+      match List.find_opt wanted (Planner.plans pl expr) with
+      | Some p -> (p, Planner.execute pl p expr)
+      | None ->
+        failwith
+          (Printf.sprintf "no plan for --plan %s (family: %s, raw)" name
+             (String.concat ", " (Planner.names pl))))
+  in
+  Printf.printf "plan: %s\n" (Plan.describe plan);
+  print_result dg show result;
+  if check then begin
+    (* Execute every candidate plan the enumerator emitted and require
+       bit-for-bit identical answers (the raw-graph plan is always in
+       the list, so this also checks against direct evaluation). *)
+    let ranked = Planner.plans pl expr in
+    let mismatches =
+      List.filter
+        (fun p ->
+          (Planner.execute pl p expr).Query_eval.nodes <> result.Query_eval.nodes)
+        ranked
+    in
+    if mismatches <> [] then begin
+      List.iter
+        (fun p -> Printf.eprintf "error: --check mismatch on %s\n" (Plan.access_name p.Plan.access))
+        mismatches;
+      exit 1
+    end;
+    Printf.printf "check OK: %d plans agree (%d nodes)\n" (List.length ranked)
+      (List.length result.Query_eval.nodes)
+  end
+
+let query g kind k workload_size seed load expr_str show check plan_sel explain =
+  match plan_sel, explain with
+  | Some sel, _ -> planned_query g k workload_size seed load expr_str sel explain show check
+  | None, true -> planned_query g k workload_size seed load expr_str "auto" true show check
+  | None, false ->
   let idx =
     match load with
     | Some path -> (
@@ -254,14 +344,7 @@ let query g kind k workload_size seed load expr_str show check =
   in
   let g = Index_graph.data idx in
   let result = eval_one idx kind expr_str in
-  Printf.printf "%d matching nodes (cost: %s; %d candidates validated, %d sound index nodes)\n"
-    (List.length result.Query_eval.nodes)
-    (Format.asprintf "%a" Dkindex_pathexpr.Cost.pp result.Query_eval.cost)
-    result.Query_eval.n_candidates result.Query_eval.n_certain;
-  List.iteri
-    (fun i u ->
-      if i < show then Printf.printf "  node %d label %s\n" u (Data_graph.label_name g u))
-    result.Query_eval.nodes;
+  print_result g show result;
   if check then begin
     (* Cross-check against a fully in-RAM copy: the text round-trip
        rebuilds every array on the OCaml heap, so when the index came
@@ -302,7 +385,25 @@ let query_cmd =
       & info [ "check" ]
           ~doc:
             "Re-evaluate on a fully in-RAM copy of the index and fail unless \
-             the answers agree bit for bit")
+             the answers agree bit for bit (with --plan: execute every \
+             candidate plan and require identical answers)")
+  in
+  let plan =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Route the query through the cost-based planner. 'auto' picks \
+             the cheapest plan from the statistics catalog; naming an index \
+             (dk, ak, 1-index, label-split, fb — or 'raw') forces that \
+             access path")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Print the ranked candidate-plan list with cost estimates (implies --plan auto)")
   in
   Cmd.v
     (Cmd.info "query"
@@ -312,7 +413,7 @@ let query_cmd =
           pattern ('//a[./b]//c')")
     Term.(
       const query $ graph_term $ index_kind_arg $ k_arg $ workload_arg $ seed_arg $ load $ expr
-      $ show $ check)
+      $ show $ check $ plan $ explain)
 
 (* ------------------------------------------------------------------ *)
 (* workload                                                            *)

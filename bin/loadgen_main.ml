@@ -187,6 +187,19 @@ let print_stats_summary kvs =
   | Some role, Some epoch ->
     Printf.printf "server: role %s  epoch %s  fenced %s\n" role epoch (getd "fenced")
   | _ -> ());
+  (match get "vcache_instances" with
+  | Some _ ->
+    Printf.printf "vcache: %s instance(s)  hits %s  misses %s  entries %s  evictions %s\n"
+      (getd "vcache_instances") (getd "vcache_hits") (getd "vcache_misses")
+      (getd "vcache_entries") (getd "vcache_evictions")
+  | None -> ());
+  (match get "planned_queries" with
+  | Some n when n <> "0" ->
+    Printf.printf
+      "planner: planned %s (index scans %s, raw scans %s)  explains %s  fallbacks %s\n" n
+      (getd "planned_index_scans") (getd "planned_raw_scans") (getd "explain_queries")
+      (getd "plan_fallbacks")
+  | _ -> ());
   (match get "replicas_connected" with
   | Some n when n <> "0" ->
     Printf.printf "replication: %s replica(s) connected\n" n;

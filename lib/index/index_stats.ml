@@ -40,6 +40,34 @@ let compute idx =
       |> List.sort (fun (_, a, _) (_, b, _) -> compare b a);
   }
 
+type source = {
+  idx : Index_graph.t;
+  mu : Mutex.t;
+  mutable gen : int;  (* generation at the last sweep; -1 = never *)
+  mutable cached : t option;
+  mutable recomputes : int;
+}
+
+let source idx = { idx; mu = Mutex.create (); gen = -1; cached = None; recomputes = 0 }
+let source_index s = s.idx
+
+let get s =
+  Mutex.lock s.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.mu) @@ fun () ->
+  match s.cached with
+  | Some st when Index_graph.generation s.idx = s.gen -> st
+  | _ ->
+    (* Snapshot the counter first: a concurrent mutation during the
+       sweep at worst forces one extra recompute on the next get. *)
+    let gen = Index_graph.generation s.idx in
+    let st = compute s.idx in
+    s.gen <- gen;
+    s.cached <- Some st;
+    s.recomputes <- s.recomputes + 1;
+    st
+
+let recomputes s = s.recomputes
+
 let pp ppf t =
   Format.fprintf ppf "index nodes   %d@." t.n_nodes;
   Format.fprintf ppf "index edges   %d@." t.n_edges;

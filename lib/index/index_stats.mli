@@ -18,3 +18,23 @@ type t = {
 val compute : Index_graph.t -> t
 val pp : Format.formatter -> t -> unit
 (** Multi-line human-readable report ([label_rows] capped at 12). *)
+
+(** {1 Generation-gated recomputation}
+
+    A [source] memoizes {!compute} against the index's
+    {!Index_graph.generation} counter: {!get} returns the cached
+    record (physically the same value) until a mutation bumps the
+    counter, then recomputes once.  Callers polling statistics (the
+    server's [Stats] request) never pay a full sweep for an unchanged
+    index and can never observe stale numbers after an update.
+    Thread-safe: [get] may be called from any domain. *)
+
+type source
+
+val source : Index_graph.t -> source
+(** Lazy: no sweep happens until the first {!get}. *)
+
+val source_index : source -> Index_graph.t
+val get : source -> t
+val recomputes : source -> int
+(** Number of sweeps performed so far; tests assert the gating. *)

@@ -142,22 +142,29 @@ let eval_path_forward t path ~cost =
     !finals
   end
 
+(* Strategy selection shared by [eval_path] and [eval_path_finals]. *)
+let matched_finals strategy t path ~cost =
+  let m = Array.length path in
+  let backward =
+    match strategy with
+    | `Forward -> false
+    | `Backward -> true
+    | `Auto ->
+      Index_graph.count_with_label t path.(m - 1) < Index_graph.count_with_label t path.(0)
+  in
+  if backward then eval_path_backward t path ~cost else eval_path_forward t path ~cost
+
+let eval_path_finals ?(strategy = `Forward) t path =
+  let cost = Cost.create () in
+  if Array.length path = 0 then ([], cost)
+  else (matched_finals strategy t path ~cost, cost)
+
 let eval_path ?(strategy = `Forward) ?cache t path =
   let cost = Cost.create () in
   let m = Array.length path in
   if m = 0 then empty_result cost
   else begin
-    let backward =
-      match strategy with
-      | `Forward -> false
-      | `Backward -> true
-      | `Auto ->
-        Index_graph.count_with_label t path.(m - 1)
-        < Index_graph.count_with_label t path.(0)
-    in
-    let finals =
-      if backward then eval_path_backward t path ~cost else eval_path_forward t path ~cost
-    in
+    let finals = matched_finals strategy t path ~cost in
     let data = Index_graph.data t in
     finish t cost finals
       ~certain:(fun nd -> nd.Index_graph.k >= m - 1)

@@ -49,6 +49,17 @@ val eval_path :
     {!Validation_cache}); result nodes are unaffected, only the
     validation cost of repeated queries drops. *)
 
+val eval_path_finals :
+  ?strategy:[ `Forward | `Backward | `Auto ] ->
+  Index_graph.t ->
+  Label.t array ->
+  int list * Cost.t
+(** The matched final index nodes of a label path — the traversal of
+    {!eval_path} without the extent merge or validation.  This is the
+    raw material for multi-index plans (the planner intersects the
+    extents of two indexes' finals and validates only the survivors).
+    The returned cost counts the index visits of the traversal. *)
+
 val eval_path_strings : Index_graph.t -> string list -> result
 (** Convenience wrapper interning label names; unknown labels yield an
     empty result. *)

@@ -1,0 +1,97 @@
+(** Cost-based plan selection across the index family.
+
+    A planner holds a family of access paths over one data graph: any
+    number of registered index graphs (D(k), A(k), 1-index,
+    label-split, F&B — anything speaking {!Index_graph}) plus the raw
+    data graph itself.  For a parsed query it emits every valid plan
+    ({!plans}), prices each from the per-index {!Stats_catalog}, and
+    executes the cheapest with a deterministic fallback chain
+    ({!eval_planned}): plans are tried in rank order and the raw-graph
+    evaluation — always last, always executable — closes the chain.
+
+    Catalogs refresh lazily off {!Index_graph.generation}, so a
+    planner owned by a serving loop stays correct across updates
+    without ever recomputing statistics for an unchanged index.
+
+    {b Estimates never affect answers.}  The cost model only orders
+    plans; every plan's executor is exact (index scans validate
+    under-refined extents through {!Query_eval}, intersections
+    validate the surviving candidates, the raw path is exact by
+    construction), so a wrong estimate can cost time, never
+    correctness. *)
+
+open Dkindex_graph
+open Dkindex_core
+open Dkindex_pathexpr
+
+type t
+
+val create : Data_graph.t -> t
+(** A planner over the data graph with no indexes yet: only the raw
+    access path is available until {!register} is called. *)
+
+val register : t -> name:string -> ?cache:Validation_cache.t -> Index_graph.t -> unit
+(** Add an index to the family under a unique name.  [cache] is used
+    by this index's scan executor and its hit/miss counters feed the
+    catalog's validation discount.  @raise Invalid_argument if the
+    name is taken, the name is ["raw"], or the index summarizes a
+    different data graph. *)
+
+val names : t -> string list
+(** Registered index names, in registration order. *)
+
+val find : t -> string -> Index_graph.t option
+val catalog : t -> string -> Stats_catalog.t option
+val data : t -> Data_graph.t
+
+val refresh : t -> unit
+(** Generation-gated refresh of every catalog, plus a pull of each
+    registered cache's hit/miss counters.  Called implicitly by
+    {!plans} / {!eval_planned}; O(#indexes) comparisons when nothing
+    changed. *)
+
+val observe_workload : t -> Label.t array list -> unit
+(** Feed an observed (e.g. mined) workload: per-label query frequencies
+    sharpen the validation-cache discount.  {!eval_planned} also
+    observes each query it serves, so the discount adapts online. *)
+
+val observed_queries : t -> int
+
+val fallbacks : t -> int
+(** Cumulative number of times {!eval_planned} had to skip a failing
+    plan and fall through the chain. *)
+
+(** {1 Planning} *)
+
+val plans : t -> Path_ast.t -> Plan.t list
+(** Every valid access path for the query, priced and ranked (cheapest
+    first, deterministic tie-break).  Always non-empty; the last plan
+    is always {!Plan.Raw}.  Label-sequence queries additionally get
+    intersection plans for every index pair whose scans both expect
+    validation work. *)
+
+val choose : t -> Path_ast.t -> Plan.t
+
+val choose_path : t -> Label.t array -> Plan.t
+(** [choose] for a pre-interned label path: the planning step of
+    {!eval_planned_path} alone (catalog refresh check + memoized plan
+    lookup), without expression conversion or execution. *)
+
+val explain : t -> Path_ast.t -> string list
+(** Human-readable ranking: one header line, then one numbered line
+    per plan ({!Plan.describe}), the chosen plan marked. *)
+
+(** {1 Execution} *)
+
+val execute : t -> Plan.t -> Path_ast.t -> Query_eval.result
+(** Run one specific plan.  @raise Invalid_argument if the plan names
+    an unregistered index, or an intersection plan is applied to a
+    query that is not a plain label sequence. *)
+
+val eval_planned : t -> Path_ast.t -> Plan.t * Query_eval.result
+(** Plan, then execute down the fallback chain; returns the plan that
+    actually produced the answer. *)
+
+val eval_planned_path : t -> Label.t array -> Plan.t * Query_eval.result
+(** {!eval_planned} for an already-interned label path (the workload
+    form); an empty path yields an empty result on the raw plan. *)

@@ -202,7 +202,8 @@ let close = drop
 let reconnects t = t.n_reconnects
 
 let idempotent = function
-  | Wire.Ping | Wire.Query _ | Wire.Query_path _ | Wire.Batch_query _ | Wire.Stats -> true
+  | Wire.Ping | Wire.Query _ | Wire.Query_path _ | Wire.Batch_query _ | Wire.Stats
+  | Wire.Query_planned _ | Wire.Explain _ -> true
   | _ -> false
 
 let call_once t req =

@@ -1,6 +1,8 @@
 open Dkindex_graph
 open Dkindex_core
 module Cost = Dkindex_pathexpr.Cost
+module Plan = Dkindex_planner.Plan
+module Planner = Dkindex_planner.Planner
 
 type config = {
   host : string;
@@ -182,6 +184,18 @@ type state = {
   mk_hub : Checkpoint.t -> Replication.hub;  (* for promotion *)
   replica : Replication.replica option;
   repl_apply_errors : int Atomic.t;
+  (* planner / statistics observability *)
+  vcaches : Validation_cache.t list Atomic.t;
+      (* every reader-side validation cache ever created, for the
+         aggregate hit/miss/eviction counters in Stats *)
+  stats_mu : Mutex.t;
+  mutable stats_srcs : Index_stats.source list;
+      (* generation-gated Index_stats per physical copy (<= 2 live) *)
+  planned : int Atomic.t;
+  planned_index_scans : int Atomic.t;
+  planned_raw_scans : int Atomic.t;
+  explains : int Atomic.t;
+  plan_fallbacks : int Atomic.t;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -347,20 +361,60 @@ let wire_result (r : Query_eval.result) : Wire.query_result =
     n_certain = r.n_certain;
   }
 
-(* Per-reader validation caches.  The serving snapshot alternates
-   between the two physical copies as writes land, so each reader
-   keeps one cache per copy (two live entries) keyed by physical
-   identity; a wholesale replacement simply ages both out. *)
-let reader_cache cache_ref idx =
-  match List.find_opt (fun c -> Validation_cache.index c == idx) !cache_ref with
+(* Per-reader state: validation caches plus cost-based planners.  The
+   serving snapshot alternates between the two physical copies as
+   writes land, so each reader keeps one cache (and one planner) per
+   copy — two live entries keyed by physical identity; a wholesale
+   replacement simply ages both out.  Planners come in a cached and an
+   uncached flavor so Query_planned honors the [no_cache] flag. *)
+type reader = {
+  caches : Validation_cache.t list ref;
+  planners : (bool * Planner.t) list ref;  (* (uses the cache?, planner) *)
+}
+
+let new_reader () = { caches = ref []; planners = ref [] }
+
+let reader_cache state rd idx =
+  match List.find_opt (fun c -> Validation_cache.index c == idx) !(rd.caches) with
   | Some c -> c
   | None ->
     let c = Validation_cache.create idx in
-    (cache_ref :=
-       match !cache_ref with
+    (rd.caches :=
+       match !(rd.caches) with
        | prev :: _ -> [ c; prev ]
        | [] -> [ c ]);
+    (* Register for the aggregate vcache_* stats; the list only ever
+       grows by two entries per reader, so a cons race retry is cheap
+       and rare. *)
+    let rec add () =
+      let cur = Atomic.get state.vcaches in
+      if not (Atomic.compare_and_set state.vcaches cur (c :: cur)) then add ()
+    in
+    add ();
     c
+
+(* The server-side plan family per snapshot: the serving index (named
+   "index") plus the raw data graph the planner always carries.  The
+   richer multi-index family lives CLI-side where the whole family is
+   built over an immutable graph; here the planner's job is per-query
+   routing between the index scan and the raw fallback, priced from
+   the live catalog (generation-gated, so update churn refreshes it). *)
+let reader_planner state rd ~use_cache idx =
+  let matches (cached, pl) =
+    cached = use_cache
+    && match Planner.find pl "index" with Some i -> i == idx | None -> false
+  in
+  match List.find_opt matches !(rd.planners) with
+  | Some (_, pl) -> pl
+  | None ->
+    let pl = Planner.create (Index_graph.data idx) in
+    (if use_cache then
+       Planner.register pl ~name:"index" ~cache:(reader_cache state rd idx) idx
+     else Planner.register pl ~name:"index" idx);
+    (* cap at 4 live planners: {cached, uncached} x {two copies} *)
+    rd.planners :=
+      (use_cache, pl) :: (match !(rd.planners) with a :: b :: c :: _ -> [ a; b; c ] | l -> l);
+    pl
 
 let eval_labels ?cache idx labels =
   let pool = Data_graph.pool (Index_graph.data idx) in
@@ -368,8 +422,46 @@ let eval_labels ?cache idx labels =
   if labels = [] || List.exists Option.is_none codes then empty_result
   else Query_eval.eval_path ?cache idx (Array.of_list (List.map Option.get codes))
 
+(* Index statistics are generation-gated ({!Index_stats.source}): a
+   Stats request on an unchanged index returns the memoized record
+   instead of sweeping every live index node.  Sources are keyed by
+   physical copy like the reader caches. *)
+let stats_source state idx =
+  Mutex.lock state.stats_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock state.stats_mu) @@ fun () ->
+  match
+    List.find_opt (fun s -> Index_stats.source_index s == idx) state.stats_srcs
+  with
+  | Some s -> s
+  | None ->
+    let s = Index_stats.source idx in
+    (state.stats_srcs <-
+       match state.stats_srcs with
+       | prev :: _ -> [ s; prev ]
+       | [] -> [ s ]);
+    s
+
+let vcache_kvs state =
+  let hits = ref 0 and misses = ref 0 and entries = ref 0 and evictions = ref 0 in
+  let caches = Atomic.get state.vcaches in
+  List.iter
+    (fun c ->
+      let h, m = Validation_cache.stats c in
+      hits := !hits + h;
+      misses := !misses + m;
+      entries := !entries + Validation_cache.entry_count c;
+      evictions := !evictions + Validation_cache.evictions c)
+    caches;
+  [
+    ("vcache_instances", string_of_int (List.length caches));
+    ("vcache_hits", string_of_int !hits);
+    ("vcache_misses", string_of_int !misses);
+    ("vcache_entries", string_of_int !entries);
+    ("vcache_evictions", string_of_int !evictions);
+  ]
+
 let stats_kvs state idx =
-  let st = Index_stats.compute idx in
+  let st = Index_stats.get (stats_source state idx) in
   let b v = if v then "true" else "false" in
   [
     ("n_index_nodes", string_of_int st.Index_stats.n_nodes);
@@ -396,13 +488,19 @@ let stats_kvs state idx =
     ("fenced", b (Atomic.get state.fenced));
     ("repl_apply_errors", string_of_int (Atomic.get state.repl_apply_errors));
     ("durability", match state.durability with Some _ -> "wal+checkpoint" | None -> "none");
+    ("planned_queries", string_of_int (Atomic.get state.planned));
+    ("planned_index_scans", string_of_int (Atomic.get state.planned_index_scans));
+    ("planned_raw_scans", string_of_int (Atomic.get state.planned_raw_scans));
+    ("explain_queries", string_of_int (Atomic.get state.explains));
+    ("plan_fallbacks", string_of_int (Atomic.get state.plan_fallbacks));
   ]
+  @ vcache_kvs state
   @ (match state.durability with Some d -> Checkpoint.stats d | None -> [])
   @ (match Atomic.get state.hub with Some h -> Replication.hub_stats h | None -> [])
   @ (match state.replica with Some r -> Replication.replica_stats r | None -> [])
 
-let handle_read state idx cache_ref req : Wire.response =
-  let cache flags = if flags.Wire.no_cache then None else Some (reader_cache cache_ref idx) in
+let handle_read state idx rd req : Wire.response =
+  let cache flags = if flags.Wire.no_cache then None else Some (reader_cache state rd idx) in
   match req with
   | Wire.Ping -> Wire.Pong
   | Wire.Stats -> Wire.Stats_reply (stats_kvs state idx)
@@ -414,6 +512,21 @@ let handle_read state idx cache_ref req : Wire.response =
     let cache = cache flags in
     Wire.Batch_result
       (Array.of_list (List.map (fun p -> wire_result (eval_labels ?cache idx p)) paths))
+  | Wire.Query_planned { flags; expr } ->
+    let pl = reader_planner state rd ~use_cache:(not flags.Wire.no_cache) idx in
+    let fb0 = Planner.fallbacks pl in
+    let plan, r = Planner.eval_planned pl expr in
+    Atomic.incr state.planned;
+    (match plan.Plan.access with
+    | Plan.Raw -> Atomic.incr state.planned_raw_scans
+    | Plan.Scan _ | Plan.Intersect _ -> Atomic.incr state.planned_index_scans);
+    let fell = Planner.fallbacks pl - fb0 in
+    if fell > 0 then ignore (Atomic.fetch_and_add state.plan_fallbacks fell);
+    Wire.Planned_result { plan = Plan.describe plan; result = wire_result r }
+  | Wire.Explain { expr } ->
+    let pl = reader_planner state rd ~use_cache:true idx in
+    Atomic.incr state.explains;
+    Wire.Explain_reply (Planner.explain pl expr)
   | _ -> Wire.Error_reply { code = `Protocol; message = "write request on read path" }
 
 let expired state p =
@@ -434,7 +547,7 @@ let stale_read state req =
   | None -> false
 
 let worker_loop state slot () =
-  let cache_ref = ref [] in
+  let rd = new_reader () in
   let rec go () =
     match Bqueue.pop state.readq with
     | None -> ()
@@ -446,7 +559,7 @@ let worker_loop state slot () =
              Wire.Error_reply { code = `Stale; message = "replica outside staleness bound" }
            else
              try
-               with_snapshot state slot (fun idx -> handle_read state idx cache_ref p.req)
+               with_snapshot state slot (fun idx -> handle_read state idx rd p.req)
              with e -> Wire.Error_reply { code = `App; message = Printexc.to_string e }
          in
          send_response p.conn ~id:p.id resp;
@@ -701,7 +814,7 @@ let observe_epoch state e =
    path.  Their replies are buffered on the connection and flushed
    once per frame batch.  Batch queries (arbitrarily large) go to the
    worker domains; writes go to the mutator. *)
-let dispatch state ~slot ~cache_ref conn ~id (req : Wire.request) =
+let dispatch state ~slot ~reader conn ~id (req : Wire.request) =
   if Atomic.get state.stop then
     buffer_response conn ~id
       (Wire.Error_reply { code = `Shutting_down; message = "server shutting down" })
@@ -746,12 +859,13 @@ let dispatch state ~slot ~cache_ref conn ~id (req : Wire.request) =
           flush_responses conn;
           conn.detached <- true;
           Replication.attach hub ~fd:conn.fd ~replica_id ~seq ~offset)
-    | Wire.Ping | Wire.Query _ | Wire.Query_path _ | Wire.Stats ->
+    | Wire.Ping | Wire.Query _ | Wire.Query_path _ | Wire.Stats | Wire.Query_planned _
+    | Wire.Explain _ ->
       let resp =
         if stale_read state req then
           Wire.Error_reply { code = `Stale; message = "replica outside staleness bound" }
         else
-          try with_snapshot state slot (fun idx -> handle_read state idx cache_ref req)
+          try with_snapshot state slot (fun idx -> handle_read state idx reader req)
           with e -> Wire.Error_reply { code = `App; message = Printexc.to_string e }
       in
       buffer_response conn ~id resp;
@@ -820,6 +934,14 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?
       mk_hub;
       replica;
       repl_apply_errors = Atomic.make 0;
+      vcaches = Atomic.make [];
+      stats_mu = Mutex.create ();
+      stats_srcs = [];
+      planned = Atomic.make 0;
+      planned_index_scans = Atomic.make 0;
+      planned_raw_scans = Atomic.make 0;
+      explains = Atomic.make 0;
+      plan_fallbacks = Atomic.make 0;
     }
   in
   let ev =
@@ -870,7 +992,7 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?
     replica;
   on_ready port;
   let main_slot = state.slots.(0) in
-  let main_cache = ref [] in
+  let main_reader = new_reader () in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
   let close_conn conn =
     Mutex.lock conn.wmu;
@@ -929,7 +1051,7 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?
           | Error msg ->
             Atomic.incr state.proto_errors;
             buffer_response conn ~id:0 (Wire.Error_reply { code = `Protocol; message = msg })
-          | Ok { id; msg = req } -> dispatch state ~slot:main_slot ~cache_ref:main_cache conn ~id req);
+          | Ok { id; msg = req } -> dispatch state ~slot:main_slot ~reader:main_reader conn ~id req);
           go (off + 4 + len)
         end
         else off

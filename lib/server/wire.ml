@@ -22,6 +22,8 @@ type request =
   | Hello of { version : int; epoch : int }
   | Rep_subscribe of { replica_id : int; epoch : int; seq : int; offset : int }
   | Promote_primary
+  | Query_planned of { flags : query_flags; expr : Path_ast.t }
+  | Explain of { expr : Path_ast.t }
 
 type query_result = {
   nodes : int array;
@@ -48,6 +50,8 @@ type response =
   | Rep_heartbeat of { epoch : int; seq : int; offset : int }
   | Not_primary of { host : string; port : int }
   | Fenced of { epoch : int }
+  | Planned_result of { plan : string; result : query_result }
+  | Explain_reply of string list
 
 (* ------------------------------------------------------------------ *)
 (* Primitive encoders, over {!Obuf} so frames can be written (and
@@ -206,6 +210,8 @@ let request_kind = function
   | Hello _ -> 0x0d
   | Rep_subscribe _ -> 0x0e
   | Promote_primary -> 0x0f
+  | Query_planned _ -> 0x10
+  | Explain _ -> 0x11
 
 (* Hello carries its sender's protocol version in the header version
    byte itself, so a server can answer a mismatched peer with a typed
@@ -236,6 +242,15 @@ let encode_request buf ~id req =
       | Query_path { flags; labels } ->
         add_u8 buf (flags_byte flags);
         add_labels16 buf labels
+      | Query_planned { flags; expr } ->
+        add_u8 buf (flags_byte flags);
+        let b = Buffer.create 64 in
+        Path_ast.encode b expr;
+        Obuf.add_buffer buf b
+      | Explain { expr } ->
+        let b = Buffer.create 64 in
+        Path_ast.encode b expr;
+        Obuf.add_buffer buf b
       | Batch_query { flags; paths } ->
         add_u8 buf (flags_byte flags);
         add_u32 buf (List.length paths);
@@ -322,6 +337,25 @@ let decode_request_at big ~pos ~len =
         let offset = u48 c in
         Rep_subscribe { replica_id; epoch; seq; offset }
       | 0x0f -> Promote_primary
+      | 0x10 ->
+        let flags = flags_of_byte (u8 c) in
+        let expr =
+          match Path_ast.decode big ~pos:c.pos with
+          | Ok (expr, pos) ->
+            c.pos <- pos;
+            expr
+          | Error msg -> raise (Bad msg)
+        in
+        Query_planned { flags; expr }
+      | 0x11 ->
+        let expr =
+          match Path_ast.decode big ~pos:c.pos with
+          | Ok (expr, pos) ->
+            c.pos <- pos;
+            expr
+          | Error msg -> raise (Bad msg)
+        in
+        Explain { expr }
       | k -> raise (Bad (Printf.sprintf "unknown request kind 0x%02x" k))
     in
     expect_end c "request";
@@ -392,6 +426,8 @@ let response_kind = function
   | Rep_heartbeat _ -> 0x8c
   | Not_primary _ -> 0x8d
   | Fenced _ -> 0x8e
+  | Planned_result _ -> 0x8f
+  | Explain_reply _ -> 0x90
 
 let encode_response buf ~id resp =
   with_frame buf (fun () ->
@@ -429,6 +465,13 @@ let encode_response buf ~id resp =
         add_str16 buf host;
         add_u16 buf port
       | Fenced { epoch } -> add_u32 buf epoch
+      | Planned_result { plan; result } ->
+        add_str16 buf plan;
+        encode_result buf result
+      | Explain_reply lines ->
+        if List.length lines > 0xffff then invalid_arg "Wire: too many explain lines";
+        add_u16 buf (List.length lines);
+        List.iter (add_str16 buf) lines
       | Stats_reply kvs ->
         if List.length kvs > 0xffff then invalid_arg "Wire: too many stats";
         add_u16 buf (List.length kvs);
@@ -484,6 +527,13 @@ let decode_response_at big ~pos ~len =
         let port = u16 c in
         Not_primary { host; port }
       | 0x8e -> Fenced { epoch = u32 c }
+      | 0x8f ->
+        let plan = str16 c in
+        Planned_result { plan; result = decode_result c }
+      | 0x90 ->
+        let n = u16 c in
+        check_count c n ~min_item_bytes:2;
+        Explain_reply (List.init n (fun _ -> str16 c))
       | 0x85 ->
         let n = u16 c in
         check_count c n ~min_item_bytes:4;

@@ -62,6 +62,14 @@ type request =
   | Promote_primary
       (** Operator-triggered failover: the replica bumps its epoch,
           persists it, stops following, and starts serving writes. *)
+  | Query_planned of { flags : query_flags; expr : Path_ast.t }
+      (** Like {!Query}, but the server routes through its cost-based
+          planner (index scan vs raw-graph fallback, priced from the
+          live statistics catalog) and reports the chosen plan in the
+          {!Planned_result} reply. *)
+  | Explain of { expr : Path_ast.t }
+      (** Ask for the ranked plan list the planner would consider for
+          this query, without executing anything. *)
 
 type query_result = {
   nodes : int array;  (** matching data nodes, sorted *)
@@ -109,6 +117,12 @@ type response =
   | Fenced of { epoch : int }
       (** Write refused by a deposed primary: a peer presented epoch
           [epoch] > ours, so a newer primary exists. *)
+  | Planned_result of { plan : string; result : query_result }
+      (** Answer to {!Query_planned}; [plan] is the one-line
+          description of the plan that produced the result. *)
+  | Explain_reply of string list
+      (** Answer to {!Explain}: header line plus one line per ranked
+          plan, chosen plan marked. *)
 
 (** {1 Codecs} *)
 

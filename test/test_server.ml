@@ -92,6 +92,8 @@ let request_gen : Wire.request QCheck.Gen.t =
         (pair (int_bound 1000) (int_bound 1_000_000))
         (pair seq_gen offset48_gen);
       return Wire.Promote_primary;
+      map2 (fun flags expr -> Wire.Query_planned { flags; expr }) flags_gen expr_gen;
+      map (fun expr -> Wire.Explain { expr }) expr_gen;
     ]
 
 let result_gen =
@@ -145,6 +147,13 @@ let response_gen : Wire.response QCheck.Gen.t =
       map2 (fun host port -> Wire.Not_primary { host; port }) (string_size (int_bound 20))
         (int_bound 0xffff);
       map (fun epoch -> Wire.Fenced { epoch }) (int_bound 1_000_000);
+      map2
+        (fun plan result -> Wire.Planned_result { plan; result })
+        (string_size (int_bound 60))
+        result_gen;
+      map
+        (fun lines -> Wire.Explain_reply lines)
+        (list_size (int_bound 6) (string_size (int_bound 40)));
     ]
 
 let request_arb = QCheck.make request_gen
@@ -509,6 +518,37 @@ let test_smoke () =
     let got = expect_result (Client.call c2 (Wire.Query { flags = { no_cache = true }; expr })) in
     let want = Query_eval.eval_expr idx expr in
     Alcotest.(check (list int)) "expr nodes" want.Query_eval.nodes (Array.to_list got.Wire.nodes);
+    (* The planned read path: same answers, plan reported; EXPLAIN is
+       read-only and returns the ranked list. *)
+    List.iter
+      (fun labels ->
+        let expr = Path_ast.seq_of_labels labels in
+        let plan, got =
+          match Client.call c1 (Wire.Query_planned { flags = { no_cache = true }; expr }) with
+          | Wire.Planned_result { plan; result } -> (plan, result)
+          | _ -> Alcotest.fail "expected Planned_result"
+        in
+        Alcotest.(check bool) "plan described" true (String.length plan > 0);
+        let want = Query_eval.eval_path_strings idx labels in
+        Alcotest.(check (list int))
+          ("planned " ^ String.concat "." labels)
+          want.Query_eval.nodes (Array.to_list got.Wire.nodes))
+      smoke_queries;
+    (match Client.call c2 (Wire.Explain { expr }) with
+    | Wire.Explain_reply (header :: plans) ->
+      Alcotest.(check bool) "explain has plans" true (List.length plans >= 1);
+      Alcotest.(check bool) "explain header" true (String.length header > 0)
+    | _ -> Alcotest.fail "expected Explain_reply");
+    (match Client.call c1 Wire.Stats with
+    | Wire.Stats_reply kvs ->
+      Alcotest.(check string) "planned_queries counted"
+        (string_of_int (List.length smoke_queries))
+        (Option.value (List.assoc_opt "planned_queries" kvs) ~default:"missing");
+      Alcotest.(check string) "explain counted" "1"
+        (Option.value (List.assoc_opt "explain_queries" kvs) ~default:"missing");
+      Alcotest.(check bool) "vcache counters exported" true
+        (List.mem_assoc "vcache_hits" kvs)
+    | _ -> Alcotest.fail "expected Stats_reply");
     (* Updates through the write path, replayed locally. *)
     let n = Data_graph.n_nodes g in
     let rng = Prng.create ~seed:99 in
