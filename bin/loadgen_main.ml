@@ -18,6 +18,8 @@ open Dkindex_core
 module Client = Dkindex_server.Client
 module Wire = Dkindex_server.Wire
 module Dataset = Dkindex_server.Dataset
+module Chaos = Dkindex_server.Chaos
+module History = Dkindex_server.History
 
 let host_arg =
   Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Server address")
@@ -90,6 +92,34 @@ let wait_replication_arg =
           "Poll the server's stats until every connected replica reports zero bytes behind (or \
            the timeout expires — nonzero exit); run after a write workload to bound failover \
            data loss")
+
+let nemesis_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "nemesis" ] ~docv:"SPEC"
+        ~doc:
+          "Chaos mode: interpose a seeded fault-injecting TCP proxy between the loadgen and \
+           the server, drive a write/probe workload through it while recording an operation \
+           history, then verify the acknowledged-history consistency contract (acked writes \
+           survive, reads monotonic, staleness bounded, fencing honored).  SPEC is \
+           comma-separated clauses, e.g. delay:2~1,partition:1+2,reset-all:4 — see \
+           Chaos.spec_of_string.  The empty string runs chaos mode with no faults.")
+
+let history_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "history" ] ~docv:"FILE"
+        ~doc:"With --nemesis: save the recorded operation history (re-checkable offline)")
+
+let staleness_check_arg =
+  Arg.(
+    value & opt float 10.0
+    & info [ "staleness-check" ] ~docv:"SECONDS"
+        ~doc:
+          "With --nemesis: the staleness bound the checker enforces on wire-stamped replica \
+           ages (match the server's --staleness-bound; <= 0 disables)")
 
 let percentile sorted p =
   let n = Array.length sorted in
@@ -183,6 +213,9 @@ let print_stats_summary kvs =
   Printf.printf "server: shed %s  deadline_expired %s  queue r/w %s/%s (cap %s)  in_flight %s\n"
     (getd "shed") (getd "deadline_expired") (getd "read_queue_depth") (getd "write_queue_depth")
     (getd "queue_capacity") (getd "in_flight");
+  Printf.printf
+    "server: uptime %s s  evicted_slow_clients %s  rejected_at_admission %s\n"
+    (getd "uptime_s") (getd "evicted_slow_clients") (getd "rejected_at_admission");
   (match (get "role", get "epoch") with
   | Some role, Some epoch ->
     Printf.printf "server: role %s  epoch %s  fenced %s\n" role epoch (getd "fenced")
@@ -407,11 +440,164 @@ let wait_replication ~host ~port ~timeout_s () =
   in
   go ()
 
+(* ------------------------------------------------------------------ *)
+(* Nemesis mode: chaos proxy + recorded history + consistency check *)
+
+(* One driver connection's workload: every 4th op writes a fresh edge
+   from the pinned update pool, the rest probe recently written edges.
+   Everything is recorded; failures are outcomes, never fatal. *)
+let nemesis_driver ~rec_ ~pport ~conns ~requests ~pool d =
+  let c =
+    Client.connect ~host:"127.0.0.1" ~port:pport ~attempts:3 ~retries:2 ~timeout_s:5.0
+      ~backoff_base_s:0.02 ~backoff_max_s:0.25 ~seed:d ~breaker_threshold:5
+      ~breaker_cooldown_s:0.5 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      let npool = Array.length pool in
+      let seq = ref 0 in
+      let record op outcome invoked_at =
+        History.record rec_
+          {
+            conn = d;
+            seq = !seq;
+            op;
+            invoked_at;
+            completed_at = Unix.gettimeofday ();
+            outcome;
+          };
+        incr seq
+      in
+      let i = ref d in
+      while !i < requests do
+        let widx = !i / 4 in
+        let u, v = pool.(widx mod npool) in
+        let t0 = Unix.gettimeofday () in
+        (if !i mod 4 = 0 then
+           let outcome =
+             match Client.call c (Wire.Add_edge { u; v }) with
+             | Wire.Ok_reply { epoch; _ } -> History.Acked { epoch }
+             | Wire.Error_reply { message; _ } -> History.Refused message
+             | Wire.Overloaded -> History.Refused "overloaded"
+             | Wire.Read_only -> History.Refused "read-only"
+             | Wire.Not_primary _ -> History.Refused "not primary"
+             | Wire.Fenced _ -> History.Refused "fenced"
+             | _ -> History.Refused "unexpected response kind"
+             | exception Client.Error e ->
+               History.Ambiguous (Client.error_to_string e)
+           in
+           record (History.Add_edge { u; v }) outcome t0
+         else
+           let outcome =
+             match Client.call c (Wire.Has_edge { u; v }) with
+             | Wire.Edge_reply { present; generation; age_ms } ->
+               History.Read_ok
+                 {
+                   present;
+                   generation;
+                   age_ms;
+                   endpoint = 0;
+                   epoch = Client.server_epoch c;
+                 }
+             | Wire.Error_reply { message; _ } -> History.Refused message
+             | Wire.Overloaded -> History.Refused "overloaded"
+             | _ -> History.Refused "unexpected response kind"
+             | exception Client.Error e ->
+               History.Ambiguous (Client.error_to_string e)
+           in
+           record (History.Probe { u; v }) outcome t0);
+        i := !i + conns
+      done;
+      Client.circuit_open_count c)
+
+(* The final converged state: probe every edge the history ever tried
+   to write, directly against the server (the chaos proxy is out of
+   the loop by now). *)
+let final_sweep ~host ~port entries =
+  let edges = Hashtbl.create 64 in
+  List.iter
+    (fun (e : History.entry) ->
+      match e.op with
+      | History.Add_edge { u; v } -> Hashtbl.replace edges (u, v) ()
+      | History.Probe _ -> ())
+    entries;
+  let c = Client.connect ~host ~port ~attempts:5 ~retries:3 ~timeout_s:10.0 () in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      Hashtbl.fold
+        (fun (u, v) () acc ->
+          match Client.call c (Wire.Has_edge { u; v }) with
+          | Wire.Edge_reply { present; _ } -> (u, v, present) :: acc
+          | Wire.Error_reply { message; _ } ->
+            failwith (Printf.sprintf "final sweep: probe (%d,%d) refused: %s" u v message)
+          | _ -> failwith (Printf.sprintf "final sweep: probe (%d,%d): unexpected response kind" u v))
+        edges [])
+
+let nemesis ~host ~port ~conns ~requests ~xmark ~seed ~spec_str ~history_path
+    ~staleness_check () =
+  let spec =
+    match Chaos.spec_of_string spec_str with
+    | Ok s -> s
+    | Error m -> failwith m
+  in
+  Printf.printf "nemesis: seed %d  spec %S  upstream %s:%d\n%!" seed
+    (Chaos.spec_to_string spec) host port;
+  let ds = Dataset.make ~seed ~scale:xmark ~n_updates:(max 200 ((requests / 4) + 8)) () in
+  let pool =
+    Array.of_list
+      (List.filter
+         (fun (u, v) -> not (Dkindex_graph.Data_graph.has_edge ds.graph u v))
+         ds.update_edges)
+  in
+  if Array.length pool = 0 then failwith "nemesis: empty update pool";
+  let proxy = Chaos.create ~seed ~upstream:(host, port) spec in
+  let pport = Chaos.port proxy in
+  let pdom = Domain.spawn (fun () -> Chaos.run proxy) in
+  let rec_ = History.recorder () in
+  let opens =
+    List.init conns (fun d ->
+        Domain.spawn (fun () ->
+            try nemesis_driver ~rec_ ~pport ~conns ~requests ~pool d
+            with _ -> 0))
+    |> List.map Domain.join
+    |> List.fold_left ( + ) 0
+  in
+  Chaos.stop proxy;
+  Domain.join pdom;
+  let cs = Chaos.stats proxy in
+  Printf.printf
+    "chaos: %d conns proxied  %d bytes forwarded  %d truncations  %d resets  %d stalls  %d \
+     partitions\n%!"
+    cs.accepted cs.forwarded_bytes cs.truncations cs.resets cs.stalls cs.partitions;
+  Printf.printf "client: circuit breaker opened %d time(s)\n%!" opens;
+  let entries = History.entries rec_ in
+  let final = final_sweep ~host ~port entries in
+  let report =
+    History.check
+      ~staleness_bound_ms:(int_of_float (staleness_check *. 1000.0))
+      ~final entries
+  in
+  Option.iter
+    (fun path ->
+      History.save ~entries ~final path;
+      Printf.printf "history: %d entries saved to %s\n%!" (List.length entries) path)
+    history_path;
+  print_endline (History.report_to_string report);
+  (match server_stats ~host ~port () with
+  | kvs -> print_stats_summary kvs
+  | exception _ -> ());
+  if not report.History.ok then exit 4
+
 let main host port conns requests xmark seed updates do_check recovered n_retries no_cache
-    do_promote wait_repl pipeline =
+    do_promote wait_repl pipeline nemesis_spec history_path staleness_check =
   let pipeline = max 1 pipeline in
   retries := max 0 n_retries;
   if do_promote then promote ~host ~port ()
+  else if nemesis_spec <> None then
+    nemesis ~host ~port ~conns ~requests ~xmark ~seed
+      ~spec_str:(Option.get nemesis_spec) ~history_path ~staleness_check ()
   else if do_check then begin
     let ds = Dataset.make ~seed ~scale:xmark () in
     if recovered then check_recovered ~host ~port ~conns ~updates ~pipeline ds
@@ -432,6 +618,7 @@ let cmd =
     Term.(
       const main $ host_arg $ port_arg $ conns_arg $ requests_arg $ xmark_arg $ seed_arg
       $ updates_arg $ check_arg $ recovered_arg $ retries_arg $ no_cache_arg $ promote_arg
-      $ wait_replication_arg $ pipeline_arg)
+      $ wait_replication_arg $ pipeline_arg $ nemesis_arg $ history_arg
+      $ staleness_check_arg)
 
 let () = exit (Cmd.eval cmd)

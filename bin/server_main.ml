@@ -117,6 +117,22 @@ let heartbeat_arg =
     value & opt float 0.25
     & info [ "heartbeat" ] ~docv:"SECONDS" ~doc:"Replication heartbeat interval (primary side)")
 
+let max_conns_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "max-conns" ] ~docv:"N"
+        ~doc:
+          "Admission control: once N connections are live, new ones are answered with one \
+           Overloaded frame and closed (<= 0 disables)")
+
+let read_progress_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "read-progress-deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Slow-loris defense: a started frame must arrive completely within this window or \
+           the connection is evicted (<= 0 disables)")
+
 (* A replica that has no local state serves this until its first
    snapshot bootstrap replaces it: a one-node ROOT-only index. *)
 let empty_index () =
@@ -127,7 +143,7 @@ let empty_index () =
 
 let serve host port xmark seed load workers queue_depth deadline idle snapshot data_dir sync
     checkpoint_every replicate_from replica_id auto_promote failover_timeout staleness_bound
-    heartbeat =
+    heartbeat max_conns read_progress_deadline =
   let fatal fmt = Printf.ksprintf (fun m -> prerr_endline ("dkindex-server: " ^ m); exit 1) fmt in
   let sync =
     match Wal.sync_policy_of_string sync with Ok s -> s | Error msg -> fatal "%s" msg
@@ -171,7 +187,7 @@ let serve host port xmark seed load workers queue_depth deadline idle snapshot d
     match data_dir with
     | None -> (build (), None)
     | Some dir ->
-      let recovery = Checkpoint.recover ~dir in
+      let recovery = Checkpoint.recover ~dir () in
       let index =
         match recovery.Checkpoint.index with
         | Some idx ->
@@ -203,6 +219,8 @@ let serve host port xmark seed load workers queue_depth deadline idle snapshot d
       idle_timeout_s = idle;
       max_frame = Dkindex_server.Wire.max_frame_default;
       snapshot_path = snapshot;
+      max_conns;
+      read_progress_deadline_s = read_progress_deadline;
     }
   in
   (match data_dir with
@@ -230,6 +248,6 @@ let cmd =
       const serve $ host_arg $ port_arg $ xmark_arg $ seed_arg $ load_arg $ workers_arg
       $ queue_arg $ deadline_arg $ idle_arg $ snapshot_arg $ data_dir_arg $ sync_arg
       $ checkpoint_every_arg $ replicate_from_arg $ replica_id_arg $ auto_promote_arg
-      $ failover_arg $ staleness_arg $ heartbeat_arg)
+      $ failover_arg $ staleness_arg $ heartbeat_arg $ max_conns_arg $ read_progress_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -325,13 +325,21 @@ type reader = { r_sections : (string * section) list }
 let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
 let get_u64 b off = Int64.to_int (Bytes.get_int64_le b off)
 
+(* Pluggable read primitive: dkindex_server's fault-injection tests
+   redirect this at [Faults.read] (this library cannot depend on that
+   one), so the CRC checks below can be exercised against short reads,
+   EINTR storms, and flipped bits.  Production never touches it. *)
+let read_injector : (Unix.file_descr -> bytes -> int -> int -> int) ref = ref Unix.read
+
 let really_read fd buf off len =
   let r = ref off and rem = ref len in
   while !rem > 0 do
-    let k = Unix.read fd buf !r !rem in
-    if k = 0 then error (Truncated "unexpected end of file");
-    r := !r + k;
-    rem := !rem - k
+    match !read_injector fd buf !r !rem with
+    | 0 -> error (Truncated "unexpected end of file")
+    | k ->
+      r := !r + k;
+      rem := !rem - k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
 let tag_of_entry b off =

@@ -98,6 +98,14 @@ val write_values : Writer.t -> (int * string) list -> unit
 
 val write_meta : Writer.t -> int list -> unit
 
+val read_injector : (Unix.file_descr -> bytes -> int -> int -> int) ref
+(** The read primitive every container load goes through (default
+    [Unix.read]).  Fault-injection tests swap in a misbehaving reader
+    (short reads, EINTR, bit flips) to exercise the CRC and
+    truncation checks; the internal read loop already absorbs EINTR
+    and short reads, so only corruption may surface — as {!Error}.
+    Reset it to [Unix.read] afterwards.  Not domain-safe; test-only. *)
+
 (** {1 Reader — for non-graph kinds}
 
     The index serializer reads its containers through this: the same

@@ -144,13 +144,16 @@ let empty_recovery =
     replay_errors = 0;
   }
 
-let recover ~dir =
+let recover ?read_faults ~dir () =
   let cps = List.rev (checkpoint_seqs dir) (* newest first *) in
   let rec load cps skipped =
     match cps with
     | [] -> if skipped > 0 then Some (None, -1, skipped) else None
     | seq :: older -> (
-      match Index_serial.load (Filename.concat dir (cp_name seq)) with
+      match
+        Index_serial.of_string
+          (Faults.read_all read_faults (Filename.concat dir (cp_name seq)))
+      with
       | idx -> Some (Some idx, seq, skipped)
       | exception _ -> load older (skipped + 1))
   in
@@ -169,7 +172,7 @@ let recover ~dir =
       let wals = List.filter (fun s -> s >= seq) (wal_seqs dir) in
       let rec chain expected = function
         | s :: rest when s = expected ->
-          let r = Wal.replay (Filename.concat dir (wal_name s)) in
+          let r = Wal.replay ?faults:read_faults (Filename.concat dir (wal_name s)) in
           torn := !torn + r.Wal.torn_bytes;
           let ok =
             List.for_all
@@ -376,11 +379,7 @@ let wal_position t =
   let bytes = Atomic.get t.wal_bytes_a in
   (seq, bytes)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+let read_file ?faults path = Faults.read_all faults path
 
 (* Newest checkpoint that actually parses, as raw snapshot bytes (for
    replica bootstrap).  Racing the pruner just skips to an older one. *)

@@ -49,11 +49,14 @@ type recovery = {
   replay_errors : int;  (** records that failed to re-apply (always 0 unless files were tampered mid-log) *)
 }
 
-val recover : dir:string -> recovery
+val recover : ?read_faults:Faults.t -> dir:string -> unit -> recovery
 (** Never raises on corrupt or torn files: it loads the newest
     checkpoint that parses, replays the longest valid prefix of each
     following WAL, and reports what it skipped.  A missing or empty
-    directory yields [{ index = None; _ }]. *)
+    directory yields [{ index = None; _ }].  [read_faults] filters
+    every checkpoint and WAL read through {!Faults.read}: a flipped
+    bit lands in the snapshot decoder or the WAL CRC check (falling
+    back / truncating), short reads and EINTR storms are absorbed. *)
 
 val apply_mutation : Index_graph.t -> Wal.mutation -> Index_graph.t
 (** Apply one logged mutation (the same code path replay uses, shared

@@ -8,6 +8,57 @@ let error_to_string = function
   | Retryable msg -> "retryable: " ^ msg
   | Fatal msg -> "fatal: " ^ msg
 
+(* Circuit breaker: after [threshold] consecutive Retryable failures
+   the circuit opens and calls fail fast (no dial, no timeout wait)
+   for [cooldown_s]; the first call after the cooldown is a half-open
+   probe — success closes the circuit, failure reopens it immediately.
+   [threshold = 0] disables.  One breaker guards one endpoint: the
+   single client [t] carries its own, and the cluster keeps one per
+   member {e outside} the member connection, so breaker state survives
+   the member being dropped and redialed. *)
+type breaker_state = Br_closed | Br_open of float (* fail fast until *) | Br_half_open
+
+type breaker = {
+  threshold : int;
+  cooldown_s : float;
+  mutable fails : int;  (* consecutive Retryable failures *)
+  mutable bstate : breaker_state;
+  mutable opens : int;  (* transitions into Br_open *)
+}
+
+let breaker_make ~threshold ~cooldown_s =
+  { threshold; cooldown_s; fails = 0; bstate = Br_closed; opens = 0 }
+
+(* Admission check; transitions a cooled-down open circuit to
+   half-open (admitting this one probe). *)
+let breaker_admit br =
+  match br.bstate with
+  | Br_closed | Br_half_open -> ()
+  | Br_open until ->
+    if Unix.gettimeofday () >= until then br.bstate <- Br_half_open
+    else raise (Error (Retryable "circuit breaker open"))
+
+let breaker_success br =
+  br.fails <- 0;
+  br.bstate <- Br_closed
+
+let breaker_failure br =
+  br.fails <- br.fails + 1;
+  if br.threshold > 0 then begin
+    let reopen =
+      match br.bstate with Br_half_open -> true | _ -> br.fails >= br.threshold
+    in
+    if reopen then begin
+      br.bstate <- Br_open (Unix.gettimeofday () +. br.cooldown_s);
+      br.opens <- br.opens + 1
+    end
+  end
+
+let breaker_is_open br =
+  match br.bstate with
+  | Br_open until -> Unix.gettimeofday () < until
+  | Br_closed | Br_half_open -> false
+
 type t = {
   host : string;
   port : int;
@@ -18,6 +69,7 @@ type t = {
   backoff_max_s : float;
   rng : Prng.t;
   buf : Obuf.t;
+  breaker : breaker;
   mutable fd : Unix.file_descr option;
   mutable next_id : int;
   mutable n_reconnects : int;
@@ -171,7 +223,8 @@ let server_epoch t = t.server_epoch
 let server_role t = t.server_role
 
 let connect ?(host = "127.0.0.1") ?(attempts = 1) ?(retries = 0) ?(timeout_s = 0.0)
-    ?(backoff_base_s = 0.05) ?(backoff_max_s = 2.0) ?(seed = 0) ?(epoch = 0) ~port () =
+    ?(backoff_base_s = 0.05) ?(backoff_max_s = 2.0) ?(seed = 0) ?(epoch = 0)
+    ?(breaker_threshold = 0) ?(breaker_cooldown_s = 1.0) ~port () =
   let t =
     {
       host;
@@ -183,6 +236,7 @@ let connect ?(host = "127.0.0.1") ?(attempts = 1) ?(retries = 0) ?(timeout_s = 0
       backoff_max_s;
       rng = Prng.create ~seed;
       buf = Obuf.create 256;
+      breaker = breaker_make ~threshold:breaker_threshold ~cooldown_s:breaker_cooldown_s;
       fd = None;
       next_id = 1;
       n_reconnects = 0;
@@ -203,7 +257,7 @@ let reconnects t = t.n_reconnects
 
 let idempotent = function
   | Wire.Ping | Wire.Query _ | Wire.Query_path _ | Wire.Batch_query _ | Wire.Stats
-  | Wire.Query_planned _ | Wire.Explain _ -> true
+  | Wire.Query_planned _ | Wire.Explain _ | Wire.Has_edge _ -> true
   | _ -> false
 
 let call_once t req =
@@ -219,22 +273,31 @@ let call_once t req =
   wait ()
 
 let call t req =
+  breaker_admit t.breaker;
   let budget = if idempotent req then t.retries + 1 else 1 in
   let rec go attempt =
     match call_once t req with
-    | resp -> resp
+    | resp ->
+      breaker_success t.breaker;
+      resp
     | exception Conn_failure msg ->
       drop t;
       if attempt < budget then begin
         backoff_sleep t attempt;
         go (attempt + 1)
       end
-      else raise (Error (Retryable msg))
+      else begin
+        breaker_failure t.breaker;
+        raise (Error (Retryable msg))
+      end
     | exception Proto_failure msg ->
       drop t;
       raise (Error (Fatal msg))
   in
   go 1
+
+let circuit_open_count t = t.breaker.opens
+let circuit_open t = breaker_is_open t.breaker
 
 (* ------------------------------------------------------------------ *)
 (* Pipelining primitives: no healing, errors surface raw. *)
@@ -262,7 +325,11 @@ let recv t =
 type cluster = {
   cendpoints : (string * int) array;
   cmembers : t option array;
+  cbreakers : breaker array;
+      (* per-endpoint, deliberately outside the member connection so
+         breaker state survives drop_member + redial *)
   mutable crr : int;  (* round-robin read cursor *)
+  mutable clast : int;  (* member that served the last response; -1 before any *)
   mutable cprimary : int option;
   mutable cepoch : int;  (* highest epoch observed anywhere *)
   cattempts : int;
@@ -306,13 +373,18 @@ let member cl i =
       Some c
     | exception Error _ -> None)
 
-let cluster_connect ?(attempts = 1) ?(retries = 0) ?(timeout_s = 0.0) ?(seed = 0) ~endpoints () =
+let cluster_connect ?(attempts = 1) ?(retries = 0) ?(timeout_s = 0.0) ?(seed = 0)
+    ?(breaker_threshold = 0) ?(breaker_cooldown_s = 1.0) ~endpoints () =
   if endpoints = [] then invalid_arg "Client.cluster_connect: no endpoints";
   let cl =
     {
       cendpoints = Array.of_list endpoints;
       cmembers = Array.make (List.length endpoints) None;
+      cbreakers =
+        Array.init (List.length endpoints) (fun _ ->
+            breaker_make ~threshold:breaker_threshold ~cooldown_s:breaker_cooldown_s);
       crr = 0;
+      clast = -1;
       cprimary = None;
       cepoch = 0;
       cattempts = max 1 attempts;
@@ -331,7 +403,11 @@ let cluster_close cl =
   cl.cprimary <- None
 
 (* Reads: round-robin over members, failing over to the next on a
-   connection failure or a [`Stale] refusal. *)
+   connection failure or a [`Stale] refusal.  A member whose breaker
+   is open is skipped without dialing (the open circuit IS the memory
+   that it was failing); success and failure feed the breaker, so a
+   dead member costs one connect timeout per cooldown window instead
+   of one per read. *)
 let cluster_read cl req =
   let n = Array.length cl.cendpoints in
   let budget = n * (cl.cretries + 1) in
@@ -339,19 +415,30 @@ let cluster_read cl req =
     if tries >= budget then raise (Error last)
     else begin
       let next = (i + 1) mod n in
-      match member cl i with
-      | None -> go (tries + 1) next (Retryable "no cluster member reachable")
-      | Some c -> (
-        set_epoch c cl.cepoch;
-        match call c req with
-        | Wire.Error_reply { code = `Stale; message } ->
-          go (tries + 1) next (Retryable ("stale replica: " ^ message))
-        | resp ->
-          cl.crr <- next;
-          resp
-        | exception Error ((Retryable _ | Fatal _) as e) ->
-          drop_member cl i;
-          go (tries + 1) next e)
+      match breaker_admit cl.cbreakers.(i) with
+      | exception Error e -> go (tries + 1) next e
+      | () -> (
+        match member cl i with
+        | None ->
+          breaker_failure cl.cbreakers.(i);
+          go (tries + 1) next (Retryable "no cluster member reachable")
+        | Some c -> (
+          set_epoch c cl.cepoch;
+          match call c req with
+          | Wire.Error_reply { code = `Stale; message } ->
+            (* A live server refusing on staleness is healthy: answer
+               the breaker's probe, fail over for the data. *)
+            breaker_success cl.cbreakers.(i);
+            go (tries + 1) next (Retryable ("stale replica: " ^ message))
+          | resp ->
+            breaker_success cl.cbreakers.(i);
+            cl.crr <- next;
+            cl.clast <- i;
+            resp
+          | exception Error ((Retryable _ | Fatal _) as e) ->
+            breaker_failure cl.cbreakers.(i);
+            drop_member cl i;
+            go (tries + 1) next e))
     end
   in
   go 0 cl.crr (Retryable "no cluster member reachable")
@@ -374,39 +461,60 @@ let cluster_write cl req =
     if tries >= budget then raise (Error last)
     else begin
       let next = (i + 1) mod n in
-      match member cl i with
-      | None -> go (tries + 1) next (Retryable "no primary reachable")
-      | Some c -> (
-        set_epoch c cl.cepoch;
-        match call c req with
-        | Wire.Ok_reply { epoch; _ } when epoch < cl.cepoch ->
-          drop_member cl i;
-          go (tries + 1) next (Retryable "stale ack from deposed primary")
-        | Wire.Ok_reply { epoch; _ } as resp ->
-          bump_epoch cl epoch;
-          cl.cprimary <- Some i;
-          resp
-        | Wire.Fenced { epoch } ->
-          (* [epoch] is the highest the fenced primary has observed,
-             i.e. the current leader's lineage. *)
-          bump_epoch cl epoch;
-          if cl.cprimary = Some i then cl.cprimary <- None;
-          go (tries + 1) next (Retryable "primary fenced")
-        | Wire.Not_primary { host; port } -> (
-          if cl.cprimary = Some i then cl.cprimary <- None;
-          match index_of host port with
-          | Some j when j <> i -> go (tries + 1) j (Retryable "redirected")
-          | _ -> go (tries + 1) next (Retryable "not primary"))
-        | resp ->
-          (* Shutting_down, Read_only, app errors ... the caller's
-             problem, not a routing problem. *)
-          resp
-        | exception Error ((Retryable _ | Fatal _) as e) ->
-          drop_member cl i;
-          go (tries + 1) next e)
+      match breaker_admit cl.cbreakers.(i) with
+      | exception Error e -> go (tries + 1) next e
+      | () -> (
+        match member cl i with
+        | None ->
+          breaker_failure cl.cbreakers.(i);
+          go (tries + 1) next (Retryable "no primary reachable")
+        | Some c -> (
+          set_epoch c cl.cepoch;
+          match call c req with
+          | Wire.Ok_reply { epoch; _ } when epoch < cl.cepoch ->
+            breaker_success cl.cbreakers.(i);
+            drop_member cl i;
+            go (tries + 1) next (Retryable "stale ack from deposed primary")
+          | Wire.Ok_reply { epoch; _ } as resp ->
+            breaker_success cl.cbreakers.(i);
+            bump_epoch cl epoch;
+            cl.cprimary <- Some i;
+            cl.clast <- i;
+            resp
+          | Wire.Fenced { epoch } ->
+            (* [epoch] is the highest the fenced primary has observed,
+               i.e. the current leader's lineage. *)
+            breaker_success cl.cbreakers.(i);
+            bump_epoch cl epoch;
+            if cl.cprimary = Some i then cl.cprimary <- None;
+            go (tries + 1) next (Retryable "primary fenced")
+          | Wire.Not_primary { host; port } -> (
+            breaker_success cl.cbreakers.(i);
+            if cl.cprimary = Some i then cl.cprimary <- None;
+            match index_of host port with
+            | Some j when j <> i -> go (tries + 1) j (Retryable "redirected")
+            | _ -> go (tries + 1) next (Retryable "not primary"))
+          | resp ->
+            (* Shutting_down, Read_only, app errors ... the caller's
+               problem, not a routing problem. *)
+            breaker_success cl.cbreakers.(i);
+            cl.clast <- i;
+            resp
+          | exception Error ((Retryable _ | Fatal _) as e) ->
+            breaker_failure cl.cbreakers.(i);
+            drop_member cl i;
+            go (tries + 1) next e))
     end
   in
   let start = match cl.cprimary with Some i -> i | None -> cl.crr in
   go 0 start (Retryable "no primary reachable")
 
 let cluster_call cl req = if idempotent req then cluster_read cl req else cluster_write cl req
+
+let cluster_last_endpoint cl = cl.clast
+
+let cluster_circuit_open_count cl =
+  Array.fold_left (fun acc br -> acc + br.opens) 0 cl.cbreakers
+  + Array.fold_left
+      (fun acc m -> match m with Some c -> acc + c.breaker.opens | None -> acc)
+      0 cl.cmembers

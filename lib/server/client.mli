@@ -39,6 +39,8 @@ val connect :
   ?backoff_max_s:float ->
   ?seed:int ->
   ?epoch:int ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown_s:float ->
   port:int ->
   unit ->
   t
@@ -51,6 +53,12 @@ val connect :
     connection (including reconnects) starts with a {!Wire.Hello}
     carrying the highest epoch observed so far (seeded by [epoch],
     default 0) — a version mismatch is a [Fatal] error.
+    [breaker_threshold] (default 0 = disabled) arms a circuit breaker:
+    after that many {e consecutive} [Retryable] failures of {!call},
+    further calls fail fast ([Retryable "circuit breaker open"]) for
+    [breaker_cooldown_s] (default 1.0); the first call after the
+    cooldown is a half-open probe — success closes the circuit,
+    failure reopens it at once.
     @raise Error when the initial connect exhausts [attempts]. *)
 
 val close : t -> unit
@@ -73,7 +81,15 @@ val call : t -> Wire.request -> Wire.response
 (** Send, then receive until the matching id comes back (out-of-order
     responses to earlier pipelined requests are discarded).  Heals per
     the policy above.  @raise Error when healing is exhausted (reads)
-    or not permitted (writes, protocol errors). *)
+    or not permitted (writes, protocol errors), or fast when the
+    circuit breaker is open. *)
+
+val circuit_open_count : t -> int
+(** Times this client's circuit breaker has opened (0 when the breaker
+    is disabled or never tripped). *)
+
+val circuit_open : t -> bool
+(** Is the breaker currently failing calls fast? *)
 
 (** {1 Pipelining primitives}
 
@@ -114,13 +130,20 @@ val cluster_connect :
   ?retries:int ->
   ?timeout_s:float ->
   ?seed:int ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown_s:float ->
   endpoints:(string * int) list ->
   unit ->
   cluster
 (** Eagerly sweeps [endpoints] (learning epochs and the primary);
     unreachable members are retried lazily on use.  [retries] scales
     the failover budget: each operation tries every member up to
-    [retries + 1] times before giving up. *)
+    [retries + 1] times before giving up.  [breaker_threshold]
+    (default 0 = disabled) arms a per-endpoint circuit breaker kept
+    {e outside} the member connection (state survives drops and
+    redials): a member whose circuit is open is skipped without
+    dialing, so a dead member costs one connect timeout per
+    [breaker_cooldown_s] window instead of one per operation. *)
 
 val cluster_call : cluster -> Wire.request -> Wire.response
 (** Route per the policy above.  @raise Error when every member has
@@ -132,3 +155,13 @@ val cluster_epoch : cluster -> int
 
 val cluster_primary : cluster -> (string * int) option
 (** Current believed primary endpoint, if any. *)
+
+val cluster_last_endpoint : cluster -> int
+(** Index (into the [endpoints] list) of the member that served the
+    last successful response, or -1 before any.  History recording
+    uses this to attribute a read to a server, since snapshot
+    generations are only comparable within one server process. *)
+
+val cluster_circuit_open_count : cluster -> int
+(** Total circuit-breaker opens across all endpoints (per-endpoint
+    breakers plus any member-level ones). *)

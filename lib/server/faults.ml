@@ -5,10 +5,20 @@ type spec =
   | Enospc_after_bytes of int
   | Drop_after_bytes of int
   | Slow_write of float
+  | Short_read of int
+  | Flip_bit_after_bytes of int
+  | Eintr_reads of int
 
-type t = { spec : spec; mutable writes : int; mutable bytes : int; mutable tripped : bool }
+type t = {
+  spec : spec;
+  mutable writes : int;
+  mutable bytes : int;
+  mutable reads : int;
+  mutable rbytes : int;
+  mutable tripped : bool;
+}
 
-let create spec = { spec; writes = 0; bytes = 0; tripped = false }
+let create spec = { spec; writes = 0; bytes = 0; reads = 0; rbytes = 0; tripped = false }
 let exit_code = 70
 let enospc name = raise (Unix.Unix_error (Unix.ENOSPC, name, "injected fault"))
 
@@ -50,6 +60,53 @@ let write faults fd b off len =
       let n = Unix.write fd b off len in
       t.bytes <- t.bytes + n;
       n)
+
+let read faults fd b off len =
+  match faults with
+  | None -> Unix.read fd b off len
+  | Some t -> (
+    t.reads <- t.reads + 1;
+    match t.spec with
+    | Eintr_reads n when t.reads <= n ->
+      raise (Unix.Unix_error (Unix.EINTR, "read", "injected interrupt"))
+    | Short_read cap when len > 0 ->
+      let n = Unix.read fd b off (min len (max 1 cap)) in
+      t.rbytes <- t.rbytes + n;
+      n
+    | Flip_bit_after_bytes thresh ->
+      let n = Unix.read fd b off len in
+      (if (not t.tripped) && n > 0 && t.rbytes + n > thresh then begin
+         (* Flip bit [thresh mod 8] of the byte at cumulative offset
+            [thresh] — fully determined by the spec, so the same seed
+            corrupts the same bit on every run. *)
+         let i = off + max 0 (thresh - t.rbytes) in
+         let i = min i (off + n - 1) in
+         Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (thresh mod 8))));
+         t.tripped <- true
+       end);
+      t.rbytes <- t.rbytes + n;
+      n
+    | _ ->
+      let n = Unix.read fd b off len in
+      t.rbytes <- t.rbytes + n;
+      n)
+
+let read_all faults path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      let chunk = Bytes.create 65536 in
+      let rec go () =
+        match read faults fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Buffer.contents buf
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      in
+      go ())
 
 let fsync faults fd =
   match faults with

@@ -32,6 +32,16 @@ type spec =
   | Slow_write of float
       (** sleep [s] seconds before every write — a slow replica or a
           congested link *)
+  | Short_read of int
+      (** every read call returns at most [n] bytes — forces the
+          callers' partial-read loops to actually loop *)
+  | Flip_bit_after_bytes of int
+      (** flip bit [n mod 8] of the byte at cumulative read offset
+          [n], once — a deterministic single-bit disk corruption that
+          the CRC/decoder validation paths must catch *)
+  | Eintr_reads of int
+      (** the first [n] read calls raise [EINTR] — a signal storm
+          during recovery; callers must retry, not truncate *)
 
 type t
 
@@ -43,6 +53,15 @@ val exit_code : int
 val write : t option -> Unix.file_descr -> bytes -> int -> int -> int
 (** [write faults fd b off len] has [Unix.write] semantics, filtered
     through the fault spec.  [None] is a plain [Unix.write]. *)
+
+val read : t option -> Unix.file_descr -> bytes -> int -> int -> int
+(** [read faults fd b off len] has [Unix.read] semantics, filtered
+    through the fault spec.  [None] is a plain [Unix.read]. *)
+
+val read_all : t option -> string -> string
+(** Read a whole file through {!read} (EINTR is retried, short reads
+    are looped) — the faultable replacement for
+    [In_channel.with_open_bin .. input_all]. *)
 
 val fsync : t option -> Unix.file_descr -> unit
 (** [Unix.fsync], except a tripped [Enospc_after_bytes] raises. *)

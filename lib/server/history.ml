@@ -1,0 +1,326 @@
+type op = Add_edge of { u : int; v : int } | Probe of { u : int; v : int }
+
+type outcome =
+  | Acked of { epoch : int }
+  | Read_ok of {
+      present : bool;
+      generation : int;
+      age_ms : int;
+      endpoint : int;
+      epoch : int;
+    }
+  | Ambiguous of string
+  | Refused of string
+
+type entry = {
+  conn : int;
+  seq : int;
+  op : op;
+  invoked_at : float;
+  completed_at : float;
+  outcome : outcome;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Recording *)
+
+type recorder = { mu : Mutex.t; mutable rev : entry list }
+
+let recorder () = { mu = Mutex.create (); rev = [] }
+
+let record r e =
+  Mutex.lock r.mu;
+  r.rev <- e :: r.rev;
+  Mutex.unlock r.mu
+
+let entries r =
+  Mutex.lock r.mu;
+  let es = List.rev r.rev in
+  Mutex.unlock r.mu;
+  es
+
+(* ------------------------------------------------------------------ *)
+(* Persistence: "dkhistory 1", one space-separated line per entry,
+   reasons percent-escaped, then one "f u v present" line per probed
+   final edge. *)
+
+let esc s =
+  if s = "" then "-"
+  else begin
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        if c = '%' || c <= ' ' || c = '\x7f' then
+          Buffer.add_string b (Printf.sprintf "%%%02x" (Char.code c))
+        else Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+
+let unesc s =
+  if s = "-" then ""
+  else begin
+    let b = Buffer.create (String.length s) in
+    let i = ref 0 in
+    let n = String.length s in
+    while !i < n do
+      (if s.[!i] = '%' && !i + 2 < n then begin
+         Buffer.add_char b (Char.chr (int_of_string ("0x" ^ String.sub s (!i + 1) 2)));
+         i := !i + 2
+       end
+       else Buffer.add_char b s.[!i]);
+      incr i
+    done;
+    Buffer.contents b
+  end
+
+let save ~entries ~final path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "dkhistory 1\n";
+      List.iter
+        (fun e ->
+          let kind, u, v =
+            match e.op with
+            | Add_edge { u; v } -> ("w", u, v)
+            | Probe { u; v } -> ("r", u, v)
+          in
+          let out =
+            match e.outcome with
+            | Acked { epoch } -> Printf.sprintf "ack %d" epoch
+            | Read_ok { present; generation; age_ms; endpoint; epoch } ->
+              Printf.sprintf "ok %d %d %d %d %d"
+                (if present then 1 else 0)
+                generation age_ms endpoint epoch
+            | Ambiguous r -> "amb " ^ esc r
+            | Refused r -> "ref " ^ esc r
+          in
+          Printf.fprintf oc "%s %d %d %.6f %.6f %d %d %s\n" kind e.conn e.seq
+            e.invoked_at e.completed_at u v out)
+        entries;
+      List.iter
+        (fun (u, v, p) -> Printf.fprintf oc "f %d %d %d\n" u v (if p then 1 else 0))
+        final)
+
+let load path =
+  let bad line msg = failwith (Printf.sprintf "History.load: %s in %S" msg line) in
+  let int line s =
+    match int_of_string_opt s with Some n -> n | None -> bad line "bad integer"
+  in
+  let flt line s =
+    match float_of_string_opt s with Some f -> f | None -> bad line "bad float"
+  in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      (match input_line ic with
+      | "dkhistory 1" -> ()
+      | l -> bad l "bad header"
+      | exception End_of_file -> failwith "History.load: empty file");
+      let es = ref [] and fin = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then begin
+             let fields =
+               String.split_on_char ' ' line |> List.filter (fun f -> f <> "")
+             in
+             match fields with
+             | [ "f"; u; v; p ] ->
+               fin := (int line u, int line v, int line p <> 0) :: !fin
+             | kind :: conn :: seq :: inv :: comp :: u :: v :: out ->
+               let u = int line u and v = int line v in
+               let op =
+                 match kind with
+                 | "w" -> Add_edge { u; v }
+                 | "r" -> Probe { u; v }
+                 | _ -> bad line "bad entry kind"
+               in
+               let outcome =
+                 match out with
+                 | [ "ack"; e ] -> Acked { epoch = int line e }
+                 | [ "ok"; p; g; a; ep; e ] ->
+                   Read_ok
+                     {
+                       present = int line p <> 0;
+                       generation = int line g;
+                       age_ms = int line a;
+                       endpoint = int line ep;
+                       epoch = int line e;
+                     }
+                 | [ "amb"; r ] -> Ambiguous (unesc r)
+                 | [ "ref"; r ] -> Refused (unesc r)
+                 | _ -> bad line "bad outcome"
+               in
+               es :=
+                 {
+                   conn = int line conn;
+                   seq = int line seq;
+                   op;
+                   invoked_at = flt line inv;
+                   completed_at = flt line comp;
+                   outcome;
+                 }
+                 :: !es
+             | _ -> bad line "bad entry"
+           end
+         done
+       with End_of_file -> ());
+      (List.rev !es, List.rev !fin))
+
+(* ------------------------------------------------------------------ *)
+(* Checking *)
+
+type report = {
+  ok : bool;
+  violations : string list;
+  writes_acked : int;
+  writes_ambiguous : int;
+  writes_refused : int;
+  reads_checked : int;
+  max_age_ms : int;
+}
+
+let max_violations = 20
+
+let check ?(staleness_grace_ms = 250) ~staleness_bound_ms ~final entries =
+  let nviol = ref 0 in
+  let viols = ref [] in
+  let violate fmt =
+    Printf.ksprintf
+      (fun m ->
+        incr nviol;
+        if !nviol <= max_violations then viols := m :: !viols)
+      fmt
+  in
+  let ftbl = Hashtbl.create 64 in
+  List.iter (fun (u, v, p) -> Hashtbl.replace ftbl (u, v) p) final;
+  let writes_acked = ref 0
+  and writes_ambiguous = ref 0
+  and writes_refused = ref 0
+  and reads_checked = ref 0
+  and max_age = ref 0 in
+  (* 1. acked-write durability (against the final probe sweep) *)
+  List.iter
+    (fun e ->
+      match (e.op, e.outcome) with
+      | Add_edge { u; v }, Acked _ -> (
+        incr writes_acked;
+        match Hashtbl.find_opt ftbl (u, v) with
+        | Some true -> ()
+        | Some false ->
+          violate
+            "lost acknowledged write: conn %d op %d edge (%d,%d) was acked but is absent \
+             from the final converged state"
+            e.conn e.seq u v
+        | None ->
+          violate
+            "unprobed acknowledged write: conn %d op %d edge (%d,%d) never appeared in the \
+             final sweep"
+            e.conn e.seq u v)
+      | Add_edge _, Ambiguous _ -> incr writes_ambiguous
+      | Add_edge _, Refused _ -> incr writes_refused
+      | _ -> ())
+    entries;
+  (* 2. per-connection monotonicity, scoped to the answering member,
+     and 3. bounded staleness *)
+  let by_conn = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let prev = try Hashtbl.find by_conn e.conn with Not_found -> [] in
+      Hashtbl.replace by_conn e.conn (e :: prev))
+    entries;
+  Hashtbl.iter
+    (fun conn rev ->
+      let es = List.stable_sort (fun a b -> compare a.seq b.seq) (List.rev rev) in
+      let last_gen = Hashtbl.create 4 (* endpoint -> generation *) in
+      let seen = Hashtbl.create 16 (* (endpoint, edge) -> seq it was first seen *) in
+      List.iter
+        (fun e ->
+          match (e.op, e.outcome) with
+          | Probe { u; v }, Read_ok { present; generation; age_ms; endpoint; _ } ->
+            incr reads_checked;
+            if age_ms > !max_age then max_age := age_ms;
+            if staleness_bound_ms > 0 && age_ms > staleness_bound_ms + staleness_grace_ms
+            then
+              violate
+                "staleness bound exceeded: conn %d op %d was served by member %d at age \
+                 %d ms (bound %d ms)"
+                conn e.seq endpoint age_ms staleness_bound_ms;
+            (match Hashtbl.find_opt last_gen endpoint with
+            | Some g when generation < g ->
+              violate
+                "non-monotonic read: conn %d op %d observed generation %d on member %d \
+                 after generation %d"
+                conn e.seq generation endpoint g
+            | _ -> Hashtbl.replace last_gen endpoint generation);
+            if present then Hashtbl.replace seen (endpoint, (u, v)) e.seq
+            else (
+              match Hashtbl.find_opt seen (endpoint, (u, v)) with
+              | Some first ->
+                violate
+                  "read went backwards: conn %d saw edge (%d,%d) on member %d at op %d \
+                   but not at op %d"
+                  conn u v endpoint first e.seq
+              | None -> ())
+          | _ -> ())
+        es)
+    by_conn;
+  (* 4. epoch fencing: an acked write may not carry an epoch below one
+     already completed before its invocation. *)
+  let events =
+    List.filter_map
+      (fun e ->
+        match e.outcome with
+        | Acked { epoch } -> Some (e.completed_at, epoch)
+        | Read_ok { epoch; _ } -> Some (e.completed_at, epoch)
+        | Ambiguous _ | Refused _ -> None)
+      entries
+    |> Array.of_list
+  in
+  Array.sort (fun (a, _) (b, _) -> compare a b) events;
+  let prefix_max = Array.make (Array.length events) 0 in
+  Array.iteri
+    (fun i (_, e) -> prefix_max.(i) <- if i = 0 then e else max e prefix_max.(i - 1))
+    events;
+  (* largest epoch among events completed strictly before [t] *)
+  let epoch_before t =
+    let lo = ref 0 and hi = ref (Array.length events) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst events.(mid) < t then lo := mid + 1 else hi := mid
+    done;
+    if !lo = 0 then 0 else prefix_max.(!lo - 1)
+  in
+  List.iter
+    (fun e ->
+      match (e.op, e.outcome) with
+      | Add_edge { u; v }, Acked { epoch } ->
+        let before = epoch_before e.invoked_at in
+        if epoch < before then
+          violate
+            "post-fencing ack accepted: conn %d op %d edge (%d,%d) was acked at epoch %d \
+             after epoch %d had already been observed"
+            e.conn e.seq u v epoch before
+      | _ -> ())
+    entries;
+  {
+    ok = !nviol = 0;
+    violations = List.rev !viols;
+    writes_acked = !writes_acked;
+    writes_ambiguous = !writes_ambiguous;
+    writes_refused = !writes_refused;
+    reads_checked = !reads_checked;
+    max_age_ms = !max_age;
+  }
+
+let report_to_string r =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "history: %s (%d acked writes, %d ambiguous, %d refused, %d reads, max age %d ms)"
+    (if r.ok then "CONSISTENT" else "INCONSISTENT")
+    r.writes_acked r.writes_ambiguous r.writes_refused r.reads_checked r.max_age_ms;
+  List.iter (fun v -> Printf.bprintf b "\n  violation: %s" v) r.violations;
+  Buffer.contents b

@@ -417,6 +417,15 @@ let stale r =
   let lc = Atomic.get r.last_contact in
   lc = 0.0 || now () -. lc > r.rcfg.staleness_bound_s
 
+(* The quantity the staleness bound is keyed on, exported so reads can
+   be stamped with the data age they were answered at.  [None] before
+   the first contact; a promoted replica serves its own (fresh) data. *)
+let contact_age_s r =
+  if Atomic.get r.promoted then Some 0.0
+  else
+    let lc = Atomic.get r.last_contact in
+    if lc = 0.0 then None else Some (now () -. lc)
+
 exception Watchdog
 exception Disconnected of string
 

@@ -123,6 +123,12 @@ val stale : replica -> bool
     primary has been silent past the staleness bound.  Always false
     once promoted. *)
 
+val contact_age_s : replica -> float option
+(** Seconds since the primary was last heard from — the quantity
+    {!stale} compares against the staleness bound, exported so reads
+    can be stamped with the age of the data they were answered from.
+    [None] before the first contact; [Some 0.] once promoted. *)
+
 val rconfig_of : replica -> rconfig
 val replica_stats : replica -> (string * string) list
 (** [replication_*] keys: connection, positions, bytes behind, records

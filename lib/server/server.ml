@@ -13,6 +13,12 @@ type config = {
   idle_timeout_s : float;
   max_frame : int;
   snapshot_path : string option;
+  max_conns : int;
+      (* admission control: accepted connections beyond this budget are
+         answered with one Overloaded frame and closed; <= 0 disables *)
+  read_progress_deadline_s : float;
+      (* a started frame must complete within this window or the
+         connection is evicted (slow-loris defense); <= 0 disables *)
 }
 
 let default_config =
@@ -25,6 +31,8 @@ let default_config =
     idle_timeout_s = 60.0;
     max_frame = Wire.max_frame_default;
     snapshot_path = None;
+    max_conns = 0;
+    read_progress_deadline_s = 0.0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -127,6 +135,10 @@ type conn = {
       (* handed to the replication hub: the main loop stops reading,
          never closes the fd, and drops the conn from its table *)
   mutable last_active : float;
+  mutable frame_start : float;
+      (* wall time the currently buffered partial frame started, 0.0
+         when the read buffer holds no incomplete frame — the clock
+         the read-progress deadline runs against *)
 }
 
 type pending = { conn : conn; id : int; req : Wire.request; arrival : float }
@@ -175,6 +187,9 @@ type state = {
   shed : int Atomic.t;
   proto_errors : int Atomic.t;
   deadline_expired : int Atomic.t;
+  started_at : float;
+  evicted_slow_clients : int Atomic.t;
+  rejected_at_admission : int Atomic.t;
   (* replication / failover *)
   epoch : int Atomic.t;  (* our primary epoch (a replica carries its lineage's) *)
   max_seen : int Atomic.t;  (* highest epoch observed from any peer *)
@@ -224,7 +239,7 @@ let snap_release slot = Atomic.set slot (-1)
 
 let with_snapshot state slot f =
   let s = snap_acquire state slot in
-  Fun.protect ~finally:(fun () -> snap_release slot) (fun () -> f s.idx)
+  Fun.protect ~finally:(fun () -> snap_release slot) (fun () -> f s)
 
 (* Mutator-side: wait until no reader is still on a generation older
    than [gen].  Bounded by the duration of the in-flight requests that
@@ -352,13 +367,15 @@ let flush_responses conn =
 let empty_result =
   { Query_eval.nodes = []; cost = { Cost.index_visits = 0; data_visits = 0 }; n_candidates = 0; n_certain = 0 }
 
-let wire_result (r : Query_eval.result) : Wire.query_result =
+let wire_result ~gen ~age_ms (r : Query_eval.result) : Wire.query_result =
   {
     nodes = Array.of_list r.nodes;
     index_visits = r.cost.Cost.index_visits;
     data_visits = r.cost.Cost.data_visits;
     n_candidates = r.n_candidates;
     n_certain = r.n_certain;
+    generation = gen;
+    age_ms;
   }
 
 (* Per-reader state: validation caches plus cost-based planners.  The
@@ -488,6 +505,9 @@ let stats_kvs state idx =
     ("fenced", b (Atomic.get state.fenced));
     ("repl_apply_errors", string_of_int (Atomic.get state.repl_apply_errors));
     ("durability", match state.durability with Some _ -> "wal+checkpoint" | None -> "none");
+    ("uptime_s", Printf.sprintf "%.1f" (Unix.gettimeofday () -. state.started_at));
+    ("evicted_slow_clients", string_of_int (Atomic.get state.evicted_slow_clients));
+    ("rejected_at_admission", string_of_int (Atomic.get state.rejected_at_admission));
     ("planned_queries", string_of_int (Atomic.get state.planned));
     ("planned_index_scans", string_of_int (Atomic.get state.planned_index_scans));
     ("planned_raw_scans", string_of_int (Atomic.get state.planned_raw_scans));
@@ -499,8 +519,24 @@ let stats_kvs state idx =
   @ (match Atomic.get state.hub with Some h -> Replication.hub_stats h | None -> [])
   @ (match state.replica with Some r -> Replication.replica_stats r | None -> [])
 
-let handle_read state idx rd req : Wire.response =
+(* How stale is the data a read is answered from?  0 on a primary (and
+   on a promoted replica); on a replica, the milliseconds since the
+   primary was last heard from — the same clock the staleness-bound
+   refusal runs against.  A replica that never synced answers no reads
+   (they are refused [`Stale]), so the [None] arm is unreachable on
+   the read path; u32-max keeps it honest anyway. *)
+let read_age_ms state =
+  match state.replica with
+  | None -> 0
+  | Some r -> (
+    match Replication.contact_age_s r with
+    | Some a -> int_of_float (a *. 1000.0)
+    | None -> 0xffffffff)
+
+let handle_read state (snap : snap) rd req : Wire.response =
+  let idx = snap.idx in
   let cache flags = if flags.Wire.no_cache then None else Some (reader_cache state rd idx) in
+  let wire_result r = wire_result ~gen:snap.gen ~age_ms:(read_age_ms state) r in
   match req with
   | Wire.Ping -> Wire.Pong
   | Wire.Stats -> Wire.Stats_reply (stats_kvs state idx)
@@ -508,6 +544,18 @@ let handle_read state idx rd req : Wire.response =
     Wire.Result (wire_result (Query_eval.eval_expr ?cache:(cache flags) idx expr))
   | Wire.Query_path { flags; labels } ->
     Wire.Result (wire_result (eval_labels ?cache:(cache flags) idx labels))
+  | Wire.Has_edge { u; v } ->
+    (* Total on arbitrary ids: a node outside the graph trivially has
+       no edges (the history harness probes ids from its own dataset
+       recipe, which need not match ours). *)
+    let g = Index_graph.data idx in
+    let n = Data_graph.n_nodes g in
+    Wire.Edge_reply
+      {
+        present = u >= 0 && u < n && v >= 0 && v < n && Data_graph.has_edge g u v;
+        generation = snap.gen;
+        age_ms = read_age_ms state;
+      }
   | Wire.Batch_query { flags; paths } ->
     let cache = cache flags in
     Wire.Batch_result
@@ -559,7 +607,7 @@ let worker_loop state slot () =
              Wire.Error_reply { code = `Stale; message = "replica outside staleness bound" }
            else
              try
-               with_snapshot state slot (fun idx -> handle_read state idx rd p.req)
+               with_snapshot state slot (fun snap -> handle_read state snap rd p.req)
              with e -> Wire.Error_reply { code = `App; message = Printexc.to_string e }
          in
          send_response p.conn ~id:p.id resp;
@@ -860,12 +908,12 @@ let dispatch state ~slot ~reader conn ~id (req : Wire.request) =
           conn.detached <- true;
           Replication.attach hub ~fd:conn.fd ~replica_id ~seq ~offset)
     | Wire.Ping | Wire.Query _ | Wire.Query_path _ | Wire.Stats | Wire.Query_planned _
-    | Wire.Explain _ ->
+    | Wire.Explain _ | Wire.Has_edge _ ->
       let resp =
         if stale_read state req then
           Wire.Error_reply { code = `Stale; message = "replica outside staleness bound" }
         else
-          try with_snapshot state slot (fun idx -> handle_read state idx reader req)
+          try with_snapshot state slot (fun snap -> handle_read state snap reader req)
           with e -> Wire.Error_reply { code = `App; message = Printexc.to_string e }
       in
       buffer_response conn ~id resp;
@@ -924,6 +972,9 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?
       shed = Atomic.make 0;
       proto_errors = Atomic.make 0;
       deadline_expired = Atomic.make 0;
+      started_at = Unix.gettimeofday ();
+      evicted_slow_clients = Atomic.make 0;
+      rejected_at_admission = Atomic.make 0;
       epoch;
       max_seen;
       is_primary = Atomic.make (replica = None);
@@ -1002,24 +1053,42 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?
     (try Unix.close conn.fd with Unix.Unix_error _ -> ());
     Hashtbl.remove conns conn.fd
   in
+  (* Admission refusal: one best-effort Overloaded frame (id 0 — the
+     peer has not spoken yet), then close.  The write is fire-and-
+     forget; a full socket buffer on a connection we are rejecting is
+     not worth waiting on. *)
+  let overloaded_frame =
+    let b = Obuf.create 16 in
+    Wire.encode_response b ~id:0 Wire.Overloaded;
+    Bytes.sub (Obuf.base b) 0 (Obuf.length b)
+  in
   let accept_new () =
     match Unix.accept listen_fd with
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR | ECONNABORTED), _, _) -> ()
     | fd, _addr ->
-      Unix.set_nonblock fd;
-      (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
-      Evloop.add ev fd Evloop.rd;
-      Hashtbl.replace conns fd
-        {
-          fd;
-          rbuf = Bytes.create 4096;
-          rlen = 0;
-          wmu = Mutex.create ();
-          wbuf = Obuf.create 1024;
-          closed = false;
-          detached = false;
-          last_active = Unix.gettimeofday ();
-        }
+      if cfg.max_conns > 0 && Hashtbl.length conns >= cfg.max_conns then begin
+        Atomic.incr state.rejected_at_admission;
+        (try ignore (Unix.write fd overloaded_frame 0 (Bytes.length overloaded_frame))
+         with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+      else begin
+        Unix.set_nonblock fd;
+        (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
+        Evloop.add ev fd Evloop.rd;
+        Hashtbl.replace conns fd
+          {
+            fd;
+            rbuf = Bytes.create 4096;
+            rlen = 0;
+            wmu = Mutex.create ();
+            wbuf = Obuf.create 1024;
+            closed = false;
+            detached = false;
+            last_active = Unix.gettimeofday ();
+            frame_start = 0.0;
+          }
+      end
   in
   (* Extract every complete frame from the connection buffer — decoded
      in place, no per-frame payload copy — then compact what remains
@@ -1083,6 +1152,12 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?
       Bytes.blit chunk 0 conn.rbuf conn.rlen n;
       conn.rlen <- need;
       process_frames conn;
+      (* Read-progress accounting: an empty buffer means no frame is
+         pending; otherwise the deadline clock starts at the first
+         byte of the incomplete frame and is NOT refreshed by further
+         trickle — that is exactly the slow-loris shape. *)
+      if conn.rlen = 0 then conn.frame_start <- 0.0
+      else if conn.frame_start = 0.0 then conn.frame_start <- conn.last_active;
       (* A subscribe detached this connection: the hub's sender owns
          the fd now; forget it without closing. *)
       if conn.detached then begin
@@ -1091,28 +1166,52 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?
       end
   in
   let sweep_idle () =
-    if cfg.idle_timeout_s > 0.0 then begin
+    if cfg.idle_timeout_s > 0.0 || cfg.read_progress_deadline_s > 0.0 then begin
       let now = Unix.gettimeofday () in
-      let stale =
-        Hashtbl.fold
-          (fun _ c acc -> if now -. c.last_active > cfg.idle_timeout_s then c :: acc else acc)
-          conns []
-      in
-      List.iter close_conn stale
+      let idle = ref [] and loris = ref [] in
+      Hashtbl.iter
+        (fun _ c ->
+          if
+            cfg.read_progress_deadline_s > 0.0 && c.frame_start > 0.0
+            && now -. c.frame_start > cfg.read_progress_deadline_s
+          then loris := c :: !loris
+          else if cfg.idle_timeout_s > 0.0 && now -. c.last_active > cfg.idle_timeout_s then
+            idle := c :: !idle)
+        conns;
+      List.iter
+        (fun c ->
+          Atomic.incr state.evicted_slow_clients;
+          close_conn c)
+        !loris;
+      List.iter close_conn !idle
     end
   in
   (* No fixed tick: park until readiness, or until the earliest
-     idle-connection deadline if idle sweeping is on. *)
+     idle-connection or read-progress deadline if either sweep is on. *)
   let next_timeout_ms () =
-    if cfg.idle_timeout_s <= 0.0 || Hashtbl.length conns = 0 then -1
+    if
+      (cfg.idle_timeout_s <= 0.0 && cfg.read_progress_deadline_s <= 0.0)
+      || Hashtbl.length conns = 0
+    then -1
     else begin
       let next =
         Hashtbl.fold
-          (fun _ c acc -> Float.min acc (c.last_active +. cfg.idle_timeout_s))
+          (fun _ c acc ->
+            let acc =
+              if cfg.idle_timeout_s > 0.0 then
+                Float.min acc (c.last_active +. cfg.idle_timeout_s)
+              else acc
+            in
+            if cfg.read_progress_deadline_s > 0.0 && c.frame_start > 0.0 then
+              Float.min acc (c.frame_start +. cfg.read_progress_deadline_s)
+            else acc)
           conns infinity
       in
-      let ms = (next -. Unix.gettimeofday ()) *. 1000.0 in
-      if ms <= 0.0 then 0 else int_of_float ms + 20
+      if next = infinity then -1
+      else begin
+        let ms = (next -. Unix.gettimeofday ()) *. 1000.0 in
+        if ms <= 0.0 then 0 else int_of_float ms + 20
+      end
     end
   in
   let drain_pipe () =

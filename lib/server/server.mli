@@ -75,11 +75,22 @@ type config = {
   idle_timeout_s : float;  (** idle-connection close; <= 0 disables *)
   max_frame : int;
   snapshot_path : string option;  (** for {!Wire.Snapshot} and the final drain *)
+  max_conns : int;
+      (** admission control: once this many connections are live, new
+          accepts are answered with one {!Wire.Overloaded} frame and
+          closed (counted in [rejected_at_admission]); <= 0 disables *)
+  read_progress_deadline_s : float;
+      (** slow-loris defense: once the first byte of a frame arrives,
+          the whole frame must arrive within this window or the
+          connection is evicted (counted in [evicted_slow_clients]).
+          The clock starts at the first byte of an incomplete frame
+          and is {e not} refreshed by trickled bytes; <= 0 disables *)
 }
 
 val default_config : config
 (** 127.0.0.1:7411, 2 workers, depth 256, 10 s deadline, 60 s idle,
-    {!Wire.max_frame_default}, no snapshot path. *)
+    {!Wire.max_frame_default}, no snapshot path, no connection budget,
+    no read-progress deadline. *)
 
 val run :
   ?on_ready:(int -> unit) ->

@@ -250,10 +250,8 @@ let replay_string s =
   done;
   { mutations = List.rev !acc; valid_bytes = !pos; torn_bytes = len - !pos }
 
-let replay path =
-  match open_in_bin path with
-  | exception Sys_error _ -> { mutations = []; valid_bytes = 0; torn_bytes = 0 }
-  | ic ->
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> replay_string (really_input_string ic (in_channel_length ic)))
+let replay ?faults path =
+  match Faults.read_all faults path with
+  | s -> replay_string s
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+    { mutations = []; valid_bytes = 0; torn_bytes = 0 }

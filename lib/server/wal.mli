@@ -71,8 +71,11 @@ type replay = {
   torn_bytes : int;  (** bytes discarded after it (0 = clean file) *)
 }
 
-val replay : string -> replay
-(** Read [path].  A missing file is an empty replay.
+val replay : ?faults:Faults.t -> string -> replay
+(** Read [path].  A missing file is an empty replay.  [faults] filters
+    every read through {!Faults.read} — a bit flip lands in the CRC
+    check (truncating the replay there), short reads and EINTR storms
+    are absorbed by the read loop.
     @raise Unix.Unix_error only on non-ENOENT open errors. *)
 
 val replay_string : string -> replay

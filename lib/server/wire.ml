@@ -24,6 +24,7 @@ type request =
   | Promote_primary
   | Query_planned of { flags : query_flags; expr : Path_ast.t }
   | Explain of { expr : Path_ast.t }
+  | Has_edge of { u : int; v : int }
 
 type query_result = {
   nodes : int array;
@@ -31,6 +32,8 @@ type query_result = {
   data_visits : int;
   n_candidates : int;
   n_certain : int;
+  generation : int;
+  age_ms : int;
 }
 
 type error_code = [ `Protocol | `App | `Deadline | `Shutting_down | `Version | `Stale ]
@@ -52,6 +55,7 @@ type response =
   | Fenced of { epoch : int }
   | Planned_result of { plan : string; result : query_result }
   | Explain_reply of string list
+  | Edge_reply of { present : bool; generation : int; age_ms : int }
 
 (* ------------------------------------------------------------------ *)
 (* Primitive encoders, over {!Obuf} so frames can be written (and
@@ -212,6 +216,7 @@ let request_kind = function
   | Promote_primary -> 0x0f
   | Query_planned _ -> 0x10
   | Explain _ -> 0x11
+  | Has_edge _ -> 0x12
 
 (* Hello carries its sender's protocol version in the header version
    byte itself, so a server can answer a mismatched peer with a typed
@@ -255,7 +260,7 @@ let encode_request buf ~id req =
         add_u8 buf (flags_byte flags);
         add_u32 buf (List.length paths);
         List.iter (add_labels16 buf) paths
-      | Add_edge { u; v } | Remove_edge { u; v } ->
+      | Add_edge { u; v } | Remove_edge { u; v } | Has_edge { u; v } ->
         add_u32 buf u;
         add_u32 buf v
       | Add_subgraph { graph; reqs } ->
@@ -356,6 +361,10 @@ let decode_request_at big ~pos ~len =
           | Error msg -> raise (Bad msg)
         in
         Explain { expr }
+      | 0x12 ->
+        let u = u32 c in
+        let v = u32 c in
+        Has_edge { u; v }
       | k -> raise (Bad (Printf.sprintf "unknown request kind 0x%02x" k))
     in
     expect_end c "request";
@@ -374,6 +383,8 @@ let encode_result buf (r : query_result) =
   add_u32 buf r.data_visits;
   add_u32 buf r.n_candidates;
   add_u32 buf r.n_certain;
+  add_u32 buf r.generation;
+  add_u32 buf r.age_ms;
   add_u32 buf (Array.length r.nodes);
   Array.iter (add_u32 buf) r.nodes
 
@@ -382,10 +393,12 @@ let decode_result c =
   let data_visits = u32 c in
   let n_candidates = u32 c in
   let n_certain = u32 c in
+  let generation = u32 c in
+  let age_ms = u32 c in
   let n = u32 c in
   check_count c n ~min_item_bytes:4;
   let nodes = Array.init n (fun _ -> u32 c) in
-  { nodes; index_visits; data_visits; n_candidates; n_certain }
+  { nodes; index_visits; data_visits; n_candidates; n_certain; generation; age_ms }
 
 let error_code_byte = function
   | `Protocol -> 0
@@ -428,6 +441,7 @@ let response_kind = function
   | Fenced _ -> 0x8e
   | Planned_result _ -> 0x8f
   | Explain_reply _ -> 0x90
+  | Edge_reply _ -> 0x91
 
 let encode_response buf ~id resp =
   with_frame buf (fun () ->
@@ -472,6 +486,10 @@ let encode_response buf ~id resp =
         if List.length lines > 0xffff then invalid_arg "Wire: too many explain lines";
         add_u16 buf (List.length lines);
         List.iter (add_str16 buf) lines
+      | Edge_reply { present; generation; age_ms } ->
+        add_u8 buf (if present then 1 else 0);
+        add_u32 buf generation;
+        add_u32 buf age_ms
       | Stats_reply kvs ->
         if List.length kvs > 0xffff then invalid_arg "Wire: too many stats";
         add_u16 buf (List.length kvs);
@@ -495,7 +513,7 @@ let decode_response_at big ~pos ~len =
       | 0x82 -> Result (decode_result c)
       | 0x83 ->
         let n = u32 c in
-        check_count c n ~min_item_bytes:20;
+        check_count c n ~min_item_bytes:28;
         Batch_result (Array.init n (fun _ -> decode_result c))
       | 0x84 ->
         let generation = u32 c in
@@ -534,6 +552,16 @@ let decode_response_at big ~pos ~len =
         let n = u16 c in
         check_count c n ~min_item_bytes:2;
         Explain_reply (List.init n (fun _ -> str16 c))
+      | 0x91 ->
+        let present =
+          match u8 c with
+          | 0 -> false
+          | 1 -> true
+          | b -> raise (Bad (Printf.sprintf "bad edge_reply %d" b))
+        in
+        let generation = u32 c in
+        let age_ms = u32 c in
+        Edge_reply { present; generation; age_ms }
       | 0x85 ->
         let n = u16 c in
         check_count c n ~min_item_bytes:4;

@@ -70,6 +70,10 @@ type request =
   | Explain of { expr : Path_ast.t }
       (** Ask for the ranked plan list the planner would consider for
           this query, without executing anything. *)
+  | Has_edge of { u : int; v : int }
+      (** Point probe: is the data edge [u -> v] present in the serving
+          snapshot?  Idempotent; used by the history harness to resolve
+          ambiguous (sent-but-unacknowledged) writes after a failure. *)
 
 type query_result = {
   nodes : int array;  (** matching data nodes, sorted *)
@@ -77,6 +81,14 @@ type query_result = {
   data_visits : int;
   n_candidates : int;
   n_certain : int;
+  generation : int;
+      (** the serving-snapshot swap generation this read observed —
+          monotone per server process (not comparable across servers:
+          the on-disk index format carries no generation) *)
+  age_ms : int;
+      (** staleness of the data answered from: 0 on a primary, and on a
+          replica the milliseconds since it last heard from its primary
+          (the quantity the [--staleness-bound] refusal is keyed on) *)
 }
 
 type error_code = [ `Protocol | `App | `Deadline | `Shutting_down | `Version | `Stale ]
@@ -123,6 +135,12 @@ type response =
   | Explain_reply of string list
       (** Answer to {!Explain}: header line plus one line per ranked
           plan, chosen plan marked. *)
+  | Edge_reply of { present : bool; generation : int; age_ms : int }
+      (** Answer to {!Has_edge}, stamped like {!query_result}:
+          [generation] is the serving-snapshot swap generation and
+          [age_ms] the replica age (0 on a primary) — what the
+          acknowledged-history checker's monotonicity and staleness
+          checks run on. *)
 
 (** {1 Codecs} *)
 

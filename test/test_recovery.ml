@@ -138,7 +138,7 @@ let fork_server ?wal_fault_spec ?cp_fault_spec ~dir ~sync ~checkpoint_records ()
     let status =
       try
         let base = build_base () in
-        let recovery = Checkpoint.recover ~dir in
+        let recovery = Checkpoint.recover ~dir () in
         let index = match recovery.Checkpoint.index with Some i -> i | None -> base in
         let cfg = { (Checkpoint.default_config ~dir) with sync; checkpoint_records } in
         let wal_faults = Option.map Faults.create wal_fault_spec in
@@ -201,7 +201,7 @@ let run_crash_trial ~trial stream =
   Client.close c;
   ignore (Unix.waitpid [] pid);
   let acked = !acked in
-  let recovery = Checkpoint.recover ~dir in
+  let recovery = Checkpoint.recover ~dir () in
   let recovered =
     match recovery.Checkpoint.index with
     | Some i -> i
@@ -330,7 +330,7 @@ let test_read_only_degradation () =
      still a clean exit: the durable prefix is exactly what was
      acknowledged. *)
   Alcotest.(check bool) "clean exit" true (status = Unix.WEXITED 0);
-  let recovery = Checkpoint.recover ~dir in
+  let recovery = Checkpoint.recover ~dir () in
   Alcotest.(check bool) "recoverable" true (recovery.Checkpoint.index <> None)
 
 (* ENOSPC on the final shutdown checkpoint: log-and-exit-nonzero, not
@@ -353,7 +353,7 @@ let test_shutdown_enospc_exits_nonzero () =
   Client.close c;
   Alcotest.(check bool) "exits nonzero, does not raise" true (status = Unix.WEXITED 1);
   (* The WAL survived even though the final checkpoint did not. *)
-  let recovery = Checkpoint.recover ~dir in
+  let recovery = Checkpoint.recover ~dir () in
   Alcotest.(check int) "wal replayed" 1 recovery.Checkpoint.replayed_records
 
 (* Crash mid-checkpoint-write: the torn snapshot stays a .tmp that
@@ -384,7 +384,7 @@ let test_crash_during_checkpoint () =
     let _, status = Unix.waitpid [] pid in
     Alcotest.(check bool) "crashed inside the checkpoint write" true
       (status = Unix.WEXITED Faults.exit_code));
-  let recovery = Checkpoint.recover ~dir in
+  let recovery = Checkpoint.recover ~dir () in
   let recovered =
     match recovery.Checkpoint.index with
     | Some i -> i
@@ -441,7 +441,7 @@ let test_corrupt_checkpoint_fallback () =
     |> List.sort compare |> List.rev |> List.hd
   in
   (* Clean recovery first. *)
-  let r0 = Checkpoint.recover ~dir in
+  let r0 = Checkpoint.recover ~dir () in
   check_same_answers ~what:"clean recovery" want (eval_all (Option.get r0.Checkpoint.index));
   Alcotest.(check int) "no fallback needed" 0 r0.Checkpoint.fallback_checkpoints;
   (* Torn tail on the newest WAL: truncated, not fatal. *)
@@ -453,7 +453,7 @@ let test_corrupt_checkpoint_fallback () =
   let oc = open_out_gen [ Open_append; Open_binary ] 0o644 (Filename.concat dir newest_wal) in
   output_string oc "\x00\x00\x00\x30garbage-that-is-not-a-record";
   close_out oc;
-  let r1 = Checkpoint.recover ~dir in
+  let r1 = Checkpoint.recover ~dir () in
   Alcotest.(check bool) "torn tail truncated" true (r1.Checkpoint.torn_bytes > 0);
   check_same_answers ~what:"torn-tail recovery" want (eval_all (Option.get r1.Checkpoint.index));
   (* Corrupt the newest checkpoint: fall back one generation. *)
@@ -461,7 +461,7 @@ let test_corrupt_checkpoint_fallback () =
   let oc = open_out (Filename.concat dir cp1) in
   output_string oc "dkindex-index 2\ncounts 1 1 1\ngarbage";
   close_out oc;
-  let r2 = Checkpoint.recover ~dir in
+  let r2 = Checkpoint.recover ~dir () in
   Alcotest.(check int) "fell back one checkpoint" 1 r2.Checkpoint.fallback_checkpoints;
   check_same_answers ~what:"fallback recovery" want (eval_all (Option.get r2.Checkpoint.index));
   (* Corrupt every checkpoint: still no exception, just no state. *)
@@ -471,7 +471,7 @@ let test_corrupt_checkpoint_fallback () =
          let oc = open_out (Filename.concat dir n) in
          output_string oc "not an index";
          close_out oc);
-  let r3 = Checkpoint.recover ~dir in
+  let r3 = Checkpoint.recover ~dir () in
   Alcotest.(check bool) "all corrupt: index is None, no crash" true
     (r3.Checkpoint.index = None);
   Alcotest.(check int) "both skipped" 2 r3.Checkpoint.fallback_checkpoints

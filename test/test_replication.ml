@@ -165,7 +165,7 @@ let fork_server ?(sync = Wal.Always) ?(checkpoint_records = 1000) ?replica_of ?(
     let status =
       try
         let base = if empty then empty_index () else build_base () in
-        let recovery = Checkpoint.recover ~dir in
+        let recovery = Checkpoint.recover ~dir () in
         let index = match recovery.Checkpoint.index with Some i -> i | None -> base in
         let cfg = { (Checkpoint.default_config ~dir) with sync; checkpoint_records } in
         let d = Checkpoint.start ~recovery cfg index in

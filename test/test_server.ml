@@ -94,21 +94,25 @@ let request_gen : Wire.request QCheck.Gen.t =
       return Wire.Promote_primary;
       map2 (fun flags expr -> Wire.Query_planned { flags; expr }) flags_gen expr_gen;
       map (fun expr -> Wire.Explain { expr }) expr_gen;
+      map2 (fun u v -> Wire.Has_edge { u; v }) (int_bound 1_000_000) (int_bound 1_000_000);
     ]
 
 let result_gen =
   let open QCheck.Gen in
-  map2
-    (fun nodes (iv, dv, nc, ns) ->
+  map3
+    (fun nodes (iv, dv, nc, ns) (generation, age_ms) ->
       {
         Wire.nodes = Array.of_list nodes;
         index_visits = iv;
         data_visits = dv;
         n_candidates = nc;
         n_certain = ns;
+        generation;
+        age_ms;
       })
     (list_size (int_bound 20) (int_bound 1_000_000))
     (quad (int_bound 1000) (int_bound 1000) (int_bound 1000) (int_bound 1000))
+    (pair (int_bound 1_000_000) (int_bound 1_000_000))
 
 let response_gen : Wire.response QCheck.Gen.t =
   let open QCheck.Gen in
@@ -154,6 +158,11 @@ let response_gen : Wire.response QCheck.Gen.t =
       map
         (fun lines -> Wire.Explain_reply lines)
         (list_size (int_bound 6) (string_size (int_bound 40)));
+      map2
+        (fun present (generation, age_ms) ->
+          Wire.Edge_reply { present; generation; age_ms })
+        bool
+        (pair (int_bound 1_000_000) (int_bound 1_000_000));
     ]
 
 let request_arb = QCheck.make request_gen
