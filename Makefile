@@ -20,17 +20,17 @@ bench-quick:
 bench-smoke:
 	dune exec bench/trajectory.exe -- --smoke
 
-# Full trajectory pass: writes BENCH_PR9.json with the PR 8 numbers
+# Full trajectory pass: writes BENCH_PR10.json with the PR 9 numbers
 # merged in as baselines.
 bench-trajectory:
-	dune exec bench/trajectory.exe -- --scale 40 --baseline BENCH_PR8.json --out BENCH_PR9.json
+	dune exec bench/trajectory.exe -- --scale 40 --baseline BENCH_PR9.json --out BENCH_PR10.json
 
 # Trajectory plus the out-of-core scale:xl series: streamed 10M-edge
 # datagen, external-memory D(k) build under a 512 MiB OCaml heap cap,
 # O(1) mmap opens, and mmap-backed queries — each xl bench in a fresh
 # process with its peak RSS recorded in the JSON.
 bench-xl:
-	dune exec bench/trajectory.exe -- --scale 40 --xl --baseline BENCH_PR8.json --out BENCH_PR9.json
+	dune exec bench/trajectory.exe -- --scale 40 --xl --baseline BENCH_PR9.json --out BENCH_PR10.json
 
 # Serve the pinned XMark dataset over TCP (dkserve protocol, DESIGN.md 9).
 serve:

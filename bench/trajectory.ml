@@ -977,6 +977,119 @@ let () =
        Printf.printf "  %-44s %12.0f ns/write\n%!" name !best;
        entries := { name; after_ns = !best; baseline_ns = None; rss_bytes = None } :: !entries)
      variants);
+  (* Scrub overhead: p99 query round-trip against a durable server
+     whose integrity scrubber re-reads the whole data directory every
+     50 ms — far more aggressive than any production cadence — vs the
+     same server shape with scrubbing off, measured back to back.
+     Digest/index access rides the mutator queue and the file re-reads
+     ride the integrity domain, so the read path should see almost
+     nothing: warned past 1.5x (shared CI machines make a hard failure
+     too flaky). *)
+  (let requests = if !smoke then 60 else 1000 in
+   let lat = Array.make requests 0.0 in
+   let qstrings = Array.of_list query_paths in
+   let request i =
+     Wire.Query_path
+       { flags = { no_cache = false }; labels = qstrings.(i mod Array.length qstrings) }
+   in
+   let wedges =
+     List.filteri
+       (fun i _ -> i < 8)
+       (List.filter (fun (u, v) -> not (Data_graph.has_edge g u v)) edges)
+   in
+   let measure ~scrub =
+     let idx = Dk_index.build (Data_graph.copy g) ~reqs in
+     let dir = Filename.temp_file "dkscrub" "" in
+     Sys.remove dir;
+     Unix.mkdir dir 0o755;
+     let durability =
+       Checkpoint.start { (Checkpoint.default_config ~dir) with sync = Wal.Interval 64 } idx
+     in
+     let port_box = Atomic.make 0 in
+     let srv =
+       Domain.spawn (fun () ->
+           Server.run ~handle_signals:false ~durability
+             ~on_ready:(fun p -> Atomic.set port_box p)
+             {
+               Server.default_config with
+               port = 0;
+               workers = 1;
+               queue_depth = 1024;
+               deadline_s = 0.0;
+               idle_timeout_s = 0.0;
+               scrub_interval_s = (if scrub then 0.05 else 0.0);
+             }
+             idx
+           |> Result.get_ok)
+     in
+     while Atomic.get port_box = 0 do
+       Unix.sleepf 0.002
+     done;
+     let c = Client.connect ~port:(Atomic.get port_box) () in
+     (* give the scrubber real at-rest bytes: logged writes on top of
+        the initial checkpoint (added then removed, so the served
+        state is identical across variants) *)
+     List.iter
+       (fun (u, v) ->
+         List.iter
+           (fun req ->
+             match Client.call c req with
+             | Wire.Ok_reply _ -> ()
+             | _ -> failwith "scrub bench: write refused")
+           [ Wire.Add_edge { u; v }; Wire.Remove_edge { u; v } ])
+       wedges;
+     (if scrub then
+        (* only time once passes are demonstrably happening *)
+        let deadline = Unix.gettimeofday () +. 10.0 in
+        let passes () =
+          match Client.call c Wire.Stats with
+          | Wire.Stats_reply kvs ->
+            (match List.assoc_opt "scrub_passes" kvs with
+            | Some v -> int_of_string v
+            | None -> failwith "scrub bench: no scrub_passes stat")
+          | _ -> failwith "scrub bench: stats not answered"
+        in
+        while passes () < 2 do
+          if Unix.gettimeofday () > deadline then failwith "scrub bench: scrubber idle";
+          Unix.sleepf 0.02
+        done);
+     let p99 () =
+       for i = 0 to requests - 1 do
+         let t0 = now_ns () in
+         (match Client.call c (request i) with
+         | Wire.Result _ -> ()
+         | Wire.Error_reply { message; _ } -> failwith ("scrub bench: " ^ message)
+         | _ -> failwith "scrub bench: unexpected reply");
+         lat.(i) <- now_ns () -. t0
+       done;
+       Array.sort compare lat;
+       lat.(requests * 99 / 100)
+     in
+     let samples = Array.init (if !smoke then 1 else 3) (fun _ -> p99 ()) in
+     Array.sort compare samples;
+     let ns = samples.(0) in
+     (match Client.call c Wire.Shutdown with
+     | Wire.Ok_reply _ -> ()
+     | _ -> failwith "scrub bench: shutdown not acknowledged");
+     Client.close c;
+     Domain.join srv;
+     rm_rf dir;
+     ns
+   in
+   let direct = measure ~scrub:false in
+   let scrubbed = measure ~scrub:true in
+   let ratio = scrubbed /. direct in
+   Printf.printf "  %-44s %12.0f ns  (no-scrub %.0f ns, x%.2f)%s\n%!"
+     "serve:scrub-overhead" scrubbed direct ratio
+     (if ratio > 1.5 then "  WARNING: > 1.5x no-scrub baseline" else "");
+   entries :=
+     {
+       name = "serve:scrub-overhead";
+       after_ns = scrubbed;
+       baseline_ns = Some direct;
+       rss_bytes = None;
+     }
+     :: !entries);
   (* Replication: aggregate read throughput against a primary plus 0/1/2
      caught-up replicas (driver domains round-robin their connections
      over the endpoints), and p99 replication lag in bytes-behind

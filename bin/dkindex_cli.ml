@@ -483,6 +483,41 @@ let verify_cmd =
       const verify $ graph_term $ index_kind_arg $ k_arg $ workload_arg $ seed_arg $ load $ quick)
 
 (* ------------------------------------------------------------------ *)
+(* check-history                                                       *)
+
+let check_history file staleness =
+  let module History = Dkindex_server.History in
+  let entries, final = History.load file in
+  let report =
+    History.check ~staleness_bound_ms:(int_of_float (staleness *. 1000.0)) ~final entries
+  in
+  print_endline (History.report_to_string report);
+  if not report.History.ok then exit 4
+
+let check_history_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Operation history saved by dkindex-loadgen --nemesis --history FILE")
+  in
+  let staleness =
+    Arg.(
+      value & opt float 10.0
+      & info [ "staleness-check" ] ~docv:"SECONDS"
+          ~doc:
+            "Staleness bound to enforce on wire-stamped replica ages (match the server's \
+             --staleness-bound; <= 0 disables)")
+  in
+  Cmd.v
+    (Cmd.info "check-history"
+       ~doc:
+         "Re-run the acknowledged-history consistency checker offline on a saved history \
+          (acked writes survive, reads monotonic, staleness bounded); exit 4 on violation")
+    Term.(const check_history $ file $ staleness)
+
+(* ------------------------------------------------------------------ *)
 
 (* Global --verbose handling: each subcommand's term already built, so
    install the reporter from an environment check at startup. *)
@@ -500,4 +535,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; datagen_cmd; stats_cmd; build_cmd; query_cmd; workload_cmd; verify_cmd; dot_cmd ]))
+          [ generate_cmd; datagen_cmd; stats_cmd; build_cmd; query_cmd; workload_cmd; verify_cmd; dot_cmd; check_history_cmd ]))

@@ -121,6 +121,23 @@ let staleness_check_arg =
           "With --nemesis: the staleness bound the checker enforces on wire-stamped replica \
            ages (match the server's --staleness-bound; <= 0 disables)")
 
+let integrity_check_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "integrity-check" ] ~docv:"HOST:PORT[,HOST:PORT...]"
+        ~doc:
+          "After the workload (or alone), poll every listed server's integrity digest until \
+           they all report the same root digest at the same write-stream position — the \
+           end-to-end proof that primary and replicas serve identical content.  Exit 4 if \
+           they have not converged within --integrity-timeout.")
+
+let integrity_timeout_arg =
+  Arg.(
+    value & opt float 30.0
+    & info [ "integrity-timeout" ] ~docv:"SECONDS"
+        ~doc:"How long --integrity-check polls before declaring divergence")
+
 let percentile sorted p =
   let n = Array.length sorted in
   if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
@@ -242,12 +259,20 @@ let print_stats_summary kvs =
           Printf.printf "  %s = %s\n" k v)
       kvs
   | _ -> ());
-  match get "replication_connected" with
+  (match get "replication_connected" with
   | Some _ ->
     Printf.printf "replication: connected %s  applied %s/%s  behind %s bytes  stale %s\n"
       (getd "replication_connected") (getd "replication_applied_seq")
       (getd "replication_applied_offset") (getd "replication_bytes_behind")
       (getd "replication_stale")
+  | None -> ());
+  match get "scrub_passes" with
+  | Some _ ->
+    Printf.printf
+      "integrity: scrub_passes %s  corruptions_found %s  ranges_repaired %s  divergences %s  \
+       resyncs %s\n"
+      (getd "scrub_passes") (getd "scrub_corruptions_found") (getd "ranges_repaired")
+      (getd "replica_divergences") (getd "integrity_resyncs")
   | None -> ()
 
 let throughput ~host ~port ~conns ~requests ~no_cache ~pipeline (ds : Dataset.t) =
@@ -441,6 +466,78 @@ let wait_replication ~host ~port ~timeout_s () =
   go ()
 
 (* ------------------------------------------------------------------ *)
+(* Integrity convergence check: poll every endpoint's digest until all
+   report the same root at the same write-stream position.  Run after
+   the write stream drains; exit 4 on timeout = the cluster is serving
+   divergent content and anti-entropy has not (or cannot) repair it. *)
+
+let parse_endpoints spec =
+  String.split_on_char ',' spec
+  |> List.filter (fun s -> s <> "")
+  |> List.map (fun s ->
+         match String.rindex_opt s ':' with
+         | None -> failwith (Printf.sprintf "--integrity-check: %s is not HOST:PORT" s)
+         | Some i -> (
+           let h = String.sub s 0 i
+           and p = String.sub s (i + 1) (String.length s - i - 1) in
+           match int_of_string_opt p with
+           | None -> failwith (Printf.sprintf "--integrity-check: bad port in %s" s)
+           | Some p -> (h, p)))
+
+let digest_of ~host ~port =
+  let c = connect ~host ~port () in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      match Client.call c Wire.Digest_request with
+      | Wire.Digest_reply { seq; offset; root; n_nodes; _ } -> (seq, offset, root, n_nodes)
+      | Wire.Error_reply { message; _ } -> failwith ("digest: " ^ message)
+      | _ -> failwith "digest: unexpected response kind")
+
+let integrity_check ~endpoints ~timeout_s () =
+  (match endpoints with
+  | [] -> failwith "--integrity-check: no endpoints"
+  | _ -> ());
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let ds =
+      List.map
+        (fun (h, p) -> try Some (digest_of ~host:h ~port:p) with _ -> None)
+        endpoints
+    in
+    let converged =
+      match ds with
+      | Some ((s0, _, _, _) as d0) :: rest when s0 >= 0 ->
+        List.for_all (function Some d -> d = d0 | None -> false) rest
+      | _ -> false
+    in
+    if converged then
+      match List.hd ds with
+      | Some (s0, o0, r0, _) ->
+        Printf.printf "integrity: %d server(s) converged at position (%d,%d), root %012x\n%!"
+          (List.length endpoints) s0 o0 r0
+      | None -> assert false
+    else if Unix.gettimeofday () > deadline then begin
+      Printf.eprintf "dkindex-loadgen: integrity digests did not converge after %.1f s\n%!"
+        timeout_s;
+      List.iteri
+        (fun i d ->
+          match d with
+          | Some (s, o, r, n) ->
+            Printf.eprintf "  endpoint %d: position (%d,%d)  root %012x  n_nodes %d\n%!" i s o
+              r n
+          | None -> Printf.eprintf "  endpoint %d: unreachable\n%!" i)
+        ds;
+      exit 4
+    end
+    else begin
+      Unix.sleepf 0.2;
+      go ()
+    end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
 (* Nemesis mode: chaos proxy + recorded history + consistency check *)
 
 (* One driver connection's workload: every 4th op writes a fresh edge
@@ -591,23 +688,36 @@ let nemesis ~host ~port ~conns ~requests ~xmark ~seed ~spec_str ~history_path
   if not report.History.ok then exit 4
 
 let main host port conns requests xmark seed updates do_check recovered n_retries no_cache
-    do_promote wait_repl pipeline nemesis_spec history_path staleness_check =
+    do_promote wait_repl pipeline nemesis_spec history_path staleness_check integrity_spec
+    integrity_timeout =
   let pipeline = max 1 pipeline in
   retries := max 0 n_retries;
+  let run_integrity_check () =
+    Option.iter
+      (fun spec ->
+        integrity_check ~endpoints:(parse_endpoints spec) ~timeout_s:integrity_timeout ())
+      integrity_spec
+  in
   if do_promote then promote ~host ~port ()
-  else if nemesis_spec <> None then
+  else if nemesis_spec <> None then begin
     nemesis ~host ~port ~conns ~requests ~xmark ~seed
-      ~spec_str:(Option.get nemesis_spec) ~history_path ~staleness_check ()
+      ~spec_str:(Option.get nemesis_spec) ~history_path ~staleness_check ();
+    run_integrity_check ()
+  end
   else if do_check then begin
     let ds = Dataset.make ~seed ~scale:xmark () in
     if recovered then check_recovered ~host ~port ~conns ~updates ~pipeline ds
     else check ~host ~port ~conns ~updates ~pipeline ds;
-    Option.iter (fun timeout_s -> wait_replication ~host ~port ~timeout_s ()) wait_repl
+    Option.iter (fun timeout_s -> wait_replication ~host ~port ~timeout_s ()) wait_repl;
+    run_integrity_check ()
   end
   else
-    match wait_repl with
-    | Some timeout_s -> wait_replication ~host ~port ~timeout_s ()
-    | None ->
+    match (wait_repl, integrity_spec) with
+    | Some timeout_s, _ ->
+      wait_replication ~host ~port ~timeout_s ();
+      run_integrity_check ()
+    | None, Some _ -> run_integrity_check ()
+    | None, None ->
       let ds = Dataset.make ~seed ~scale:xmark () in
       throughput ~host ~port ~conns ~requests ~no_cache ~pipeline ds
 
@@ -619,6 +729,6 @@ let cmd =
       const main $ host_arg $ port_arg $ conns_arg $ requests_arg $ xmark_arg $ seed_arg
       $ updates_arg $ check_arg $ recovered_arg $ retries_arg $ no_cache_arg $ promote_arg
       $ wait_replication_arg $ pipeline_arg $ nemesis_arg $ history_arg
-      $ staleness_check_arg)
+      $ staleness_check_arg $ integrity_check_arg $ integrity_timeout_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -133,6 +133,31 @@ let read_progress_arg =
           "Slow-loris defense: a started frame must arrive completely within this window or \
            the connection is evicted (<= 0 disables)")
 
+let scrub_interval_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "scrub-interval" ] ~docv:"SECONDS"
+        ~doc:
+          "Background integrity scrub: every interval, re-read and verify all at-rest state \
+           in --data-dir (checkpoint CRC sidecars, sealed WAL segments, containers), \
+           quarantining corrupt files after re-checkpointing from the live index (<= 0 \
+           disables; needs --data-dir)")
+
+let scrub_rate_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "scrub-rate" ] ~docv:"BYTES_PER_S"
+        ~doc:"Bound the scrub read rate — it shares a disk with the WAL (<= 0 unlimited)")
+
+let anti_entropy_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "anti-entropy-interval" ] ~docv:"SECONDS"
+        ~doc:
+          "Replica anti-entropy: every interval, compare integrity digests with the primary \
+           at equal write-stream positions and repair divergent ranges (snapshot re-bootstrap \
+           as fallback) (<= 0 disables; needs --replicate-from)")
+
 (* A replica that has no local state serves this until its first
    snapshot bootstrap replaces it: a one-node ROOT-only index. *)
 let empty_index () =
@@ -143,7 +168,7 @@ let empty_index () =
 
 let serve host port xmark seed load workers queue_depth deadline idle snapshot data_dir sync
     checkpoint_every replicate_from replica_id auto_promote failover_timeout staleness_bound
-    heartbeat max_conns read_progress_deadline =
+    heartbeat max_conns read_progress_deadline scrub_interval scrub_rate anti_entropy_interval =
   let fatal fmt = Printf.ksprintf (fun m -> prerr_endline ("dkindex-server: " ^ m); exit 1) fmt in
   let sync =
     match Wal.sync_policy_of_string sync with Ok s -> s | Error msg -> fatal "%s" msg
@@ -221,6 +246,9 @@ let serve host port xmark seed load workers queue_depth deadline idle snapshot d
       snapshot_path = snapshot;
       max_conns;
       read_progress_deadline_s = read_progress_deadline;
+      scrub_interval_s = scrub_interval;
+      scrub_max_bytes_per_s = scrub_rate;
+      anti_entropy_interval_s = anti_entropy_interval;
     }
   in
   (match data_dir with
@@ -248,6 +276,7 @@ let cmd =
       const serve $ host_arg $ port_arg $ xmark_arg $ seed_arg $ load_arg $ workers_arg
       $ queue_arg $ deadline_arg $ idle_arg $ snapshot_arg $ data_dir_arg $ sync_arg
       $ checkpoint_every_arg $ replicate_from_arg $ replica_id_arg $ auto_promote_arg
-      $ failover_arg $ staleness_arg $ heartbeat_arg $ max_conns_arg $ read_progress_arg)
+      $ failover_arg $ staleness_arg $ heartbeat_arg $ max_conns_arg $ read_progress_arg
+      $ scrub_interval_arg $ scrub_rate_arg $ anti_entropy_arg)
 
 let () = exit (Cmd.eval cmd)

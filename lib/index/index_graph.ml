@@ -48,6 +48,9 @@ type t = {
   forwards : (int, int list) Hashtbl.t;  (* dead id -> ids that replaced it *)
   mutable generation : int;
       (* bumped on every mutation; validation caches snapshot it *)
+  mutable tracer : (int -> unit) option;
+      (* structural-change observer: called with every index node id
+         whose summary-relevant state changes (see [set_tracer]) *)
   mutable stamp_arr : int array;  (* scratch for [attach_edges] dedup *)
   mutable stamp : int;
   mutable scratch : int array;
@@ -73,6 +76,8 @@ let max_id t = t.next_id
 let n_edges t = t.n_iedges
 let generation t = t.generation
 let touch t = t.generation <- t.generation + 1
+let set_tracer t f = t.tracer <- f
+let trace t id = match t.tracer with Some f -> f id | None -> ()
 
 let extent_mem nd u =
   Int_arr.mem_range nd.extent ~lo:0 ~hi:(Array.length nd.extent) u
@@ -590,6 +595,7 @@ let partition_nodes ~fname g ~cls ~n_classes ~k_of_class ~req_of_class =
       live_count = Array.make (Label.Pool.count (Data_graph.pool g)) 0;
       forwards = Hashtbl.create 64;
       generation = 0;
+      tracer = None;
       stamp_arr = [||];
       stamp = 0;
       scratch = [||];
@@ -781,6 +787,7 @@ let split t id groups =
       (fun g -> if Array.length g = 0 then invalid_arg "Index_graph.split: empty group")
       groups;
     touch t;
+    trace t id;
     detach_all t id;
     kill t id;
     let fresh =
@@ -808,18 +815,23 @@ let add_index_edge t a b =
   ignore (node t a);
   ignore (node t b);
   touch t;
+  trace t a;
+  trace t b;
   add_edge_raw t a b
 
 let remove_index_edge t a b =
   ignore (node t a);
   ignore (node t b);
   touch t;
+  trace t a;
+  trace t b;
   remove_edge_raw t a b
 
 let set_k t id k =
   let nd = node t id in
   if nd.k <> k then begin
     touch t;
+    trace t id;
     nd.k <- k
   end
 
@@ -827,6 +839,7 @@ let set_req t id req =
   let nd = node t id in
   if nd.req <> req then begin
     touch t;
+    trace t id;
     nd.req <- req
   end
 

@@ -22,6 +22,7 @@ let default_config ~dir =
 (* File naming *)
 
 let cp_name seq = Printf.sprintf "checkpoint-%09d.index" seq
+let crc_name seq = Printf.sprintf "checkpoint-%09d.crc" seq
 let wal_name seq = Printf.sprintf "wal-%09d.log" seq
 
 let seq_of name ~prefix ~suffix =
@@ -41,6 +42,33 @@ let list_seqs dir ~prefix ~suffix =
 
 let checkpoint_seqs dir = list_seqs dir ~prefix:"checkpoint-" ~suffix:".index"
 let wal_seqs dir = list_seqs dir ~prefix:"wal-" ~suffix:".log"
+let checkpoint_file ~dir ~seq = Filename.concat dir (cp_name seq)
+let crc_file ~dir ~seq = Filename.concat dir (crc_name seq)
+
+(* Checkpoint CRC sidecar: "crc32 length\n" of the snapshot bytes.
+   The text snapshot format has per-line structure but no whole-file
+   check of its own, so a flipped digit can still parse; the sidecar
+   closes that hole for both recovery and the scrubber.  A checkpoint
+   without a sidecar (crash between the two writes, or a pre-sidecar
+   generation) is accepted as-is. *)
+let sidecar_of s = Printf.sprintf "%d %d\n" (Wal.crc32 s 0 (String.length s)) (String.length s)
+
+(* [Ok true] = sidecar present and matching, [Ok false] = no sidecar,
+   [Error reason] = sidecar present and contradicting the payload. *)
+let check_sidecar ~dir ~seq s =
+  match In_channel.with_open_bin (crc_file ~dir ~seq) In_channel.input_all with
+  | exception Sys_error _ -> Ok false
+  | raw -> (
+    match String.split_on_char ' ' (String.trim raw) with
+    | [ crc; len ] -> (
+      match (int_of_string_opt crc, int_of_string_opt len) with
+      | Some crc, Some len ->
+        if len <> String.length s then
+          Error (Printf.sprintf "length %d, sidecar says %d" (String.length s) len)
+        else if crc <> Wal.crc32 s 0 len then Error "crc mismatch"
+        else Ok true
+      | _ -> Error "unparsable sidecar")
+    | _ -> Error "unparsable sidecar")
 
 (* ------------------------------------------------------------------ *)
 (* Atomic snapshot write: tmp in the same directory, fsync, rename,
@@ -82,16 +110,29 @@ let write_atomic ?faults dir name s =
    reader can always fall back one generation with a complete WAL
    chain. *)
 let prune dir =
-  let rm name = try Sys.remove (Filename.concat dir name) with Sys_error _ -> () in
+  let removed = ref false in
+  let rm name =
+    try
+      Sys.remove (Filename.concat dir name);
+      removed := true
+    with Sys_error _ -> ()
+  in
   (match List.rev (checkpoint_seqs dir) with
   | _newest :: prev :: rest ->
-    List.iter (fun s -> rm (cp_name s)) rest;
+    List.iter
+      (fun s ->
+        rm (cp_name s);
+        rm (crc_name s))
+      rest;
     List.iter (fun s -> if s < prev then rm (wal_name s)) (wal_seqs dir)
   | _ -> ());
-  match Sys.readdir dir with
+  (match Sys.readdir dir with
   | exception Sys_error _ -> ()
-  | names ->
-    Array.iter (fun n -> if Filename.check_suffix n ".tmp" then rm n) names
+  | names -> Array.iter (fun n -> if Filename.check_suffix n ".tmp" then rm n) names);
+  (* Make the unlinks themselves durable: without this a crash here
+     can resurrect a pruned generation, and recovery could then load a
+     checkpoint whose WAL chain was already (durably) deleted. *)
+  if !removed then fsync_dir dir
 
 (* ------------------------------------------------------------------ *)
 (* Replay *)
@@ -151,8 +192,10 @@ let recover ?read_faults ~dir () =
     | [] -> if skipped > 0 then Some (None, -1, skipped) else None
     | seq :: older -> (
       match
-        Index_serial.of_string
-          (Faults.read_all read_faults (Filename.concat dir (cp_name seq)))
+        let s = Faults.read_all read_faults (Filename.concat dir (cp_name seq)) in
+        match check_sidecar ~dir ~seq s with
+        | Ok _ -> Index_serial.of_string s
+        | Error reason -> failwith ("checkpoint sidecar: " ^ reason)
       with
       | idx -> Some (Some idx, seq, skipped)
       | exception _ -> load older (skipped + 1))
@@ -262,6 +305,7 @@ let note_wal_failure t msg =
 
 let write_checkpoint t seq s =
   write_atomic ?faults:t.cp_faults t.cfg.dir (cp_name seq) s;
+  write_atomic ?faults:t.cp_faults t.cfg.dir (crc_name seq) (sidecar_of s);
   Atomic.incr t.checkpoints_written;
   Atomic.set t.checkpoint_last_bytes (String.length s);
   prune t.cfg.dir
@@ -389,6 +433,9 @@ let newest_checkpoint ~dir =
     | seq :: older -> (
       match
         let s = read_file (Filename.concat dir (cp_name seq)) in
+        (match check_sidecar ~dir ~seq s with
+        | Ok _ -> ()
+        | Error reason -> failwith reason);
         ignore (Index_serial.of_string s);
         s
       with

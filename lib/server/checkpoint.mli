@@ -3,8 +3,16 @@
     A data directory holds numbered generations:
     {v
     checkpoint-<seq>.index   Index_serial snapshot (atomic tmp+rename)
+    checkpoint-<seq>.crc     "crc32 length" sidecar of the snapshot
     wal-<seq>.log            mutations applied after that snapshot
     v}
+
+    The sidecar exists because the text snapshot format has no
+    whole-file check of its own: a flipped digit can still parse.
+    Recovery and the scrubber reject a checkpoint whose sidecar
+    contradicts it; a checkpoint {e without} a sidecar (crash between
+    the two writes, or written before sidecars existed) is accepted
+    on parse alone.
 
     The single mutator domain owns the log: it applies a mutation in
     memory, {!log_mutation}s it, and only then acknowledges.  When the
@@ -111,6 +119,24 @@ val wal_position : t -> int * int
 
 val wal_file : dir:string -> seq:int -> string
 (** Path of generation [seq]'s WAL file. *)
+
+(** {1 Scrubber hooks} *)
+
+val checkpoint_file : dir:string -> seq:int -> string
+val crc_file : dir:string -> seq:int -> string
+(** Path of generation [seq]'s checkpoint / CRC sidecar. *)
+
+val checkpoint_seqs : string -> int list
+val wal_seqs : string -> int list
+(** Generations present in a data directory, increasing. *)
+
+val check_sidecar : dir:string -> seq:int -> string -> (bool, string) result
+(** Validate snapshot bytes against their CRC sidecar: [Ok true] =
+    sidecar present and matching, [Ok false] = no sidecar,
+    [Error reason] = sidecar contradicts the payload. *)
+
+val fsync_dir : string -> unit
+(** Best-effort directory fsync, making renames/unlinks durable. *)
 
 val newest_checkpoint : dir:string -> (int * string) option
 (** Newest checkpoint generation whose snapshot loads, as raw

@@ -112,3 +112,37 @@ let fsync faults fd =
   match faults with
   | Some { spec = Enospc_after_bytes _; tripped = true; _ } -> enospc "fsync"
   | _ -> Unix.fsync fd
+
+(* ------------------------------------------------------------------ *)
+(* At-rest corruption: damage a closed file between runs.  These are
+   not part of a [spec] — they model bit rot and torn storage rather
+   than a faulty syscall, and drive the scrubber / anti-entropy
+   tests. *)
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+let flip_bit_at_rest path ~off ~bit =
+  let size = file_size path in
+  if off < 0 || off >= size then
+    invalid_arg
+      (Printf.sprintf "Faults.flip_bit_at_rest: offset %d out of [0, %d)" off size);
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      let b = Bytes.create 1 in
+      if Unix.read fd b 0 1 <> 1 then failwith "Faults.flip_bit_at_rest: read";
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor (1 lsl (bit land 7))));
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      if Unix.write fd b 0 1 <> 1 then failwith "Faults.flip_bit_at_rest: write";
+      Unix.fsync fd)
+
+let truncate_at_rest path ~size =
+  if size < 0 then invalid_arg "Faults.truncate_at_rest: negative size";
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.ftruncate fd size;
+      Unix.fsync fd)

@@ -65,3 +65,18 @@ val read_all : t option -> string -> string
 
 val fsync : t option -> Unix.file_descr -> unit
 (** [Unix.fsync], except a tripped [Enospc_after_bytes] raises. *)
+
+(** {1 At-rest corruption}
+
+    Damage a {e closed} file between runs — bit rot and torn storage
+    rather than faulty syscalls.  These drive the scrubber and
+    anti-entropy tests. *)
+
+val file_size : string -> int
+
+val flip_bit_at_rest : string -> off:int -> bit:int -> unit
+(** Flip bit [bit land 7] of the byte at [off], in place, fsynced.
+    @raise Invalid_argument if [off] is outside the file. *)
+
+val truncate_at_rest : string -> size:int -> unit
+(** Truncate the file to [size] bytes, fsynced. *)

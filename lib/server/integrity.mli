@@ -1,0 +1,107 @@
+(** Incremental digest tree over a served index.
+
+    The integrity subsystem needs a cheap, content-canonical summary of
+    "what this server is serving" that two cluster members can compare
+    without shipping state: a primary and a replica hold physically
+    different index graphs (different index-node ids, different label
+    pool layouts are possible after independent builds), so every
+    digest here is a function of {e logical} content only:
+
+    - {b data-range digests}: the data-node id space is cut into fixed
+      ranges of [1 lsl range_shift] ids; each range digests, per node,
+      its label {e name} hash and the set of its children (combined
+      order-independently, so a repaired edge applied late hashes the
+      same as one applied in stream order).
+    - {b index-range digests}: the same ranges, digesting per data node
+      the canonical representative of its class (the smallest data node
+      id in the extent, {!Index_graph.extent_min}) and the class's
+      local similarity [k] — the partition signature, by range.
+    - {b per-label index-edge buckets}: for every live index edge
+      [A -> B], a hash of both endpoints' (label-name hash, canonical
+      representative, k) is XOR-folded into the bucket of [A]'s label;
+      buckets are combined order-independently into one
+      [label_edges] scalar, so pool code layout does not matter.
+
+    All of it rolls into a single [root].  Digests are 48-bit (they
+    travel as [u48] on the wire).
+
+    Incrementality: a {!t} caches every layer and recomputes only what
+    a mutation could have touched.  Data-edge mutations dirty the
+    ranges of their endpoints ({!note_mutation}); structural index
+    changes (splits, k/req changes, index-edge flips) are observed via
+    {!Index_graph.set_tracer} on every physical copy ({!attach}), and
+    resolved to dirty ranges and labels at refresh time.  Wholesale
+    changes (subgraph grafts, promote/demote, snapshot installs)
+    invalidate everything.  Marks accumulate privately in the mutator
+    domain and become visible to {!refresh} only at {!commit} — the
+    server commits right after it publishes the new serving snapshot,
+    so a concurrent refresh never clears a mark for state it has not
+    yet seen.  {!refresh} against a copy equals {!compute_full} of that
+    copy — qcheck-proven through update churn. *)
+
+open Dkindex_graph
+open Dkindex_core
+
+val range_shift : int
+(** log2 of the number of data-node ids per range (protocol constant:
+    both sides of an anti-entropy exchange must agree on it). *)
+
+val n_ranges : int -> int
+(** Number of ranges covering a data graph of [n] nodes (at least 1). *)
+
+type digests = {
+  n_nodes : int;  (** data nodes the digests were computed over *)
+  data_ranges : int array;  (** per range: labels + adjacency *)
+  index_ranges : int array;  (** per range: partition signature *)
+  label_edges : int;  (** all index edges, bucketed by source label *)
+  root : int;  (** everything above, folded *)
+}
+
+type t
+
+val create : unit -> t
+(** An empty tracker; the first {!refresh} computes from scratch. *)
+
+val attach : t -> Index_graph.t -> unit
+(** Install this tracker's structural tracer on a physical index copy.
+    Call for every copy the mutator writes to (both sides of the
+    left-right pair, and any wholesale replacement). *)
+
+val note_mutation : t -> Wal.mutation -> unit
+(** Record a mutation about to be (or just) applied: edge mutations
+    mark their endpoints' ranges, everything else invalidates all
+    layers.  Mutator domain only; cheap. *)
+
+val invalidate : t -> unit
+(** Mark everything dirty (pending, like {!note_mutation}): used when a
+    snapshot is installed wholesale (replica bootstrap). *)
+
+val commit : t -> unit
+(** Publish all pending marks to {!refresh}.  Call after the state the
+    marks describe is visible to readers (i.e. after the snapshot
+    swap). *)
+
+val refresh : t -> Index_graph.t -> digests
+(** Digests of [idx], recomputing only dirty ranges/buckets.  Safe to
+    call from any domain (internally locked) as long as [idx] is a
+    read-stable snapshot (the caller holds a reader slot).  [idx] must
+    reflect every committed mark. *)
+
+val compute_full : Index_graph.t -> digests
+(** From-scratch digests, no cache: the oracle {!refresh} is tested
+    against, and what one-shot tools use. *)
+
+val diff_data_ranges : digests -> digests -> int list
+(** Ranges whose {e data-layer} digests differ, increasing.  Meaningful
+    only when both sides have the same [n_nodes] (same range count);
+    raises [Invalid_argument] otherwise. *)
+
+val section : Index_graph.t -> int -> (int * int) array
+(** [(u, v)] data edges whose source lies in the given range — what a
+    primary ships for a {!Wire.Repair_fetch}. *)
+
+val section_diff :
+  Data_graph.t -> range:int -> theirs:(int * int) array -> Wal.mutation list
+(** Mutations that transform this graph's adjacency rows for sources in
+    [range] into [theirs]: [Add_edge] for missing edges, [Remove_edge]
+    for spurious ones.  Empty when the rows already agree. *)

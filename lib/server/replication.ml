@@ -365,6 +365,9 @@ type replica = {
   snapshots_installed : int Atomic.t;
   records_applied : int Atomic.t;
   reconnects : int Atomic.t;
+  (* Anti-entropy escape hatch: drop the stream and re-subscribe with
+     seq = -1, forcing a snapshot bootstrap. *)
+  resync : bool Atomic.t;
   mutable rdomain : unit Domain.t option;
 }
 
@@ -387,10 +390,12 @@ let create_replica rcfg ~epoch ~max_seen =
     snapshots_installed = Atomic.make 0;
     records_applied = Atomic.make 0;
     reconnects = Atomic.make 0;
+    resync = Atomic.make false;
     rdomain = None;
   }
 
 let rconfig_of r = r.rcfg
+let force_resync r = Atomic.set r.resync true
 let mark_promoted r = Atomic.set r.promoted true
 let is_promoted r = Atomic.get r.promoted
 
@@ -440,6 +445,7 @@ let watchdog_expired r =
 let watchdog_read r fd b off len =
   let rec go () =
     if Atomic.get r.rstop || Atomic.get r.promoted then raise (Disconnected "stopping");
+    if Atomic.get r.resync then raise (Disconnected "resync requested");
     if watchdog_expired r then raise Watchdog;
     match Unix.select [ fd ] [] [] 0.05 with
     | [], _, _ -> go ()
@@ -483,8 +489,10 @@ let session r push fd =
   | _ -> raise (Disconnected "expected hello_reply"));
   let sub_seq, sub_off =
     (* A position is only meaningful within the lineage it was applied
-       under; anything else (cold start, new primary) bootstraps. *)
-    if Atomic.get r.synced_epoch = Atomic.get r.rmax_seen && Atomic.get r.applied_seq >= 0 then
+       under; anything else (cold start, new primary) bootstraps.  A
+       requested resync bootstraps unconditionally. *)
+    if Atomic.exchange r.resync false then (-1, 0)
+    else if Atomic.get r.synced_epoch = Atomic.get r.rmax_seen && Atomic.get r.applied_seq >= 0 then
       (Atomic.get r.applied_seq, Atomic.get r.applied_off)
     else (-1, 0)
   in

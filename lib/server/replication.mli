@@ -102,6 +102,13 @@ val start_replica : replica -> push:(event -> unit) -> unit
     the mutator queue). *)
 
 val stop_replica : replica -> unit
+
+val force_resync : replica -> unit
+(** Drop the current stream (if any) and re-subscribe with [seq = -1],
+    forcing a full snapshot bootstrap on the next session.  The
+    anti-entropy fallback when range repair cannot reconcile (the
+    index layer itself has drifted). *)
+
 val mark_promoted : replica -> unit
 (** Called by the mutator once promotion completes; the tailer domain
     exits and reads stop being staleness-checked. *)

@@ -1,0 +1,166 @@
+open Dkindex_graph
+open Dkindex_core
+
+type corrupt = {
+  file : string;
+  what : [ `Checkpoint of int | `Wal of int | `Container ];
+  reason : string;
+}
+
+type report = { files_scanned : int; bytes_read : int; corrupt : corrupt list }
+
+(* ------------------------------------------------------------------ *)
+(* Rate-limited whole-file reads                                      *)
+
+type throttle = { cap : int; t0 : float; mutable bytes : int }
+
+let throttle cap = { cap; t0 = Unix.gettimeofday (); bytes = 0 }
+
+(* Keep the cumulative rate under [cap] by sleeping after each chunk:
+   instantaneous bursts are one chunk (256 KiB) long at most. *)
+let pay th n =
+  th.bytes <- th.bytes + n;
+  if th.cap > 0 then begin
+    let min_elapsed = float_of_int th.bytes /. float_of_int th.cap in
+    let elapsed = Unix.gettimeofday () -. th.t0 in
+    if elapsed < min_elapsed then Unix.sleepf (min_elapsed -. elapsed)
+  end
+
+let read_file th path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      let chunk = Bytes.create (256 * 1024) in
+      let rec go () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Buffer.contents buf
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          pay th n;
+          go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      in
+      go ())
+
+(* ------------------------------------------------------------------ *)
+(* Per-kind verification                                              *)
+
+let verify_checkpoint ~dir ~seq s =
+  match Checkpoint.check_sidecar ~dir ~seq s with
+  | Error reason -> Some reason
+  | Ok true -> None  (* bytes match the CRC written with them *)
+  | Ok false -> (
+    (* no sidecar: parse is the only check we have *)
+    match Index_serial.of_string s with
+    | _ -> None
+    | exception e -> Some ("unparsable snapshot: " ^ Printexc.to_string e))
+
+(* A torn tail that looks like a crashed append — fewer bytes than one
+   record header, or a header whose record extends past EOF — is not
+   corruption.  A complete record that failed CRC/decode is. *)
+let verify_wal s =
+  let r = Wal.replay_string s in
+  if r.Wal.torn_bytes = 0 then None
+  else begin
+    let off = r.Wal.valid_bytes in
+    let torn = r.Wal.torn_bytes in
+    if torn < 8 then None
+    else
+      let len =
+        (Char.code s.[off] lsl 24)
+        lor (Char.code s.[off + 1] lsl 16)
+        lor (Char.code s.[off + 2] lsl 8)
+        lor Char.code s.[off + 3]
+      in
+      if len < 0 || 8 + len > torn then None
+      else
+        Some
+          (Printf.sprintf "complete record at offset %d fails crc/decode (%d torn bytes)"
+             off torn)
+  end
+
+let verify_container path =
+  match Container.probe path with
+  | None -> None
+  | Some kind -> (
+    match Container.Reader.with_file ~verify:true ~kind path (fun _ -> ()) with
+    | () -> None
+    | exception Container.Error e ->
+      Some (Format.asprintf "container: %a" Container.pp_error e)
+    | exception e -> Some ("container: " ^ Printexc.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* The pass                                                           *)
+
+let quarantine_dir dir = Filename.concat dir "quarantine"
+
+let seq_of name ~prefix ~suffix =
+  let pl = String.length prefix and sl = String.length suffix in
+  let n = String.length name in
+  if n > pl + sl && String.starts_with ~prefix name && String.ends_with ~suffix name then
+    int_of_string_opt (String.sub name pl (n - pl - sl))
+  else None
+
+let scan ?(max_bytes_per_s = 0) ~dir () =
+  let th = throttle max_bytes_per_s in
+  let scanned = ref 0 and corrupt = ref [] in
+  let note file what reason = corrupt := { file; what; reason } :: !corrupt in
+  let names =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> [||]
+    | a ->
+      Array.sort compare a;
+      a
+  in
+  Array.iter
+    (fun name ->
+      let path = Filename.concat dir name in
+      if (not (Filename.check_suffix name ".tmp")) && not (Sys.is_directory path) then
+        match seq_of name ~prefix:"checkpoint-" ~suffix:".index" with
+        | Some seq -> (
+          incr scanned;
+          match read_file th path with
+          | s -> (
+            match verify_checkpoint ~dir ~seq s with
+            | Some reason -> note name (`Checkpoint seq) reason
+            | None -> ())
+          | exception e -> note name (`Checkpoint seq) (Printexc.to_string e))
+        | None -> (
+          match seq_of name ~prefix:"wal-" ~suffix:".log" with
+          | Some seq -> (
+            incr scanned;
+            match read_file th path with
+            | s -> (
+              match verify_wal s with
+              | Some reason -> note name (`Wal seq) reason
+              | None -> ())
+            | exception e -> note name (`Wal seq) (Printexc.to_string e))
+          | None ->
+            if Container.probe path <> None then begin
+              incr scanned;
+              (match verify_container path with
+              | Some reason -> note name `Container reason
+              | None -> ());
+              pay th (try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0)
+            end))
+    names;
+  { files_scanned = !scanned; bytes_read = th.bytes; corrupt = List.rev !corrupt }
+
+let quarantine ~dir files =
+  let q = quarantine_dir dir in
+  (try Unix.mkdir q 0o755 with Unix.Unix_error ((EEXIST | EISDIR), _, _) -> ());
+  let moved =
+    List.filter
+      (fun name ->
+        match Unix.rename (Filename.concat dir name) (Filename.concat q name) with
+        | () -> true
+        | exception Unix.Unix_error _ -> false)
+      files
+  in
+  if moved <> [] then begin
+    Checkpoint.fsync_dir q;
+    Checkpoint.fsync_dir dir
+  end;
+  moved

@@ -19,6 +19,12 @@ type config = {
   read_progress_deadline_s : float;
       (* a started frame must complete within this window or the
          connection is evicted (slow-loris defense); <= 0 disables *)
+  scrub_interval_s : float;
+      (* background at-rest scrub cadence (needs durability); <= 0
+         disables *)
+  scrub_max_bytes_per_s : int;  (* scrub read-rate bound; <= 0 unlimited *)
+  anti_entropy_interval_s : float;
+      (* replica-side digest comparison cadence; <= 0 disables *)
 }
 
 let default_config =
@@ -33,6 +39,9 @@ let default_config =
     snapshot_path = None;
     max_conns = 0;
     read_progress_deadline_s = 0.0;
+    scrub_interval_s = 0.0;
+    scrub_max_bytes_per_s = 0;
+    anti_entropy_interval_s = 0.0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -143,10 +152,26 @@ type conn = {
 
 type pending = { conn : conn; id : int; req : Wire.request; arrival : float }
 
-(* The write queue carries client requests and replication-stream
-   events; both are applied by the single mutator domain in FIFO
-   order, so replica reads observe mutations in primary order. *)
-type wjob = Wreq of pending | Wrepl of Replication.event
+(* The write queue carries client requests, replication-stream events,
+   and integrity-domain jobs; all are applied by the single mutator
+   domain in FIFO order, so replica reads observe mutations in primary
+   order.  Running the integrity work on the mutator is what makes the
+   digest tracker trivially race-free: a refresh always sees exactly
+   the published state together with its committed marks, and repairs
+   ride the same apply/swap path as every other mutation. *)
+type wjob =
+  | Wreq of pending
+  | Wrepl of Replication.event
+  | Wdigest of (Integrity.digests * (int * int)) option Atomic.t
+      (* digest of the published state, stamped with the write-stream
+         position it reflects *)
+  | Wcheckpoint of int Atomic.t  (* 0 pending / 1 ok / 2 failed *)
+  | Wrepair of {
+      sections : (int * (int * int) array) list;
+          (* primary's data edges per divergent range *)
+      status : int Atomic.t;  (* 0 pending / 1 done *)
+      repaired : int Atomic.t;  (* ranges whose rows actually changed *)
+    }
 
 (* The serving snapshot: a frozen index plus its swap generation.
    Readers load it through one [Atomic.t]; the mutator maintains two
@@ -199,6 +224,22 @@ type state = {
   mk_hub : Checkpoint.t -> Replication.hub;  (* for promotion *)
   replica : Replication.replica option;
   repl_apply_errors : int Atomic.t;
+  (* integrity: digests, scrubbing, anti-entropy *)
+  integrity : Integrity.t;
+  digest_pos : (int * int) Atomic.t;
+      (* write-stream position (primary WAL coordinates) the published
+         state corresponds to; (-1, 0) when it cannot be stamped.  Two
+         servers' digests are comparable only at equal positions. *)
+  repl_records_seen : int Atomic.t;
+  repl_drop_nth : int;
+      (* test hook: silently skip the nth fresh replicated record
+         (divergence injection); 0 = never *)
+  scrub_passes : int Atomic.t;
+  scrub_corruptions : int Atomic.t;
+  ranges_repaired : int Atomic.t;
+  replica_divergences : int Atomic.t;
+  resyncs : int Atomic.t;
+  anti_entropy_rounds : int Atomic.t;
   (* planner / statistics observability *)
   vcaches : Validation_cache.t list Atomic.t;
       (* every reader-side validation cache ever created, for the
@@ -270,6 +311,7 @@ let catch_up state =
   if state.spare_dirty then begin
     wait_readers state (Atomic.get state.serving).gen;
     state.spare <- clone_of_serving state;
+    Integrity.attach state.integrity state.spare;
     state.spare_dirty <- false;
     state.lag <- []
   end
@@ -282,7 +324,8 @@ let catch_up state =
      with _ ->
        (* The serving side applied these; a spare that cannot replay
           them would diverge — rebuild it from the serving content. *)
-       state.spare <- clone_of_serving state);
+       state.spare <- clone_of_serving state;
+       Integrity.attach state.integrity state.spare);
     state.lag <- []
   end
 
@@ -513,6 +556,12 @@ let stats_kvs state idx =
     ("planned_raw_scans", string_of_int (Atomic.get state.planned_raw_scans));
     ("explain_queries", string_of_int (Atomic.get state.explains));
     ("plan_fallbacks", string_of_int (Atomic.get state.plan_fallbacks));
+    ("scrub_passes", string_of_int (Atomic.get state.scrub_passes));
+    ("scrub_corruptions_found", string_of_int (Atomic.get state.scrub_corruptions));
+    ("ranges_repaired", string_of_int (Atomic.get state.ranges_repaired));
+    ("replica_divergences", string_of_int (Atomic.get state.replica_divergences));
+    ("integrity_resyncs", string_of_int (Atomic.get state.resyncs));
+    ("anti_entropy_rounds", string_of_int (Atomic.get state.anti_entropy_rounds));
   ]
   @ vcache_kvs state
   @ (match state.durability with Some d -> Checkpoint.stats d | None -> [])
@@ -696,6 +745,10 @@ let apply_write state (p : pending) : Wire.response =
               state.spare_dirty <- true;
               raise e
           in
+          Integrity.note_mutation state.integrity m;
+          (* Wholesale mutations can return a brand-new index object
+             with no tracer installed; attaching is idempotent. *)
+          Integrity.attach state.integrity idx';
           (* Log after applying, before acknowledging: the WAL holds
              only mutations that succeeded, and nothing is acknowledged
              until it is logged.  A WAL failure degrades the server to
@@ -705,15 +758,22 @@ let apply_write state (p : pending) : Wire.response =
           match durability with
           | None ->
             swap_in state idx' [ m ];
+            Integrity.commit state.integrity;
             ok ()
           | Some d -> (
             match Checkpoint.log_mutation d m with
             | () ->
               swap_in state idx' [ m ];
+              Integrity.commit state.integrity;
+              Atomic.set state.digest_pos (Checkpoint.wal_position d);
               ok ()
             | exception e ->
               Checkpoint.note_wal_failure d (Printexc.to_string e);
               swap_in state idx' [ m ];
+              Integrity.commit state.integrity;
+              (* Applied but not logged: the published state is ahead
+                 of any WAL position. *)
+              Atomic.set state.digest_pos (-1, 0);
               Wire.Read_only)))
     | None -> (
       match p.req with
@@ -727,6 +787,34 @@ let apply_write state (p : pending) : Wire.response =
           Index_serial.save path (serving_idx state);
           ok ()
         | None, None -> app "no snapshot path configured")
+      | Wire.Digest_request ->
+        (* On the mutator by design: no swap can race the refresh, so
+           the digests describe exactly the published state and the
+           stamped position is exact.  Served even on a stale replica —
+           anti-entropy must see divergence precisely when the replica
+           is unhealthy. *)
+        let d = Integrity.refresh state.integrity (serving_idx state) in
+        let seq, offset = Atomic.get state.digest_pos in
+        Wire.Digest_reply
+          {
+            generation = (Atomic.get state.serving).gen;
+            seq;
+            offset;
+            n_nodes = d.Integrity.n_nodes;
+            root = d.Integrity.root;
+            label_edges = d.Integrity.label_edges;
+            data_ranges = d.Integrity.data_ranges;
+            index_ranges = d.Integrity.index_ranges;
+          }
+      | Wire.Repair_fetch { ranges } ->
+        let idx = serving_idx state in
+        let nr = Integrity.n_ranges (Data_graph.n_nodes (Index_graph.data idx)) in
+        let sections =
+          List.filter_map
+            (fun r -> if r >= 0 && r < nr then Some (r, Integrity.section idx r) else None)
+            ranges
+        in
+        Wire.Repair_reply { generation = (Atomic.get state.serving).gen; sections }
       | Wire.Promote_primary -> do_promote state
       | Wire.Shutdown ->
         let r = ok () in
@@ -761,7 +849,12 @@ let apply_repl state scratch (ev : Replication.event) =
          copies of the left-right pair. *)
       match (Index_serial.of_string index, Index_serial.of_string index) with
       | idx', spare' ->
+        Integrity.invalidate state.integrity;
+        Integrity.attach state.integrity idx';
+        Integrity.attach state.integrity spare';
         install state ~serving:idx' ~spare:spare';
+        Integrity.commit state.integrity;
+        Atomic.set state.digest_pos (seq, 0);
         (match state.durability with
         | Some d -> (
           match Checkpoint.checkpoint_now d (serving_idx state) with Ok () | Error _ -> ())
@@ -787,33 +880,87 @@ let apply_repl state scratch (ev : Replication.event) =
             Buffer.clear scratch;
             Wal.encode_mutation scratch m;
             let rec_end = !pos + Buffer.length scratch in
-            (if seq > aseq || rec_end > aoff then
-               match Checkpoint.apply_mutation state.spare m with
-               | idx' ->
-                 state.spare <- idx';
-                 applied := m :: !applied;
-                 incr n_applied;
-                 (match state.durability with
-                 | Some d when not (Checkpoint.read_only d) -> (
-                   try Checkpoint.log_mutation d m
-                   with e -> Checkpoint.note_wal_failure d (Printexc.to_string e))
-                 | _ -> ())
-               | exception _ ->
-                 (* The primary applied this successfully; failing
-                    here means divergence.  Count it and keep the
-                    stream moving. *)
-                 Atomic.incr state.repl_apply_errors);
+            (if seq > aseq || rec_end > aoff then begin
+               let nth = 1 + Atomic.fetch_and_add state.repl_records_seen 1 in
+               if state.repl_drop_nth > 0 && nth = state.repl_drop_nth then
+                 (* Divergence injection (tests): the record is skipped
+                    but the applied position still advances past it, so
+                    replication itself never notices. *)
+                 ()
+               else
+                 match Checkpoint.apply_mutation state.spare m with
+                 | idx' ->
+                   state.spare <- idx';
+                   Integrity.note_mutation state.integrity m;
+                   applied := m :: !applied;
+                   incr n_applied;
+                   (match state.durability with
+                   | Some d when not (Checkpoint.read_only d) -> (
+                     try Checkpoint.log_mutation d m
+                     with e -> Checkpoint.note_wal_failure d (Printexc.to_string e))
+                   | _ -> ())
+                 | exception _ ->
+                   (* The primary applied this successfully; failing
+                      here means divergence.  Count it and keep the
+                      stream moving. *)
+                   Atomic.incr state.repl_apply_errors
+             end);
             pos := rec_end)
           muts;
         (* [lag] is newest-first, which is exactly what [applied]
            accumulated to. *)
-        if !n_applied > 0 then swap_in state state.spare !applied;
+        if !n_applied > 0 then begin
+          Integrity.attach state.integrity state.spare;
+          swap_in state state.spare !applied;
+          Integrity.commit state.integrity
+        end;
+        (* The position is stamped in the primary's WAL coordinates —
+           the same clock the primary stamps its own digests with. *)
+        Atomic.set state.digest_pos (seq, offset);
         Replication.note_applied r ~seq ~offset ~n:!n_applied;
         Option.iter
           (fun d -> Checkpoint.maybe_checkpoint d (serving_idx state))
           state.durability
       end
     | _ -> ())
+
+(* Anti-entropy repair, on the mutator: transform the named ranges'
+   adjacency rows into the primary's ([sections]), through the same
+   apply/swap path as every other mutation.  Readers only ever see the
+   pre-repair or post-repair snapshot, so no acked answer is built from
+   half-repaired state.  A successful repair is made durable with an
+   immediate checkpoint: repairs bypass the WAL (they are corrections,
+   not stream records), so only a fresh checkpoint prevents a restart
+   from resurrecting the divergence. *)
+let apply_repair state sections repaired =
+  catch_up state;
+  let applied = ref [] in
+  List.iter
+    (fun (range, theirs) ->
+      let muts = Integrity.section_diff (Index_graph.data state.spare) ~range ~theirs in
+      if muts <> [] then begin
+        Atomic.incr repaired;
+        List.iter
+          (fun m ->
+            match Checkpoint.apply_mutation state.spare m with
+            | idx' ->
+              state.spare <- idx';
+              Integrity.note_mutation state.integrity m;
+              applied := m :: !applied
+            | exception _ -> Atomic.incr state.repl_apply_errors)
+          muts
+      end)
+    sections;
+  if !applied <> [] then begin
+    ignore (Atomic.fetch_and_add state.ranges_repaired (Atomic.get repaired));
+    Integrity.attach state.integrity state.spare;
+    swap_in state state.spare !applied;
+    Integrity.commit state.integrity;
+    match state.durability with
+    | Some d -> (
+      match Checkpoint.checkpoint_now d (serving_idx state) with Ok () | Error _ -> ())
+    | None -> ()
+  end
 
 let mutator_loop state () =
   let scratch = Buffer.create 256 in
@@ -822,6 +969,26 @@ let mutator_loop state () =
     | None -> ()
     | Some (Wrepl ev) ->
       Rw_lock.write state.lock (fun () -> apply_repl state scratch ev);
+      go ()
+    | Some (Wdigest box) ->
+      Rw_lock.write state.lock (fun () ->
+          let d = Integrity.refresh state.integrity (serving_idx state) in
+          Atomic.set box (Some (d, Atomic.get state.digest_pos)));
+      go ()
+    | Some (Wcheckpoint flag) ->
+      Rw_lock.write state.lock (fun () ->
+          match state.durability with
+          | Some d -> (
+            match Checkpoint.checkpoint_now d (serving_idx state) with
+            | Ok () -> Atomic.set flag 1
+            | Error _ -> Atomic.set flag 2)
+          | None -> Atomic.set flag 2);
+      go ()
+    | Some (Wrepair { sections; status; repaired }) ->
+      Rw_lock.write state.lock (fun () ->
+          try apply_repair state sections repaired
+          with _ -> Atomic.incr state.repl_apply_errors);
+      Atomic.set status 1;
       go ()
     | Some (Wreq p) ->
       (if not p.conn.closed then
@@ -836,6 +1003,139 @@ let mutator_loop state () =
       go ()
   in
   go ()
+
+(* ------------------------------------------------------------------ *)
+(* The integrity domain: background scrubbing of at-rest state and, on
+   replicas, anti-entropy digest comparison against the primary.  All
+   index access goes through mutator jobs (Wdigest / Wcheckpoint /
+   Wrepair); this domain only does file I/O, networking, and
+   bookkeeping, so it needs no reader slot. *)
+
+let wait_flag state flag =
+  let rec go () =
+    let v = Atomic.get flag in
+    if v <> 0 then v
+    else if Atomic.get state.stop then 0
+    else begin
+      Unix.sleepf 0.005;
+      go ()
+    end
+  in
+  go ()
+
+let scrub_pass state d =
+  let dir = Checkpoint.dir d in
+  let report = Scrub.scan ~max_bytes_per_s:state.cfg.scrub_max_bytes_per_s ~dir () in
+  Atomic.incr state.scrub_passes;
+  if report.Scrub.corrupt <> [] then begin
+    ignore (Atomic.fetch_and_add state.scrub_corruptions (List.length report.Scrub.corrupt));
+    (* The corrupt files may be the newest checkpoint or a sealed WAL
+       segment the recovery chain still needs: re-checkpoint from the
+       live (known-good) index first, and only quarantine once a fresh
+       generation is durable.  On checkpoint failure the evidence
+       stays in place and the next pass retries. *)
+    let flag = Atomic.make 0 in
+    Bqueue.push state.writeq (Wcheckpoint flag);
+    if wait_flag state flag = 1 then
+      ignore (Scrub.quarantine ~dir (List.map (fun c -> c.Scrub.file) report.Scrub.corrupt))
+  end
+
+let mutator_digest state =
+  let box = Atomic.make None in
+  Bqueue.push state.writeq (Wdigest box);
+  let rec wait () =
+    match Atomic.get box with
+    | Some v -> Some v
+    | None ->
+      if Atomic.get state.stop then None
+      else begin
+        Unix.sleepf 0.005;
+        wait ()
+      end
+  in
+  wait ()
+
+let anti_entropy_round state r suspicion =
+  let rc = Replication.rconfig_of r in
+  match
+    Client.connect ~host:rc.Replication.primary_host ~timeout_s:5.0
+      ~port:rc.Replication.primary_port ()
+  with
+  | exception _ -> ()
+  | c ->
+    Fun.protect ~finally:(fun () -> try Client.close c with _ -> ()) @@ fun () ->
+    Atomic.incr state.anti_entropy_rounds;
+    (match Client.call c Wire.Digest_request with
+    | Wire.Digest_reply
+        { generation = _; seq = pseq; offset = poff; n_nodes; root; label_edges; data_ranges; index_ranges }
+      -> (
+      match mutator_digest state with
+      | None -> ()
+      | Some (mine, (seq, off)) ->
+        if pseq < 0 || seq < 0 || pseq <> seq || poff <> off then
+          (* positions differ: ordinary replication lag, not
+             divergence — digests are only comparable at equal
+             write-stream positions *)
+          ()
+        else if n_nodes = mine.Integrity.n_nodes && root = mine.Integrity.root then
+          suspicion := 0
+        else begin
+          (* Same position, different content.  One observation can
+             still be an in-flight race; only a persistent mismatch
+             counts as divergence. *)
+          incr suspicion;
+          if !suspicion >= 3 then begin
+            suspicion := 0;
+            Atomic.incr state.replica_divergences;
+            let theirs =
+              { Integrity.n_nodes; data_ranges; index_ranges; label_edges; root }
+            in
+            let dranges =
+              if n_nodes <> mine.Integrity.n_nodes then []
+              else Integrity.diff_data_ranges theirs mine
+            in
+            match dranges with
+            | [] ->
+              (* Node counts differ, or the data layer agrees and the
+                 index layer itself has drifted (order-dependent D(k)
+                 refinement).  Range repair cannot reconcile either —
+                 bootstrap a bit-identical copy from the primary. *)
+              Atomic.incr state.resyncs;
+              Replication.force_resync r
+            | dranges ->
+              let dranges = List.filteri (fun i _ -> i < 16) dranges in
+              (match Client.call c (Wire.Repair_fetch { ranges = dranges }) with
+              | Wire.Repair_reply { sections; _ } ->
+                let status = Atomic.make 0 and repaired = Atomic.make 0 in
+                Bqueue.push state.writeq (Wrepair { sections; status; repaired });
+                ignore (wait_flag state status)
+              | _ -> ())
+          end
+        end)
+    | _ -> ())
+
+let integrity_loop state () =
+  let cfg = state.cfg in
+  let t0 = Unix.gettimeofday () in
+  let next_scrub = ref (t0 +. cfg.scrub_interval_s) in
+  let next_ae = ref (t0 +. cfg.anti_entropy_interval_s) in
+  let suspicion = ref 0 in
+  while not (Atomic.get state.stop) do
+    Unix.sleepf 0.02;
+    let t = Unix.gettimeofday () in
+    (match state.durability with
+    | Some d when cfg.scrub_interval_s > 0.0 && t >= !next_scrub ->
+      next_scrub := Unix.gettimeofday () +. cfg.scrub_interval_s;
+      (try scrub_pass state d with _ -> ())
+    | _ -> ());
+    match state.replica with
+    | Some r
+      when cfg.anti_entropy_interval_s > 0.0 && t >= !next_ae
+           && not (Replication.is_promoted r) ->
+      next_ae := Unix.gettimeofday () +. cfg.anti_entropy_interval_s;
+      (try anti_entropy_round state r suspicion with _ -> ())
+    | _ -> ()
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Main loop: accept, buffered reads, in-place frame extraction,
@@ -935,7 +1235,7 @@ let dispatch state ~slot ~reader conn ~id (req : Wire.request) =
   end
 
 let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?replica_of
-    ?hub_faults ?hub_heartbeat_s cfg index =
+    ?hub_faults ?hub_heartbeat_s ?(repl_drop_nth = 0) cfg index =
   Index_graph.prepare_serving index;
   (* The second physical copy of the left-right pair, via the
      serialization round-trip (bit-for-bit equivalent content). *)
@@ -985,6 +1285,20 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?
       mk_hub;
       replica;
       repl_apply_errors = Atomic.make 0;
+      integrity = Integrity.create ();
+      digest_pos =
+        Atomic.make
+          (match (durability, replica) with
+          | Some d, None -> Checkpoint.wal_position d
+          | _ -> (-1, 0));
+      repl_records_seen = Atomic.make 0;
+      repl_drop_nth;
+      scrub_passes = Atomic.make 0;
+      scrub_corruptions = Atomic.make 0;
+      ranges_repaired = Atomic.make 0;
+      replica_divergences = Atomic.make 0;
+      resyncs = Atomic.make 0;
+      anti_entropy_rounds = Atomic.make 0;
       vcaches = Atomic.make [];
       stats_mu = Mutex.create ();
       stats_srcs = [];
@@ -995,6 +1309,8 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?
       plan_fallbacks = Atomic.make 0;
     }
   in
+  Integrity.attach state.integrity index;
+  Integrity.attach state.integrity state.spare;
   let ev =
     match Evloop.create () with
     | Ok ev -> ev
@@ -1036,6 +1352,13 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?
     Array.init n_workers (fun i -> Domain.spawn (worker_loop state state.slots.(i + 1)))
   in
   let mutator = Domain.spawn (mutator_loop state) in
+  let integrity_domain =
+    if
+      (cfg.scrub_interval_s > 0.0 && Option.is_some durability)
+      || (cfg.anti_entropy_interval_s > 0.0 && Option.is_some replica)
+    then Some (Domain.spawn (integrity_loop state))
+    else None
+  in
   (* The tailer feeds the mutator through a blocking push: replication
      events are never shed, they apply FIFO with client writes. *)
   Option.iter
@@ -1263,6 +1586,7 @@ let run ?(on_ready = fun (_ : int) -> ()) ?(handle_signals = true) ?durability ?
   Bqueue.close state.writeq;
   Array.iter Domain.join workers;
   Domain.join mutator;
+  Option.iter Domain.join integrity_domain;
   Option.iter Replication.stop_hub (Atomic.get state.hub);
   (* Sockets go first: a failing final snapshot (disk full, say) must
      not leave descriptors open or the drain half-finished — it turns

@@ -85,12 +85,31 @@ type config = {
           connection is evicted (counted in [evicted_slow_clients]).
           The clock starts at the first byte of an incomplete frame
           and is {e not} refreshed by trickled bytes; <= 0 disables *)
+  scrub_interval_s : float;
+      (** background at-rest scrub cadence: every interval, the
+          integrity domain re-reads the data directory (checkpoints +
+          CRC sidecars, sealed WAL segments, containers) with {!Scrub},
+          quarantines anything corrupt after re-checkpointing from the
+          live index, and counts findings in
+          [scrub_passes]/[scrub_corruptions_found].  Needs
+          [durability]; <= 0 disables *)
+  scrub_max_bytes_per_s : int;
+      (** scrub read-rate bound (the scrubber shares a disk with the
+          WAL); <= 0 unlimited *)
+  anti_entropy_interval_s : float;
+      (** replica-side anti-entropy cadence: every interval the replica
+          fetches the primary's {!Integrity} digests, compares at equal
+          write-stream positions, and on persistent divergence repairs
+          the differing ranges ({!Wire.Repair_fetch}) or falls back to
+          a snapshot re-bootstrap — counted in
+          [replica_divergences]/[ranges_repaired]/[integrity_resyncs].
+          Only meaningful with [replica_of]; <= 0 disables *)
 }
 
 val default_config : config
 (** 127.0.0.1:7411, 2 workers, depth 256, 10 s deadline, 60 s idle,
     {!Wire.max_frame_default}, no snapshot path, no connection budget,
-    no read-progress deadline. *)
+    no read-progress deadline, no scrubbing, no anti-entropy. *)
 
 val run :
   ?on_ready:(int -> unit) ->
@@ -99,6 +118,7 @@ val run :
   ?replica_of:Replication.rconfig ->
   ?hub_faults:(int -> Faults.t option) ->
   ?hub_heartbeat_s:float ->
+  ?repl_drop_nth:int ->
   config ->
   Index_graph.t ->
   (unit, string) result
@@ -115,7 +135,10 @@ val run :
     to serve as a primary after promotion.  [hub_faults] injects
     {!Faults} into the replication sender for a given replica id
     (tests: partitions, torn streams, slow links); [hub_heartbeat_s]
-    overrides the replication heartbeat interval.  Returns [Error _]
+    overrides the replication heartbeat interval.  [repl_drop_nth]
+    (tests only) makes a replica silently skip the nth fresh record of
+    its replication stream — divergence the stream itself cannot see,
+    which is exactly what anti-entropy exists to catch.  Returns [Error _]
     if the final snapshot or checkpoint could not be written —
     connections are already cleaned up by then, so callers should log
     it and exit nonzero. *)

@@ -74,6 +74,15 @@ type request =
       (** Point probe: is the data edge [u -> v] present in the serving
           snapshot?  Idempotent; used by the history harness to resolve
           ambiguous (sent-but-unacknowledged) writes after a failure. *)
+  | Digest_request
+      (** Ask for the server's current {!Dkindex_server.Integrity}
+          digests (root + per-range).  Served even by a stale replica —
+          anti-entropy needs to see divergence precisely when a replica
+          is unhealthy. *)
+  | Repair_fetch of { ranges : int list }
+      (** Ask the primary to ship the full data-edge contents of the
+          named digest ranges (see {!Integrity.section}); the replica
+          overwrites its divergent rows from the reply. *)
 
 type query_result = {
   nodes : int array;  (** matching data nodes, sorted *)
@@ -141,6 +150,24 @@ type response =
           [age_ms] the replica age (0 on a primary) — what the
           acknowledged-history checker's monotonicity and staleness
           checks run on. *)
+  | Digest_reply of {
+      generation : int;  (** serving-snapshot swap generation *)
+      seq : int;
+          (** WAL position (generation) the digest reflects, [-1] when
+              the server cannot stamp one; two digests are comparable
+              only at equal positions *)
+      offset : int;  (** WAL byte offset within [seq] *)
+      n_nodes : int;
+      root : int;
+      label_edges : int;
+      data_ranges : int array;
+      index_ranges : int array;  (** same length as [data_ranges] *)
+    }
+      (** Answer to {!Digest_request}: the full {!Integrity.digests}
+          content plus the write-stream position it was computed at. *)
+  | Repair_reply of { generation : int; sections : (int * (int * int) array) list }
+      (** Answer to {!Repair_fetch}: per requested range, every
+          [(u, v)] data edge whose source lies in that range. *)
 
 (** {1 Codecs} *)
 

@@ -339,7 +339,9 @@ let test_shutdown_enospc_exits_nonzero () =
   let dir = temp_dir () in
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
   let pid, port =
-    fork_server ~cp_fault_spec:(Faults.Fail_nth_write 2) ~dir ~sync:(Wal.Interval 64)
+    (* Each checkpoint is two faulted writes (.index then its .crc
+       sidecar), so write 3 is the shutdown checkpoint's snapshot. *)
+    fork_server ~cp_fault_spec:(Faults.Fail_nth_write 3) ~dir ~sync:(Wal.Interval 64)
       ~checkpoint_records:1000 ()
   in
   let c = Client.connect ~port () in
@@ -365,8 +367,15 @@ let test_crash_during_checkpoint () =
   (match Unix.fork () with
   | 0 ->
     let idx = build_base () in
-    let cp_bytes = String.length (Index_serial.to_string idx) in
-    let faults = Faults.create (Faults.Crash_after_bytes (cp_bytes + 7)) in
+    let s0 = Index_serial.to_string idx in
+    let cp_bytes = String.length s0 in
+    (* The initial checkpoint writes the snapshot plus its CRC
+       sidecar; the crash must land inside the *second* snapshot. *)
+    let sidecar_bytes =
+      String.length
+        (Printf.sprintf "%d %d\n" (Wal.crc32 s0 0 cp_bytes) cp_bytes)
+    in
+    let faults = Faults.create (Faults.Crash_after_bytes (cp_bytes + sidecar_bytes + 7)) in
     let cfg = { (Checkpoint.default_config ~dir) with checkpoint_records = 1000 } in
     let d = Checkpoint.start ~checkpoint_faults:faults cfg idx in
     let idx =
